@@ -1,0 +1,26 @@
+//! Figure 10: 10-color rectangle broadcast (functional).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pami_bench::{measure_collective, CollBench};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_rect_bcast");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for size in [200 * 1024usize, 1024 * 1024] {
+        for nodes in [4usize, 8] {
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_function(format!("rect_bcast_{}KB_{nodes}nodes", size / 1024), |b| {
+                b.iter_custom(|n| {
+                    measure_collective(nodes, 1, n.max(3) as usize, CollBench::RectBroadcast { size })
+                        * n as u32
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

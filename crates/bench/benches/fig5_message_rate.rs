@@ -1,0 +1,31 @@
+//! Figure 5: message rate (PAMI vs MPI, named vs wildcard receives).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pami_bench::{measure_message_rate, MeasuredRateSeries};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_message_rate");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.throughput(Throughput::Elements(1));
+    for ppn in [1usize, 2] {
+        for (name, series) in [
+            ("pami", MeasuredRateSeries::Pami),
+            ("mpi_named", MeasuredRateSeries::MpiNamed),
+            ("mpi_wildcard", MeasuredRateSeries::MpiWildcard),
+        ] {
+            g.bench_function(format!("{name}_ppn{ppn}"), |b| {
+                b.iter_custom(|n| {
+                    let msgs = (n as usize).clamp(200, 5000);
+                    let rate = measure_message_rate(series, ppn, msgs);
+                    std::time::Duration::from_secs_f64(n as f64 / rate)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

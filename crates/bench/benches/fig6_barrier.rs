@@ -1,0 +1,22 @@
+//! Figure 6: MPI_Barrier latency (functional, host-scaled node counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pami_bench::{measure_collective, CollBench};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_barrier");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (nodes, ppn) in [(2usize, 1usize), (4, 1), (8, 1), (4, 2)] {
+        g.bench_function(format!("barrier_{nodes}nodes_ppn{ppn}"), |b| {
+            b.iter_custom(|n| {
+                measure_collective(nodes, ppn, n.max(10) as usize, CollBench::Barrier) * n as u32
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 8: MPI_Allreduce throughput vs message size (functional).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pami_bench::{measure_collective, CollBench};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_allreduce_bw");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for size in [64 * 1024usize, 1024 * 1024] {
+        for ppn in [1usize, 2] {
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_function(format!("allreduce_{}KB_ppn{ppn}", size / 1024), |b| {
+                b.iter_custom(|n| {
+                    measure_collective(
+                        2,
+                        ppn,
+                        n.max(3) as usize,
+                        CollBench::AllreduceBandwidth { size, hw: true },
+                    ) * n as u32
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 9: MPI_Bcast throughput via the collective network (functional).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pami_bench::{measure_collective, CollBench};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_bcast_collnet");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for size in [64 * 1024usize, 1024 * 1024] {
+        for ppn in [1usize, 2] {
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_function(format!("bcast_{}KB_ppn{ppn}", size / 1024), |b| {
+                b.iter_custom(|n| {
+                    measure_collective(2, ppn, n.max(3) as usize, CollBench::Broadcast { size, hw: true })
+                        * n as u32
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

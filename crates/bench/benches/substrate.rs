@@ -1,0 +1,41 @@
+//! Microbenchmarks of the BG/Q substrate primitives PAMI is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // L2 atomic operations.
+    let counter = bgq_hw::L2Counter::new(0);
+    g.bench_function("l2_load_increment", |b| b.iter(|| counter.load_increment()));
+    let bounded = bgq_hw::BoundedCounter::new(0, u64::MAX);
+    g.bench_function("l2_bounded_increment", |b| b.iter(|| bounded.bounded_increment()));
+
+    // Ticket mutex vs parking_lot.
+    let ticket = bgq_hw::L2TicketMutex::new();
+    g.bench_function("l2_ticket_mutex_lock_unlock", |b| b.iter(|| drop(ticket.lock())));
+    let pl = parking_lot::Mutex::new(());
+    g.bench_function("parking_lot_mutex_lock_unlock", |b| b.iter(|| drop(pl.lock())));
+
+    // The lockless work queue, uncontended push/pop.
+    let q: bgq_hw::WorkQueue<u64> = bgq_hw::WorkQueue::with_capacity(1024);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("workqueue_push_pop", |b| {
+        b.iter(|| {
+            q.push(7);
+            q.pop().unwrap()
+        })
+    });
+
+    // Wakeup region touch with no watchers (the common fast path).
+    let unit = bgq_hw::WakeupUnit::new();
+    let region = unit.region();
+    g.bench_function("wakeup_touch_unwatched", |b| b.iter(|| region.touch()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 1: PAMI half-round-trip latency (functional stack).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pami_bench::measure_pami_half_rtt;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_pami_latency");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("send_immediate_0B_half_rtt", |b| {
+        b.iter_custom(|n| measure_pami_half_rtt(true, 0, n.max(50) as u32) * n as u32)
+    });
+    g.bench_function("send_0B_half_rtt", |b| {
+        b.iter_custom(|n| measure_pami_half_rtt(false, 0, n.max(50) as u32) * n as u32)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

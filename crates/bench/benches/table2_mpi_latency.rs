@@ -1,0 +1,26 @@
+//! Table 2: MPI half-round-trip latency across library configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pami_bench::{measure_mpi_half_rtt, Table2Row};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_mpi_latency");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let rows = [
+        ("classic_single", Table2Row { thread_optimized: false, thread_multiple: false, commthreads: false }),
+        ("classic_multiple", Table2Row { thread_optimized: false, thread_multiple: true, commthreads: false }),
+        ("threadopt_multiple", Table2Row { thread_optimized: true, thread_multiple: true, commthreads: false }),
+        ("threadopt_multiple_commthreads", Table2Row { thread_optimized: true, thread_multiple: true, commthreads: true }),
+    ];
+    for (name, row) in rows {
+        g.bench_function(name, |b| {
+            b.iter_custom(|n| measure_mpi_half_rtt(row, n.max(20) as u32) * n as u32)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

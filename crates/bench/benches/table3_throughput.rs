@@ -1,0 +1,27 @@
+//! Table 3: nearest-neighbor throughput, eager vs rendezvous.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pami_bench::measure_neighbor_throughput;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_neighbor_throughput");
+    g.warm_up_time(std::time::Duration::from_millis(600));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    const SIZE: usize = 1 << 20;
+    for k in [1usize, 2] {
+        g.throughput(Throughput::Bytes((2 * k * SIZE) as u64));
+        for (proto, eager) in [("eager", true), ("rendezvous", false)] {
+            g.bench_function(format!("{k}_neighbors_{proto}"), |b| {
+                b.iter_custom(|n| {
+                    let bw = measure_neighbor_throughput(k, SIZE, eager, n.max(2) as usize);
+                    std::time::Duration::from_secs_f64((2 * k * SIZE) as f64 / bw * n as f64)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

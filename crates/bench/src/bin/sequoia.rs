@@ -1,0 +1,69 @@
+//! A standalone reimplementation of the (modified) Sequoia message-rate
+//! benchmark the paper uses for Figure 5: pairs of ranks flood each other
+//! with small messages, all receives pre-posted behind a barrier, message
+//! rate reported at the end.
+//!
+//! ```text
+//! sequoia [--ppn N] [--msgs N] [--size BYTES] [--wildcard] [--mpi|--pami]
+//! ```
+
+use pami_bench::{measure_message_rate, mmps, MeasuredRateSeries};
+
+struct Args {
+    ppn: usize,
+    msgs: usize,
+    wildcard: bool,
+    pami: bool,
+}
+
+fn parse() -> Args {
+    let mut args = Args { ppn: 2, msgs: 5000, wildcard: false, pami: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ppn" => {
+                args.ppn = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--ppn needs a number"))
+            }
+            "--msgs" => {
+                args.msgs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--msgs needs a number"))
+            }
+            "--wildcard" => args.wildcard = true,
+            "--pami" => args.pami = true,
+            "--mpi" => args.pami = false,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: sequoia [--ppn N] [--msgs N] [--wildcard] [--mpi|--pami]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse();
+    let series = if args.pami {
+        MeasuredRateSeries::Pami
+    } else if args.wildcard {
+        MeasuredRateSeries::MpiWildcard
+    } else {
+        MeasuredRateSeries::MpiNamed
+    };
+    println!(
+        "sequoia message-rate: {} / ppn {} / {} msgs per pair{}",
+        if args.pami { "PAMI" } else { "MPI" },
+        args.ppn,
+        args.msgs,
+        if args.wildcard { " / ANY_SOURCE receives" } else { "" },
+    );
+    let rate = measure_message_rate(series, args.ppn, args.msgs);
+    println!("aggregate rate: {}", mmps(rate));
+}

@@ -1,0 +1,467 @@
+//! Measurement harnesses for the paper's tables and figures.
+//!
+//! Every experiment has up to two modes:
+//!
+//! * **measured** — runs the functional PAMI/MPI stack of this workspace on
+//!   a host-scaled configuration (a few nodes, a few processes) and
+//!   reports real wall-clock numbers. Software-structure effects (PAMI vs
+//!   MPI overhead, eager vs rendezvous copies, lock disciplines) show up
+//!   here. On a single-core host, effects that need hardware parallelism
+//!   (commthread speedups) do not.
+//! * **modeled** — evaluates the `bgq-netsim` timing models at the paper's
+//!   scale (2048 nodes, 32 ppn, ten links), reproducing the shape of every
+//!   curve.
+//!
+//! The `repro` binary prints both, labeled, next to the paper's numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pami::{Client, Context, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs};
+use pami_mpi::{LibFlavor, Mpi, MpiConfig, ThreadLevel, ANY_SOURCE};
+
+/// Format a seconds value as microseconds with two decimals.
+pub fn us(t: f64) -> String {
+    format!("{:.2}us", t * 1e6)
+}
+
+/// Format a bytes/second value as MB/s (decimal, like the paper).
+pub fn mbs(bw: f64) -> String {
+    format!("{:.0}MB/s", bw / 1e6)
+}
+
+/// Format a messages/second value as millions of messages per second.
+pub fn mmps(rate: f64) -> String {
+    format!("{:.2}MMPS", rate / 1e6)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 (measured): PAMI half round trip
+// ---------------------------------------------------------------------------
+
+/// Functional PAMI ping-pong between two nodes, driven from one thread for
+/// reproducible timing. Returns the average half-round-trip time.
+pub fn measure_pami_half_rtt(immediate: bool, payload: usize, iters: u32) -> Duration {
+    let machine = Machine::with_nodes(2).build();
+    let c0 = Client::create(&machine, 0, "bench", 1);
+    let c1 = Client::create(&machine, 1, "bench", 1);
+    let pings = Arc::new(AtomicU64::new(0));
+    let pongs = Arc::new(AtomicU64::new(0));
+    let count = |cell: &Arc<AtomicU64>| {
+        let cell = Arc::clone(cell);
+        let f: pami::context::DispatchFn = Arc::new(move |_: &Context, msg, first| {
+            assert_eq!(first.len() as u64, msg.len);
+            cell.fetch_add(1, Ordering::Relaxed);
+            Recv::Done
+        });
+        f
+    };
+    c1.context(0).set_dispatch(1, count(&pings));
+    c0.context(0).set_dispatch(1, count(&pongs));
+    let data = vec![0u8; payload];
+
+    let send = |ctx: &Arc<Context>, dest: u32| {
+        if immediate {
+            ctx.send_immediate(Endpoint::of_task(dest), 1, b"", &data).unwrap();
+        } else {
+            ctx.send(SendArgs {
+                dest: Endpoint::of_task(dest),
+                dispatch: 1,
+                metadata: Vec::new(),
+                payload: PayloadSource::Immediate(bytes::Bytes::copy_from_slice(&data)),
+                local_done: None,
+            });
+        }
+    };
+
+    let run_iters = |iters: u64, timed: bool| -> Duration {
+        let base_ping = pings.load(Ordering::Relaxed);
+        let base_pong = pongs.load(Ordering::Relaxed);
+        let start = Instant::now();
+        for i in 1..=iters {
+            send(c0.context(0), 1);
+            while pings.load(Ordering::Relaxed) < base_ping + i {
+                c0.context(0).advance();
+                c1.context(0).advance();
+            }
+            send(c1.context(0), 0);
+            while pongs.load(Ordering::Relaxed) < base_pong + i {
+                c1.context(0).advance();
+                c0.context(0).advance();
+            }
+        }
+        if timed { start.elapsed() } else { Duration::ZERO }
+    };
+    run_iters(100, false);
+    run_iters(iters as u64, true) / (2 * iters)
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 (measured): MPI half round trip per configuration
+// ---------------------------------------------------------------------------
+
+/// A Table 2 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Thread-optimized (vs classic) library.
+    pub thread_optimized: bool,
+    /// MPI_THREAD_MULTIPLE (vs SINGLE).
+    pub thread_multiple: bool,
+    /// Commthreads enabled.
+    pub commthreads: bool,
+}
+
+impl Table2Row {
+    /// Human-readable row label.
+    pub fn label(&self) -> String {
+        format!(
+            "{:<11} / {:<15} / commthread {}",
+            if self.thread_optimized { "Thread Opt." } else { "Classic" },
+            if self.thread_multiple { "Thread Multiple" } else { "Thread Single" },
+            if self.commthreads { "enabled" } else { "disabled" },
+        )
+    }
+
+    fn config(&self) -> MpiConfig {
+        MpiConfig {
+            flavor: if self.thread_optimized {
+                LibFlavor::ThreadOptimized
+            } else {
+                LibFlavor::Classic
+            },
+            thread_level: if self.thread_multiple {
+                ThreadLevel::Multiple
+            } else {
+                ThreadLevel::Single
+            },
+            contexts: 1,
+            commthreads: Some(usize::from(self.commthreads)),
+        }
+    }
+}
+
+/// Functional MPI ping-pong (8-byte payload) for a Table 2 configuration;
+/// both ranks driven from the calling thread.
+pub fn measure_mpi_half_rtt(row: Table2Row, iters: u32) -> Duration {
+    let machine = Machine::with_nodes(2).build();
+    let mpi0 = Mpi::init(&machine, 0, row.config());
+    let mpi1 = Mpi::init(&machine, 1, row.config());
+    let w0 = mpi0.world().clone();
+    let w1 = mpi1.world().clone();
+    let buf0 = MemRegion::zeroed(8);
+    let buf1 = MemRegion::zeroed(8);
+
+    let round = |timed: bool| -> Duration {
+        let start = Instant::now();
+        let r1 = mpi1.irecv(&buf1, 0, 8, 0, 1, &w1);
+        let s0 = mpi0.isend(&buf0, 0, 8, 1, 1, &w0);
+        while !mpi1.request_complete(r1) {
+            mpi0.advance();
+            mpi1.advance();
+        }
+        mpi1.test(r1);
+        mpi0.wait(s0);
+        let r0 = mpi0.irecv(&buf0, 0, 8, 1, 2, &w0);
+        let s1 = mpi1.isend(&buf1, 0, 8, 0, 2, &w1);
+        while !mpi0.request_complete(r0) {
+            mpi1.advance();
+            mpi0.advance();
+        }
+        mpi0.test(r0);
+        mpi1.wait(s1);
+        if timed { start.elapsed() } else { Duration::ZERO }
+    };
+    for _ in 0..50 {
+        round(false);
+    }
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        total += round(true);
+    }
+    total / (2 * iters)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 (measured): message rate
+// ---------------------------------------------------------------------------
+
+/// Which functional message-rate series to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasuredRateSeries {
+    /// Raw PAMI sends, counted at the receiver.
+    Pami,
+    /// MPI isend/irecv with explicit source ranks.
+    MpiNamed,
+    /// MPI with ANY_SOURCE receives.
+    MpiWildcard,
+}
+
+/// Host-scaled message-rate benchmark: `ppn` sender ranks on node 0 flood
+/// paired receiver ranks on node 1 with `msgs` 8-byte messages each
+/// (receives pre-posted, Sequoia-style). All ranks are driven round-robin
+/// by this thread; the result is messages per second of wall time.
+pub fn measure_message_rate(series: MeasuredRateSeries, ppn: usize, msgs: usize) -> f64 {
+    let machine = Machine::with_nodes(2).ppn(ppn).build();
+    match series {
+        MeasuredRateSeries::Pami => {
+            let clients: Vec<Arc<Client>> =
+                (0..2 * ppn).map(|t| Client::create(&machine, t as u32, "rate", 1)).collect();
+            let got = Arc::new(AtomicU64::new(0));
+            for c in &clients[ppn..] {
+                let got = Arc::clone(&got);
+                c.context(0).set_dispatch(
+                    1,
+                    Arc::new(move |_: &Context, _msg, _first| {
+                        got.fetch_add(1, Ordering::Relaxed);
+                        Recv::Done
+                    }),
+                );
+            }
+            let start = Instant::now();
+            for i in 0..msgs {
+                for s in 0..ppn {
+                    clients[s].context(0).send(SendArgs {
+                        dest: Endpoint::of_task((ppn + s) as u32),
+                        dispatch: 1,
+                        metadata: Vec::new(),
+                        payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[0u8; 8])),
+                        local_done: None,
+                    });
+                }
+                if i % 16 == 0 {
+                    for c in &clients {
+                        c.context(0).advance();
+                    }
+                }
+            }
+            while got.load(Ordering::Relaxed) < (msgs * ppn) as u64 {
+                for c in &clients {
+                    c.context(0).advance();
+                }
+            }
+            (msgs * ppn) as f64 / start.elapsed().as_secs_f64()
+        }
+        MeasuredRateSeries::MpiNamed | MeasuredRateSeries::MpiWildcard => {
+            let wildcard = series == MeasuredRateSeries::MpiWildcard;
+            let ranks: Vec<Mpi> = (0..2 * ppn)
+                .map(|t| Mpi::init(&machine, t as u32, MpiConfig::default()))
+                .collect();
+            let bufs: Vec<MemRegion> =
+                (0..2 * ppn).map(|_| MemRegion::zeroed(8 * msgs)).collect();
+            // Pre-post all receives (the paper adds a barrier "to eliminate
+            // unexpected messages").
+            let mut reqs: Vec<Vec<pami_mpi::Request>> = Vec::new();
+            for r in 0..ppn {
+                let mpi = &ranks[ppn + r];
+                let world = mpi.world().clone();
+                let src = if wildcard { ANY_SOURCE } else { r as i32 };
+                reqs.push(
+                    (0..msgs)
+                        .map(|i| mpi.irecv(&bufs[ppn + r], i * 8, 8, src, i as i32, &world))
+                        .collect(),
+                );
+            }
+            let start = Instant::now();
+            let mut send_reqs = Vec::new();
+            for (s, rank) in ranks.iter().take(ppn).enumerate() {
+                let world = rank.world().clone();
+                for i in 0..msgs {
+                    send_reqs.push((s, rank.isend(&bufs[s], i * 8, 8, ppn + s, i as i32, &world)));
+                }
+            }
+            loop {
+                let mut done = true;
+                for (r, rs) in reqs.iter().enumerate() {
+                    let mpi = &ranks[ppn + r];
+                    mpi.advance();
+                    if rs.iter().any(|req| !mpi.request_complete(*req)) {
+                        done = false;
+                    }
+                }
+                for rank in ranks.iter().take(ppn) {
+                    rank.advance();
+                }
+                if done {
+                    break;
+                }
+            }
+            let rate = (msgs * ppn) as f64 / start.elapsed().as_secs_f64();
+            for (s, req) in send_reqs {
+                ranks[s].wait(req);
+            }
+            rate
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 (measured): neighbor throughput
+// ---------------------------------------------------------------------------
+
+/// Functional bidirectional neighbor exchange: the reference task 0
+/// exchanges `size`-byte messages with `k` neighbor tasks (each on its own
+/// node); returns aggregate send+receive bytes per second at the
+/// reference. `eager` selects the protocol by moving the eager limit.
+pub fn measure_neighbor_throughput(k: usize, size: usize, eager: bool, reps: usize) -> f64 {
+    let nodes = (k + 1).max(2);
+    let machine = Machine::with_nodes(nodes)
+        .eager_limit(if eager { usize::MAX / 2 } else { 1024 })
+        .build();
+    let ranks: Vec<Mpi> =
+        (0..nodes).map(|t| Mpi::init(&machine, t as u32, MpiConfig::default())).collect();
+    let world = ranks[0].world().clone();
+    let send_buf: Vec<MemRegion> = (0..nodes).map(|_| MemRegion::zeroed(size)).collect();
+    let recv_buf: Vec<MemRegion> = (0..nodes).map(|_| MemRegion::zeroed(size)).collect();
+
+    let start = Instant::now();
+    for rep in 0..reps {
+        let tag = rep as i32;
+        let mut reqs = Vec::new();
+        for n in 1..=k {
+            reqs.push((0, ranks[0].irecv(&recv_buf[0], 0, size, n as i32, tag, &world)));
+            reqs.push((0, ranks[0].isend(&send_buf[0], 0, size, n, tag, &world)));
+            let wn = ranks[n].world().clone();
+            reqs.push((n, ranks[n].irecv(&recv_buf[n], 0, size, 0, tag, &wn)));
+            reqs.push((n, ranks[n].isend(&send_buf[n], 0, size, 0, tag, &wn)));
+        }
+        loop {
+            let mut done = true;
+            for (owner, req) in &reqs {
+                if !ranks[*owner].request_complete(*req) {
+                    done = false;
+                }
+            }
+            for r in ranks.iter().take(k + 1) {
+                r.advance();
+            }
+            if done {
+                break;
+            }
+        }
+        for (owner, req) in reqs {
+            ranks[owner].wait(req);
+        }
+    }
+    (2 * k * size * reps) as f64 / start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6–10 (measured): collective latency/throughput at host scale
+// ---------------------------------------------------------------------------
+
+/// Which collective to measure functionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollBench {
+    /// `MPI_Barrier` (Figure 6).
+    Barrier,
+    /// Single-double `MPI_Allreduce` (Figure 7); hardware path if true.
+    AllreduceLatency { hw: bool },
+    /// `size`-byte `MPI_Allreduce` (Figure 8).
+    AllreduceBandwidth { size: usize, hw: bool },
+    /// `size`-byte `MPI_Bcast` over the collective network (Figure 9).
+    Broadcast { size: usize, hw: bool },
+    /// `size`-byte 10-color rectangle broadcast (Figure 10).
+    RectBroadcast { size: usize },
+}
+
+/// Run `rounds` iterations of a collective over `nodes`×`ppn` functional
+/// ranks (one thread each) and return rank 0's average time per operation.
+pub fn measure_collective(nodes: usize, ppn: usize, rounds: usize, which: CollBench) -> Duration {
+    use pami::coll::Algorithm;
+    let machine = Machine::with_nodes(nodes).ppn(ppn).build();
+    let result = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let result2 = Arc::clone(&result);
+    machine.run(move |env| {
+        let mpi = Mpi::init(&env.machine, env.task, MpiConfig::default());
+        env.machine.task_barrier();
+        let world = mpi.world().clone();
+        let hw = match which {
+            CollBench::AllreduceLatency { hw }
+            | CollBench::AllreduceBandwidth { hw, .. }
+            | CollBench::Broadcast { hw, .. } => hw,
+            _ => true,
+        };
+        if hw {
+            world.optimize().expect("world is rectangular");
+        }
+        let alg = if hw { Algorithm::HwCollNet } else { Algorithm::SwBinomial };
+        let size = match which {
+            CollBench::Barrier => 8,
+            CollBench::AllreduceLatency { .. } => 8,
+            CollBench::AllreduceBandwidth { size, .. }
+            | CollBench::Broadcast { size, .. }
+            | CollBench::RectBroadcast { size } => size,
+        };
+        let src = MemRegion::zeroed(size);
+        let dst = MemRegion::zeroed(size);
+        // Warm + synchronize.
+        mpi.barrier(&world);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            match which {
+                CollBench::Barrier => mpi.barrier(&world),
+                CollBench::AllreduceLatency { .. } => mpi.allreduce_with(
+                    alg,
+                    (&src, 0),
+                    (&dst, 0),
+                    1,
+                    pami::CollOp::Sum,
+                    pami::DataType::Float64,
+                    &world,
+                ),
+                CollBench::AllreduceBandwidth { size, .. } => mpi.allreduce_with(
+                    alg,
+                    (&src, 0),
+                    (&dst, 0),
+                    size / 8,
+                    pami::CollOp::Sum,
+                    pami::DataType::Float64,
+                    &world,
+                ),
+                CollBench::Broadcast { size, .. } => {
+                    mpi.bcast_with(alg, &src, 0, size, 0, &world)
+                }
+                CollBench::RectBroadcast { size } => mpi.bcast_rect(&src, 0, size, 0, &world),
+            }
+        }
+        let elapsed = start.elapsed() / rounds as u32;
+        if world.rank() == 0 {
+            *result2.lock() = elapsed;
+        }
+        mpi.barrier(&world);
+    });
+    let out = *result.lock();
+    out
+}
+
+/// Functional barrier timing with an explicit inter-node mechanism (the
+/// GI-vs-collective-network ablation).
+pub fn measure_barrier_alg(
+    nodes: usize,
+    rounds: usize,
+    alg: pami::coll::BarrierAlg,
+) -> Duration {
+    use pami::{Client, Geometry, Topology};
+    let machine = Machine::with_nodes(nodes).build();
+    let result = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let r2 = Arc::clone(&result);
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "bar", 1);
+        env.machine.task_barrier();
+        let ctx = client.context(0);
+        let geom = Geometry::create(ctx, 1, Topology::world(env.machine.num_tasks() as u32));
+        geom.optimize().expect("world rectangular");
+        pami::coll::barrier(&geom, ctx);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            pami::coll::barrier_with(&geom, ctx, alg);
+        }
+        if env.task == 0 {
+            *r2.lock() = start.elapsed() / rounds as u32;
+        }
+        pami::coll::barrier(&geom, ctx);
+    });
+    let out = *result.lock();
+    out
+}

@@ -1,0 +1,178 @@
+//! Compute Node Kernel (CNK) services.
+//!
+//! Two CNK facilities matter to PAMI (paper section II.D):
+//!
+//! 1. **Commthreads** — special pthreads with extended low/high priority
+//!    levels, reserved for messaging software. The priorities let a
+//!    commthread run uninterrupted during low-level network operations and
+//!    get completely out of the way otherwise. The simulation keeps the
+//!    priority levels as data ([`CommThreadPriority`]) consumed by the
+//!    commthread pool in the `pami` crate, which realizes them with a
+//!    cooperative park/yield discipline.
+//!
+//! 2. **The global virtual address space** — CNK maintains a translation
+//!    table of every process's memory so that any process on a node can read
+//!    its peers' buffers, eliminating copies in intra-node collectives.
+//!    [`GlobalVa`] is that table: processes publish [`MemRegion`]s under a
+//!    [`GlobalAddress`] and peers resolve them directly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::memory::MemRegion;
+
+/// CNK scheduling levels for commthreads. Plain pthreads sit between the two
+/// extended levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CommThreadPriority {
+    /// "Completely out of the way": the commthread only runs when no
+    /// application thread wants the hardware thread (realized by parking on
+    /// the wakeup unit).
+    ExtendedLow,
+    /// Normal pthread priority.
+    Normal,
+    /// "Without risk of being preempted": bracket short critical network
+    /// operations.
+    ExtendedHigh,
+}
+
+/// A node-wide global virtual address: (process rank on node, region id,
+/// byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalAddress {
+    /// Process index within the node (0..ppn).
+    pub local_rank: usize,
+    /// Region id returned by [`GlobalVa::publish`].
+    pub region: u64,
+    /// Byte offset within the region.
+    pub offset: usize,
+}
+
+#[derive(Default)]
+struct VaTable {
+    regions: HashMap<(usize, u64), MemRegion>,
+    next_id: u64,
+}
+
+/// The per-node global virtual-address translation table. One instance is
+/// shared (via `Arc`) by every simulated process on the node.
+#[derive(Clone, Default)]
+pub struct GlobalVa {
+    table: Arc<RwLock<VaTable>>,
+}
+
+impl GlobalVa {
+    /// Create an empty table for a node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish `region` as readable/writable by every process on the node.
+    /// Returns the region id half of the [`GlobalAddress`].
+    pub fn publish(&self, local_rank: usize, region: MemRegion) -> u64 {
+        let mut t = self.table.write();
+        let id = t.next_id;
+        t.next_id += 1;
+        t.regions.insert((local_rank, id), region);
+        id
+    }
+
+    /// Withdraw a published region (process exit / buffer free).
+    pub fn unpublish(&self, local_rank: usize, region: u64) -> bool {
+        self.table.write().regions.remove(&(local_rank, region)).is_some()
+    }
+
+    /// Resolve a peer's region; `None` if never published or withdrawn.
+    pub fn resolve(&self, local_rank: usize, region: u64) -> Option<MemRegion> {
+        self.table.read().regions.get(&(local_rank, region)).cloned()
+    }
+
+    /// Resolve a full address to (region, offset).
+    pub fn resolve_addr(&self, addr: GlobalAddress) -> Option<(MemRegion, usize)> {
+        self.resolve(addr.local_rank, addr.region)
+            .map(|r| (r, addr.offset))
+    }
+
+    /// Copy `len` bytes from one global address to another — the zero-extra-
+    /// copy intra-node path ("a process can read the data from its peers").
+    ///
+    /// # Panics
+    /// If either address does not resolve or the ranges are out of bounds.
+    pub fn copy(&self, dst: GlobalAddress, src: GlobalAddress, len: usize) {
+        let (srk, soff) = self
+            .resolve_addr(src)
+            .expect("GlobalVa copy: unresolved source address");
+        let (drk, doff) = self
+            .resolve_addr(dst)
+            .expect("GlobalVa copy: unresolved destination address");
+        drk.copy_from(doff, &srk, soff, len);
+    }
+
+    /// Number of currently published regions on the node.
+    pub fn published_count(&self) -> usize {
+        self.table.read().regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_resolve_round_trip() {
+        let va = GlobalVa::new();
+        let region = MemRegion::from_vec(vec![7u8; 32]);
+        let id = va.publish(3, region.clone());
+        let got = va.resolve(3, id).expect("published region resolves");
+        assert!(got.same_region(&region));
+    }
+
+    #[test]
+    fn unpublish_removes() {
+        let va = GlobalVa::new();
+        let id = va.publish(0, MemRegion::zeroed(8));
+        assert!(va.unpublish(0, id));
+        assert!(va.resolve(0, id).is_none());
+        assert!(!va.unpublish(0, id));
+    }
+
+    #[test]
+    fn ids_are_unique_across_ranks() {
+        let va = GlobalVa::new();
+        let a = va.publish(0, MemRegion::zeroed(8));
+        let b = va.publish(1, MemRegion::zeroed(8));
+        assert_ne!(a, b);
+        assert_eq!(va.published_count(), 2);
+    }
+
+    #[test]
+    fn peer_copy_moves_bytes_between_processes() {
+        let va = GlobalVa::new();
+        let src = MemRegion::from_vec((0..16).collect());
+        let dst = MemRegion::zeroed(16);
+        let sid = va.publish(0, src);
+        let did = va.publish(1, dst.clone());
+        va.copy(
+            GlobalAddress { local_rank: 1, region: did, offset: 4 },
+            GlobalAddress { local_rank: 0, region: sid, offset: 0 },
+            8,
+        );
+        assert_eq!(&dst.to_vec()[4..12], &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn shared_table_visible_across_clones() {
+        let va = GlobalVa::new();
+        let va2 = va.clone();
+        let id = va.publish(0, MemRegion::zeroed(4));
+        assert!(va2.resolve(0, id).is_some());
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(CommThreadPriority::ExtendedLow < CommThreadPriority::Normal);
+        assert!(CommThreadPriority::Normal < CommThreadPriority::ExtendedHigh);
+    }
+}

@@ -1,0 +1,98 @@
+//! Reception/injection byte counters.
+//!
+//! The MU tracks transfer completion through counters in L2 atomic memory:
+//! software arms a counter with the expected byte count and the hardware
+//! decrements it as packets are sent or delivered; zero means complete.
+//! Progress loops poll the counter (or park on a wakeup region covering it)
+//! instead of inspecting packets — this is the only completion signal the
+//! dynamically-routed direct-put path has.
+
+use std::sync::Arc;
+
+use crate::l2::L2Counter;
+
+/// A shareable completion counter ("hardware" decrements, software polls).
+#[derive(Clone, Debug)]
+pub struct Counter {
+    word: Arc<L2Counter>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// A counter armed at zero (already complete).
+    pub fn new() -> Self {
+        Counter { word: Arc::new(L2Counter::new(0)) }
+    }
+
+    /// Arm the counter with `bytes` outstanding. Adding (rather than
+    /// storing) lets one counter track several descriptors, as PAMI does
+    /// for multi-slice transfers.
+    pub fn add_expected(&self, bytes: u64) {
+        self.word.store_add(bytes);
+    }
+
+    /// Hardware side: record `bytes` delivered.
+    pub fn delivered(&self, bytes: u64) {
+        self.word.store_add_signed(-(bytes as i64));
+    }
+
+    /// Outstanding byte count.
+    pub fn outstanding(&self) -> u64 {
+        self.word.load()
+    }
+
+    /// Whether every armed byte has been delivered.
+    pub fn is_complete(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// Spin until complete (test helper; production code advances contexts
+    /// or parks on a wakeup region instead).
+    pub fn spin_wait(&self) {
+        while !self.is_complete() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_and_completes() {
+        let c = Counter::new();
+        assert!(c.is_complete());
+        c.add_expected(100);
+        assert!(!c.is_complete());
+        assert_eq!(c.outstanding(), 100);
+        c.delivered(60);
+        c.delivered(40);
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.add_expected(8);
+        c2.delivered(8);
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn tracks_multiple_descriptors() {
+        let c = Counter::new();
+        c.add_expected(10);
+        c.add_expected(20);
+        c.delivered(25);
+        assert_eq!(c.outstanding(), 5);
+        c.delivered(5);
+        assert!(c.is_complete());
+    }
+}

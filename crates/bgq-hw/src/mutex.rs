@@ -1,0 +1,137 @@
+//! The "low overhead L2 atomic mutex".
+//!
+//! Where the paper's MPI layer must serialize (most prominently the matched
+//! receive queue, section IV.A), it uses a mutex built directly on L2
+//! atomics rather than a kernel futex: a ticket lock whose ticket dispenser
+//! is an L2 `load-increment` and whose serving counter is a plain L2 word.
+//! Fairness (FIFO grant order) falls out of the ticket discipline, which is
+//! what keeps wildcard-receive serialization cheap under contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// A fair ticket lock built from two (simulated) L2 atomic words.
+///
+/// This deliberately does not wrap the protected data the way
+/// `parking_lot::Mutex` does — PAMI uses it to bracket short critical
+/// sections over structures it does not own (e.g. the MPICH receive queue) —
+/// but a guard keeps unlocks paired with locks.
+#[derive(Debug, Default)]
+pub struct L2TicketMutex {
+    next_ticket: CachePadded<AtomicU64>,
+    now_serving: CachePadded<AtomicU64>,
+}
+
+/// RAII guard returned by [`L2TicketMutex::lock`]; releases on drop.
+#[must_use = "dropping the guard immediately releases the mutex"]
+pub struct L2TicketGuard<'a> {
+    mutex: &'a L2TicketMutex,
+}
+
+impl L2TicketMutex {
+    /// Create an unlocked mutex.
+    pub const fn new() -> Self {
+        Self {
+            next_ticket: CachePadded::new(AtomicU64::new(0)),
+            now_serving: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Acquire the lock, spinning briefly then yielding — the commthread
+    /// design means hold times are tens of cycles, so a short spin almost
+    /// always suffices, but yielding keeps oversubscribed hosts live.
+    pub fn lock(&self) -> L2TicketGuard<'_> {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::AcqRel);
+        let mut spins = 0u32;
+        while self.now_serving.load(Ordering::Acquire) != ticket {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        L2TicketGuard { mutex: self }
+    }
+
+    /// Try to acquire without waiting. Succeeds only when no one holds the
+    /// lock *and* no earlier ticket is pending.
+    pub fn try_lock(&self) -> Option<L2TicketGuard<'_>> {
+        let serving = self.now_serving.load(Ordering::Acquire);
+        match self.next_ticket.compare_exchange(
+            serving,
+            serving + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Some(L2TicketGuard { mutex: self }),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether some thread currently holds (or is queued for) the lock.
+    pub fn is_contended(&self) -> bool {
+        self.next_ticket.load(Ordering::Acquire) != self.now_serving.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for L2TicketGuard<'_> {
+    fn drop(&mut self) {
+        self.mutex.now_serving.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock_cycles() {
+        let m = L2TicketMutex::new();
+        for _ in 0..100 {
+            let g = m.lock();
+            drop(g);
+        }
+        assert!(!m.is_contended());
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = L2TicketMutex::new();
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 5000;
+        let m = Arc::new(L2TicketMutex::new());
+        // A deliberately non-atomic counter: races would lose increments.
+        struct RacyCell(std::cell::UnsafeCell<u64>);
+        // SAFETY: test-only; every access is bracketed by the mutex under test.
+        unsafe impl Send for RacyCell {}
+        unsafe impl Sync for RacyCell {}
+        let counter = Arc::new(RacyCell(std::cell::UnsafeCell::new(0u64)));
+        struct SendPtr(Arc<RacyCell>);
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let m = Arc::clone(&m);
+            let c = SendPtr(Arc::clone(&counter));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    let _g = m.lock();
+                    unsafe { *c.0 .0.get() += 1 };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { *counter.0.get() }, (THREADS * ITERS) as u64);
+    }
+}

@@ -1,0 +1,324 @@
+//! The PAMI lockless queue (paper section III.B).
+//!
+//! "One of the supported L2 Atomics operations is *bounded increment*. This
+//! combines an atomic load-and-increment with a compare against bounds,
+//! enabling atomic allocation of elements to a fixed-sized array used to
+//! implement a fast scalable queue. This fixed-sized array is enhanced with
+//! an overflow queue to handle cases when the array is full. The overflow
+//! queue is accessed through mutexes."
+//!
+//! [`WorkQueue`] is that structure: any number of producers `push` work into
+//! a fixed ring whose slots are claimed with a single
+//! [`BoundedCounter::bounded_increment`]; exactly one consumer (the thread
+//! advancing the owning PAMI context) `pop`s. When the ring is full,
+//! producers divert to a `parking_lot::Mutex`-guarded overflow list, and stay
+//! diverted until the consumer has drained it — that keeps each producer's
+//! items in FIFO order, which is what MPI ordering requires of the handoff
+//! path.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::l2::{BoundedCounter, L2Counter};
+
+struct Slot<T> {
+    /// Lap/readiness protocol: `seq == pos` means free for the producer that
+    /// claimed `pos`; `seq == pos + 1` means the value is ready for the
+    /// consumer; the consumer then sets `seq = pos + capacity` to free the
+    /// slot for the next lap.
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Multi-producer / single-consumer lockless queue with mutex-guarded
+/// overflow, as used for PAMI context work handoff and shared-memory packet
+/// queues.
+///
+/// Guarantees:
+/// * per-producer FIFO: two pushes by the same thread are popped in push
+///   order;
+/// * lock-free fast path: a push that finds ring space performs one bounded
+///   increment plus one slot write;
+/// * the consumer never blocks: [`WorkQueue::pop`] returns `None` when the
+///   queue is empty *or* when the head item has been claimed but not yet
+///   written (the producer was preempted mid-publish) — callers are advance
+///   loops that simply come back.
+///
+/// Exactly one thread may call [`WorkQueue::pop`] (and the other consumer
+/// methods); this is the same contract the paper's context-advance rule
+/// imposes and it is asserted in debug builds.
+pub struct WorkQueue<T> {
+    slots: Box<[Slot<T>]>,
+    capacity: u64,
+    /// Producer cursor: claimed via bounded increment, bound maintained at
+    /// `head + capacity` by the consumer.
+    tail: BoundedCounter,
+    /// Consumer cursor; written only by the consumer.
+    head: CachePadded<AtomicU64>,
+    overflow: Mutex<VecDeque<T>>,
+    /// True from the first overflow push until the consumer drains the
+    /// overflow list; while set, all producers divert to the overflow so
+    /// per-producer ordering is preserved.
+    overflow_active: CachePadded<AtomicBool>,
+    /// Total pushes that took the overflow (mutex) path, for ablation
+    /// benches comparing lockless vs locked behaviour.
+    overflow_pushes: L2Counter,
+    total_pushes: L2Counter,
+}
+
+unsafe impl<T: Send> Send for WorkQueue<T> {}
+unsafe impl<T: Send> Sync for WorkQueue<T> {}
+
+impl<T> WorkQueue<T> {
+    /// Create a queue whose lockless ring holds `capacity` items
+    /// (`capacity` must be ≥ 1; it is rounded up to a power of two so the
+    /// slot index is a mask).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1).next_power_of_two() as u64;
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            capacity,
+            tail: BoundedCounter::new(0, capacity),
+            head: CachePadded::new(AtomicU64::new(0)),
+            overflow: Mutex::new(VecDeque::new()),
+            overflow_active: CachePadded::new(AtomicBool::new(false)),
+            overflow_pushes: L2Counter::new(0),
+            total_pushes: L2Counter::new(0),
+        }
+    }
+
+    /// Ring capacity (after power-of-two rounding).
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Push an item; wait-free unless the ring is full, in which case the
+    /// item takes the mutex-guarded overflow path. Returns `true` if the
+    /// lockless fast path was used.
+    pub fn push(&self, item: T) -> bool {
+        self.total_pushes.store_add(1);
+        if self.overflow_active.load(Ordering::Acquire) {
+            self.push_overflow(item);
+            return false;
+        }
+        match self.tail.bounded_increment() {
+            Some(pos) => {
+                let slot = &self.slots[(pos & (self.capacity - 1)) as usize];
+                debug_assert_eq!(slot.seq.load(Ordering::Acquire), pos);
+                unsafe { (*slot.value.get()).write(item) };
+                slot.seq.store(pos + 1, Ordering::Release);
+                true
+            }
+            None => {
+                self.push_overflow(item);
+                false
+            }
+        }
+    }
+
+    fn push_overflow(&self, item: T) {
+        let mut ovf = self.overflow.lock();
+        // Set the flag while holding the lock so the consumer's
+        // drain-then-clear (also under the lock) cannot miss this item.
+        self.overflow_active.store(true, Ordering::Release);
+        ovf.push_back(item);
+        self.overflow_pushes.store_add(1);
+    }
+
+    /// Pop the next item (single consumer only). Returns `None` when the
+    /// queue is empty or the head item is still being written.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head & (self.capacity - 1)) as usize];
+        if slot.seq.load(Ordering::Acquire) == head + 1 {
+            let value = unsafe { (*slot.value.get()).assume_init_read() };
+            slot.seq.store(head + self.capacity, Ordering::Release);
+            self.head.store(head + 1, Ordering::Release);
+            // Free the slot for producers `capacity` ahead.
+            self.tail.advance_bound(1);
+            return Some(value);
+        }
+        if self.tail.value() > head {
+            // Claimed but not yet published; try again on the next advance.
+            return None;
+        }
+        if self.overflow_active.load(Ordering::Acquire) {
+            let mut ovf = self.overflow.lock();
+            let item = ovf.pop_front();
+            if ovf.is_empty() {
+                self.overflow_active.store(false, Ordering::Release);
+            }
+            return item;
+        }
+        None
+    }
+
+    /// Whether both the ring and the overflow list are (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        self.tail.value() == head && !self.overflow_active.load(Ordering::Acquire)
+    }
+
+    /// Approximate number of queued items (ring claims plus overflow).
+    pub fn len(&self) -> usize {
+        let ring = self
+            .tail
+            .value()
+            .saturating_sub(self.head.load(Ordering::Acquire)) as usize;
+        let ovf = if self.overflow_active.load(Ordering::Acquire) {
+            self.overflow.lock().len()
+        } else {
+            0
+        };
+        ring + ovf
+    }
+
+    /// How many pushes have taken the overflow (mutex) path so far.
+    pub fn overflow_pushes(&self) -> u64 {
+        self.overflow_pushes.load()
+    }
+
+    /// Total pushes observed.
+    pub fn total_pushes(&self) -> u64 {
+        self.total_pushes.load()
+    }
+}
+
+impl<T> Drop for WorkQueue<T> {
+    fn drop(&mut self) {
+        // Drain any published-but-unpopped ring items so their destructors
+        // run; overflow drains via VecDeque's own drop.
+        while let Some(item) = self.pop() {
+            drop(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_producer() {
+        let q = WorkQueue::with_capacity(8);
+        for i in 0..8 {
+            assert!(q.push(i));
+        }
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_engages_when_ring_full_and_preserves_order() {
+        let q = WorkQueue::with_capacity(4);
+        for i in 0..4 {
+            assert!(q.push(i), "ring path for {i}");
+        }
+        for i in 4..10 {
+            assert!(!q.push(i), "overflow path for {i}");
+        }
+        assert_eq!(q.overflow_pushes(), 6);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        // Overflow drained: pushes go lockless again.
+        assert!(q.push(99));
+        assert_eq!(q.pop(), Some(99));
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = WorkQueue::with_capacity(4);
+        for lap in 0..100u64 {
+            for i in 0..4 {
+                assert!(q.push(lap * 4 + i));
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(lap * 4 + i));
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_ring_and_overflow() {
+        let q = WorkQueue::with_capacity(2);
+        assert_eq!(q.len(), 0);
+        q.push(1u32);
+        q.push(2);
+        q.push(3); // overflow
+        assert_eq!(q.len(), 3);
+        q.pop();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drop_releases_queued_items() {
+        let live = Arc::new(AtomicU64::new(0));
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = WorkQueue::with_capacity(4);
+            for _ in 0..6 {
+                live.fetch_add(1, Ordering::SeqCst);
+                q.push(Tracked(Arc::clone(&live)));
+            }
+            drop(q);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn mpsc_all_items_arrive_in_per_producer_order() {
+        const PRODUCERS: u64 = 6;
+        const PER: u64 = 20_000;
+        let q = Arc::new(WorkQueue::with_capacity(64));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    q.push((p, i));
+                }
+            }));
+        }
+        let mut next = vec![0u64; PRODUCERS as usize];
+        let mut received = 0u64;
+        while received < PRODUCERS * PER {
+            if let Some((p, i)) = q.pop() {
+                assert_eq!(
+                    next[p as usize], i,
+                    "producer {p} items must arrive in order"
+                );
+                next[p as usize] += 1;
+                received += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushes(), PRODUCERS * PER);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the L2-atomic primitives and the lockless queue.
+
+use bgq_hw::{BoundedCounter, Counter, L2Counter, WorkQueue};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential push/pop against a model VecDeque: the queue is a FIFO
+    /// regardless of ring capacity and overflow engagement.
+    #[test]
+    fn workqueue_matches_vecdeque_model(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(proptest::option::weighted(0.6, 0u8..255), 1..300),
+    ) {
+        let q: WorkQueue<u8> = WorkQueue::with_capacity(capacity);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    q.push(v);
+                    model.push_back(v);
+                }
+                None => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        // Drain the rest.
+        while let Some(v) = model.pop_front() {
+            prop_assert_eq!(q.pop(), Some(v));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// Bounded increments never exceed the bound, and claims are dense.
+    #[test]
+    fn bounded_counter_claims_are_dense(bound in 0u64..200, extra in 1u64..50) {
+        let c = BoundedCounter::new(0, bound);
+        let mut claimed = Vec::new();
+        for _ in 0..bound + extra {
+            if let Some(v) = c.bounded_increment() {
+                claimed.push(v);
+            }
+        }
+        prop_assert_eq!(claimed.len() as u64, bound);
+        for (i, v) in claimed.iter().enumerate() {
+            prop_assert_eq!(*v, i as u64);
+        }
+        prop_assert!(c.bounded_increment().is_none());
+        // Raising the bound reopens exactly the new slots.
+        c.advance_bound(extra);
+        let mut more = 0;
+        while c.bounded_increment().is_some() {
+            more += 1;
+        }
+        prop_assert_eq!(more, extra);
+    }
+
+    /// L2 counter arithmetic is a plain register under sequential use.
+    #[test]
+    fn l2_counter_sequential_semantics(start in 0u64..1000, deltas in proptest::collection::vec(0i64..100, 0..50)) {
+        let c = L2Counter::new(start);
+        let mut model = start;
+        for d in deltas {
+            if d % 3 == 0 {
+                prop_assert_eq!(c.load_increment(), model);
+                model += 1;
+            } else if d % 3 == 1 {
+                c.store_add(d as u64);
+                model += d as u64;
+            } else {
+                c.store_max(d as u64);
+                model = model.max(d as u64);
+            }
+            prop_assert_eq!(c.load(), model);
+        }
+    }
+
+    /// Completion counters balance: armed == delivered ⇒ complete, with
+    /// any interleaving of arms and deliveries that never over-delivers.
+    #[test]
+    fn counter_balances(chunks in proptest::collection::vec(1u64..1000, 1..20)) {
+        let c = Counter::new();
+        let total: u64 = chunks.iter().sum();
+        c.add_expected(total);
+        let mut delivered = 0;
+        for ch in &chunks {
+            prop_assert!(!c.is_complete() || delivered == total);
+            c.delivered(*ch);
+            delivered += ch;
+        }
+        prop_assert!(c.is_complete());
+    }
+}
+
+/// Concurrent MPSC: whatever interleaving the scheduler produces, nothing
+/// is lost, duplicated, or reordered per producer (randomized capacities
+/// force the overflow path).
+#[test]
+fn workqueue_concurrent_never_loses_items() {
+    for capacity in [1usize, 2, 8, 64] {
+        let q: std::sync::Arc<WorkQueue<(u8, u32)>> =
+            std::sync::Arc::new(WorkQueue::with_capacity(capacity));
+        const PRODUCERS: u8 = 3;
+        const PER: u32 = 5000;
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        q.push((p, i));
+                    }
+                });
+            }
+            let mut next = [0u32; PRODUCERS as usize];
+            let mut seen = 0;
+            while seen < PRODUCERS as usize * PER as usize {
+                if let Some((p, i)) = q.pop() {
+                    assert_eq!(next[p as usize], i, "producer {p} reordered (cap {capacity})");
+                    next[p as usize] += 1;
+                    seen += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert!(q.is_empty());
+    }
+}

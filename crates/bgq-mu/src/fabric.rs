@@ -1,0 +1,550 @@
+//! The MU fabric: every node's MU plus packet delivery between them.
+//!
+//! A [`MuFabric`] owns one simulated MU per node. Software (a PAMI context)
+//! allocates exclusive FIFOs, injects [`Descriptor`]s, and pumps progress;
+//! the fabric executes descriptors — fragmenting payload into ≤512-byte
+//! packets for memory-FIFO traffic, copying directly into destination
+//! regions for puts, and bouncing remote-gets to the destination's system
+//! FIFO. Delivery is immediate and reliable (the torus is lossless); *who*
+//! executes a descriptor and in what order is exactly what the engine modes
+//! control, because that is what the paper's concurrency story is about.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bgq_hw::{L2Counter, WakeupRegion, WakeupUnit};
+use bgq_torus::packet::MAX_PAYLOAD_BYTES;
+use bgq_torus::TorusShape;
+use parking_lot::Mutex;
+
+use crate::descriptor::{Descriptor, PayloadSource, XferKind};
+use crate::engine::{self, EngineMode};
+use crate::fifo::{FifoAllocator, InjFifo, InjFifoId, RecFifo, RecFifoId};
+use crate::packet::MuPacket;
+
+/// Snapshot of one node's MU activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Memory-FIFO messages sent from this node.
+    pub fifo_messages: u64,
+    /// Memory-FIFO packets delivered *to* this node.
+    pub packets_received: u64,
+    /// Direct-put bytes written into this node's memory.
+    pub put_bytes_in: u64,
+    /// Remote-get requests serviced by this node.
+    pub remote_gets_serviced: u64,
+    /// Descriptors executed by this node's engines.
+    pub descriptors_executed: u64,
+}
+
+pub(crate) struct NodeMu {
+    pub inj: Mutex<Vec<Arc<InjFifo>>>,
+    pub rec: Mutex<Vec<Arc<RecFifo>>>,
+    pub allocator: FifoAllocator,
+    /// System injection FIFO: remote-get payload descriptors land here for
+    /// this node to execute.
+    pub sys_inj: Arc<InjFifo>,
+    pub sys_wakeup: Mutex<Option<WakeupRegion>>,
+    /// Wakes this node's engine threads (threaded mode).
+    pub engine_wakeup: WakeupRegion,
+    pub msg_seq: AtomicU64,
+    // stats
+    pub fifo_messages: L2Counter,
+    pub packets_received: L2Counter,
+    pub put_bytes_in: L2Counter,
+    pub remote_gets_serviced: L2Counter,
+    pub descriptors_executed: L2Counter,
+}
+
+pub(crate) struct FabricInner {
+    pub shape: TorusShape,
+    pub nodes: Vec<NodeMu>,
+    pub inj_fifo_capacity: usize,
+    pub rec_fifo_capacity: usize,
+    pub mode: EngineMode,
+    pub shutdown: Arc<AtomicBool>,
+}
+
+/// Configures and builds a [`MuFabric`].
+pub struct MuFabricBuilder {
+    shape: TorusShape,
+    inj_fifo_capacity: usize,
+    rec_fifo_capacity: usize,
+    mode: EngineMode,
+}
+
+impl MuFabricBuilder {
+    /// Ring capacity of each injection FIFO before overflow (default 128).
+    pub fn inj_fifo_capacity(mut self, cap: usize) -> Self {
+        self.inj_fifo_capacity = cap;
+        self
+    }
+
+    /// Ring capacity of each reception FIFO before overflow (default 512).
+    pub fn rec_fifo_capacity(mut self, cap: usize) -> Self {
+        self.rec_fifo_capacity = cap;
+        self
+    }
+
+    /// Select who pumps injection FIFOs (default [`EngineMode::Inline`]).
+    pub fn engine_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Build the fabric (and spawn engine threads in threaded mode).
+    pub fn build(self) -> MuFabric {
+        let wakeups = WakeupUnit::new();
+        let nodes = (0..self.shape.num_nodes())
+            .map(|_| NodeMu {
+                inj: Mutex::new(Vec::new()),
+                rec: Mutex::new(Vec::new()),
+                allocator: FifoAllocator::default(),
+                sys_inj: Arc::new(InjFifo::new(self.inj_fifo_capacity)),
+                sys_wakeup: Mutex::new(None),
+                engine_wakeup: wakeups.region(),
+                msg_seq: AtomicU64::new(0),
+                fifo_messages: L2Counter::new(0),
+                packets_received: L2Counter::new(0),
+                put_bytes_in: L2Counter::new(0),
+                remote_gets_serviced: L2Counter::new(0),
+                descriptors_executed: L2Counter::new(0),
+            })
+            .collect();
+        let inner = Arc::new(FabricInner {
+            shape: self.shape,
+            nodes,
+            inj_fifo_capacity: self.inj_fifo_capacity,
+            rec_fifo_capacity: self.rec_fifo_capacity,
+            mode: self.mode,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        let fabric = MuFabric { inner };
+        if let EngineMode::Threaded(n) = self.mode {
+            engine::spawn_engines(&fabric, n);
+        }
+        fabric
+    }
+}
+
+/// Handle to the MU fabric; clones share the fabric.
+#[derive(Clone)]
+pub struct MuFabric {
+    pub(crate) inner: Arc<FabricInner>,
+}
+
+impl MuFabric {
+    /// Start building a fabric over `shape`.
+    pub fn builder(shape: TorusShape) -> MuFabricBuilder {
+        MuFabricBuilder {
+            shape,
+            inj_fifo_capacity: 128,
+            rec_fifo_capacity: 512,
+            mode: EngineMode::Inline,
+        }
+    }
+
+    /// The torus shape.
+    pub fn shape(&self) -> TorusShape {
+        self.inner.shape
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// The engine mode the fabric was built with.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.inner.mode
+    }
+
+    fn node(&self, id: u32) -> &NodeMu {
+        &self.inner.nodes[id as usize]
+    }
+
+    /// Allocate `count` exclusive injection FIFOs on `node`; `None` when the
+    /// node's 544 are exhausted.
+    pub fn alloc_inj_fifos(&self, node: u32, count: u16) -> Option<Vec<InjFifoId>> {
+        let n = self.node(node);
+        // Hold the FIFO table lock across the id claim so concurrent
+        // allocations can't interleave ids and table slots.
+        let mut fifos = n.inj.lock();
+        let range = n.allocator.alloc_inj(count)?;
+        assert_eq!(fifos.len(), range.start as usize, "FIFO id/slot skew");
+        for _ in range.clone() {
+            fifos.push(Arc::new(InjFifo::new(self.inner.inj_fifo_capacity)));
+        }
+        Some(range.map(InjFifoId).collect())
+    }
+
+    /// Allocate `count` exclusive reception FIFOs on `node`.
+    pub fn alloc_rec_fifos(&self, node: u32, count: u16) -> Option<Vec<RecFifoId>> {
+        let n = self.node(node);
+        // Hold the FIFO table lock across the id claim so concurrent
+        // allocations can't interleave ids and table slots.
+        let mut fifos = n.rec.lock();
+        let range = n.allocator.alloc_rec(count)?;
+        assert_eq!(fifos.len(), range.start as usize, "FIFO id/slot skew");
+        for _ in range.clone() {
+            fifos.push(Arc::new(RecFifo::new(self.inner.rec_fifo_capacity)));
+        }
+        Some(range.map(RecFifoId).collect())
+    }
+
+    /// Direct handle to a reception FIFO (contexts cache this).
+    pub fn rec_fifo(&self, node: u32, id: RecFifoId) -> Arc<RecFifo> {
+        Arc::clone(&self.node(node).rec.lock()[id.0 as usize])
+    }
+
+    /// Direct handle to an injection FIFO.
+    pub fn inj_fifo(&self, node: u32, id: InjFifoId) -> Arc<InjFifo> {
+        Arc::clone(&self.node(node).inj.lock()[id.0 as usize])
+    }
+
+    /// Attach a wakeup region to a node's system FIFO (remote-get arrivals
+    /// touch it).
+    pub fn set_sys_wakeup(&self, node: u32, region: WakeupRegion) {
+        *self.node(node).sys_wakeup.lock() = Some(region);
+    }
+
+    /// Queue a descriptor on one of `src_node`'s injection FIFOs.
+    pub fn inject(&self, src_node: u32, fifo: InjFifoId, desc: Descriptor) {
+        let fifo = self.inj_fifo(src_node, fifo);
+        fifo.queue.push(desc);
+        if matches!(self.inner.mode, EngineMode::Threaded(_)) {
+            self.node(src_node).engine_wakeup.touch();
+        }
+    }
+
+    /// Execute a descriptor immediately in the calling thread — the
+    /// `PAMI_Send_immediate` path, which bypasses the injection queue when
+    /// FIFO space is available.
+    pub fn execute_now(&self, src_node: u32, desc: Descriptor) {
+        self.execute(src_node, desc);
+    }
+
+    /// Drain up to `budget` descriptors from one injection FIFO (inline
+    /// engine mode: contexts call this from `advance`). Returns descriptors
+    /// executed.
+    pub fn pump_inj(&self, node: u32, fifo: InjFifoId, budget: usize) -> usize {
+        let fifo = self.inj_fifo(node, fifo);
+        let mut done = 0;
+        while done < budget {
+            match fifo.queue.pop() {
+                Some(desc) => {
+                    self.execute(node, desc);
+                    done += 1;
+                }
+                None => break,
+            }
+        }
+        done
+    }
+
+    /// Execute up to `budget` system-FIFO descriptors (remote-get service).
+    pub fn pump_sys(&self, node: u32, budget: usize) -> usize {
+        let sys = Arc::clone(&self.node(node).sys_inj);
+        let mut done = 0;
+        while done < budget {
+            match sys.queue.pop() {
+                Some(desc) => {
+                    self.node(node).remote_gets_serviced.store_add(1);
+                    self.execute(node, desc);
+                    done += 1;
+                }
+                None => break,
+            }
+        }
+        done
+    }
+
+    /// Pull the next packet from a reception FIFO (owning context only).
+    pub fn poll_rec(&self, node: u32, fifo: RecFifoId) -> Option<MuPacket> {
+        self.node(node).rec.lock()[fifo.0 as usize].poll()
+    }
+
+    /// Activity counters for `node`.
+    pub fn stats(&self, node: u32) -> NodeStats {
+        let n = self.node(node);
+        NodeStats {
+            fifo_messages: n.fifo_messages.load(),
+            packets_received: n.packets_received.load(),
+            put_bytes_in: n.put_bytes_in.load(),
+            remote_gets_serviced: n.remote_gets_serviced.load(),
+            descriptors_executed: n.descriptors_executed.load(),
+        }
+    }
+
+    /// Execute one descriptor on behalf of `src_node`. This is "the MU
+    /// hardware": it performs the data movement the descriptor asks for.
+    pub(crate) fn execute(&self, src_node: u32, desc: Descriptor) {
+        self.node(src_node).descriptors_executed.store_add(1);
+        let credit = desc.completion_credit();
+        let Descriptor { dst_node, dst_context, src_context, routing, payload, kind, inj_counter } =
+            desc;
+        // Functional delivery is identical for both routing modes (the
+        // fabric is lossless and in-process); the mode matters to the
+        // timing models and to the ordering contract asserted in tests.
+        let _ = routing;
+        match kind {
+            XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
+                let data = payload.to_bytes();
+                let msg_len = data.len() as u32;
+                let src = self.node(src_node);
+                let msg_id = src.msg_seq.fetch_add(1, Ordering::Relaxed)
+                    | ((src_node as u64) << 40);
+                src.fifo_messages.store_add(1);
+                let dst = self.node(dst_node);
+                let fifo = Arc::clone(&dst.rec.lock()[rec_fifo.0 as usize]);
+                let mut offset = 0usize;
+                loop {
+                    let chunk = (data.len() - offset).min(MAX_PAYLOAD_BYTES);
+                    fifo.deliver(MuPacket {
+                        src_node,
+                        src_context,
+                        dispatch,
+                        metadata: bytes::Bytes::clone(&metadata),
+                        msg_id,
+                        msg_len,
+                        offset: offset as u32,
+                        payload: data.slice(offset..offset + chunk),
+                    });
+                    dst.packets_received.store_add(1);
+                    offset += chunk;
+                    if offset >= data.len() {
+                        break;
+                    }
+                }
+                let _ = dst_context;
+            }
+            XferKind::DirectPut { dst_region, dst_offset, rec_counter } => {
+                match &payload {
+                    PayloadSource::Immediate(bytes) => {
+                        dst_region.write(dst_offset, bytes);
+                    }
+                    PayloadSource::Region { region, offset, len } => {
+                        dst_region.copy_from(dst_offset, region, *offset, *len);
+                    }
+                }
+                self.node(dst_node).put_bytes_in.store_add(payload.len() as u64);
+                if let Some(c) = rec_counter {
+                    c.delivered(credit);
+                }
+            }
+            XferKind::RemoteGet { payload: get_desc } => {
+                let dst = self.node(dst_node);
+                dst.sys_inj.queue.push(*get_desc);
+                if let Some(w) = dst.sys_wakeup.lock().as_ref() {
+                    w.touch();
+                }
+                if matches!(self.inner.mode, EngineMode::Threaded(_)) {
+                    dst.engine_wakeup.touch();
+                }
+            }
+        }
+        if let Some(c) = inj_counter {
+            c.delivered(credit);
+        }
+    }
+}
+
+impl Drop for FabricInner {
+    fn drop(&mut self) {
+        // Engine threads hold only a Weak fabric handle plus clones of the
+        // shutdown flag and wakeup regions, so they can never keep the
+        // fabric alive; raising the flag and touching the regions lets them
+        // exit promptly (they also exit on their park timeout).
+        self.shutdown.store(true, Ordering::SeqCst);
+        for n in &self.nodes {
+            n.engine_wakeup.touch();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_hw::Counter;
+    use bgq_hw::MemRegion;
+    use bytes::Bytes;
+
+    fn small_fabric() -> MuFabric {
+        MuFabric::builder(TorusShape::new([2, 2, 1, 1, 1])).build()
+    }
+
+    fn memfifo_desc(dst: u32, fifo: RecFifoId, payload: PayloadSource) -> Descriptor {
+        Descriptor {
+            dst_node: dst,
+            dst_context: 0,
+            src_context: 0,
+            routing: bgq_torus::Routing::Deterministic,
+            payload,
+            kind: XferKind::MemoryFifo { rec_fifo: fifo, dispatch: 7, metadata: Bytes::new() },
+            inj_counter: None,
+        }
+    }
+
+    #[test]
+    fn memory_fifo_message_fragments_and_reassembles() {
+        let fabric = small_fabric();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let data: Vec<u8> = (0..1300).map(|i| (i % 251) as u8).collect();
+        let region = MemRegion::from_vec(data.clone());
+        fabric.execute_now(
+            0,
+            memfifo_desc(1, rec, PayloadSource::Region { region, offset: 0, len: 1300 }),
+        );
+        // 1300 bytes → 3 packets (512+512+276).
+        let mut out = vec![0u8; 1300];
+        let mut count = 0;
+        while let Some(p) = fabric.poll_rec(1, rec) {
+            out[p.offset as usize..p.offset as usize + p.payload.len()]
+                .copy_from_slice(&p.payload);
+            assert_eq!(p.msg_len, 1300);
+            assert_eq!(p.dispatch, 7);
+            count += 1;
+        }
+        assert_eq!(count, 3);
+        assert_eq!(out, data);
+        assert_eq!(fabric.stats(1).packets_received, 3);
+        assert_eq!(fabric.stats(0).fifo_messages, 1);
+    }
+
+    #[test]
+    fn zero_byte_message_delivers_one_packet() {
+        let fabric = small_fabric();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        fabric.execute_now(0, memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::new())));
+        let p = fabric.poll_rec(1, rec).expect("one packet");
+        assert_eq!(p.msg_len, 0);
+        assert!(p.is_first() && p.is_last());
+        assert!(fabric.poll_rec(1, rec).is_none());
+    }
+
+    #[test]
+    fn direct_put_writes_destination_and_counters() {
+        let fabric = small_fabric();
+        let src = MemRegion::from_vec((0..100).collect());
+        let dst = MemRegion::zeroed(100);
+        let inj = Counter::new();
+        let rec = Counter::new();
+        inj.add_expected(50);
+        rec.add_expected(50);
+        fabric.execute_now(
+            0,
+            Descriptor {
+                dst_node: 1,
+                dst_context: 0,
+                src_context: 0,
+                routing: bgq_torus::Routing::Dynamic,
+                payload: PayloadSource::Region { region: src, offset: 10, len: 50 },
+                kind: XferKind::DirectPut {
+                    dst_region: dst.clone(),
+                    dst_offset: 25,
+                    rec_counter: Some(rec.clone()),
+                },
+                inj_counter: Some(inj.clone()),
+            },
+        );
+        assert!(inj.is_complete());
+        assert!(rec.is_complete());
+        assert_eq!(&dst.to_vec()[25..75], &(10..60).collect::<Vec<u8>>()[..]);
+        assert_eq!(fabric.stats(1).put_bytes_in, 50);
+    }
+
+    #[test]
+    fn remote_get_round_trip_pulls_data_back() {
+        let fabric = small_fabric();
+        // Node 0 wants 64 bytes out of node 1's memory.
+        let remote = MemRegion::from_vec((100..164).collect());
+        let local = MemRegion::zeroed(64);
+        let done = Counter::new();
+        done.add_expected(64);
+        let put_back = Descriptor {
+            dst_node: 0,
+            dst_context: 0,
+            src_context: 0,
+            routing: bgq_torus::Routing::Dynamic,
+            payload: PayloadSource::Region { region: remote, offset: 0, len: 64 },
+            kind: XferKind::DirectPut {
+                dst_region: local.clone(),
+                dst_offset: 0,
+                rec_counter: Some(done.clone()),
+            },
+            inj_counter: None,
+        };
+        fabric.execute_now(
+            0,
+            Descriptor {
+                dst_node: 1,
+                dst_context: 0,
+                src_context: 0,
+                routing: bgq_torus::Routing::Deterministic,
+                payload: PayloadSource::Immediate(Bytes::new()),
+                kind: XferKind::RemoteGet { payload: Box::new(put_back) },
+                inj_counter: None,
+            },
+        );
+        assert!(!done.is_complete(), "no data until node 1 services the get");
+        assert_eq!(fabric.pump_sys(1, 16), 1);
+        assert!(done.is_complete());
+        assert_eq!(local.to_vec(), (100..164).collect::<Vec<u8>>());
+        assert_eq!(fabric.stats(1).remote_gets_serviced, 1);
+    }
+
+    #[test]
+    fn inject_then_pump_preserves_order() {
+        let fabric = small_fabric();
+        let inj = fabric.alloc_inj_fifos(0, 1).unwrap()[0];
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        for i in 0..20u8 {
+            fabric.inject(
+                0,
+                inj,
+                memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![i]))),
+            );
+        }
+        assert!(fabric.poll_rec(1, rec).is_none(), "nothing moves until pumped");
+        assert_eq!(fabric.pump_inj(0, inj, usize::MAX), 20);
+        for i in 0..20u8 {
+            let p = fabric.poll_rec(1, rec).expect("packet");
+            assert_eq!(p.payload[0], i, "in-order delivery");
+        }
+    }
+
+    #[test]
+    fn pump_budget_limits_descriptors() {
+        let fabric = small_fabric();
+        let inj = fabric.alloc_inj_fifos(0, 1).unwrap()[0];
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        for _ in 0..10 {
+            fabric.inject(0, inj, memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::new())));
+        }
+        assert_eq!(fabric.pump_inj(0, inj, 3), 3);
+        assert_eq!(fabric.pump_inj(0, inj, 100), 7);
+    }
+
+    #[test]
+    fn fifo_allocation_is_per_node_and_bounded() {
+        let fabric = small_fabric();
+        assert!(fabric.alloc_inj_fifos(0, 544).is_some());
+        assert!(fabric.alloc_inj_fifos(0, 1).is_none(), "node 0 exhausted");
+        assert!(fabric.alloc_inj_fifos(1, 32).is_some(), "node 1 unaffected");
+        assert!(fabric.alloc_rec_fifos(0, 272).is_some());
+        assert!(fabric.alloc_rec_fifos(0, 1).is_none());
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let fabric = small_fabric();
+        let rec = fabric.alloc_rec_fifos(0, 1).unwrap()[0];
+        fabric.execute_now(
+            0,
+            memfifo_desc(0, rec, PayloadSource::Immediate(Bytes::from_static(b"self"))),
+        );
+        let p = fabric.poll_rec(0, rec).unwrap();
+        assert_eq!(&p.payload[..], b"self");
+        assert_eq!(p.src_node, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Injection and reception FIFOs, with BG/Q's per-node resource limits.
+//!
+//! "BG/Q architecture provides an extensive array of 544 MU injection FIFOs
+//! (32 per core) and 272 MU reception FIFOs (16 per core)" — enough that
+//! PAMI can give every context *exclusive* FIFOs, "thereby eliminating any
+//! need for locking and critical section protection" (paper section III.E).
+//! [`FifoAllocator`] hands out those exclusive partitions and enforces the
+//! limits; the FIFOs themselves are the lockless [`WorkQueue`] from
+//! `bgq-hw` (injection FIFOs see one producer — the owning context — and
+//! one consumer — the pumping engine; reception FIFOs see many remote
+//! producers and the one owning context as consumer).
+
+
+use bgq_hw::{WakeupRegion, WorkQueue};
+use parking_lot::Mutex;
+
+use crate::descriptor::Descriptor;
+use crate::packet::MuPacket;
+
+/// MU injection FIFOs per node (17 cores × 32).
+pub const INJ_FIFOS_PER_NODE: usize = 544;
+
+/// MU reception FIFOs per node (17 cores × 16).
+pub const REC_FIFOS_PER_NODE: usize = 272;
+
+/// Identifier of an injection FIFO within its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InjFifoId(pub u16);
+
+/// Identifier of a reception FIFO within its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecFifoId(pub u16);
+
+/// An injection FIFO: descriptors queued by the owning context, drained by
+/// an engine (inline or threaded).
+pub struct InjFifo {
+    /// Queued descriptors.
+    pub queue: WorkQueue<Descriptor>,
+}
+
+impl InjFifo {
+    pub(crate) fn new(capacity: usize) -> Self {
+        InjFifo { queue: WorkQueue::with_capacity(capacity) }
+    }
+}
+
+/// A reception FIFO plus its optional wakeup region (commthreads park on it
+/// while the FIFO is empty).
+pub struct RecFifo {
+    /// Delivered packets.
+    pub queue: WorkQueue<MuPacket>,
+    wakeup: Mutex<Option<WakeupRegion>>,
+}
+
+impl RecFifo {
+    pub(crate) fn new(capacity: usize) -> Self {
+        RecFifo {
+            queue: WorkQueue::with_capacity(capacity),
+            wakeup: Mutex::new(None),
+        }
+    }
+
+    /// Attach a wakeup region; subsequent deliveries touch it.
+    pub fn set_wakeup(&self, region: WakeupRegion) {
+        *self.wakeup.lock() = Some(region);
+    }
+
+    /// Deliver a packet (fabric side): enqueue and wake any watcher.
+    pub(crate) fn deliver(&self, packet: MuPacket) {
+        self.queue.push(packet);
+        if let Some(w) = self.wakeup.lock().as_ref() {
+            w.touch();
+        }
+    }
+
+    /// Pull the next packet (owning context only).
+    pub fn poll(&self) -> Option<MuPacket> {
+        self.queue.pop()
+    }
+
+    /// Whether the FIFO currently holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Tracks per-node FIFO allocation against the hardware limits.
+pub struct FifoAllocator {
+    inj_next: Mutex<u16>,
+    rec_next: Mutex<u16>,
+    inj_limit: u16,
+    rec_limit: u16,
+}
+
+impl Default for FifoAllocator {
+    fn default() -> Self {
+        Self::new(INJ_FIFOS_PER_NODE as u16, REC_FIFOS_PER_NODE as u16)
+    }
+}
+
+impl FifoAllocator {
+    /// An allocator with explicit limits (tests shrink them).
+    pub fn new(inj_limit: u16, rec_limit: u16) -> Self {
+        FifoAllocator {
+            inj_next: Mutex::new(0),
+            rec_next: Mutex::new(0),
+            inj_limit,
+            rec_limit,
+        }
+    }
+
+    /// Claim `count` consecutive injection FIFOs; `None` once the node's
+    /// 544 are exhausted.
+    pub fn alloc_inj(&self, count: u16) -> Option<std::ops::Range<u16>> {
+        let mut next = self.inj_next.lock();
+        let end = next.checked_add(count)?;
+        if end > self.inj_limit {
+            return None;
+        }
+        let start = *next;
+        *next = end;
+        Some(start..end)
+    }
+
+    /// Claim `count` consecutive reception FIFOs; `None` once the node's
+    /// 272 are exhausted.
+    pub fn alloc_rec(&self, count: u16) -> Option<std::ops::Range<u16>> {
+        let mut next = self.rec_next.lock();
+        let end = next.checked_add(count)?;
+        if end > self.rec_limit {
+            return None;
+        }
+        let start = *next;
+        *next = end;
+        Some(start..end)
+    }
+
+    /// Injection FIFOs still unclaimed.
+    pub fn inj_remaining(&self) -> u16 {
+        self.inj_limit - *self.inj_next.lock()
+    }
+
+    /// Reception FIFOs still unclaimed.
+    pub fn rec_remaining(&self) -> u16 {
+        self.rec_limit - *self.rec_next.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn allocator_enforces_limits() {
+        let a = FifoAllocator::new(8, 4);
+        assert_eq!(a.alloc_inj(5), Some(0..5));
+        assert_eq!(a.alloc_inj(3), Some(5..8));
+        assert_eq!(a.alloc_inj(1), None);
+        assert_eq!(a.alloc_rec(4), Some(0..4));
+        assert_eq!(a.alloc_rec(1), None);
+        assert_eq!(a.inj_remaining(), 0);
+        assert_eq!(a.rec_remaining(), 0);
+    }
+
+    #[test]
+    fn default_allocator_matches_hardware_counts() {
+        let a = FifoAllocator::default();
+        assert_eq!(a.inj_remaining(), 544);
+        assert_eq!(a.rec_remaining(), 272);
+    }
+
+    #[test]
+    fn rec_fifo_delivery_touches_wakeup() {
+        let unit = bgq_hw::WakeupUnit::new();
+        let region = unit.region();
+        let fifo = RecFifo::new(16);
+        fifo.set_wakeup(region.clone());
+        assert!(fifo.is_empty());
+        fifo.deliver(MuPacket {
+            src_node: 0,
+            src_context: 0,
+            dispatch: 1,
+            metadata: Bytes::new(),
+            msg_id: 1,
+            msg_len: 0,
+            offset: 0,
+            payload: Bytes::new(),
+        });
+        assert_eq!(region.epoch(), 1);
+        assert!(fifo.poll().is_some());
+        assert!(fifo.poll().is_none());
+    }
+}

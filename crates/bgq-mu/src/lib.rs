@@ -1,0 +1,48 @@
+//! The Blue Gene/Q Message Unit (MU).
+//!
+//! The MU moves data between node memory and the 5D torus. Software
+//! initiates every transfer by writing a 64-byte *descriptor* into one of
+//! the node's 544 injection FIFOs; depending on the packet type the data is
+//! delivered into one of 272 reception FIFOs (**memory FIFO** packets,
+//! consumed by software) or written straight into destination memory
+//! (**RDMA write** / *direct put*), with **RDMA read** / *remote get*
+//! packets carrying a payload descriptor that the destination MU injects on
+//! the requester's behalf (paper section II.C).
+//!
+//! The simulation keeps all of those moving parts:
+//!
+//! * [`descriptor::Descriptor`] — what software injects; payload comes from
+//!   a registered [`bgq_hw::MemRegion`] or from immediate bytes
+//!   (`PAMI_Send_immediate`'s copy-through path).
+//! * [`fifo`] — injection and reception FIFOs with the per-node 544/272
+//!   resource accounting that lets PAMI give every context an exclusive,
+//!   lock-free partition.
+//! * [`fabric::MuFabric`] — the nodes plus delivery: executing a descriptor
+//!   fragments payload into ≤512-byte packets, pushes memory-FIFO packets
+//!   into the destination reception FIFO (waking its wakeup region), applies
+//!   direct puts to destination memory and decrements reception counters,
+//!   and queues remote-get payload descriptors on the destination's system
+//!   injection FIFO.
+//! * [`engine`] — who pumps injection: inline from a context's `advance`
+//!   (deterministic, the default) or dedicated engine threads per node
+//!   mirroring the MU's parallel message engines.
+//!
+//! Ordering: one (source context → destination) pair always uses the same
+//! injection FIFO (PAMI pins it by destination) and packets of a FIFO are
+//! executed in order, so memory-FIFO packets arrive in injection order —
+//! the property MPI matching relies on. Direct-put payload takes the
+//! dynamically-routed path and completes out of order; completion is
+//! observed only through reception counters, never packet order.
+
+pub mod descriptor;
+pub mod engine;
+pub mod fabric;
+pub mod fifo;
+pub mod packet;
+
+pub use bgq_hw::Counter;
+pub use descriptor::{Descriptor, PayloadSource, XferKind};
+pub use engine::EngineMode;
+pub use fabric::{MuFabric, MuFabricBuilder, NodeStats};
+pub use fifo::{FifoAllocator, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE, REC_FIFOS_PER_NODE};
+pub use packet::MuPacket;

@@ -1,0 +1,86 @@
+//! MU packets as they land in reception FIFOs.
+
+use bytes::Bytes;
+
+/// A memory-FIFO packet: the unit software pulls out of a reception FIFO.
+///
+/// The real packet is a 32-byte header plus ≤512 bytes of payload; the
+/// header carries the source, a software dispatch identifier, and enough
+/// message bookkeeping for the protocol layer to reassemble multi-packet
+/// messages. Dispatch metadata is shared across a message's packets (PAMI
+/// sends it in the first packet; the simulation clones the handle — a cheap
+/// refcount bump — onto every packet, which avoids modeling out-of-order
+/// header arrival while preserving per-packet payload granularity).
+#[derive(Debug, Clone)]
+pub struct MuPacket {
+    /// Source node index.
+    pub src_node: u32,
+    /// Source context offset within the source node (lets the destination
+    /// side address replies; part of PAMI's endpoint addressing).
+    pub src_context: u16,
+    /// Software dispatch identifier — selects the active-message handler.
+    pub dispatch: u16,
+    /// Protocol metadata (matching bits, rendezvous handles, …).
+    pub metadata: Bytes,
+    /// Message identifier, unique per source node.
+    pub msg_id: u64,
+    /// Total message payload length in bytes.
+    pub msg_len: u32,
+    /// Offset of this packet's payload within the message.
+    pub offset: u32,
+    /// This packet's payload slice (≤ 512 bytes).
+    pub payload: Bytes,
+}
+
+impl MuPacket {
+    /// Whether this is the last packet of its message.
+    pub fn is_last(&self) -> bool {
+        self.offset as usize + self.payload.len() >= self.msg_len as usize
+    }
+
+    /// Whether this is the first packet of its message.
+    pub fn is_first(&self) -> bool {
+        self.offset == 0
+    }
+
+    /// Number of packets the whole message occupies.
+    pub fn packets_in_message(&self) -> usize {
+        bgq_torus::packet::packets_for(self.msg_len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(offset: u32, len: usize, total: u32) -> MuPacket {
+        MuPacket {
+            src_node: 0,
+            src_context: 0,
+            dispatch: 0,
+            metadata: Bytes::new(),
+            msg_id: 1,
+            msg_len: total,
+            offset,
+            payload: Bytes::from(vec![0u8; len]),
+        }
+    }
+
+    #[test]
+    fn first_and_last_detection() {
+        let p = pkt(0, 512, 1024);
+        assert!(p.is_first());
+        assert!(!p.is_last());
+        let q = pkt(512, 512, 1024);
+        assert!(!q.is_first());
+        assert!(q.is_last());
+    }
+
+    #[test]
+    fn zero_byte_message_is_one_packet() {
+        let p = pkt(0, 0, 0);
+        assert!(p.is_first());
+        assert!(p.is_last());
+        assert_eq!(p.packets_in_message(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Routing on the 5D torus.
+//!
+//! Two routing modes matter to PAMI (paper sections II.B and III.E):
+//!
+//! * **Deterministic (dimension-ordered)** routing delivers all packets of a
+//!   (source, destination) pair over the same path, so packets arrive in
+//!   injection order. Eager messages and rendezvous headers use it so that
+//!   MPI matching sees sends in order.
+//! * **Dynamic** routing lets packets take any minimal path; the data
+//!   packets of a rendezvous transfer use it for bandwidth. Only its hop
+//!   count and path diversity matter to the models here.
+
+use crate::coords::{Coords, Dir, TorusShape, ALL_DIMS};
+
+/// The deterministic dimension-ordered route from `src` to `dst`: the exact
+/// sequence of directed hops, correcting A first, then B, … then E, each
+/// dimension taking the shorter way around (ties to "+").
+pub fn det_route(shape: TorusShape, src: Coords, dst: Coords) -> Vec<Dir> {
+    let mut hops = Vec::new();
+    for dim in ALL_DIMS {
+        let delta = shape.min_delta(src, dst, dim);
+        let dir = Dir { dim, plus: delta >= 0 };
+        for _ in 0..delta.unsigned_abs() {
+            hops.push(dir);
+        }
+    }
+    hops
+}
+
+/// Minimal hop count between two nodes.
+pub fn hop_distance(shape: TorusShape, src: Coords, dst: Coords) -> u32 {
+    ALL_DIMS
+        .iter()
+        .map(|&d| shape.min_delta(src, dst, d).unsigned_abs())
+        .sum()
+}
+
+/// Walk a route from `src`, returning the node reached (sanity tool for the
+/// router and for fabric tests).
+pub fn walk(shape: TorusShape, src: Coords, route: &[Dir]) -> Coords {
+    route.iter().fold(src, |c, &dir| shape.neighbor(c, dir))
+}
+
+/// Number of distinct minimal paths between two nodes (multinomial of the
+/// per-dimension hop counts) — the path diversity dynamic routing can
+/// exploit. Saturates at `u64::MAX`.
+pub fn minimal_path_count(shape: TorusShape, src: Coords, dst: Coords) -> u64 {
+    let deltas: Vec<u64> = ALL_DIMS
+        .iter()
+        .map(|&d| shape.min_delta(src, dst, d).unsigned_abs() as u64)
+        .filter(|&d| d > 0)
+        .collect();
+    let total: u64 = deltas.iter().sum();
+    // multinomial(total; d1, d2, ...) computed incrementally.
+    let mut count: u64 = 1;
+    let mut n = 0u64;
+    for d in deltas {
+        for k in 1..=d {
+            n += 1;
+            count = count.saturating_mul(n) / k;
+        }
+    }
+    debug_assert!(total == n);
+    count.max(1)
+}
+
+/// The ten neighbors of a node, one per directed link — Figure 5's message
+/// rate benchmark spreads peers across all ten links, and Table 3 adds
+/// neighbors one link at a time. Neighbors may coincide for extents ≤ 2;
+/// the returned list preserves link order and may contain duplicates, which
+/// callers dedupe if they need distinct nodes.
+pub fn link_neighbors(shape: TorusShape, src: Coords) -> Vec<Coords> {
+    Dir::all().iter().map(|&d| shape.neighbor(src, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_route_reaches_destination() {
+        let shape = TorusShape::new([4, 3, 2, 5, 2]);
+        let src = Coords([0, 0, 0, 0, 0]);
+        let dst = Coords([3, 2, 1, 4, 1]);
+        let route = det_route(shape, src, dst);
+        assert_eq!(walk(shape, src, &route), dst);
+        assert_eq!(route.len() as u32, hop_distance(shape, src, dst));
+    }
+
+    #[test]
+    fn det_route_is_dimension_ordered() {
+        let shape = TorusShape::new([4, 4, 4, 4, 2]);
+        let route = det_route(shape, Coords([0; 5]), Coords([2, 3, 1, 0, 1]));
+        // Dimension indices along the route must be non-decreasing.
+        let idxs: Vec<usize> = route.iter().map(|d| d.dim.index()).collect();
+        assert!(idxs.windows(2).all(|w| w[0] <= w[1]), "route {idxs:?}");
+    }
+
+    #[test]
+    fn det_route_takes_short_way_around() {
+        let shape = TorusShape::new([8, 1, 1, 1, 1]);
+        let route = det_route(shape, Coords([0; 5]), Coords([7, 0, 0, 0, 0]));
+        assert_eq!(route.len(), 1);
+        assert!(!route[0].plus);
+    }
+
+    #[test]
+    fn hop_distance_zero_for_self() {
+        let shape = TorusShape::new([3, 3, 3, 3, 3]);
+        let c = Coords([1, 2, 0, 1, 2]);
+        assert_eq!(hop_distance(shape, c, c), 0);
+        assert!(det_route(shape, c, c).is_empty());
+    }
+
+    #[test]
+    fn minimal_path_count_multinomial() {
+        let shape = TorusShape::new([8, 8, 1, 1, 1]);
+        // 2 hops in A, 1 in B: 3!/2!1! = 3 minimal paths.
+        assert_eq!(
+            minimal_path_count(shape, Coords([0; 5]), Coords([2, 1, 0, 0, 0])),
+            3
+        );
+        // Single dimension: exactly one minimal path.
+        assert_eq!(
+            minimal_path_count(shape, Coords([0; 5]), Coords([3, 0, 0, 0, 0])),
+            1
+        );
+        // Self: one (empty) path.
+        assert_eq!(minimal_path_count(shape, Coords([0; 5]), Coords([0; 5])), 1);
+    }
+
+    #[test]
+    fn link_neighbors_has_ten_entries_distinct_on_big_torus() {
+        let shape = TorusShape::new([4, 4, 4, 4, 4]);
+        let n = link_neighbors(shape, Coords([1, 1, 1, 1, 1]));
+        assert_eq!(n.len(), 10);
+        let mut dedup = n.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "all ten link peers distinct on 4^5");
+        for peer in n {
+            assert_eq!(hop_distance(shape, Coords([1, 1, 1, 1, 1]), peer), 1);
+        }
+    }
+
+    #[test]
+    fn symmetric_distance() {
+        let shape = TorusShape::new([5, 4, 3, 2, 2]);
+        let a = Coords([4, 1, 2, 0, 1]);
+        let b = Coords([0, 3, 0, 1, 0]);
+        assert_eq!(hop_distance(shape, a, b), hop_distance(shape, b, a));
+    }
+}

@@ -1,0 +1,883 @@
+//! Collective operations over geometries.
+//!
+//! Each operation has two paths, selectable with [`Algorithm`]:
+//!
+//! * **Hardware** (`HwCollNet`): the classroute path of the paper. One
+//!   leader per node talks to the collective network; the tasks sharing a
+//!   node coordinate through the L2 local barrier and the shared-address
+//!   board — peers post their buffers and read the leader's directly
+//!   through the global virtual address space, the scheme of Figures 3–4
+//!   (parallel local math for allreduce, master-injects/peers-copy for
+//!   broadcast).
+//! * **Software** (`SwBinomial`): binomial trees over PAMI point-to-point
+//!   sends — what non-rectangular (or deoptimized) communicators fall back
+//!   to, and the baseline the hardware path is measured against.
+//!
+//! All operations are blocking and *collective*: every member task must
+//! call them in the same order. Progress is made by advancing the calling
+//! context, so they compose with commthreads and other traffic.
+
+use bgq_collnet::{CollContribution, CollOp, CollOutput, DataType};
+use bgq_hw::{Counter, MemRegion};
+use bgq_mu::PayloadSource;
+
+use crate::context::Context;
+use crate::geometry::{BoardEntry, Geometry};
+
+/// Which implementation a collective uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Hardware when the geometry has a classroute, software otherwise.
+    #[default]
+    Auto,
+    /// Force the collective-network path.
+    ///
+    /// Panics if the geometry is not optimized.
+    HwCollNet,
+    /// Force the software binomial path.
+    SwBinomial,
+}
+
+/// Element size used by reductions (the collective network combines 64-bit
+/// words).
+pub const ELEM: usize = 8;
+
+/// Pipeline slice for long hardware allreduce/broadcast contributions
+/// (Figure 4's "each process operates on a slice of buffers").
+pub const PIPELINE_SLICE: usize = 64 * 1024;
+
+const SLOT_ROOT: u32 = 0x4000_0000;
+const SLOT_NODEBUF: u32 = 0x4000_0001;
+const SLOT_RESULT: u32 = 0x4000_0002;
+
+fn local_barrier(geom: &Geometry, ctx: &Context) {
+    let group = geom.group(ctx.node());
+    if group.tasks.len() == 1 {
+        return;
+    }
+    let generation = group.barrier.arrive();
+    ctx.advance_until(|| group.barrier.is_released(generation));
+}
+
+fn use_hw(geom: &Geometry, alg: Algorithm) -> bool {
+    match alg {
+        Algorithm::Auto => geom.route().is_some(),
+        Algorithm::HwCollNet => {
+            assert!(
+                geom.route().is_some(),
+                "Algorithm::HwCollNet on an unoptimized geometry — call optimize() first"
+            );
+            true
+        }
+        Algorithm::SwBinomial => false,
+    }
+}
+
+fn entry_region(entry: BoardEntry) -> (MemRegion, usize, usize) {
+    match entry {
+        BoardEntry::Region { region, offset, len } => (region, offset, len),
+        BoardEntry::Data(_) => panic!("expected a region board entry"),
+    }
+}
+
+fn wait_board(geom: &Geometry, ctx: &Context, seq: u64, slot: u32) -> BoardEntry {
+    let group = geom.group(ctx.node());
+    loop {
+        if let Some(e) = group.board.get(seq, slot) {
+            return e;
+        }
+        if ctx.advance() == 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+/// Barrier over the geometry: L2 local barrier on each node bracketing a GI
+/// barrier across the nodes (paper section IV.B).
+pub fn barrier(geom: &Geometry, ctx: &Context) {
+    barrier_with(geom, ctx, BarrierAlg::GlobalInterrupt)
+}
+
+/// Which inter-node mechanism a barrier uses (ablation hook: the paper
+/// chose the GI network over collective-network barriers for latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierAlg {
+    /// The global-interrupt network (the paper's choice).
+    #[default]
+    GlobalInterrupt,
+    /// A zero-payload collective-network operation over the classroute
+    /// (requires an optimized geometry).
+    CollNet,
+}
+
+/// Barrier with an explicit inter-node mechanism.
+pub fn barrier_with(geom: &Geometry, ctx: &Context, alg: BarrierAlg) {
+    // Consume a sequence number to keep collective ordering aligned even
+    // though the barrier itself never touches the board.
+    geom.next_seq(ctx.task());
+    if geom.size() == 1 {
+        return;
+    }
+    let group = geom.group(ctx.node());
+    local_barrier(geom, ctx);
+    if ctx.task() == group.leader && geom.nodes().len() > 1 {
+        match alg {
+            BarrierAlg::GlobalInterrupt => {
+                let phase = geom.gi().arrive();
+                ctx.advance_until(|| geom.gi().is_released(phase));
+            }
+            BarrierAlg::CollNet => {
+                let route = geom
+                    .route()
+                    .expect("BarrierAlg::CollNet requires an optimized geometry");
+                let machine = geom.machine();
+                let done = Counter::new();
+                done.add_expected(1);
+                machine.collnet().contribute(
+                    &route,
+                    machine.shape().coords_of(ctx.node() as usize),
+                    bgq_collnet::CollContribution::Barrier {
+                        output: Some(bgq_collnet::CollOutput {
+                            region: MemRegion::zeroed(0),
+                            offset: 0,
+                            counter: Some(done.clone()),
+                            wakeup: None,
+                        }),
+                    },
+                );
+                ctx.advance_until(|| done.is_complete());
+            }
+        }
+    }
+    local_barrier(geom, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+/// Broadcast `len` bytes at (`region`, `offset`) from geometry rank
+/// `root_rank` to the same place on every member (default algorithm).
+pub fn broadcast(
+    geom: &Geometry,
+    ctx: &Context,
+    root_rank: usize,
+    region: &MemRegion,
+    offset: usize,
+    len: usize,
+) {
+    broadcast_with(geom, ctx, Algorithm::Auto, root_rank, region, offset, len)
+}
+
+/// Broadcast with an explicit algorithm choice.
+pub fn broadcast_with(
+    geom: &Geometry,
+    ctx: &Context,
+    alg: Algorithm,
+    root_rank: usize,
+    region: &MemRegion,
+    offset: usize,
+    len: usize,
+) {
+    let seq = geom.next_seq(ctx.task());
+    if geom.size() == 1 || len == 0 {
+        if len == 0 {
+            // Still synchronize: MPI_Bcast of zero bytes is a no-op but our
+            // sequence numbers must stay aligned; nothing more to do.
+        }
+        return;
+    }
+    if use_hw(geom, alg) {
+        hw_broadcast(geom, ctx, seq, root_rank, region, offset, len);
+    } else {
+        sw_broadcast(geom, ctx, seq, root_rank, region, offset, len);
+    }
+}
+
+fn hw_broadcast(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    root_rank: usize,
+    region: &MemRegion,
+    offset: usize,
+    len: usize,
+) {
+    let route = geom.route().expect("hw path requires a classroute");
+    let machine = geom.machine();
+    let node = ctx.node();
+    let group = geom.group(node);
+    let me = ctx.task();
+    let root_task = geom.topology().task_at(root_rank);
+    let root_node = machine.task_node(root_task);
+    let is_leader = me == group.leader;
+
+    // A non-leader root shares its buffer so the leader can inject from it.
+    if me == root_task && !is_leader {
+        group.board.post(
+            seq,
+            SLOT_ROOT,
+            BoardEntry::Region { region: region.clone(), offset, len },
+        );
+    }
+    local_barrier(geom, ctx);
+
+    if is_leader {
+        let coords = machine.shape().coords_of(node as usize);
+        let done = Counter::new();
+        done.add_expected(len as u64);
+        if node == root_node {
+            // Master injects; data comes from the root's buffer (its own,
+            // or read through the global VA from the posted region).
+            let (src_region, src_off) = if me == root_task {
+                (region.clone(), offset)
+            } else {
+                let (r, o, l) = entry_region(wait_board(geom, ctx, seq, SLOT_ROOT));
+                assert_eq!(l, len, "root posted a different length");
+                (r, o)
+            };
+            let mut sent = 0usize;
+            while sent < len {
+                let chunk = (len - sent).min(PIPELINE_SLICE);
+                let mut data = vec![0u8; chunk];
+                src_region.read(src_off + sent, &mut data);
+                machine.collnet().contribute(
+                    &route,
+                    coords,
+                    CollContribution::Broadcast {
+                        data: Some(data),
+                        len: chunk,
+                        output: Some(CollOutput {
+                            region: region.clone(),
+                            offset: offset + sent,
+                            counter: Some(done.clone()),
+                            wakeup: None,
+                        }),
+                    },
+                );
+                sent += chunk;
+            }
+        } else {
+            let mut recvd = 0usize;
+            while recvd < len {
+                let chunk = (len - recvd).min(PIPELINE_SLICE);
+                machine.collnet().contribute(
+                    &route,
+                    coords,
+                    CollContribution::Broadcast {
+                        data: None,
+                        len: chunk,
+                        output: Some(CollOutput {
+                            region: region.clone(),
+                            offset: offset + recvd,
+                            counter: Some(done.clone()),
+                            wakeup: None,
+                        }),
+                    },
+                );
+                recvd += chunk;
+            }
+        }
+        ctx.advance_until(|| done.is_complete());
+        group.board.post(
+            seq,
+            SLOT_RESULT,
+            BoardEntry::Region { region: region.clone(), offset, len },
+        );
+    }
+    local_barrier(geom, ctx);
+    if !is_leader && me != root_task {
+        // Peers copy straight out of the master's buffer (global VA).
+        let (src, src_off, _) = entry_region(wait_board(geom, ctx, seq, SLOT_RESULT));
+        region.copy_from(offset, &src, src_off, len);
+    }
+    local_barrier(geom, ctx);
+    if is_leader {
+        group.board.clear_seq(seq);
+    }
+}
+
+fn sw_broadcast(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    root_rank: usize,
+    region: &MemRegion,
+    offset: usize,
+    len: usize,
+) {
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
+    let relative = (rank + n - root_rank) % n;
+    let tag = seq << 8;
+
+    // Find the reception point.
+    let mut mask = 1usize;
+    while mask < n {
+        if relative & mask != 0 {
+            let parent = (relative - mask + root_rank) % n;
+            let data = geom.recv_sw(ctx, parent, tag);
+            assert_eq!(data.len(), len, "sw broadcast length mismatch");
+            region.write(offset, &data);
+            break;
+        }
+        mask <<= 1;
+    }
+    if relative == 0 {
+        mask = n.next_power_of_two();
+    }
+    // Forward down the tree.
+    mask >>= 1;
+    let done = Counter::new();
+    while mask > 0 {
+        if relative & (mask - 1) == 0 && relative + mask < n {
+            let child = (relative + mask + root_rank) % n;
+            done.add_expected(len.max(1) as u64);
+            geom.send_sw(
+                ctx,
+                child,
+                tag,
+                PayloadSource::Region { region: region.clone(), offset, len },
+                Some(done.clone()),
+            );
+        }
+        mask >>= 1;
+    }
+    ctx.advance_until(|| done.is_complete());
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce / Reduce
+// ---------------------------------------------------------------------------
+
+/// Allreduce `count` 8-byte elements from (`src`) into (`dst`) on every
+/// member (default algorithm).
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce(
+    geom: &Geometry,
+    ctx: &Context,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    allreduce_with(geom, ctx, Algorithm::Auto, src, dst, count, op, dtype)
+}
+
+/// Allreduce with an explicit algorithm choice.
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_with(
+    geom: &Geometry,
+    ctx: &Context,
+    alg: Algorithm,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    let seq = geom.next_seq(ctx.task());
+    if count == 0 {
+        return;
+    }
+    if geom.size() == 1 {
+        dst.0.copy_from(dst.1, src.0, src.1, count * ELEM);
+        return;
+    }
+    if use_hw(geom, alg) {
+        hw_allreduce(geom, ctx, seq, src, dst, count, op, dtype);
+    } else {
+        sw_reduce_bcast(geom, ctx, seq, None, src, dst, count, op, dtype);
+    }
+}
+
+/// Reduce to `root_rank` (default algorithm): the result lands in `dst` on
+/// the root; other members' `dst` is untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn reduce(
+    geom: &Geometry,
+    ctx: &Context,
+    root_rank: usize,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    let seq = geom.next_seq(ctx.task());
+    if count == 0 {
+        return;
+    }
+    if geom.size() == 1 {
+        dst.0.copy_from(dst.1, src.0, src.1, count * ELEM);
+        return;
+    }
+    // The software path handles arbitrary roots; the hardware reduction
+    // would deliver at the route root, so (as the real library does for
+    // mismatched roots) go through the binomial tree.
+    sw_reduce_bcast(geom, ctx, seq, Some(root_rank), src, dst, count, op, dtype);
+}
+
+/// Split `count` elements into `parts` contiguous ranges; returns the
+/// element range of `part`.
+fn partition(count: usize, parts: usize, part: usize) -> (usize, usize) {
+    (count * part / parts, count * (part + 1) / parts)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hw_allreduce(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    let route = geom.route().expect("hw path requires a classroute");
+    let machine = geom.machine();
+    let node = ctx.node();
+    let group = geom.group(node);
+    let me = ctx.task();
+    let is_leader = me == group.leader;
+    let ppn = group.tasks.len();
+    let len = count * ELEM;
+    let slot = group.slot_of(me);
+
+    // Every member publishes its input; the leader publishes the node
+    // accumulation buffer.
+    group.board.post(
+        seq,
+        slot,
+        BoardEntry::Region { region: src.0.clone(), offset: src.1, len },
+    );
+    let _nodebuf = if ppn > 1 {
+        let buf = MemRegion::zeroed(len);
+        if is_leader {
+            group.board.post(
+                seq,
+                SLOT_NODEBUF,
+                BoardEntry::Region { region: buf.clone(), offset: 0, len },
+            );
+        }
+        Some(buf)
+    } else {
+        None
+    };
+    local_barrier(geom, ctx);
+
+    // Parallel local math: each member combines everyone's input over its
+    // slice of elements and deposits into the node buffer (Figure 3).
+    let node_src: (MemRegion, usize) = if ppn > 1 {
+        let (buf, buf_off, _) = entry_region(wait_board(geom, ctx, seq, SLOT_NODEBUF));
+        let (lo, hi) = partition(count, ppn, slot as usize);
+        if hi > lo {
+            let byte_lo = lo * ELEM;
+            let bytes = (hi - lo) * ELEM;
+            let mut acc = vec![0u8; bytes];
+            let (r0, o0, _) = entry_region(
+                group.board.get(seq, 0).expect("slot 0 posted before barrier"),
+            );
+            r0.read(o0 + byte_lo, &mut acc);
+            let mut contrib = vec![0u8; bytes];
+            for p in 1..ppn as u32 {
+                let (rp, op_, _) = entry_region(
+                    group.board.get(seq, p).expect("all slots posted before barrier"),
+                );
+                rp.read(op_ + byte_lo, &mut contrib);
+                bgq_collnet::combine(op, dtype, &mut acc, &contrib);
+            }
+            buf.write(buf_off + byte_lo, &acc);
+        }
+        local_barrier(geom, ctx);
+        (buf, buf_off)
+    } else {
+        (src.0.clone(), src.1)
+    };
+
+    if is_leader {
+        let coords = machine.shape().coords_of(node as usize);
+        let done = Counter::new();
+        done.add_expected(len as u64);
+        // Pipelined network contributions, in slice order (Figure 4: "the
+        // ordering of injection is maintained across all the masters").
+        let mut sent = 0usize;
+        while sent < len {
+            let chunk = (len - sent).min(PIPELINE_SLICE);
+            let mut data = vec![0u8; chunk];
+            node_src.0.read(node_src.1 + sent, &mut data);
+            machine.collnet().contribute(
+                &route,
+                coords,
+                CollContribution::Allreduce {
+                    op,
+                    dtype,
+                    data,
+                    output: CollOutput {
+                        region: dst.0.clone(),
+                        offset: dst.1 + sent,
+                        counter: Some(done.clone()),
+                        wakeup: None,
+                    },
+                },
+            );
+            sent += chunk;
+        }
+        ctx.advance_until(|| done.is_complete());
+        group.board.post(
+            seq,
+            SLOT_RESULT,
+            BoardEntry::Region { region: dst.0.clone(), offset: dst.1, len },
+        );
+    }
+    local_barrier(geom, ctx);
+    if !is_leader {
+        let (r, o, _) = entry_region(wait_board(geom, ctx, seq, SLOT_RESULT));
+        dst.0.copy_from(dst.1, &r, o, len);
+    }
+    local_barrier(geom, ctx);
+    if is_leader {
+        group.board.clear_seq(seq);
+    }
+}
+
+/// Software fallback: binomial reduce to a root, then (for allreduce)
+/// binomial broadcast of the result. `root_rank: None` means allreduce.
+#[allow(clippy::too_many_arguments)]
+fn sw_reduce_bcast(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    root_rank: Option<usize>,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
+    let root = root_rank.unwrap_or(0);
+    let relative = (rank + n - root) % n;
+    let len = count * ELEM;
+
+    // Binomial reduce toward relative rank 0.
+    let mut acc = vec![0u8; len];
+    src.0.read(src.1, &mut acc);
+    let mut mask = 1usize;
+    let mut level = 0u64;
+    let mut sent = false;
+    while mask < n {
+        let tag = (seq << 8) | (1 << 4) | level;
+        if relative & mask != 0 {
+            let parent = (relative - mask + root) % n;
+            let done = Counter::new();
+            done.add_expected(len.max(1) as u64);
+            let send_region = MemRegion::from_vec(acc.clone());
+            geom.send_sw(
+                ctx,
+                parent,
+                tag,
+                PayloadSource::Region { region: send_region, offset: 0, len },
+                Some(done.clone()),
+            );
+            ctx.advance_until(|| done.is_complete());
+            sent = true;
+            break;
+        }
+        let partner = relative + mask;
+        if partner < n {
+            let data = geom.recv_sw(ctx, (partner + root) % n, tag);
+            assert_eq!(data.len(), len);
+            bgq_collnet::combine(op, dtype, &mut acc, &data);
+        }
+        mask <<= 1;
+        level += 1;
+    }
+
+    match root_rank {
+        Some(_) => {
+            // Reduce: result at the root only.
+            if relative == 0 {
+                dst.0.write(dst.1, &acc);
+            }
+            let _ = sent;
+        }
+        None => {
+            // Allreduce: root broadcasts the result.
+            if relative == 0 {
+                dst.0.write(dst.1, &acc);
+            }
+            sw_broadcast(geom, ctx, seq, root, dst.0, dst.1, len);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gather / Scatter / Allgather / Alltoall (software algorithms)
+// ---------------------------------------------------------------------------
+//
+// The paper lists hardware acceleration of these as future work ("we would
+// like to explore performance optimizations for other collective operations
+// such as all-to-all, scatter and gather"); PAMI ships software algorithms
+// over point-to-point, which is what these are: binomial gather/scatter, a
+// ring allgather, and pairwise-exchange alltoall, all flat over the
+// geometry's ranks.
+
+/// Gather `blk` bytes from every member's (`src`) into rank `root`'s `dst`
+/// (laid out by rank). Binomial tree: log₂(n) rounds, each parent
+/// accumulating its subtree's contiguous relative block.
+pub fn gather(
+    geom: &Geometry,
+    ctx: &Context,
+    root_rank: usize,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let seq = geom.next_seq(ctx.task());
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
+    if n == 1 {
+        dst.0.copy_from(dst.1, src.0, src.1, blk);
+        return;
+    }
+    let relative = (rank + n - root_rank) % n;
+
+    // Accumulate my subtree's blocks (relative block x at offset x·blk).
+    let mut subtree = 1usize;
+    {
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                break;
+            }
+            if relative + mask < n {
+                subtree += (n - relative - mask).min(mask);
+            }
+            mask <<= 1;
+        }
+    }
+    let accum = MemRegion::zeroed(subtree * blk);
+    accum.copy_from(0, src.0, src.1, blk);
+
+    let mut mask = 1usize;
+    let mut level = 0u64;
+    loop {
+        let tag = (seq << 8) | (2 << 4) | level;
+        if relative & mask != 0 {
+            // Send my accumulated subtree to my parent and stop.
+            let parent = (relative - mask + root_rank) % n;
+            let done = Counter::new();
+            done.add_expected((subtree * blk).max(1) as u64);
+            geom.send_sw(
+                ctx,
+                parent,
+                tag,
+                PayloadSource::Region { region: accum.clone(), offset: 0, len: subtree * blk },
+                Some(done.clone()),
+            );
+            ctx.advance_until(|| done.is_complete());
+            break;
+        }
+        if mask >= n {
+            break;
+        }
+        let child = relative + mask;
+        if child < n {
+            let child_blocks = (n - child).min(mask);
+            let data = geom.recv_sw(ctx, (child + root_rank) % n, tag);
+            assert_eq!(data.len(), child_blocks * blk, "gather subtree size");
+            accum.write((child - relative) * blk, &data);
+        }
+        mask <<= 1;
+        level += 1;
+    }
+
+    if relative == 0 {
+        // Unrotate: relative block x belongs to absolute rank (x+root)%n.
+        for x in 0..n {
+            let abs = (x + root_rank) % n;
+            let mut tmp = vec![0u8; blk];
+            accum.read(x * blk, &mut tmp);
+            dst.0.write(dst.1 + abs * blk, &tmp);
+        }
+    }
+}
+
+/// Scatter `blk` bytes per rank from `root`'s `src` (laid out by rank) into
+/// every member's `dst`. Binomial: the inverse of [`gather`].
+pub fn scatter(
+    geom: &Geometry,
+    ctx: &Context,
+    root_rank: usize,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let seq = geom.next_seq(ctx.task());
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
+    if n == 1 {
+        dst.0.copy_from(dst.1, src.0, src.1, blk);
+        return;
+    }
+    let relative = (rank + n - root_rank) % n;
+
+    // Receive my subtree's blocks from my parent (root starts with all,
+    // rotated so relative block x is at x·blk).
+    let accum;
+    let mut recv_mask = n.next_power_of_two();
+    if relative == 0 {
+        let buf = MemRegion::zeroed(n * blk);
+        for x in 0..n {
+            let abs = (x + root_rank) % n;
+            let mut tmp = vec![0u8; blk];
+            src.0.read(src.1 + abs * blk, &mut tmp);
+            buf.write(x * blk, &tmp);
+        }
+        accum = buf;
+    } else {
+        let mut mask = 1usize;
+        let mut level = 0u64;
+        while mask < n {
+            if relative & mask != 0 {
+                let parent = (relative - mask + root_rank) % n;
+                let tag = (seq << 8) | (3 << 4) | level;
+                let data = geom.recv_sw(ctx, parent, tag);
+                let buf = MemRegion::from_vec(data);
+                recv_mask = mask;
+                accum = buf;
+                // Forward sub-blocks to my children below.
+                scatter_forward(geom, ctx, seq, root_rank, relative, recv_mask, &accum, blk);
+                dst.0.copy_from(dst.1, &accum, 0, blk);
+                return;
+            }
+            mask <<= 1;
+            level += 1;
+        }
+        unreachable!("non-root rank has a set bit");
+    }
+    scatter_forward(geom, ctx, seq, root_rank, relative, recv_mask, &accum, blk);
+    dst.0.copy_from(dst.1, &accum, 0, blk);
+}
+
+/// Send each child its slice of `accum` (which holds relative blocks
+/// [relative, relative + extent)).
+fn scatter_forward(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    root_rank: usize,
+    relative: usize,
+    top_mask: usize,
+    accum: &MemRegion,
+    blk: usize,
+) {
+    let n = geom.size();
+    let done = Counter::new();
+    let mut mask = top_mask >> 1;
+    while mask > 0 {
+        let child = relative + mask;
+        if child < n {
+            let child_blocks = (n - child).min(mask);
+            let level = mask.trailing_zeros() as u64;
+            let tag = (seq << 8) | (3 << 4) | level;
+            done.add_expected((child_blocks * blk).max(1) as u64);
+            geom.send_sw(
+                ctx,
+                (child + root_rank) % n,
+                tag,
+                PayloadSource::Region {
+                    region: accum.clone(),
+                    offset: (child - relative) * blk,
+                    len: child_blocks * blk,
+                },
+                Some(done.clone()),
+            );
+        }
+        mask >>= 1;
+    }
+    ctx.advance_until(|| done.is_complete());
+}
+
+/// Allgather: every member contributes `blk` bytes and receives all `n`
+/// blocks, rank-ordered, via the ring algorithm (n−1 steps, each member
+/// forwarding the newest block to its right neighbor).
+pub fn allgather(
+    geom: &Geometry,
+    ctx: &Context,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let seq = geom.next_seq(ctx.task());
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
+    dst.0.copy_from(dst.1 + rank * blk, src.0, src.1, blk);
+    if n == 1 {
+        return;
+    }
+    let right = (rank + 1) % n;
+    let left = (rank + n - 1) % n;
+    for step in 0..n - 1 {
+        let tag = (seq << 8) | (4 << 4) | step as u64;
+        // Forward the block that originated `step` ranks to my left.
+        let outgoing = (rank + n - step) % n;
+        let done = Counter::new();
+        done.add_expected(blk.max(1) as u64);
+        geom.send_sw(
+            ctx,
+            right,
+            tag,
+            PayloadSource::Region { region: dst.0.clone(), offset: dst.1 + outgoing * blk, len: blk },
+            Some(done.clone()),
+        );
+        let data = geom.recv_sw(ctx, left, tag);
+        assert_eq!(data.len(), blk);
+        let incoming = (rank + n - step - 1) % n;
+        dst.0.write(dst.1 + incoming * blk, &data);
+        ctx.advance_until(|| done.is_complete());
+    }
+}
+
+/// Alltoall: member `i`'s block `j` (at `j·blk` in `src`) lands at block
+/// `i` of member `j`'s `dst`. Pairwise exchange over n−1 steps (plus the
+/// local block copy) — the pattern whose aggregate bandwidth the 5D torus
+/// bisection accelerates (the paper's FFT motivation).
+pub fn alltoall(
+    geom: &Geometry,
+    ctx: &Context,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let seq = geom.next_seq(ctx.task());
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
+    dst.0.copy_from(dst.1 + rank * blk, src.0, src.1 + rank * blk, blk);
+    for step in 1..n {
+        let to = (rank + step) % n;
+        let from = (rank + n - step) % n;
+        let tag = (seq << 8) | (5 << 4) | step as u64;
+        let done = Counter::new();
+        done.add_expected(blk.max(1) as u64);
+        geom.send_sw(
+            ctx,
+            to,
+            tag,
+            PayloadSource::Region { region: src.0.clone(), offset: src.1 + to * blk, len: blk },
+            Some(done.clone()),
+        );
+        let data = geom.recv_sw(ctx, from, tag);
+        assert_eq!(data.len(), blk);
+        dst.0.write(dst.1 + from * blk, &data);
+        ctx.advance_until(|| done.is_complete());
+    }
+}

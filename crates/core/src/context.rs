@@ -1,0 +1,739 @@
+//! PAMI contexts — the unit of thread parallelism.
+//!
+//! "Messaging operations are initiated and progressed in the context
+//! independent of other co-existing contexts" (paper section III.B). Each
+//! context owns, exclusively: a slice of the node's MU injection FIFOs
+//! (destinations pinned across them by hash, preserving MPI ordering), one
+//! MU reception FIFO, a shared-memory mailbox, a lock-free work queue for
+//! cross-thread handoff, and a wakeup region commthreads park on.
+//!
+//! Thread contract, mirrored from the paper: [`Context::advance`] is
+//! single-threaded per context — concurrent calls are detected with a
+//! `try_lock` and simply make no progress (higher software either pins
+//! threads to contexts, posts work with [`Context::post`], or brackets
+//! shared use with [`Context::lock`]). Sends are initiated lock-free from
+//! any thread: they only push onto MPSC queues.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bgq_hw::{Counter, L2Counter, L2TicketMutex, MemRegion, WakeupRegion, WorkQueue};
+use bgq_mu::{Descriptor, EngineMode, InjFifoId, MuPacket, PayloadSource, RecFifo, RecFifoId, XferKind};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use crate::endpoint::Endpoint;
+use crate::machine::Machine;
+use crate::proto::{wire, SendArgs, ShmMailbox, ShmMsg, ShmPayload, DISPATCH_INTERNAL_BASE, DISPATCH_RZV_RTS};
+
+/// Completion callback invoked on the advancing thread.
+pub type CompletionFn = Box<dyn FnOnce(&Context) + Send>;
+
+/// Work item accepted by [`Context::post`].
+pub type WorkFn = Box<dyn FnOnce(&Context) + Send>;
+
+/// Header information handed to a dispatch handler.
+#[derive(Debug, Clone)]
+pub struct IncomingMsg {
+    /// Originating endpoint.
+    pub src: Endpoint,
+    /// Dispatch id the sender targeted.
+    pub dispatch: u16,
+    /// Sender's dispatch metadata.
+    pub metadata: Bytes,
+    /// Total payload length of the message.
+    pub len: u64,
+}
+
+/// A dispatch handler's decision about an incoming message.
+pub enum Recv {
+    /// The handler fully consumed the message from the bytes it was shown
+    /// (only legal when those bytes were the whole payload).
+    Done,
+    /// Deposit the payload into `region` at `offset` and call `on_complete`
+    /// once every byte has landed.
+    Into {
+        /// Destination buffer.
+        region: MemRegion,
+        /// Byte offset within the buffer.
+        offset: usize,
+        /// Completion callback (runs on the advancing thread).
+        on_complete: CompletionFn,
+    },
+}
+
+/// An active-message dispatch handler.
+///
+/// Called on the first packet of each message with the header info and the
+/// payload bytes available so far (the whole payload for single-packet
+/// messages; empty for rendezvous arrivals). Runs on the advancing thread;
+/// it may send, post, and register state, but must not call `advance` or
+/// block on communication.
+pub type DispatchFn = Arc<dyn Fn(&Context, &IncomingMsg, &[u8]) -> Recv + Send + Sync>;
+
+struct Reassembly {
+    region: MemRegion,
+    base_offset: usize,
+    remaining: usize,
+    on_complete: Option<CompletionFn>,
+}
+
+struct AdvanceState {
+    /// Multi-packet eager messages being deposited, keyed by (source node,
+    /// message id).
+    reassembly: HashMap<(u32, u64), Reassembly>,
+    /// Rendezvous receives waiting on their reception counters.
+    rzv_pending: Vec<(Counter, Option<CompletionFn>)>,
+}
+
+/// Per-advance budgets: how many items of each kind one `advance` call
+/// processes before returning (keeps latency fair across devices).
+const WORK_BUDGET: usize = 16;
+const INJ_BUDGET: usize = 32;
+const SYS_BUDGET: usize = 32;
+const RECV_BUDGET: usize = 64;
+
+/// A PAMI communication context.
+pub struct Context {
+    machine: Arc<Machine>,
+    client: u16,
+    task: u32,
+    offset: u16,
+    node: u32,
+    rec_fifo_id: RecFifoId,
+    rec_fifo: Arc<RecFifo>,
+    inj_ids: Vec<InjFifoId>,
+    mailbox: Arc<ShmMailbox>,
+    wakeup: WakeupRegion,
+    work: WorkQueue<WorkFn>,
+    dispatch: RwLock<HashMap<u16, DispatchFn>>,
+    advance_state: Mutex<AdvanceState>,
+    user_lock: L2TicketMutex,
+    // statistics
+    sends_initiated: L2Counter,
+    messages_dispatched: L2Counter,
+    work_items_run: L2Counter,
+}
+
+impl Context {
+    pub(crate) fn create(
+        machine: &Arc<Machine>,
+        client: u16,
+        task: u32,
+        offset: u16,
+    ) -> Arc<Context> {
+        let node = machine.task_node(task);
+        let wakeup = machine.wakeup_unit(node).region();
+        let rec_fifo_id = machine
+            .fabric()
+            .alloc_rec_fifos(node, 1)
+            .unwrap_or_else(|| panic!("node {node} out of MU reception FIFOs"))[0];
+        let rec_fifo = machine.fabric().rec_fifo(node, rec_fifo_id);
+        rec_fifo.set_wakeup(wakeup.clone());
+        let inj_ids = machine
+            .fabric()
+            .alloc_inj_fifos(node, machine.inj_fifos_per_context)
+            .unwrap_or_else(|| panic!("node {node} out of MU injection FIFOs"));
+        let mailbox = Arc::new(ShmMailbox::new(512, wakeup.clone()));
+        machine.register_endpoint(
+            client,
+            task,
+            offset,
+            crate::machine::EndpointAddr {
+                rec_fifo: rec_fifo_id,
+                mailbox: Arc::clone(&mailbox),
+            },
+        );
+        Arc::new(Context {
+            machine: Arc::clone(machine),
+            client,
+            task,
+            offset,
+            node,
+            rec_fifo_id,
+            rec_fifo,
+            inj_ids,
+            mailbox,
+            wakeup,
+            work: WorkQueue::with_capacity(256),
+            dispatch: RwLock::new(HashMap::new()),
+            advance_state: Mutex::new(AdvanceState {
+                reassembly: HashMap::new(),
+                rzv_pending: Vec::new(),
+            }),
+            user_lock: L2TicketMutex::new(),
+            sends_initiated: L2Counter::new(0),
+            messages_dispatched: L2Counter::new(0),
+            work_items_run: L2Counter::new(0),
+        })
+    }
+
+    // ---- identity --------------------------------------------------------
+
+    /// The machine.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Owning task.
+    pub fn task(&self) -> u32 {
+        self.task
+    }
+
+    /// Context offset within its client.
+    pub fn offset(&self) -> u16 {
+        self.offset
+    }
+
+    /// The node this context lives on.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// This context's own endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint { task: self.task, context: self.offset }
+    }
+
+    /// The wakeup region covering this context's queues (commthreads park
+    /// on it; [`Context::post`] and message arrivals touch it).
+    pub fn wakeup_region(&self) -> &WakeupRegion {
+        &self.wakeup
+    }
+
+    /// The context lock exposed to higher software (classic-MPI style
+    /// serialization). PAMI itself never takes it.
+    pub fn lock(&self) -> bgq_hw::mutex::L2TicketGuard<'_> {
+        self.user_lock.lock()
+    }
+
+    // ---- dispatch ---------------------------------------------------------
+
+    /// Register the active-message handler for `dispatch`.
+    ///
+    /// # Panics
+    /// If `dispatch` is in the internal range (≥ 0xFF00).
+    pub fn set_dispatch(&self, dispatch: u16, handler: DispatchFn) {
+        assert!(dispatch < DISPATCH_INTERNAL_BASE, "dispatch id {dispatch:#x} is reserved");
+        self.dispatch.write().insert(dispatch, handler);
+    }
+
+    fn handler(&self, dispatch: u16) -> DispatchFn {
+        self.dispatch
+            .read()
+            .get(&dispatch)
+            .unwrap_or_else(|| panic!("no handler registered for dispatch {dispatch}"))
+            .clone()
+    }
+
+    // ---- initiation --------------------------------------------------------
+
+    /// Post a work function to be executed by whichever thread advances
+    /// this context next (commthread handoff). Lock-free; wakes parked
+    /// commthreads.
+    pub fn post(&self, work: WorkFn) {
+        self.work.push(work);
+        self.wakeup.touch();
+    }
+
+    /// Latency-optimized short send: the payload is copied immediately into
+    /// the message and, when injection resources allow, moved now by the
+    /// calling thread (`PAMI_Send_immediate`). Completes locally before
+    /// returning.
+    ///
+    /// # Errors
+    /// Returns the untouched arguments if `payload` exceeds one packet
+    /// (512 bytes) — callers fall back to [`Context::send`].
+    pub fn send_immediate(
+        &self,
+        dest: Endpoint,
+        dispatch: u16,
+        metadata: &[u8],
+        payload: &[u8],
+    ) -> Result<(), &'static str> {
+        if payload.len() > bgq_torus::packet::MAX_PAYLOAD_BYTES {
+            return Err("send_immediate payload exceeds one packet");
+        }
+        assert!(dispatch < DISPATCH_INTERNAL_BASE, "dispatch id reserved");
+        self.sends_initiated.store_add(1);
+        let dest_node = self.machine.task_node(dest.task);
+        if dest_node == self.node {
+            let addr = self.machine.endpoint_addr(self.client, dest.task, dest.context);
+            addr.mailbox.deliver(ShmMsg {
+                src: self.endpoint(),
+                dispatch,
+                metadata: Bytes::copy_from_slice(metadata),
+                payload: ShmPayload::Inline(Bytes::copy_from_slice(payload)),
+            });
+            return Ok(());
+        }
+        let addr = self.machine.endpoint_addr(self.client, dest.task, dest.context);
+        self.machine.fabric().execute_now(
+            self.node,
+            Descriptor {
+                dst_node: dest_node,
+                dst_context: dest.context,
+                src_context: self.offset,
+                routing: bgq_torus::Routing::Deterministic,
+                payload: PayloadSource::Immediate(Bytes::copy_from_slice(payload)),
+                kind: XferKind::MemoryFifo {
+                    rec_fifo: addr.rec_fifo,
+                    dispatch,
+                    metadata: wire::envelope(self.task, metadata),
+                },
+                inj_counter: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Active-message send. Short messages go eager over the memory-FIFO
+    /// path (or the shared-memory inline path on-node); messages above the
+    /// eager limit use the rendezvous remote-get protocol (or the
+    /// global-VA single-copy path on-node). `args.local_done` fires once
+    /// the payload has left the source buffer.
+    pub fn send(&self, args: SendArgs) {
+        assert!(args.dispatch < DISPATCH_INTERNAL_BASE, "dispatch id reserved");
+        self.sends_initiated.store_add(1);
+        let dest_node = self.machine.task_node(args.dest.task);
+        if dest_node == self.node {
+            return self.send_shm(args);
+        }
+        let addr = self.machine.endpoint_addr(self.client, args.dest.task, args.dest.context);
+        let len = args.payload.len();
+        if len <= self.machine.eager_limit {
+            let desc = Descriptor {
+                dst_node: dest_node,
+                dst_context: args.dest.context,
+                src_context: self.offset,
+                routing: bgq_torus::Routing::Deterministic,
+                payload: args.payload,
+                kind: XferKind::MemoryFifo {
+                    rec_fifo: addr.rec_fifo,
+                    dispatch: args.dispatch,
+                    metadata: wire::envelope(self.task, &args.metadata),
+                },
+                inj_counter: args.local_done,
+            };
+            self.inject_to(args.dest.task, desc);
+        } else {
+            // Rendezvous: register the source, send an RTS; the target pulls
+            // the payload with a remote get.
+            let key = self.machine.rzv_register(args.payload, args.local_done);
+            let rts = wire::rts(args.dispatch, len as u64, key, &args.metadata);
+            let desc = Descriptor {
+                dst_node: dest_node,
+                dst_context: args.dest.context,
+                src_context: self.offset,
+                routing: bgq_torus::Routing::Deterministic,
+                payload: PayloadSource::Immediate(Bytes::new()),
+                kind: XferKind::MemoryFifo {
+                    rec_fifo: addr.rec_fifo,
+                    dispatch: DISPATCH_RZV_RTS,
+                    metadata: wire::envelope(self.task, &rts),
+                },
+                inj_counter: None,
+            };
+            self.inject_to(args.dest.task, desc);
+        }
+    }
+
+    /// One-sided put into a registered window on `dest_task`'s node.
+    /// `local_done` fires when the source bytes have been read; the
+    /// window's own counter fires on the target as bytes land.
+    pub fn put(
+        &self,
+        dest_task: u32,
+        payload: PayloadSource,
+        window: crate::machine::MemKey,
+        window_offset: usize,
+        local_done: Option<Counter>,
+    ) {
+        self.sends_initiated.store_add(1);
+        let win = self
+            .machine
+            .window(window)
+            .unwrap_or_else(|| panic!("put targets unknown window {window:?}"));
+        let desc = Descriptor {
+            dst_node: self.machine.task_node(dest_task),
+            dst_context: 0,
+            src_context: self.offset,
+            routing: bgq_torus::Routing::Dynamic,
+            payload,
+            kind: XferKind::DirectPut {
+                dst_region: win.region,
+                dst_offset: window_offset,
+                rec_counter: win.counter,
+            },
+            inj_counter: local_done,
+        };
+        self.inject_to(dest_task, desc);
+    }
+
+    /// One-sided get from a registered window on `dest_task`'s node into
+    /// `dst`. `done` fires (by `len`, or 1 for empty) when the data has
+    /// landed locally.
+    pub fn get(
+        &self,
+        dest_task: u32,
+        window: crate::machine::MemKey,
+        window_offset: usize,
+        dst: (MemRegion, usize),
+        len: usize,
+        done: Option<Counter>,
+    ) {
+        self.sends_initiated.store_add(1);
+        let win = self
+            .machine
+            .window(window)
+            .unwrap_or_else(|| panic!("get targets unknown window {window:?}"));
+        let put_back = Descriptor {
+            dst_node: self.node,
+            dst_context: self.offset,
+            src_context: self.offset,
+            routing: bgq_torus::Routing::Dynamic,
+            payload: PayloadSource::Region { region: win.region, offset: window_offset, len },
+            kind: XferKind::DirectPut {
+                dst_region: dst.0,
+                dst_offset: dst.1,
+                rec_counter: done,
+            },
+            inj_counter: None,
+        };
+        let desc = Descriptor {
+            dst_node: self.machine.task_node(dest_task),
+            dst_context: 0,
+            src_context: self.offset,
+            routing: bgq_torus::Routing::Deterministic,
+            payload: PayloadSource::Immediate(Bytes::new()),
+            kind: XferKind::RemoteGet { payload: Box::new(put_back) },
+            inj_counter: None,
+        };
+        self.inject_to(dest_task, desc);
+    }
+
+    /// Injection-FIFO pinning: every message to `dest_task` from this
+    /// context uses the same FIFO, "so that the same FIFO is used every
+    /// time for a given destination" — the ordering rule.
+    fn inject_to(&self, dest_task: u32, desc: Descriptor) {
+        let fifo = self.inj_ids[dest_task as usize % self.inj_ids.len()];
+        self.machine.fabric().inject(self.node, fifo, desc);
+    }
+
+    fn send_shm(&self, args: SendArgs) {
+        let addr = self.machine.endpoint_addr(self.client, args.dest.task, args.dest.context);
+        let len = args.payload.len();
+        let payload = if len <= self.machine.eager_limit {
+            let bytes = args.payload.to_bytes();
+            if let Some(c) = args.local_done {
+                c.delivered(if len == 0 { 1 } else { len as u64 });
+            }
+            ShmPayload::Inline(bytes)
+        } else {
+            match args.payload {
+                PayloadSource::Region { region, offset, len } => {
+                    // Publish the source buffer in the CNK global-VA table;
+                    // the receiver resolves and copies directly from it.
+                    let local_rank = self.machine.task_local_rank(self.task);
+                    let va = self.machine.global_va(self.node);
+                    let id = va.publish(local_rank, region);
+                    ShmPayload::GlobalVa {
+                        addr: bgq_hw::GlobalAddress { local_rank, region: id, offset },
+                        len,
+                        done: args.local_done,
+                    }
+                }
+                PayloadSource::Immediate(b) => {
+                    if let Some(c) = args.local_done {
+                        c.delivered(b.len().max(1) as u64);
+                    }
+                    ShmPayload::Inline(b)
+                }
+            }
+        };
+        addr.mailbox.deliver(ShmMsg {
+            src: self.endpoint(),
+            dispatch: args.dispatch,
+            metadata: Bytes::from(args.metadata),
+            payload,
+        });
+    }
+
+    // ---- progress ---------------------------------------------------------
+
+    /// Advance this context: run posted work, pump injection, service the
+    /// node's system FIFO, dispatch received MU packets and shared-memory
+    /// messages, and fire completed rendezvous callbacks. Returns the
+    /// number of events processed. Concurrent calls are safe; the loser
+    /// makes no progress and returns 0.
+    pub fn advance(&self) -> usize {
+        let Some(mut st) = self.advance_state.try_lock() else {
+            return 0;
+        };
+        self.advance_locked(&mut st)
+    }
+
+    /// Keep advancing (yielding the CPU in between) until `cond` is true.
+    pub fn advance_until(&self, mut cond: impl FnMut() -> bool) {
+        while !cond() {
+            if self.advance() == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Whether the context believes it has nothing to do (used by
+    /// commthreads to decide to park).
+    pub fn is_quiescent(&self) -> bool {
+        let st = self.advance_state.lock();
+        self.work.is_empty()
+            && self.rec_fifo.is_empty()
+            && self.mailbox.queue.is_empty()
+            && st.reassembly.is_empty()
+            && st.rzv_pending.is_empty()
+    }
+
+    fn advance_locked(&self, st: &mut AdvanceState) -> usize {
+        let mut events = 0usize;
+
+        // 1. Posted work (commthread handoff path).
+        for _ in 0..WORK_BUDGET {
+            match self.work.pop() {
+                Some(work) => {
+                    work(self);
+                    self.work_items_run.store_add(1);
+                    events += 1;
+                }
+                None => break,
+            }
+        }
+
+        // 2. Pump this context's own injection FIFOs (inline engine mode;
+        //    with threaded engines this finds them empty).
+        if matches!(self.machine.fabric().engine_mode(), EngineMode::Inline) {
+            for id in &self.inj_ids {
+                events += self.machine.fabric().pump_inj(self.node, *id, INJ_BUDGET);
+            }
+            // 3. Service the node's system FIFO (remote gets targeting any
+            //    context on this node); one context at a time.
+            if let Some(_guard) = self.machine.sys_pump[self.node as usize].try_lock() {
+                events += self.machine.fabric().pump_sys(self.node, SYS_BUDGET);
+            }
+        }
+
+        // 4. MU reception.
+        for _ in 0..RECV_BUDGET {
+            match self.rec_fifo.poll() {
+                Some(pkt) => {
+                    self.handle_mu_packet(st, pkt);
+                    events += 1;
+                }
+                None => break,
+            }
+        }
+
+        // 5. Shared-memory mailbox.
+        for _ in 0..RECV_BUDGET {
+            match self.mailbox.queue.pop() {
+                Some(msg) => {
+                    self.handle_shm(msg);
+                    events += 1;
+                }
+                None => break,
+            }
+        }
+
+        // 6. Rendezvous receive completions (poll the counters).
+        if !st.rzv_pending.is_empty() {
+            let mut i = 0;
+            while i < st.rzv_pending.len() {
+                if st.rzv_pending[i].0.is_complete() {
+                    let (_c, cb) = st.rzv_pending.swap_remove(i);
+                    if let Some(cb) = cb {
+                        cb(self);
+                    }
+                    events += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        events
+    }
+
+    fn handle_mu_packet(&self, st: &mut AdvanceState, pkt: MuPacket) {
+        if pkt.is_first() {
+            let (src_task, body) = wire::open_envelope(&pkt.metadata);
+            let src = Endpoint { task: src_task, context: pkt.src_context };
+            if pkt.dispatch == DISPATCH_RZV_RTS {
+                self.handle_rts(st, src, &body);
+                return;
+            }
+            let msg = IncomingMsg {
+                src,
+                dispatch: pkt.dispatch,
+                metadata: body,
+                len: pkt.msg_len as u64,
+            };
+            self.messages_dispatched.store_add(1);
+            let handler = self.handler(pkt.dispatch);
+            match handler(self, &msg, &pkt.payload) {
+                Recv::Done => {
+                    assert!(
+                        pkt.is_last(),
+                        "Recv::Done on a partial payload ({} of {} bytes)",
+                        pkt.payload.len(),
+                        pkt.msg_len
+                    );
+                }
+                Recv::Into { region, offset, on_complete } => {
+                    region.write(offset, &pkt.payload);
+                    if pkt.is_last() {
+                        on_complete(self);
+                    } else {
+                        st.reassembly.insert(
+                            (pkt.src_node, pkt.msg_id),
+                            Reassembly {
+                                region,
+                                base_offset: offset,
+                                remaining: pkt.msg_len as usize - pkt.payload.len(),
+                                on_complete: Some(on_complete),
+                            },
+                        );
+                    }
+                }
+            }
+        } else {
+            let key = (pkt.src_node, pkt.msg_id);
+            let entry = st
+                .reassembly
+                .get_mut(&key)
+                .expect("continuation packet without a first packet (ordering violated)");
+            entry
+                .region
+                .write(entry.base_offset + pkt.offset as usize, &pkt.payload);
+            entry.remaining -= pkt.payload.len();
+            if entry.remaining == 0 {
+                let mut entry = st.reassembly.remove(&key).expect("entry present");
+                if let Some(cb) = entry.on_complete.take() {
+                    cb(self);
+                }
+            }
+        }
+    }
+
+    fn handle_rts(&self, st: &mut AdvanceState, src: Endpoint, body: &Bytes) {
+        let (dispatch, len, key, metadata) = wire::open_rts(body);
+        let msg = IncomingMsg { src, dispatch, metadata, len };
+        self.messages_dispatched.store_add(1);
+        let handler = self.handler(dispatch);
+        match handler(self, &msg, &[]) {
+            Recv::Done => panic!("rendezvous arrival of {len} bytes cannot be Recv::Done"),
+            Recv::Into { region, offset, on_complete } => {
+                let entry = self.machine.rzv_take(key);
+                let done = Counter::new();
+                done.add_expected(len.max(1));
+                let src_node = self.machine.task_node(src.task);
+                let put_back = Descriptor {
+                    dst_node: self.node,
+                    dst_context: self.offset,
+                    src_context: self.offset,
+                    routing: bgq_torus::Routing::Dynamic,
+                    payload: entry.payload,
+                    kind: XferKind::DirectPut {
+                        dst_region: region,
+                        dst_offset: offset,
+                        rec_counter: Some(done.clone()),
+                    },
+                    inj_counter: entry.local_done,
+                };
+                let get = Descriptor {
+                    dst_node: src_node,
+                    dst_context: src.context,
+                    src_context: self.offset,
+                    routing: bgq_torus::Routing::Deterministic,
+                    payload: PayloadSource::Immediate(Bytes::new()),
+                    kind: XferKind::RemoteGet { payload: Box::new(put_back) },
+                    inj_counter: None,
+                };
+                self.inject_to(src.task, get);
+                st.rzv_pending.push((done, Some(on_complete)));
+            }
+        }
+    }
+
+    fn handle_shm(&self, msg: ShmMsg) {
+        let info = IncomingMsg {
+            src: msg.src,
+            dispatch: msg.dispatch,
+            metadata: msg.metadata,
+            len: msg.payload.len() as u64,
+        };
+        self.messages_dispatched.store_add(1);
+        let handler = self.handler(msg.dispatch);
+        match msg.payload {
+            ShmPayload::Inline(bytes) => match handler(self, &info, &bytes) {
+                Recv::Done => {}
+                Recv::Into { region, offset, on_complete } => {
+                    region.write(offset, &bytes);
+                    on_complete(self);
+                }
+            },
+            ShmPayload::GlobalVa { addr, len, done } => {
+                // Resolve the peer's buffer through the CNK global virtual
+                // address table (the message-scoped mapping is withdrawn
+                // after the copy).
+                let va = self.machine.global_va(self.node);
+                let (src_region, src_off) = va
+                    .resolve_addr(addr)
+                    .expect("global-VA payload withdrawn before delivery");
+                match handler(self, &info, &[]) {
+                    Recv::Done => {
+                        assert_eq!(len, 0, "Recv::Done on unread {len}-byte global-VA payload");
+                        if let Some(c) = done {
+                            c.delivered(1);
+                        }
+                    }
+                    Recv::Into { region, offset, on_complete } => {
+                        // The single-copy path: read the peer's memory
+                        // through the global virtual address space.
+                        region.copy_from(offset, &src_region, src_off, len);
+                        if let Some(c) = done {
+                            c.delivered(len.max(1) as u64);
+                        }
+                        on_complete(self);
+                    }
+                }
+                va.unpublish(addr.local_rank, addr.region);
+            }
+        }
+    }
+
+    // ---- statistics --------------------------------------------------------
+
+    /// Sends initiated through this context.
+    pub fn sends_initiated(&self) -> u64 {
+        self.sends_initiated.load()
+    }
+
+    /// Messages dispatched (first packets seen) by this context.
+    pub fn messages_dispatched(&self) -> u64 {
+        self.messages_dispatched.load()
+    }
+
+    /// Posted work items executed.
+    pub fn work_items_run(&self) -> u64 {
+        self.work_items_run.load()
+    }
+
+    /// The reception FIFO id (diagnostics).
+    pub fn rec_fifo_id(&self) -> RecFifoId {
+        self.rec_fifo_id
+    }
+
+    /// This context's shared-memory mailbox (exposed for tests).
+    pub fn mailbox(&self) -> &Arc<ShmMailbox> {
+        &self.mailbox
+    }
+}

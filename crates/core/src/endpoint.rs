@@ -1,0 +1,63 @@
+//! Endpoints — PAMI's communication addresses.
+//!
+//! "Addressing is not based on processes or tasks but rather on Endpoints
+//! within the process. This can be used to provide finer grain addressing
+//! within a process that allows different threads to be pinned or attached
+//! to specific endpoints" (paper section III.B). An endpoint is a (task,
+//! context-offset) pair; the context half is what lets two threads on the
+//! same pair of processes communicate over independent channels.
+
+/// A PAMI communication address: task (global process index) plus context
+/// offset within that task's client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// Global task (process) index.
+    pub task: u32,
+    /// Context offset within the destination client.
+    pub context: u16,
+}
+
+impl Endpoint {
+    /// Endpoint for `task`'s context 0 — the address processes without
+    /// endpoint awareness use.
+    pub fn of_task(task: u32) -> Endpoint {
+        Endpoint { task, context: 0 }
+    }
+
+    /// Pack into a u64 (hash keys, compact tables).
+    pub fn pack(self) -> u64 {
+        ((self.task as u64) << 16) | self.context as u64
+    }
+
+    /// Inverse of [`Endpoint::pack`].
+    pub fn unpack(v: u64) -> Endpoint {
+        Endpoint { task: (v >> 16) as u32, context: (v & 0xFFFF) as u16 }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.task, self.context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips() {
+        for ep in [
+            Endpoint { task: 0, context: 0 },
+            Endpoint { task: 12345, context: 17 },
+            Endpoint { task: u32::MAX >> 8, context: u16::MAX },
+        ] {
+            assert_eq!(Endpoint::unpack(ep.pack()), ep);
+        }
+    }
+
+    #[test]
+    fn of_task_uses_context_zero() {
+        assert_eq!(Endpoint::of_task(9), Endpoint { task: 9, context: 0 });
+    }
+}

@@ -1,0 +1,497 @@
+//! The simulated BG/Q partition a PAMI job runs on.
+//!
+//! A [`Machine`] bundles every substrate one partition offers its tasks:
+//! the MU fabric, per-node wakeup units and CNK global-VA tables, the
+//! classroute manager and collective-network engine, the world classroute
+//! (COMM_WORLD comes up collective-enabled) and the world GI barrier. It
+//! also carries the registries that stand in for things real hardware does
+//! with physical addresses and keys: memory windows for one-sided
+//! operations, the rendezvous source table, and the endpoint address table
+//! that maps (client, task, context) to a node's reception FIFO and
+//! shared-memory mailbox.
+//!
+//! Tasks are laid out node-major: task `t` lives on node `t / ppn` as local
+//! rank `t % ppn` — the default BG/Q mapping.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bgq_collnet::{ClassRoute, ClassRouteManager, CollNet, GiBarrier};
+use bgq_hw::{Counter, GlobalVa, MemRegion, WakeupUnit};
+use bgq_mu::{EngineMode, MuFabric, PayloadSource, RecFifoId};
+use bgq_torus::{Rectangle, TorusShape};
+use parking_lot::{Mutex, RwLock};
+
+use crate::proto::ShmMailbox;
+
+/// Key identifying a registered memory window (one-sided put/get target) or
+/// a rendezvous source. Stands in for the RDMA keys/physical addresses the
+/// real MU embeds in descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemKey(pub u64);
+
+/// A registered one-sided window: the target region plus the counter remote
+/// puts decrement.
+#[derive(Clone)]
+pub struct Window {
+    /// Target memory.
+    pub region: MemRegion,
+    /// Reception counter (remote puts decrement it by bytes written).
+    pub counter: Option<Counter>,
+}
+
+pub(crate) struct RzvEntry {
+    pub payload: PayloadSource,
+    pub local_done: Option<Counter>,
+}
+
+/// Where an endpoint physically lives — filled in when its context is
+/// created.
+#[derive(Clone)]
+pub(crate) struct EndpointAddr {
+    pub rec_fifo: RecFifoId,
+    pub mailbox: Arc<ShmMailbox>,
+}
+
+/// Builds a [`Machine`].
+pub struct MachineBuilder {
+    shape: TorusShape,
+    ppn: usize,
+    engine_mode: EngineMode,
+    eager_limit: usize,
+    inj_fifos_per_context: u16,
+    inj_fifo_capacity: usize,
+    rec_fifo_capacity: usize,
+}
+
+impl MachineBuilder {
+    /// Processes per node, 1..=64 (default 1).
+    pub fn ppn(mut self, ppn: usize) -> Self {
+        assert!((1..=64).contains(&ppn), "BG/Q supports 1..=64 processes per node");
+        self.ppn = ppn;
+        self
+    }
+
+    /// MU engine mode (default inline).
+    pub fn engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
+    }
+
+    /// Eager/rendezvous crossover in bytes (default 4096).
+    pub fn eager_limit(mut self, bytes: usize) -> Self {
+        self.eager_limit = bytes;
+        self
+    }
+
+    /// Injection FIFOs reserved per context (default 4); destinations are
+    /// pinned across them by hash.
+    pub fn inj_fifos_per_context(mut self, n: u16) -> Self {
+        assert!(n >= 1);
+        self.inj_fifos_per_context = n;
+        self
+    }
+
+    /// Ring capacities of the MU FIFOs before the overflow path engages
+    /// (defaults 128/512) — stress tests shrink these to exercise the
+    /// mutex-guarded overflow queues.
+    pub fn fifo_capacities(mut self, inj: usize, rec: usize) -> Self {
+        self.inj_fifo_capacity = inj;
+        self.rec_fifo_capacity = rec;
+        self
+    }
+
+    /// Build the machine.
+    pub fn build(self) -> Arc<Machine> {
+        let nodes = self.shape.num_nodes();
+        let fabric = MuFabric::builder(self.shape)
+            .engine_mode(self.engine_mode)
+            .inj_fifo_capacity(self.inj_fifo_capacity)
+            .rec_fifo_capacity(self.rec_fifo_capacity)
+            .build();
+        let classroutes = ClassRouteManager::new(self.shape);
+        let world_route = classroutes
+            .allocate(Rectangle::full(self.shape), None)
+            .expect("fresh machine always has a classroute for COMM_WORLD");
+        Arc::new(Machine {
+            shape: self.shape,
+            ppn: self.ppn,
+            eager_limit: self.eager_limit,
+            inj_fifos_per_context: self.inj_fifos_per_context,
+            fabric,
+            wakeups: (0..nodes).map(|_| WakeupUnit::new()).collect(),
+            global_va: (0..nodes).map(|_| GlobalVa::new()).collect(),
+            sys_pump: (0..nodes).map(|_| Mutex::new(())).collect(),
+            classroutes,
+            collnet: CollNet::new(),
+            world_route: Arc::new(world_route),
+            world_gi: GiBarrier::new(nodes),
+            clients: Mutex::new(HashMap::new()),
+            endpoints: RwLock::new(HashMap::new()),
+            windows: Mutex::new(HashMap::new()),
+            rzv: Mutex::new(HashMap::new()),
+            next_key: AtomicU64::new(1),
+            shared: Mutex::new(HashMap::new()),
+            init_fence: (Mutex::new((0, 0)), parking_lot::Condvar::new()),
+        })
+    }
+}
+
+/// One simulated partition: substrates plus registries, shared by every
+/// task thread.
+pub struct Machine {
+    shape: TorusShape,
+    ppn: usize,
+    pub(crate) eager_limit: usize,
+    pub(crate) inj_fifos_per_context: u16,
+    pub(crate) fabric: MuFabric,
+    wakeups: Vec<WakeupUnit>,
+    global_va: Vec<GlobalVa>,
+    /// Per-node guard so only one context at a time services the node's
+    /// system FIFO (remote gets) in inline engine mode.
+    pub(crate) sys_pump: Vec<Mutex<()>>,
+    classroutes: ClassRouteManager,
+    collnet: CollNet,
+    world_route: Arc<ClassRoute>,
+    world_gi: GiBarrier,
+    clients: Mutex<HashMap<String, u16>>,
+    endpoints: RwLock<HashMap<(u16, u32, u16), EndpointAddr>>,
+    windows: Mutex<HashMap<u64, Window>>,
+    rzv: Mutex<HashMap<u64, RzvEntry>>,
+    next_key: AtomicU64,
+    /// Named shared state for layers built on PAMI (geometry registries,
+    /// MPI node boards, …): the stand-in for structures those layers would
+    /// place in CNK shared memory.
+    shared: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    /// Blocking all-task rendezvous used as an initialization fence.
+    init_fence: (Mutex<(usize, u64)>, parking_lot::Condvar),
+}
+
+/// What a task thread receives from [`Machine::run`].
+#[derive(Clone)]
+pub struct TaskEnv {
+    /// The machine.
+    pub machine: Arc<Machine>,
+    /// This thread's global task index.
+    pub task: u32,
+}
+
+impl Machine {
+    /// Start building a machine over an explicit torus shape.
+    pub fn builder(shape: TorusShape) -> MachineBuilder {
+        MachineBuilder {
+            shape,
+            ppn: 1,
+            engine_mode: EngineMode::Inline,
+            eager_limit: 4096,
+            inj_fifos_per_context: 4,
+            inj_fifo_capacity: 128,
+            rec_fifo_capacity: 512,
+        }
+    }
+
+    /// Convenience: a machine over `nodes` nodes (auto-factored shape).
+    pub fn with_nodes(nodes: usize) -> MachineBuilder {
+        Self::builder(TorusShape::for_nodes(nodes))
+    }
+
+    /// Torus shape of the partition.
+    pub fn shape(&self) -> TorusShape {
+        self.shape
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.shape.num_nodes()
+    }
+
+    /// Processes per node.
+    pub fn ppn(&self) -> usize {
+        self.ppn
+    }
+
+    /// Total tasks (nodes × ppn).
+    pub fn num_tasks(&self) -> usize {
+        self.num_nodes() * self.ppn
+    }
+
+    /// Node hosting `task`.
+    pub fn task_node(&self, task: u32) -> u32 {
+        task / self.ppn as u32
+    }
+
+    /// `task`'s local rank within its node.
+    pub fn task_local_rank(&self, task: u32) -> usize {
+        task as usize % self.ppn
+    }
+
+    /// The tasks co-located on `node`, in rank order.
+    pub fn node_tasks(&self, node: u32) -> std::ops::Range<u32> {
+        let first = node * self.ppn as u32;
+        first..first + self.ppn as u32
+    }
+
+    /// The MU fabric (low-level access for tests and benchmarks).
+    pub fn fabric(&self) -> &MuFabric {
+        &self.fabric
+    }
+
+    /// The wakeup unit of `node`.
+    pub fn wakeup_unit(&self, node: u32) -> &WakeupUnit {
+        &self.wakeups[node as usize]
+    }
+
+    /// The CNK global-VA table of `node`.
+    pub fn global_va(&self, node: u32) -> &GlobalVa {
+        &self.global_va[node as usize]
+    }
+
+    /// The classroute manager.
+    pub fn classroutes(&self) -> &ClassRouteManager {
+        &self.classroutes
+    }
+
+    /// The collective-network engine.
+    pub fn collnet(&self) -> &CollNet {
+        &self.collnet
+    }
+
+    /// The COMM_WORLD classroute (always programmed).
+    pub fn world_route(&self) -> &Arc<ClassRoute> {
+        &self.world_route
+    }
+
+    /// The world GI barrier (one slot per node).
+    pub fn world_gi(&self) -> &GiBarrier {
+        &self.world_gi
+    }
+
+    /// Spawn one thread per task running `f`, and join them all. Panics in
+    /// task threads propagate.
+    ///
+    /// Caveat: propagation happens after *all* tasks finish. If one task
+    /// panics while its peers wait on it (a barrier, a receive), the run
+    /// hangs rather than failing fast — wrap suspect code in timeouts when
+    /// debugging collective protocols.
+    pub fn run<F>(self: &Arc<Self>, f: F)
+    where
+        F: Fn(TaskEnv) + Send + Sync,
+    {
+        let tasks = self.num_tasks() as u32;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for task in 0..tasks {
+                let env = TaskEnv { machine: Arc::clone(self), task };
+                let f = &f;
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("task-{task}"))
+                        .spawn_scoped(s, move || f(env))
+                        .expect("spawn task thread"),
+                );
+            }
+            for h in handles {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+    }
+
+    // ---- registries -----------------------------------------------------
+
+    /// Numeric id for a client name, allocating on first sight. Clients of
+    /// the same name on different tasks are the same network instance.
+    pub(crate) fn client_id(&self, name: &str) -> u16 {
+        let mut clients = self.clients.lock();
+        let next = clients.len() as u16;
+        *clients.entry(name.to_string()).or_insert(next)
+    }
+
+    pub(crate) fn register_endpoint(
+        &self,
+        client: u16,
+        task: u32,
+        context: u16,
+        addr: EndpointAddr,
+    ) {
+        let prev = self.endpoints.write().insert((client, task, context), addr);
+        assert!(prev.is_none(), "endpoint ({client},{task},{context}) registered twice");
+    }
+
+    pub(crate) fn endpoint_addr(&self, client: u16, task: u32, context: u16) -> EndpointAddr {
+        self.endpoints
+            .read()
+            .get(&(client, task, context))
+            .unwrap_or_else(|| {
+                panic!(
+                    "endpoint ({client},{task},{context}) not registered — create all \
+                     clients/contexts before communicating"
+                )
+            })
+            .clone()
+    }
+
+    fn fresh_key(&self) -> u64 {
+        self.next_key.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a one-sided window; remote tasks address it by the returned
+    /// key (the analogue of exchanging `PAMI_Memregion` handles).
+    pub fn create_window(&self, region: MemRegion, counter: Option<Counter>) -> MemKey {
+        let key = self.fresh_key();
+        self.windows.lock().insert(key, Window { region, counter });
+        MemKey(key)
+    }
+
+    /// Resolve a window key.
+    pub fn window(&self, key: MemKey) -> Option<Window> {
+        self.windows.lock().get(&key.0).cloned()
+    }
+
+    /// Destroy a window.
+    pub fn destroy_window(&self, key: MemKey) -> bool {
+        self.windows.lock().remove(&key.0).is_some()
+    }
+
+    pub(crate) fn rzv_register(&self, payload: PayloadSource, local_done: Option<Counter>) -> u64 {
+        let key = self.fresh_key();
+        self.rzv.lock().insert(key, RzvEntry { payload, local_done });
+        key
+    }
+
+    pub(crate) fn rzv_take(&self, key: u64) -> RzvEntry {
+        self.rzv
+            .lock()
+            .remove(&key)
+            .expect("rendezvous source looked up twice or never registered")
+    }
+
+    /// Block until every task of the machine has called this — the job
+    /// launcher's initialization fence. Use it between resource creation
+    /// (clients, contexts, windows) and first communication: endpoint
+    /// addressing assumes the destination context exists.
+    ///
+    /// Unlike the messaging barriers this one parks the thread (nothing
+    /// needs to be advanced yet during init).
+    pub fn task_barrier(&self) {
+        let (lock, cv) = &self.init_fence;
+        let mut state = lock.lock();
+        let generation = state.1;
+        state.0 += 1;
+        if state.0 == self.num_tasks() {
+            state.0 = 0;
+            state.1 += 1;
+            cv.notify_all();
+        } else {
+            while state.1 == generation {
+                cv.wait(&mut state);
+            }
+        }
+    }
+
+    /// Get-or-create a named piece of machine-wide shared state (the
+    /// CNK-shared-memory stand-in higher layers coordinate through).
+    pub fn shared_state<T, F>(&self, key: &str, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut shared = self.shared.lock();
+        if let Some(existing) = shared.get(key) {
+            return Arc::clone(existing).downcast::<T>().unwrap_or_else(|_| {
+                panic!("shared_state key {key:?} requested with two different types")
+            });
+        }
+        let value: Arc<T> = Arc::new(init());
+        shared.insert(key.to_string(), Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_layout_is_node_major() {
+        let m = Machine::with_nodes(4).ppn(4).build();
+        assert_eq!(m.num_tasks(), 16);
+        assert_eq!(m.task_node(0), 0);
+        assert_eq!(m.task_node(5), 1);
+        assert_eq!(m.task_local_rank(5), 1);
+        assert_eq!(m.node_tasks(2), 8..12);
+    }
+
+    #[test]
+    fn world_route_covers_machine() {
+        let m = Machine::with_nodes(8).build();
+        assert_eq!(m.world_route().num_nodes(), 8);
+        assert_eq!(m.world_gi().members(), 8);
+    }
+
+    #[test]
+    fn run_spawns_one_thread_per_task() {
+        let m = Machine::with_nodes(2).ppn(3).build();
+        let seen = Mutex::new(Vec::new());
+        m.run(|env| {
+            seen.lock().push(env.task);
+        });
+        let mut tasks = seen.into_inner();
+        tasks.sort_unstable();
+        assert_eq!(tasks, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn client_ids_stable_by_name() {
+        let m = Machine::with_nodes(1).build();
+        let a = m.client_id("MPI");
+        let b = m.client_id("UPC");
+        let a2 = m.client_id("MPI");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn windows_register_and_resolve() {
+        let m = Machine::with_nodes(1).build();
+        let region = MemRegion::zeroed(64);
+        let key = m.create_window(region.clone(), None);
+        let win = m.window(key).expect("window resolves");
+        assert!(win.region.same_region(&region));
+        assert!(m.destroy_window(key));
+        assert!(m.window(key).is_none());
+    }
+
+    #[test]
+    fn shared_state_returns_same_instance() {
+        let m = Machine::with_nodes(1).build();
+        let a: Arc<Mutex<u32>> = m.shared_state("x", || Mutex::new(1));
+        let b: Arc<Mutex<u32>> = m.shared_state("x", || Mutex::new(99));
+        *a.lock() += 1;
+        assert_eq!(*b.lock(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two different types")]
+    fn shared_state_type_mismatch_panics() {
+        let m = Machine::with_nodes(1).build();
+        let _a: Arc<Mutex<u32>> = m.shared_state("x", || Mutex::new(1));
+        let _b: Arc<Mutex<String>> = m.shared_state("x", || Mutex::new(String::new()));
+    }
+
+    #[test]
+    fn run_propagates_panics() {
+        let m = Machine::with_nodes(1).ppn(2).build();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(|env| {
+                if env.task == 1 {
+                    panic!("task 1 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+}

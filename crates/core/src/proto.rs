@@ -1,0 +1,200 @@
+//! Protocol plumbing shared by the MU and shared-memory devices: message
+//! envelopes, the shared-memory mailbox, and the send argument bundle.
+//!
+//! Wire format note: MU packets carry a PAMI *envelope* in their metadata —
+//! the source task (packets only know the source node, and with multiple
+//! processes per node the task must travel with the message) followed by
+//! the user's dispatch metadata. Rendezvous RTS messages additionally carry
+//! the real dispatch id, total length, and the rendezvous key under an
+//! internal dispatch id.
+
+use bgq_hw::{Counter, GlobalAddress, WakeupRegion, WorkQueue};
+use bgq_mu::PayloadSource;
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::endpoint::Endpoint;
+
+/// Internal dispatch id: rendezvous request-to-send.
+pub(crate) const DISPATCH_RZV_RTS: u16 = 0xFF00;
+
+/// First user-forbidden dispatch id; user dispatch ids must be below this.
+pub const DISPATCH_INTERNAL_BASE: u16 = 0xFF00;
+
+/// Arguments to [`crate::context::Context::send`].
+pub struct SendArgs {
+    /// Destination endpoint.
+    pub dest: Endpoint,
+    /// Active-message dispatch id at the destination (< 0xFF00).
+    pub dispatch: u16,
+    /// Dispatch metadata delivered with the message header.
+    pub metadata: Vec<u8>,
+    /// Payload.
+    pub payload: PayloadSource,
+    /// Local-completion counter: decremented (by the payload's completion
+    /// credit) once the payload bytes have left the source buffer.
+    pub local_done: Option<Counter>,
+}
+
+/// How a shared-memory message carries its payload.
+pub enum ShmPayload {
+    /// Short path: payload copied into the message (one copy in, one copy
+    /// out — the L2-cache bounce the paper's intra-node eager path takes).
+    Inline(Bytes),
+    /// Large path: a *global virtual address* of the source buffer,
+    /// published in the node's CNK translation table; the receiver
+    /// resolves it and copies directly from the peer's memory (exactly one
+    /// copy). `done` is the sender's completion counter, decremented by
+    /// the receiver after the copy.
+    GlobalVa {
+        /// The published source address.
+        addr: GlobalAddress,
+        /// Payload length.
+        len: usize,
+        /// Sender completion, fired by the receiver.
+        done: Option<Counter>,
+    },
+}
+
+impl ShmPayload {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            ShmPayload::Inline(b) => b.len(),
+            ShmPayload::GlobalVa { len, .. } => *len,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A message in a shared-memory mailbox.
+pub struct ShmMsg {
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Dispatch id.
+    pub dispatch: u16,
+    /// User metadata (no envelope — shm messages carry the task natively).
+    pub metadata: Bytes,
+    /// Payload.
+    pub payload: ShmPayload,
+}
+
+/// A context's shared-memory reception queue: the lockless structure "each
+/// process owns only one queue to which others atomically write into"
+/// (paper section III.F).
+pub struct ShmMailbox {
+    /// The queue (multi-producer: every peer on the node; single consumer:
+    /// the owning context).
+    pub queue: WorkQueue<ShmMsg>,
+    /// Touched on delivery; the owning context's commthread parks on it.
+    pub wakeup: WakeupRegion,
+}
+
+impl ShmMailbox {
+    pub(crate) fn new(capacity: usize, wakeup: WakeupRegion) -> Self {
+        ShmMailbox { queue: WorkQueue::with_capacity(capacity), wakeup }
+    }
+
+    /// Deliver a message (peer side): enqueue and wake.
+    pub fn deliver(&self, msg: ShmMsg) {
+        self.queue.push(msg);
+        self.wakeup.touch();
+    }
+}
+
+/// Envelope/RTS wire helpers.
+pub(crate) mod wire {
+    use super::*;
+
+    /// Prepend the source task to user metadata.
+    pub fn envelope(src_task: u32, user_metadata: &[u8]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + user_metadata.len());
+        buf.put_u32_le(src_task);
+        buf.put_slice(user_metadata);
+        buf.freeze()
+    }
+
+    /// Split an envelope back into (source task, user metadata).
+    pub fn open_envelope(metadata: &Bytes) -> (u32, Bytes) {
+        assert!(metadata.len() >= 4, "malformed PAMI envelope");
+        let task = u32::from_le_bytes(metadata[..4].try_into().unwrap());
+        (task, metadata.slice(4..))
+    }
+
+    /// RTS body: real dispatch, payload length, rendezvous key, then the
+    /// user metadata.
+    pub fn rts(dispatch: u16, len: u64, key: u64, user_metadata: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(18 + user_metadata.len());
+        buf.extend_from_slice(&dispatch.to_le_bytes());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(user_metadata);
+        buf
+    }
+
+    /// Parse an RTS body.
+    pub fn open_rts(body: &Bytes) -> (u16, u64, u64, Bytes) {
+        assert!(body.len() >= 18, "malformed rendezvous RTS");
+        let dispatch = u16::from_le_bytes(body[..2].try_into().unwrap());
+        let len = u64::from_le_bytes(body[2..10].try_into().unwrap());
+        let key = u64::from_le_bytes(body[10..18].try_into().unwrap());
+        (dispatch, len, key, body.slice(18..))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips() {
+        let env = wire::envelope(0xDEAD, b"meta");
+        let (task, meta) = wire::open_envelope(&env);
+        assert_eq!(task, 0xDEAD);
+        assert_eq!(&meta[..], b"meta");
+    }
+
+    #[test]
+    fn envelope_with_empty_metadata() {
+        let env = wire::envelope(7, b"");
+        let (task, meta) = wire::open_envelope(&env);
+        assert_eq!(task, 7);
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn rts_round_trips() {
+        let body = Bytes::from(wire::rts(42, 1 << 33, 0xABCD, b"user"));
+        let (dispatch, len, key, meta) = wire::open_rts(&body);
+        assert_eq!(dispatch, 42);
+        assert_eq!(len, 1 << 33);
+        assert_eq!(key, 0xABCD);
+        assert_eq!(&meta[..], b"user");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn truncated_envelope_panics() {
+        wire::open_envelope(&Bytes::from_static(b"ab"));
+    }
+
+    #[test]
+    fn mailbox_delivery_touches_wakeup() {
+        let unit = bgq_hw::WakeupUnit::new();
+        let region = unit.region();
+        let mb = ShmMailbox::new(8, region.clone());
+        mb.deliver(ShmMsg {
+            src: Endpoint::of_task(3),
+            dispatch: 1,
+            metadata: Bytes::new(),
+            payload: ShmPayload::Inline(Bytes::from_static(b"hi")),
+        });
+        assert_eq!(region.epoch(), 1);
+        let msg = mb.queue.pop().expect("message queued");
+        assert_eq!(msg.src.task, 3);
+        assert_eq!(msg.payload.len(), 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Stress and failure-injection tests: overflow paths, protocol boundary
+//! conditions, resource exhaustion, and contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pami::{Client, Context, Counter, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs};
+
+fn counting_handler(count: &Arc<AtomicU64>, bytes: &Arc<AtomicU64>) -> pami::context::DispatchFn {
+    let count = Arc::clone(count);
+    let bytes = Arc::clone(bytes);
+    Arc::new(move |_ctx: &Context, msg: &pami::IncomingMsg, first: &[u8]| {
+        if first.len() as u64 == msg.len {
+            count.fetch_add(1, Ordering::Relaxed);
+            bytes.fetch_add(msg.len, Ordering::Relaxed);
+            return Recv::Done;
+        }
+        let region = MemRegion::zeroed(msg.len as usize);
+        let count = Arc::clone(&count);
+        let bytes = Arc::clone(&bytes);
+        let len = msg.len;
+        Recv::Into {
+            region,
+            offset: 0,
+            on_complete: Box::new(move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+                bytes.fetch_add(len, Ordering::Relaxed);
+            }),
+        }
+    })
+}
+
+#[test]
+fn reception_fifo_overflow_engages_and_recovers() {
+    // Tiny ring: a burst of messages far beyond capacity must all arrive
+    // via the overflow queue, in order.
+    let machine = Machine::with_nodes(2).fifo_capacities(4, 4).build();
+    let c0 = Client::create(&machine, 0, "s", 1);
+    let c1 = Client::create(&machine, 1, "s", 1);
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&order);
+    c1.context(0).set_dispatch(
+        1,
+        Arc::new(move |_ctx, msg, _first| {
+            o2.lock().push(u32::from_le_bytes(msg.metadata[..4].try_into().unwrap()));
+            Recv::Done
+        }),
+    );
+    const N: u32 = 500;
+    for i in 0..N {
+        c0.context(0).send(SendArgs {
+            dest: Endpoint::of_task(1),
+            dispatch: 1,
+            metadata: i.to_le_bytes().to_vec(),
+            payload: PayloadSource::Immediate(bytes::Bytes::new()),
+            local_done: None,
+        });
+        // Pump the sender so packets pile into the tiny reception ring.
+        c0.context(0).advance();
+    }
+    c0.context(0).advance_until(|| machine.fabric().stats(0).fifo_messages == N as u64);
+    c1.context(0).advance_until(|| order.lock().len() == N as usize);
+    assert_eq!(*order.lock(), (0..N).collect::<Vec<u32>>(), "overflow preserved order");
+}
+
+#[test]
+fn eager_rendezvous_boundary_is_exact() {
+    let machine = Machine::with_nodes(2).eager_limit(1000).build();
+    let c0 = Client::create(&machine, 0, "s", 1);
+    let c1 = Client::create(&machine, 1, "s", 1);
+    let count = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+    c1.context(0).set_dispatch(1, counting_handler(&count, &bytes));
+
+    for (len, expect_rzv) in [(999usize, false), (1000, false), (1001, true)] {
+        let before_puts = machine.fabric().stats(1).put_bytes_in;
+        let done = Counter::new();
+        done.add_expected(len as u64);
+        c0.context(0).send(SendArgs {
+            dest: Endpoint::of_task(1),
+            dispatch: 1,
+            metadata: vec![],
+            payload: PayloadSource::Region {
+                region: MemRegion::from_vec(vec![7; len]),
+                offset: 0,
+                len,
+            },
+            local_done: Some(done.clone()),
+        });
+        while !done.is_complete() {
+            c0.context(0).advance();
+            c1.context(0).advance();
+        }
+        let used_rzv = machine.fabric().stats(1).put_bytes_in > before_puts;
+        assert_eq!(used_rzv, expect_rzv, "len {len}: wrong protocol");
+    }
+    c1.context(0).advance_until(|| count.load(Ordering::Relaxed) == 3);
+    assert_eq!(bytes.load(Ordering::Relaxed), 999 + 1000 + 1001);
+}
+
+#[test]
+fn many_concurrent_rendezvous_transfers() {
+    let machine = Machine::with_nodes(2).eager_limit(512).build();
+    let c0 = Client::create(&machine, 0, "s", 1);
+    let c1 = Client::create(&machine, 1, "s", 1);
+    let count = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+    c1.context(0).set_dispatch(1, counting_handler(&count, &bytes));
+    const N: usize = 40;
+    const LEN: usize = 8 * 1024;
+    let done = Counter::new();
+    for i in 0..N {
+        done.add_expected(LEN as u64);
+        c0.context(0).send(SendArgs {
+            dest: Endpoint::of_task(1),
+            dispatch: 1,
+            metadata: vec![i as u8],
+            payload: PayloadSource::Region {
+                region: MemRegion::from_vec(vec![i as u8; LEN]),
+                offset: 0,
+                len: LEN,
+            },
+            local_done: Some(done.clone()),
+        });
+    }
+    while !(done.is_complete() && count.load(Ordering::Relaxed) == N as u64) {
+        c0.context(0).advance();
+        c1.context(0).advance();
+    }
+    assert_eq!(bytes.load(Ordering::Relaxed), (N * LEN) as u64);
+    assert_eq!(machine.fabric().stats(1).put_bytes_in, (N * LEN) as u64);
+}
+
+#[test]
+fn fifo_exhaustion_panics_with_message() {
+    // Injection FIFOs run out first: 544 per node at 4 per context allows
+    // 136 contexts; the 137th must fail loudly.
+    let machine = Machine::with_nodes(1).build();
+    let _fits = Client::create(&machine, 0, "greedy", 136);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _one_too_many = Client::create(&machine, 0, "greedy2", 1);
+    }));
+    let err = result.expect_err("the 137th context must fail");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("injection FIFOs"), "unhelpful panic: {msg}");
+
+    // With 1 injection FIFO per context, reception FIFOs (272) bind first.
+    let machine2 = Machine::with_nodes(1).inj_fifos_per_context(1).build();
+    let _fits2 = Client::create(&machine2, 0, "greedy", 272);
+    let result2 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _one_too_many = Client::create(&machine2, 0, "greedy2", 1);
+    }));
+    let err2 = result2.expect_err("the 273rd context must fail");
+    let msg2 = err2
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err2.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg2.contains("reception FIFOs"), "unhelpful panic: {msg2}");
+}
+
+#[test]
+fn cross_context_endpoints_are_independent_channels() {
+    // Two contexts per task: traffic on context 1 flows even while context
+    // 0 is never advanced — the "independent communication channels" claim.
+    let machine = Machine::with_nodes(2).build();
+    let c0 = Client::create(&machine, 0, "s", 2);
+    let c1 = Client::create(&machine, 1, "s", 2);
+    let got = Arc::new(AtomicU64::new(0));
+    let g2 = Arc::clone(&got);
+    c1.context(1).set_dispatch(
+        1,
+        Arc::new(move |_ctx, _msg, _p| {
+            g2.fetch_add(1, Ordering::Relaxed);
+            Recv::Done
+        }),
+    );
+    for _ in 0..20 {
+        c0.context(1).send(SendArgs {
+            dest: Endpoint { task: 1, context: 1 },
+            dispatch: 1,
+            metadata: vec![],
+            payload: PayloadSource::Immediate(bytes::Bytes::new()),
+            local_done: None,
+        });
+    }
+    // Only advance the two context-1 objects.
+    while got.load(Ordering::Relaxed) < 20 {
+        c0.context(1).advance();
+        c1.context(1).advance();
+    }
+    assert!(c1.context(0).is_quiescent(), "context 0 untouched");
+}
+
+#[test]
+fn concurrent_senders_through_one_context_with_lock() {
+    // The paper's rule: threads sharing a context for sends must lock it.
+    let machine = Machine::with_nodes(2).build();
+    let c0 = Arc::new(Client::create(&machine, 0, "s", 1));
+    let c1 = Client::create(&machine, 1, "s", 1);
+    let got = Arc::new(AtomicU64::new(0));
+    let g2 = Arc::clone(&got);
+    c1.context(0).set_dispatch(
+        1,
+        Arc::new(move |_ctx, _msg, _p| {
+            g2.fetch_add(1, Ordering::Relaxed);
+            Recv::Done
+        }),
+    );
+    const THREADS: usize = 4;
+    const PER: usize = 200;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c0 = Arc::clone(&c0);
+            s.spawn(move || {
+                let ctx = c0.context(0);
+                for _ in 0..PER {
+                    let _guard = ctx.lock();
+                    ctx.send(SendArgs {
+                        dest: Endpoint::of_task(1),
+                        dispatch: 1,
+                        metadata: vec![],
+                        payload: PayloadSource::Immediate(bytes::Bytes::new()),
+                        local_done: None,
+                    });
+                }
+            });
+        }
+        // Main thread drives progress meanwhile.
+        while got.load(Ordering::Relaxed) < (THREADS * PER) as u64 {
+            c0.context(0).advance();
+            c1.context(0).advance();
+        }
+    });
+    assert_eq!(got.load(Ordering::Relaxed), (THREADS * PER) as u64);
+}
+
+#[test]
+fn zero_and_max_payload_sizes() {
+    let machine = Machine::with_nodes(2).build();
+    let c0 = Client::create(&machine, 0, "s", 1);
+    let c1 = Client::create(&machine, 1, "s", 1);
+    let count = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+    c1.context(0).set_dispatch(1, counting_handler(&count, &bytes));
+    // 0 bytes, exactly one packet, one packet + 1, exactly the eager limit.
+    for len in [0usize, 512, 513, 4096] {
+        let done = Counter::new();
+        done.add_expected(len.max(1) as u64);
+        c0.context(0).send(SendArgs {
+            dest: Endpoint::of_task(1),
+            dispatch: 1,
+            metadata: vec![],
+            payload: PayloadSource::Region {
+                region: MemRegion::zeroed(len.max(1)),
+                offset: 0,
+                len,
+            },
+            local_done: Some(done.clone()),
+        });
+        while !done.is_complete() {
+            c0.context(0).advance();
+            c1.context(0).advance();
+        }
+    }
+    c1.context(0).advance_until(|| count.load(Ordering::Relaxed) == 4);
+    assert_eq!(bytes.load(Ordering::Relaxed), (512 + 513 + 4096) as u64);
+}
+
+#[test]
+fn global_va_table_is_message_scoped() {
+    // Large intra-node sends publish the source buffer in the CNK
+    // global-VA table; delivery must withdraw the mapping.
+    let machine = Machine::with_nodes(1).ppn(2).build();
+    let c0 = Client::create(&machine, 0, "s", 1);
+    let c1 = Client::create(&machine, 1, "s", 1);
+    let count = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+    c1.context(0).set_dispatch(1, counting_handler(&count, &bytes));
+    const LEN: usize = 64 * 1024;
+    let done = Counter::new();
+    done.add_expected(LEN as u64);
+    c0.context(0).send(SendArgs {
+        dest: Endpoint::of_task(1),
+        dispatch: 1,
+        metadata: vec![],
+        payload: PayloadSource::Region {
+            region: MemRegion::from_vec(vec![9; LEN]),
+            offset: 0,
+            len: LEN,
+        },
+        local_done: Some(done.clone()),
+    });
+    assert_eq!(machine.global_va(0).published_count(), 1, "mapping published");
+    c1.context(0).advance_until(|| done.is_complete());
+    assert_eq!(machine.global_va(0).published_count(), 0, "mapping withdrawn");
+    assert_eq!(bytes.load(Ordering::Relaxed), LEN as u64);
+}

@@ -1,0 +1,284 @@
+//! The receive matching engine.
+//!
+//! The paper kept "the default MPICH2 receive queue algorithm with a low
+//! overhead L2 atomic mutex to serialize access to it" because wildcard
+//! receives — common in Blue Gene applications — make parallel receive
+//! queues painful (section IV.A). That is exactly the structure here: one
+//! posted-receive queue plus one unexpected-message queue per rank,
+//! guarded by a single [`L2TicketMutex`]; first-match semantics in queue
+//! order implement the MPI ordering rules, including `ANY_SOURCE` /
+//! `ANY_TAG`.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bgq_hw::{L2Counter, L2TicketMutex, MemRegion};
+use parking_lot::Mutex;
+
+use crate::request::RequestInner;
+use crate::types::{matches, Status, Tag};
+
+/// A posted receive waiting for its message.
+pub struct PostedRecv {
+    /// Wanted source rank (or [`crate::ANY_SOURCE`]).
+    pub src: i32,
+    /// Wanted tag (or [`crate::ANY_TAG`]).
+    pub tag: Tag,
+    /// Communicator id.
+    pub comm: u32,
+    /// Destination buffer.
+    pub buffer: (MemRegion, usize, usize),
+    /// Request to complete.
+    pub request: Arc<RequestInner>,
+}
+
+/// State of an unexpected message's payload.
+pub enum UnexpectedData {
+    /// Payload still streaming into the staging buffer.
+    Arriving,
+    /// Fully staged.
+    Ready,
+    /// A posted receive claimed it mid-arrival; deliver there on arrival.
+    Claimed {
+        /// The claimant's buffer.
+        buffer: (MemRegion, usize, usize),
+        /// The claimant's request.
+        request: Arc<RequestInner>,
+    },
+}
+
+/// A message that arrived before its receive was posted.
+pub struct Unexpected {
+    /// Sender rank within the communicator.
+    pub src: i32,
+    /// Message tag.
+    pub tag: Tag,
+    /// Communicator id.
+    pub comm: u32,
+    /// Payload length.
+    pub len: usize,
+    /// Staging buffer ("a buffer is allocated to receive the message").
+    pub staging: MemRegion,
+    /// Arrival/claim state, shared with the deposit completion callback.
+    pub state: Arc<Mutex<UnexpectedData>>,
+}
+
+/// The per-rank matching engine.
+pub struct MatchEngine {
+    /// The L2 atomic mutex serializing queue access.
+    pub lock: L2TicketMutex,
+    queues: Mutex<Queues>,
+    // Counters for the unexpected-message statistics benchmarks report.
+    matched_posted: L2Counter,
+    queued_unexpected: L2Counter,
+}
+
+#[derive(Default)]
+struct Queues {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+impl Default for MatchEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MatchEngine {
+    /// An empty engine.
+    pub fn new() -> MatchEngine {
+        MatchEngine {
+            lock: L2TicketMutex::new(),
+            queues: Mutex::new(Queues::default()),
+            matched_posted: L2Counter::new(0),
+            queued_unexpected: L2Counter::new(0),
+        }
+    }
+
+    /// Incoming-message side: find the first posted receive matching
+    /// (src, tag, comm) and remove it, or `None` (the caller then stages
+    /// the message as unexpected with [`MatchEngine::add_unexpected`]).
+    ///
+    /// Callers must hold [`MatchEngine::lock`] across this call and any
+    /// related queue mutation to keep match order consistent — the L2
+    /// mutex discipline of the paper.
+    pub fn match_posted(&self, src: i32, tag: Tag, comm: u32) -> Option<PostedRecv> {
+        let mut q = self.queues.lock();
+        let idx = q
+            .posted
+            .iter()
+            .position(|p| p.comm == comm && matches(p.src, p.tag, src, tag))?;
+        self.matched_posted.store_add(1);
+        q.posted.remove(idx)
+    }
+
+    /// Queue a message that matched nothing.
+    pub fn add_unexpected(&self, msg: Unexpected) {
+        self.queued_unexpected.store_add(1);
+        self.queues.lock().unexpected.push_back(msg);
+    }
+
+    /// Receive-posting side: find the first unexpected message matching the
+    /// selector and remove it, or `None` (the caller then posts the
+    /// receive with [`MatchEngine::add_posted`]).
+    pub fn match_unexpected(&self, src: i32, tag: Tag, comm: u32) -> Option<Unexpected> {
+        let mut q = self.queues.lock();
+        let idx = q
+            .unexpected
+            .iter()
+            .position(|u| u.comm == comm && matches(src, tag, u.src, u.tag))?;
+        q.unexpected.remove(idx)
+    }
+
+    /// Queue a receive that matched nothing.
+    pub fn add_posted(&self, recv: PostedRecv) {
+        self.queues.lock().posted.push_back(recv);
+    }
+
+    /// Probe: the envelope of the first unexpected message matching the
+    /// selector, without removing it (`MPI_Probe` support).
+    pub fn peek_unexpected(&self, src: i32, tag: Tag, comm: u32) -> Option<Status> {
+        let q = self.queues.lock();
+        q.unexpected
+            .iter()
+            .find(|u| u.comm == comm && matches(src, tag, u.src, u.tag))
+            .map(|u| Status { source: u.src, tag: u.tag, len: u.len })
+    }
+
+    /// Posted receives currently queued.
+    pub fn posted_len(&self) -> usize {
+        self.queues.lock().posted.len()
+    }
+
+    /// Unexpected messages currently queued.
+    pub fn unexpected_len(&self) -> usize {
+        self.queues.lock().unexpected.len()
+    }
+
+    /// Messages that matched a pre-posted receive (fast path count).
+    pub fn matched_posted_count(&self) -> u64 {
+        self.matched_posted.load()
+    }
+
+    /// Messages that had to be staged unexpected.
+    pub fn unexpected_count(&self) -> u64 {
+        self.queued_unexpected.load()
+    }
+}
+
+/// Deliver an unexpected message to a posted receive: copy the staged
+/// bytes (or arrange delivery on arrival) and complete the request.
+pub fn deliver_unexpected(u: Unexpected, buffer: (MemRegion, usize, usize), req: Arc<RequestInner>) {
+    assert!(u.len <= buffer.2, "receive buffer too small: {} < {}", buffer.2, u.len);
+    let status = Status { source: u.src, tag: u.tag, len: u.len };
+    let mut state = u.state.lock();
+    match &*state {
+        UnexpectedData::Ready => {
+            buffer.0.copy_from(buffer.1, &u.staging, 0, u.len);
+            drop(state);
+            req.complete_with(status);
+        }
+        UnexpectedData::Arriving => {
+            *state = UnexpectedData::Claimed { buffer, request: req };
+        }
+        UnexpectedData::Claimed { .. } => unreachable!("unexpected message claimed twice"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posted(src: i32, tag: Tag, comm: u32) -> PostedRecv {
+        PostedRecv {
+            src,
+            tag,
+            comm,
+            buffer: (MemRegion::zeroed(8), 0, 8),
+            request: RequestInner::with_flag(),
+        }
+    }
+
+    fn unexpected(src: i32, tag: Tag, comm: u32) -> Unexpected {
+        Unexpected {
+            src,
+            tag,
+            comm,
+            len: 4,
+            staging: MemRegion::from_vec(vec![1, 2, 3, 4]),
+            state: Arc::new(Mutex::new(UnexpectedData::Ready)),
+        }
+    }
+
+    #[test]
+    fn first_match_in_post_order() {
+        let m = MatchEngine::new();
+        m.add_posted(posted(crate::ANY_SOURCE, 5, 0));
+        m.add_posted(posted(2, 5, 0));
+        // A message from 2 with tag 5 must match the wildcard first (it was
+        // posted first).
+        let hit = m.match_posted(2, 5, 0).expect("match");
+        assert_eq!(hit.src, crate::ANY_SOURCE);
+        let hit2 = m.match_posted(2, 5, 0).expect("second match");
+        assert_eq!(hit2.src, 2);
+        assert!(m.match_posted(2, 5, 0).is_none());
+    }
+
+    #[test]
+    fn communicators_do_not_cross_match() {
+        let m = MatchEngine::new();
+        m.add_posted(posted(1, 1, 7));
+        assert!(m.match_posted(1, 1, 8).is_none());
+        assert!(m.match_posted(1, 1, 7).is_some());
+    }
+
+    #[test]
+    fn unexpected_queue_fifo_per_selector() {
+        let m = MatchEngine::new();
+        let mut u1 = unexpected(3, 9, 0);
+        u1.len = 1;
+        m.add_unexpected(u1);
+        let mut u2 = unexpected(3, 9, 0);
+        u2.len = 2;
+        m.add_unexpected(u2);
+        assert_eq!(m.match_unexpected(3, 9, 0).unwrap().len, 1, "FIFO");
+        assert_eq!(m.match_unexpected(ANY, 9, 0).unwrap().len, 2);
+        assert!(m.match_unexpected(3, 9, 0).is_none());
+    }
+
+    const ANY: i32 = crate::ANY_SOURCE;
+
+    #[test]
+    fn deliver_ready_unexpected_copies_and_completes() {
+        let u = unexpected(1, 2, 0);
+        let buf = MemRegion::zeroed(8);
+        let req = RequestInner::with_flag();
+        deliver_unexpected(u, (buf.clone(), 2, 6), Arc::clone(&req));
+        assert!(req.is_complete());
+        assert_eq!(&buf.to_vec()[2..6], &[1, 2, 3, 4]);
+        let st = req.status.lock().unwrap();
+        assert_eq!(st.len, 4);
+        assert_eq!(st.source, 1);
+    }
+
+    #[test]
+    fn deliver_arriving_unexpected_claims() {
+        let mut u = unexpected(1, 2, 0);
+        u.state = Arc::new(Mutex::new(UnexpectedData::Arriving));
+        let state = Arc::clone(&u.state);
+        let req = RequestInner::with_flag();
+        deliver_unexpected(u, (MemRegion::zeroed(8), 0, 8), Arc::clone(&req));
+        assert!(!req.is_complete(), "claimed, not yet complete");
+        assert!(matches!(&*state.lock(), UnexpectedData::Claimed { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn overflowing_receive_buffer_panics() {
+        let mut u = unexpected(1, 2, 0);
+        u.len = 16;
+        u.staging = MemRegion::zeroed(16);
+        deliver_unexpected(u, (MemRegion::zeroed(8), 0, 8), RequestInner::with_flag());
+    }
+}

@@ -1,0 +1,83 @@
+//! Core MPI-layer types: thread levels, library flavors, tags, statuses.
+
+/// MPI message tag.
+pub type Tag = i32;
+
+/// Wildcard source rank (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -2;
+
+/// The requested thread support level (`MPI_Init_thread`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ThreadLevel {
+    /// One thread calls MPI: locks can be elided.
+    Single,
+    /// Multithreaded process, only the main thread calls MPI.
+    Funneled,
+    /// Any thread calls MPI, one at a time.
+    Serialized,
+    /// Any thread calls MPI concurrently — the level that stresses the
+    /// library's locking discipline (and, in the paper, auto-enables
+    /// communication threads).
+    Multiple,
+}
+
+/// Which MPI library build to use — the paper's classic vs
+/// thread-optimized comparison (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibFlavor {
+    /// "The classic MPI library has a global lock for all library calls."
+    /// Cheapest at `ThreadLevel::Single` (the lock is elided), worst with
+    /// commthreads (it must take the PAMI context locks to progress).
+    Classic,
+    /// "The thread-optimized library uses thread pools and lock-free
+    /// techniques and acquires a mutex only while accessing a shared
+    /// resource such as the receive queue."
+    ThreadOptimized,
+}
+
+/// Completion information of a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank of the sender within the communicator.
+    pub source: i32,
+    /// Tag the message carried.
+    pub tag: Tag,
+    /// Bytes received.
+    pub len: usize,
+}
+
+impl Status {
+    /// An empty status (send requests).
+    pub fn none() -> Status {
+        Status { source: ANY_SOURCE, tag: ANY_TAG, len: 0 }
+    }
+}
+
+/// Does a posted (source, tag) selector match an incoming (source, tag)?
+pub fn matches(want_src: i32, want_tag: Tag, src: i32, tag: Tag) -> bool {
+    (want_src == ANY_SOURCE || want_src == src) && (want_tag == ANY_TAG || want_tag == tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_matching_rules() {
+        assert!(matches(ANY_SOURCE, ANY_TAG, 3, 7));
+        assert!(matches(3, ANY_TAG, 3, 7));
+        assert!(matches(ANY_SOURCE, 7, 3, 7));
+        assert!(matches(3, 7, 3, 7));
+        assert!(!matches(4, 7, 3, 7));
+        assert!(!matches(3, 8, 3, 7));
+    }
+
+    #[test]
+    fn thread_levels_are_ordered() {
+        assert!(ThreadLevel::Single < ThreadLevel::Multiple);
+        assert!(ThreadLevel::Funneled < ThreadLevel::Serialized);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the matching engine against a reference model
+//! of the MPI matching rules.
+
+use std::sync::Arc;
+
+use bgq_hw::MemRegion;
+use pami_mpi::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedData};
+use pami_mpi::request::RequestInner;
+use pami_mpi::{ANY_SOURCE, ANY_TAG};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// A reference model: plain vectors with first-match-in-order semantics.
+#[derive(Default)]
+struct Model {
+    posted: Vec<(i32, i32, u32)>,
+    unexpected: Vec<(i32, i32, u32)>,
+}
+
+fn matches(want_src: i32, want_tag: i32, src: i32, tag: i32) -> bool {
+    (want_src == ANY_SOURCE || want_src == src) && (want_tag == ANY_TAG || want_tag == tag)
+}
+
+impl Model {
+    fn arrive(&mut self, src: i32, tag: i32, comm: u32) -> Option<usize> {
+        let idx = self
+            .posted
+            .iter()
+            .position(|(s, t, c)| *c == comm && matches(*s, *t, src, tag));
+        match idx {
+            Some(i) => {
+                self.posted.remove(i);
+                Some(i)
+            }
+            None => {
+                self.unexpected.push((src, tag, comm));
+                None
+            }
+        }
+    }
+
+    fn post(&mut self, src: i32, tag: i32, comm: u32) -> Option<usize> {
+        let idx = self
+            .unexpected
+            .iter()
+            .position(|(s, t, c)| *c == comm && matches(src, tag, *s, *t));
+        match idx {
+            Some(i) => {
+                self.unexpected.remove(i);
+                Some(i)
+            }
+            None => {
+                self.posted.push((src, tag, comm));
+                None
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// An incoming message (src, tag, comm).
+    Arrive(i32, i32, u32),
+    /// A posted receive (src or ANY, tag or ANY, comm).
+    Post(i32, i32, u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let src = prop_oneof![Just(ANY_SOURCE), 0i32..4];
+    let tag = prop_oneof![Just(ANY_TAG), 0i32..4];
+    let comm = 0u32..2;
+    prop_oneof![
+        (0i32..4, 0i32..4, comm.clone()).prop_map(|(s, t, c)| Op::Arrive(s, t, c)),
+        (src, tag, comm).prop_map(|(s, t, c)| Op::Post(s, t, c)),
+    ]
+}
+
+fn posted(src: i32, tag: i32, comm: u32) -> PostedRecv {
+    PostedRecv {
+        src,
+        tag,
+        comm,
+        buffer: (MemRegion::zeroed(8), 0, 8),
+        request: RequestInner::with_flag(),
+    }
+}
+
+fn unexpected(src: i32, tag: i32, comm: u32) -> Unexpected {
+    Unexpected {
+        src,
+        tag,
+        comm,
+        len: 0,
+        staging: MemRegion::zeroed(0),
+        state: Arc::new(Mutex::new(UnexpectedData::Ready)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleavings of arrivals and posts produce exactly the
+    /// matches the MPI rules dictate, with identical queue residues.
+    #[test]
+    fn engine_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let engine = MatchEngine::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Arrive(src, tag, comm) => {
+                    let model_hit = model.arrive(src, tag, comm);
+                    let _g = engine.lock.lock();
+                    let engine_hit = engine.match_posted(src, tag, comm);
+                    match (model_hit, engine_hit) {
+                        (Some(_), Some(hit)) => {
+                            prop_assert!(matches(hit.src, hit.tag, src, tag));
+                            prop_assert_eq!(hit.comm, comm);
+                        }
+                        (None, None) => engine.add_unexpected(unexpected(src, tag, comm)),
+                        (m, e) => {
+                            return Err(TestCaseError::fail(format!(
+                                "divergence on arrive: model={m:?} engine_hit={}",
+                                e.is_some()
+                            )))
+                        }
+                    }
+                }
+                Op::Post(src, tag, comm) => {
+                    let model_hit = model.post(src, tag, comm);
+                    let _g = engine.lock.lock();
+                    let engine_hit = engine.match_unexpected(src, tag, comm);
+                    match (model_hit, engine_hit) {
+                        (Some(_), Some(hit)) => {
+                            prop_assert!(matches(src, tag, hit.src, hit.tag));
+                            prop_assert_eq!(hit.comm, comm);
+                        }
+                        (None, None) => engine.add_posted(posted(src, tag, comm)),
+                        (m, e) => {
+                            return Err(TestCaseError::fail(format!(
+                                "divergence on post: model={m:?} engine_hit={}",
+                                e.is_some()
+                            )))
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(engine.posted_len(), model.posted.len());
+            prop_assert_eq!(engine.unexpected_len(), model.unexpected.len());
+        }
+    }
+
+    /// A message can match at most one receive and vice versa (conservation:
+    /// total matches + residues == total operations).
+    #[test]
+    fn matching_conserves_messages(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let engine = MatchEngine::new();
+        let mut arrivals = 0usize;
+        let mut posts = 0usize;
+        let mut matched = 0usize;
+        for op in ops {
+            match op {
+                Op::Arrive(src, tag, comm) => {
+                    arrivals += 1;
+                    let _g = engine.lock.lock();
+                    match engine.match_posted(src, tag, comm) {
+                        Some(_) => matched += 1,
+                        None => engine.add_unexpected(unexpected(src, tag, comm)),
+                    }
+                }
+                Op::Post(src, tag, comm) => {
+                    posts += 1;
+                    let _g = engine.lock.lock();
+                    match engine.match_unexpected(src, tag, comm) {
+                        Some(_) => matched += 1,
+                        None => engine.add_posted(posted(src, tag, comm)),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(engine.unexpected_len() + matched, arrivals);
+        prop_assert_eq!(engine.posted_len() + matched, posts);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-checks between the functional stack and the timing models: the
+//! orderings the paper's evaluation rests on must hold in both.
+
+use pami_repro::bgq_netsim::{coll, p2p, MachineParams};
+
+#[test]
+fn modeled_latency_orderings_match_paper() {
+    let p = MachineParams::default();
+    // PAMI beats MPI; immediate beats queued.
+    let imm = p2p::pami_send_immediate_latency(&p, 0);
+    let send = p2p::pami_send_latency(&p, 0);
+    let classic = p2p::mpi_latency(
+        &p,
+        p2p::MpiLatencyConfig { thread_optimized: false, thread_multiple: false, commthreads: false },
+        0,
+    );
+    assert!(imm < send && send < classic);
+    // Barrier is the cheapest collective; allreduce adds combine cost.
+    for nodes in [64usize, 512, 2048] {
+        for ppn in [1usize, 4, 16] {
+            assert!(
+                coll::barrier_latency(&p, nodes, ppn) < coll::allreduce_latency(&p, nodes, ppn),
+                "nodes={nodes} ppn={ppn}"
+            );
+        }
+    }
+}
+
+#[test]
+fn modeled_throughput_never_exceeds_hardware() {
+    let p = MachineParams::default();
+    for size in [4096usize, 1 << 16, 1 << 20, 1 << 23] {
+        for ppn in [1usize, 4, 16] {
+            assert!(coll::allreduce_throughput(&p, 2048, ppn, size) <= p.link_payload_bw);
+            assert!(coll::broadcast_throughput(&p, 2048, ppn, size) <= p.link_payload_bw);
+            assert!(
+                coll::rect_broadcast_throughput(&p, 2048, ppn, size)
+                    <= 10.0 * p.link_payload_bw
+            );
+            // The 10-color algorithm never loses to the single tree.
+            assert!(
+                coll::rect_broadcast_throughput(&p, 2048, ppn, size)
+                    >= 0.9 * coll::broadcast_throughput(&p, 2048, ppn, size),
+                "size={size} ppn={ppn}"
+            );
+        }
+    }
+}
+
+#[test]
+fn modeled_peak_sizes_shift_down_with_ppn() {
+    // The L2-spill knee moves to smaller buffers as PPN grows — the core
+    // scaling insight of Figures 8/9.
+    let p = MachineParams::default();
+    let peak_size = |ppn: usize| -> usize {
+        (13..=25)
+            .map(|e| 1usize << e)
+            .max_by(|&a, &b| {
+                coll::allreduce_throughput(&p, 2048, ppn, a)
+                    .total_cmp(&coll::allreduce_throughput(&p, 2048, ppn, b))
+            })
+            .unwrap()
+    };
+    let p1 = peak_size(1);
+    let p4 = peak_size(4);
+    let p16 = peak_size(16);
+    assert!(p1 >= p4 && p4 >= p16, "peaks {p1} {p4} {p16}");
+    assert!(p16 <= 1 << 20, "ppn16 peaks at or below 1MB");
+}
+
+#[test]
+fn functional_ordering_pami_faster_than_mpi() {
+    // The functional stack reproduces Table 1/2's headline ordering:
+    // the raw PAMI path costs less software than the MPI path on the same
+    // host. (Absolute numbers are host-dependent; the ratio is not.)
+    let pami = pami_bench_mini::pami_rtt(600);
+    let mpi = pami_bench_mini::mpi_rtt(600);
+    assert!(
+        mpi.as_secs_f64() > pami.as_secs_f64() * 1.05,
+        "MPI half-rtt {mpi:?} should exceed PAMI {pami:?}"
+    );
+}
+
+/// A miniature inline version of the bench-crate harness (the root test
+/// crate does not depend on `pami-bench`).
+mod pami_bench_mini {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use pami_repro::pami::{Client, Endpoint, Machine, MemRegion, Recv};
+    use pami_repro::pami_mpi::{Mpi, MpiConfig};
+
+    pub fn pami_rtt(iters: u32) -> Duration {
+        let machine = Machine::with_nodes(2).build();
+        let c0 = Client::create(&machine, 0, "m", 1);
+        let c1 = Client::create(&machine, 1, "m", 1);
+        let got = Arc::new(AtomicU64::new(0));
+        for c in [&c0, &c1] {
+            let got = Arc::clone(&got);
+            c.context(0).set_dispatch(
+                1,
+                Arc::new(move |_ctx, _msg, _p| {
+                    got.fetch_add(1, Ordering::Relaxed);
+                    Recv::Done
+                }),
+            );
+        }
+        let start = Instant::now();
+        for i in 1..=iters as u64 {
+            c0.context(0).send_immediate(Endpoint::of_task(1), 1, b"", b"x").unwrap();
+            while got.load(Ordering::Relaxed) < 2 * i - 1 {
+                c0.context(0).advance();
+                c1.context(0).advance();
+            }
+            c1.context(0).send_immediate(Endpoint::of_task(0), 1, b"", b"x").unwrap();
+            while got.load(Ordering::Relaxed) < 2 * i {
+                c1.context(0).advance();
+                c0.context(0).advance();
+            }
+        }
+        start.elapsed() / (2 * iters)
+    }
+
+    pub fn mpi_rtt(iters: u32) -> Duration {
+        let machine = Machine::with_nodes(2).build();
+        let mpi0 = Mpi::init(&machine, 0, MpiConfig::default());
+        let mpi1 = Mpi::init(&machine, 1, MpiConfig::default());
+        let w0 = mpi0.world().clone();
+        let w1 = mpi1.world().clone();
+        let b0 = MemRegion::zeroed(8);
+        let b1 = MemRegion::zeroed(8);
+        let start = Instant::now();
+        for _ in 0..iters {
+            let r = mpi1.irecv(&b1, 0, 8, 0, 1, &w1);
+            mpi0.send(&b0, 0, 8, 1, 1, &w0);
+            while !mpi1.request_complete(r) {
+                mpi0.advance();
+                mpi1.advance();
+            }
+            mpi1.test(r);
+            let r = mpi0.irecv(&b0, 0, 8, 1, 2, &w0);
+            mpi1.send(&b1, 0, 8, 0, 2, &w1);
+            while !mpi0.request_complete(r) {
+                mpi1.advance();
+                mpi0.advance();
+            }
+            mpi0.test(r);
+        }
+        start.elapsed() / (2 * iters)
+    }
+}
