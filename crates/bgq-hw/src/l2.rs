@@ -145,6 +145,32 @@ impl BoundedCounter {
             .ok()
     }
 
+    /// Atomically claim up to `n` consecutive values below the current bound.
+    ///
+    /// Generalizes [`BoundedCounter::bounded_increment`] to a batch: one
+    /// `fetch_update` claims `min(n, bound − value)` slots and returns the
+    /// claimed range, or `None` when no slot is free (or `n == 0`). Like the
+    /// single-slot op, a racing bound advance can only turn failure into
+    /// success, so pre-loading the bound preserves the hardware's
+    /// one-transaction semantics.
+    #[inline]
+    pub fn bounded_add(&self, n: u64) -> Option<std::ops::Range<u64>> {
+        if n == 0 {
+            return None;
+        }
+        let bound = self.bound.load(Ordering::Acquire);
+        self.value
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                if v < bound {
+                    Some(v + n.min(bound - v))
+                } else {
+                    None
+                }
+            })
+            .ok()
+            .map(|start| start..(start + n.min(bound - start)))
+    }
+
     /// Current counter value.
     #[inline]
     pub fn value(&self) -> u64 {
@@ -231,6 +257,46 @@ mod tests {
         b.advance_bound(1);
         assert_eq!(b.bounded_increment(), Some(3));
         assert_eq!(b.bounded_increment(), None);
+    }
+
+    #[test]
+    fn bounded_add_claims_partial_batches() {
+        let b = BoundedCounter::new(0, 5);
+        assert_eq!(b.bounded_add(3), Some(0..3));
+        // Only two slots left: the claim is truncated, not failed.
+        assert_eq!(b.bounded_add(4), Some(3..5));
+        assert_eq!(b.bounded_add(1), None);
+        assert_eq!(b.bounded_add(0), None);
+        b.advance_bound(2);
+        assert_eq!(b.bounded_add(10), Some(5..7));
+        assert_eq!(b.value(), 7);
+    }
+
+    #[test]
+    fn bounded_add_concurrent_claims_are_disjoint_and_exhaustive() {
+        const THREADS: usize = 8;
+        const BOUND: u64 = 4096;
+        let b = Arc::new(BoundedCounter::new(0, BOUND));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                // Mix batch sizes per thread to exercise truncation.
+                let n = 1 + (t as u64 % 5);
+                while let Some(r) = b.bounded_add(n) {
+                    got.extend(r);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..BOUND).collect::<Vec<_>>());
+        assert_eq!(b.value(), BOUND);
     }
 
     #[test]

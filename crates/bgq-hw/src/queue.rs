@@ -127,6 +127,65 @@ impl<T> WorkQueue<T> {
         }
     }
 
+    /// Push `n` items produced by `make(i)` (for `i` in `0..n`), claiming as
+    /// many ring slots as possible with a *single* bounded-increment
+    /// ([`BoundedCounter::bounded_add`]) instead of one per item. Items that
+    /// do not fit the ring divert to the overflow list, in order. Returns how
+    /// many items took the lockless ring path.
+    ///
+    /// This is the MU's message-delivery primitive: all packets of a message
+    /// are claimed in one atomic transaction, so an N-packet eager message
+    /// costs one claim rather than N.
+    pub fn push_batch_with<F>(&self, n: u64, mut make: F) -> usize
+    where
+        F: FnMut(u64) -> T,
+    {
+        if n == 0 {
+            return 0;
+        }
+        self.total_pushes.store_add(n);
+        let mut next = 0u64;
+        if !self.overflow_active.load(Ordering::Acquire) {
+            if let Some(range) = self.tail.bounded_add(n) {
+                for pos in range {
+                    let slot = &self.slots[(pos & (self.capacity - 1)) as usize];
+                    debug_assert_eq!(slot.seq.load(Ordering::Acquire), pos);
+                    unsafe { (*slot.value.get()).write(make(next)) };
+                    slot.seq.store(pos + 1, Ordering::Release);
+                    next += 1;
+                }
+            }
+        }
+        let ring = next as usize;
+        if next < n {
+            let mut ovf = self.overflow.lock();
+            // Same flag-under-lock protocol as `push_overflow`; the ring
+            // prefix was claimed at earlier positions than anything a later
+            // push can claim, so draining ring-before-overflow preserves
+            // per-producer FIFO order across the split.
+            self.overflow_active.store(true, Ordering::Release);
+            while next < n {
+                ovf.push_back(make(next));
+                next += 1;
+            }
+            self.overflow_pushes.store_add(n - ring as u64);
+        }
+        ring
+    }
+
+    /// Batch push from an exact-size iterator; see
+    /// [`WorkQueue::push_batch_with`]. Returns how many items took the
+    /// lockless ring path.
+    pub fn push_batch<I>(&self, items: I) -> usize
+    where
+        I: IntoIterator<Item = T>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let mut items = items.into_iter();
+        let n = items.len() as u64;
+        self.push_batch_with(n, |_| items.next().expect("iterator shorter than len()"))
+    }
+
     fn push_overflow(&self, item: T) {
         let mut ovf = self.overflow.lock();
         // Set the flag while holding the lock so the consumer's
@@ -162,6 +221,55 @@ impl<T> WorkQueue<T> {
             return item;
         }
         None
+    }
+
+    /// Pop up to `max` items into `out` (single consumer only). All
+    /// consecutive ready ring slots are consumed with one head store and one
+    /// bound advance, then the overflow list is drained (under its mutex) if
+    /// the ring is exhausted. Returns the number of items appended to `out`.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let head = self.head.load(Ordering::Relaxed);
+        let mut k = 0u64;
+        while (k as usize) < max {
+            let pos = head + k;
+            let slot = &self.slots[(pos & (self.capacity - 1)) as usize];
+            if slot.seq.load(Ordering::Acquire) != pos + 1 {
+                break;
+            }
+            out.push(unsafe { (*slot.value.get()).assume_init_read() });
+            slot.seq.store(pos + self.capacity, Ordering::Release);
+            k += 1;
+        }
+        if k > 0 {
+            self.head.store(head + k, Ordering::Release);
+            self.tail.advance_bound(k);
+        }
+        let mut popped = k as usize;
+        if popped < max {
+            if self.tail.value() > head + k {
+                // Head slot claimed but not yet published; come back later.
+                return popped;
+            }
+            if self.overflow_active.load(Ordering::Acquire) {
+                let mut ovf = self.overflow.lock();
+                while popped < max {
+                    match ovf.pop_front() {
+                        Some(item) => {
+                            out.push(item);
+                            popped += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if ovf.is_empty() {
+                    self.overflow_active.store(false, Ordering::Release);
+                }
+            }
+        }
+        popped
     }
 
     /// Whether both the ring and the overflow list are (momentarily) empty.
@@ -285,6 +393,126 @@ mod tests {
             drop(q);
         }
         assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn push_batch_fits_ring() {
+        let q = WorkQueue::with_capacity(8);
+        assert_eq!(q.push_batch((0..5u64).collect::<Vec<_>>()), 5);
+        assert_eq!(q.overflow_pushes(), 0);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(16, &mut out), 5);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop_batch(16, &mut out), 0);
+    }
+
+    #[test]
+    fn push_batch_splits_across_ring_and_overflow_in_order() {
+        let q = WorkQueue::with_capacity(4);
+        // 7 items into a 4-slot ring: 4 lockless, 3 overflow.
+        assert_eq!(q.push_batch((0..7u64).collect::<Vec<_>>()), 4);
+        assert_eq!(q.overflow_pushes(), 3);
+        assert_eq!(q.len(), 7);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(7, &mut out), 7);
+        assert_eq!(out, (0..7).collect::<Vec<_>>());
+        // Overflow drained: next batch is lockless again.
+        assert_eq!(q.push_batch((10..12u64).collect::<Vec<_>>()), 2);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_mixes_with_pop() {
+        let q = WorkQueue::with_capacity(8);
+        q.push_batch((0..6u64).collect::<Vec<_>>());
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(2, &mut out), 2);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop_batch(8, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 3, 4, 5]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_batch_while_overflow_active_keeps_order() {
+        let q = WorkQueue::with_capacity(2);
+        q.push(0u64);
+        q.push(1);
+        q.push(2); // engages overflow
+        assert_eq!(q.push_batch((3..6u64).collect::<Vec<_>>()), 0, "diverts while overflow active");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(16, &mut out), 6);
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_batch_wraps_many_laps() {
+        let q = WorkQueue::with_capacity(4);
+        let mut out = Vec::new();
+        for lap in 0..200u64 {
+            assert_eq!(q.push_batch((lap * 3..lap * 3 + 3).collect::<Vec<_>>()), 3);
+            out.clear();
+            assert_eq!(q.pop_batch(4, &mut out), 3);
+            assert_eq!(out, vec![lap * 3, lap * 3 + 1, lap * 3 + 2]);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_drop_releases_queued_items() {
+        let live = Arc::new(AtomicU64::new(0));
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = WorkQueue::with_capacity(4);
+            let n = 7u64;
+            live.fetch_add(n, Ordering::SeqCst);
+            q.push_batch_with(n, |_| Tracked(Arc::clone(&live)));
+            drop(q);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn mpsc_batched_producers_preserve_per_producer_order() {
+        const PRODUCERS: u64 = 4;
+        const BATCHES: u64 = 4000;
+        const BATCH: u64 = 5;
+        let q = Arc::new(WorkQueue::with_capacity(32));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for b in 0..BATCHES {
+                    let base = b * BATCH;
+                    q.push_batch_with(BATCH, |i| (p, base + i));
+                }
+            }));
+        }
+        let mut next = vec![0u64; PRODUCERS as usize];
+        let mut received = 0u64;
+        let mut out = Vec::new();
+        while received < PRODUCERS * BATCHES * BATCH {
+            out.clear();
+            if q.pop_batch(16, &mut out) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for &(p, i) in &out {
+                assert_eq!(next[p as usize], i, "producer {p} order violated");
+                next[p as usize] += 1;
+                received += 1;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushes(), PRODUCERS * BATCHES * BATCH);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! regions parks in [`Waiter::wait`] until any of them has been touched since
 //! it last looked.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,6 +33,10 @@ struct WaiterInner {
 struct RegionInner {
     /// Monotone count of touches, readable without subscribing.
     epoch: AtomicU64,
+    /// Number of entries in `watchers`, maintained under the `watchers`
+    /// lock but readable without it — producers on the MU fast path skip
+    /// the lock entirely when nobody is subscribed.
+    watcher_count: AtomicUsize,
     watchers: Mutex<Vec<Arc<WaiterInner>>>,
     id: usize,
 }
@@ -47,9 +51,16 @@ pub struct WakeupRegion {
 impl WakeupRegion {
     /// Signal that memory covered by this region has been written. Wakes
     /// every subscribed [`Waiter`]. Cheap when nobody is subscribed: one
-    /// atomic increment and one uncontended lock probe.
+    /// atomic increment and one atomic load — the watcher lock is only
+    /// touched when a waiter is actually registered, keeping the MU
+    /// packet-delivery fast path lock-free.
     pub fn touch(&self) {
         self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+        if self.inner.watcher_count.load(Ordering::Acquire) == 0 {
+            // A touch racing a concurrent subscribe counts as happening
+            // before it — subscriptions never observe earlier touches.
+            return;
+        }
         let watchers = self.inner.watchers.lock();
         for w in watchers.iter() {
             let mut pending = w.pending.lock();
@@ -86,6 +97,7 @@ impl WakeupUnit {
         let mut regions = self.regions.lock();
         let inner = Arc::new(RegionInner {
             epoch: AtomicU64::new(0),
+            watcher_count: AtomicUsize::new(0),
             watchers: Mutex::new(Vec::new()),
             id: regions.len(),
         });
@@ -128,11 +140,13 @@ impl Waiter {
     /// Start watching `region`. Touches from before the subscription are not
     /// observed.
     pub fn subscribe(&mut self, region: &WakeupRegion) {
+        let mut watchers = region.inner.watchers.lock();
+        watchers.push(Arc::clone(&self.inner));
         region
             .inner
-            .watchers
-            .lock()
-            .push(Arc::clone(&self.inner));
+            .watcher_count
+            .store(watchers.len(), Ordering::Release);
+        drop(watchers);
         self.subscriptions.push(region.clone());
     }
 
@@ -184,11 +198,12 @@ impl Waiter {
 impl Drop for Waiter {
     fn drop(&mut self) {
         for region in &self.subscriptions {
+            let mut watchers = region.inner.watchers.lock();
+            watchers.retain(|w| !Arc::ptr_eq(w, &self.inner));
             region
                 .inner
-                .watchers
-                .lock()
-                .retain(|w| !Arc::ptr_eq(w, &self.inner));
+                .watcher_count
+                .store(watchers.len(), Ordering::Release);
         }
     }
 }

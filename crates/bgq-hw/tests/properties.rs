@@ -59,6 +59,59 @@ proptest! {
         prop_assert_eq!(more, extra);
     }
 
+    /// Batched push/pop against the same VecDeque model: `push_batch` and
+    /// `pop_batch` interleaved with single-item operations preserve FIFO
+    /// order and lose nothing, across ring capacities small enough to force
+    /// the overflow path mid-batch.
+    #[test]
+    fn workqueue_batch_matches_vecdeque_model(
+        capacity in 1usize..24,
+        ops in proptest::collection::vec(0u8..4, 1..200),
+        seq0 in 0u32..1000,
+    ) {
+        let mut seq = seq0;
+        let q: WorkQueue<u32> = WorkQueue::with_capacity(capacity);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                0 => {
+                    q.push(seq);
+                    model.push_back(seq);
+                    seq += 1;
+                }
+                1 => {
+                    // Batch push, size chosen to straddle the ring capacity.
+                    let n = (seq as usize % (capacity + 3)) + 1;
+                    let items: Vec<u32> = (seq..seq + n as u32).collect();
+                    q.push_batch(items.clone());
+                    model.extend(items);
+                    seq += n as u32;
+                }
+                2 => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+                _ => {
+                    let max = (seq as usize % 7) + 1;
+                    let mut got = Vec::new();
+                    q.pop_batch(max, &mut got);
+                    let mut want = Vec::new();
+                    for _ in 0..max {
+                        match model.pop_front() {
+                            Some(v) => want.push(v),
+                            None => break,
+                        }
+                    }
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        let mut rest = Vec::new();
+        q.pop_batch(usize::MAX, &mut rest);
+        prop_assert_eq!(rest, model.into_iter().collect::<Vec<_>>());
+        prop_assert!(q.is_empty());
+    }
+
     /// L2 counter arithmetic is a plain register under sequential use.
     #[test]
     fn l2_counter_sequential_semantics(start in 0u64..1000, deltas in proptest::collection::vec(0i64..100, 0..50)) {
@@ -93,6 +146,60 @@ proptest! {
             delivered += ch;
         }
         prop_assert!(c.is_complete());
+    }
+}
+
+/// Concurrent MPSC with mixed single and batched producers, drained by a
+/// batching consumer: nothing lost, duplicated, or reordered per producer,
+/// with capacities that force batches to straddle the ring/overflow split.
+#[test]
+fn workqueue_mixed_batch_producers_preserve_order() {
+    for capacity in [1usize, 3, 16, 128] {
+        let q: std::sync::Arc<WorkQueue<(u8, u32)>> =
+            std::sync::Arc::new(WorkQueue::with_capacity(capacity));
+        const PRODUCERS: u8 = 4;
+        const PER: u32 = 4000;
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    let mut i = 0u32;
+                    while i < PER {
+                        if (i / 7) % 2 == 0 {
+                            // Batch of up to 5 (clipped at PER).
+                            let n = 5.min(PER - i);
+                            let batch: Vec<(u8, u32)> =
+                                (i..i + n).map(|k| (p, k)).collect();
+                            q.push_batch(batch);
+                            i += n;
+                        } else {
+                            q.push((p, i));
+                            i += 1;
+                        }
+                    }
+                });
+            }
+            let mut next = [0u32; PRODUCERS as usize];
+            let mut seen = 0usize;
+            let mut buf = Vec::new();
+            while seen < PRODUCERS as usize * PER as usize {
+                buf.clear();
+                q.pop_batch(64, &mut buf);
+                if buf.is_empty() {
+                    std::thread::yield_now();
+                    continue;
+                }
+                for &(p, i) in &buf {
+                    assert_eq!(
+                        next[p as usize], i,
+                        "producer {p} reordered (cap {capacity})"
+                    );
+                    next[p as usize] += 1;
+                    seen += 1;
+                }
+            }
+        });
+        assert!(q.is_empty());
     }
 }
 

@@ -46,7 +46,8 @@ fn pump_share(fabric: &MuFabric, node: u32, engine_idx: usize, engines: usize) -
     if engine_idx == 0 {
         done += fabric.pump_sys(node, 64);
     }
-    let fifo_count = fabric.inner.nodes[node as usize].inj.lock().len();
+    // Lock-free high-water-mark read of the node's allocated FIFO count.
+    let fifo_count = fabric.inner.nodes[node as usize].inj.allocated();
     for f in (engine_idx..fifo_count).step_by(engines) {
         done += fabric.pump_inj(node, InjFifoId(f as u16), 64);
     }

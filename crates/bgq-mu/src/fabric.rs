@@ -10,17 +10,26 @@
 //! control, because that is what the paper's concurrency story is about.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bgq_hw::{L2Counter, WakeupRegion, WakeupUnit};
 use bgq_torus::packet::MAX_PAYLOAD_BYTES;
 use bgq_torus::TorusShape;
-use parking_lot::Mutex;
 
 use crate::descriptor::{Descriptor, PayloadSource, XferKind};
 use crate::engine::{self, EngineMode};
-use crate::fifo::{FifoAllocator, InjFifo, InjFifoId, RecFifo, RecFifoId};
-use crate::packet::MuPacket;
+use crate::fifo::{
+    FifoAllocator, FifoTable, InjFifo, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE,
+    REC_FIFOS_PER_NODE,
+};
+use crate::packet::{MuPacket, PacketPayload};
+
+/// Message sequence numbers occupy the low 40 bits of a message id; the
+/// source node index occupies the bits above. Masking keeps a long-running
+/// node's sequence from bleeding into the node bits (ids may then recycle
+/// after 2^40 messages, by which point no packet of the old message can
+/// still be in flight).
+const MSG_SEQ_MASK: u64 = (1 << 40) - 1;
 
 /// Snapshot of one node's MU activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,16 +44,22 @@ pub struct NodeStats {
     pub remote_gets_serviced: u64,
     /// Descriptors executed by this node's engines.
     pub descriptors_executed: u64,
+    /// Payload copies performed while receiving into this node's memory
+    /// (deposits out of the reception FIFO). The zero-copy eager path does
+    /// exactly one per packet; the old staging path did two.
+    pub payload_copies: u64,
 }
 
 pub(crate) struct NodeMu {
-    pub inj: Mutex<Vec<Arc<InjFifo>>>,
-    pub rec: Mutex<Vec<Arc<RecFifo>>>,
+    /// Lock-free FIFO tables sized to the hardware limits (544/272):
+    /// delivery, polling, and handle lookup are plain atomic loads.
+    pub inj: FifoTable<InjFifo>,
+    pub rec: FifoTable<RecFifo>,
     pub allocator: FifoAllocator,
     /// System injection FIFO: remote-get payload descriptors land here for
     /// this node to execute.
     pub sys_inj: Arc<InjFifo>,
-    pub sys_wakeup: Mutex<Option<WakeupRegion>>,
+    pub sys_wakeup: OnceLock<WakeupRegion>,
     /// Wakes this node's engine threads (threaded mode).
     pub engine_wakeup: WakeupRegion,
     pub msg_seq: AtomicU64,
@@ -54,6 +69,7 @@ pub(crate) struct NodeMu {
     pub put_bytes_in: L2Counter,
     pub remote_gets_serviced: L2Counter,
     pub descriptors_executed: L2Counter,
+    pub payload_copies: L2Counter,
 }
 
 pub(crate) struct FabricInner {
@@ -97,11 +113,11 @@ impl MuFabricBuilder {
         let wakeups = WakeupUnit::new();
         let nodes = (0..self.shape.num_nodes())
             .map(|_| NodeMu {
-                inj: Mutex::new(Vec::new()),
-                rec: Mutex::new(Vec::new()),
+                inj: FifoTable::new(INJ_FIFOS_PER_NODE),
+                rec: FifoTable::new(REC_FIFOS_PER_NODE),
                 allocator: FifoAllocator::default(),
                 sys_inj: Arc::new(InjFifo::new(self.inj_fifo_capacity)),
-                sys_wakeup: Mutex::new(None),
+                sys_wakeup: OnceLock::new(),
                 engine_wakeup: wakeups.region(),
                 msg_seq: AtomicU64::new(0),
                 fifo_messages: L2Counter::new(0),
@@ -109,6 +125,7 @@ impl MuFabricBuilder {
                 put_bytes_in: L2Counter::new(0),
                 remote_gets_serviced: L2Counter::new(0),
                 descriptors_executed: L2Counter::new(0),
+                payload_copies: L2Counter::new(0),
             })
             .collect();
         let inner = Arc::new(FabricInner {
@@ -165,15 +182,15 @@ impl MuFabric {
 
     /// Allocate `count` exclusive injection FIFOs on `node`; `None` when the
     /// node's 544 are exhausted.
+    ///
+    /// The allocator mutex serializes the id claim (allocation is not a hot
+    /// path); the claimed slots are then published into the lock-free table,
+    /// race-free because ranges are disjoint.
     pub fn alloc_inj_fifos(&self, node: u32, count: u16) -> Option<Vec<InjFifoId>> {
         let n = self.node(node);
-        // Hold the FIFO table lock across the id claim so concurrent
-        // allocations can't interleave ids and table slots.
-        let mut fifos = n.inj.lock();
         let range = n.allocator.alloc_inj(count)?;
-        assert_eq!(fifos.len(), range.start as usize, "FIFO id/slot skew");
-        for _ in range.clone() {
-            fifos.push(Arc::new(InjFifo::new(self.inner.inj_fifo_capacity)));
+        for id in range.clone() {
+            n.inj.publish(id, Arc::new(InjFifo::new(self.inner.inj_fifo_capacity)));
         }
         Some(range.map(InjFifoId).collect())
     }
@@ -181,36 +198,45 @@ impl MuFabric {
     /// Allocate `count` exclusive reception FIFOs on `node`.
     pub fn alloc_rec_fifos(&self, node: u32, count: u16) -> Option<Vec<RecFifoId>> {
         let n = self.node(node);
-        // Hold the FIFO table lock across the id claim so concurrent
-        // allocations can't interleave ids and table slots.
-        let mut fifos = n.rec.lock();
         let range = n.allocator.alloc_rec(count)?;
-        assert_eq!(fifos.len(), range.start as usize, "FIFO id/slot skew");
-        for _ in range.clone() {
-            fifos.push(Arc::new(RecFifo::new(self.inner.rec_fifo_capacity)));
+        for id in range.clone() {
+            n.rec.publish(id, Arc::new(RecFifo::new(self.inner.rec_fifo_capacity)));
         }
         Some(range.map(RecFifoId).collect())
     }
 
     /// Direct handle to a reception FIFO (contexts cache this).
     pub fn rec_fifo(&self, node: u32, id: RecFifoId) -> Arc<RecFifo> {
-        Arc::clone(&self.node(node).rec.lock()[id.0 as usize])
+        Arc::clone(self.node(node).rec.get(id.0))
     }
 
     /// Direct handle to an injection FIFO.
     pub fn inj_fifo(&self, node: u32, id: InjFifoId) -> Arc<InjFifo> {
-        Arc::clone(&self.node(node).inj.lock()[id.0 as usize])
+        Arc::clone(self.node(node).inj.get(id.0))
+    }
+
+    /// Handle to a node's *system* injection FIFO (contexts cache it to
+    /// observe remote-get backlog without going through the fabric).
+    pub fn sys_fifo(&self, node: u32) -> Arc<InjFifo> {
+        Arc::clone(&self.node(node).sys_inj)
     }
 
     /// Attach a wakeup region to a node's system FIFO (remote-get arrivals
-    /// touch it).
+    /// touch it). Set at most once per node; later calls are ignored.
     pub fn set_sys_wakeup(&self, node: u32, region: WakeupRegion) {
-        *self.node(node).sys_wakeup.lock() = Some(region);
+        let _ = self.node(node).sys_wakeup.set(region);
     }
 
     /// Queue a descriptor on one of `src_node`'s injection FIFOs.
     pub fn inject(&self, src_node: u32, fifo: InjFifoId, desc: Descriptor) {
-        let fifo = self.inj_fifo(src_node, fifo);
+        let fifo = Arc::clone(self.node(src_node).inj.get(fifo.0));
+        self.inject_handle(src_node, &fifo, desc);
+    }
+
+    /// Queue a descriptor on an injection FIFO the caller already holds a
+    /// handle to — the context hot path, which caches its exclusive FIFO
+    /// handles and skips the table lookup entirely.
+    pub fn inject_handle(&self, src_node: u32, fifo: &InjFifo, desc: Descriptor) {
         fifo.queue.push(desc);
         if matches!(self.inner.mode, EngineMode::Threaded(_)) {
             self.node(src_node).engine_wakeup.touch();
@@ -228,7 +254,13 @@ impl MuFabric {
     /// engine mode: contexts call this from `advance`). Returns descriptors
     /// executed.
     pub fn pump_inj(&self, node: u32, fifo: InjFifoId, budget: usize) -> usize {
-        let fifo = self.inj_fifo(node, fifo);
+        let fifo = Arc::clone(self.node(node).inj.get(fifo.0));
+        self.pump_inj_handle(node, &fifo, budget)
+    }
+
+    /// Like [`MuFabric::pump_inj`] but on a cached FIFO handle, skipping
+    /// the table lookup (context hot path).
+    pub fn pump_inj_handle(&self, node: u32, fifo: &InjFifo, budget: usize) -> usize {
         let mut done = 0;
         while done < budget {
             match fifo.queue.pop() {
@@ -261,7 +293,13 @@ impl MuFabric {
 
     /// Pull the next packet from a reception FIFO (owning context only).
     pub fn poll_rec(&self, node: u32, fifo: RecFifoId) -> Option<MuPacket> {
-        self.node(node).rec.lock()[fifo.0 as usize].poll()
+        self.node(node).rec.get(fifo.0).poll()
+    }
+
+    /// Record one receive-side payload copy on `node` (contexts call this
+    /// when they deposit a packet payload into destination memory).
+    pub fn note_payload_copy(&self, node: u32) {
+        self.node(node).payload_copies.store_add(1);
     }
 
     /// Activity counters for `node`.
@@ -273,6 +311,7 @@ impl MuFabric {
             put_bytes_in: n.put_bytes_in.load(),
             remote_gets_serviced: n.remote_gets_serviced.load(),
             descriptors_executed: n.descriptors_executed.load(),
+            payload_copies: n.payload_copies.load(),
         }
     }
 
@@ -281,41 +320,113 @@ impl MuFabric {
     pub(crate) fn execute(&self, src_node: u32, desc: Descriptor) {
         self.node(src_node).descriptors_executed.store_add(1);
         let credit = desc.completion_credit();
-        let Descriptor { dst_node, dst_context, src_context, routing, payload, kind, inj_counter } =
-            desc;
+        let Descriptor {
+            dst_node,
+            dst_context,
+            src_context,
+            routing,
+            payload,
+            kind,
+            inj_counter,
+        } = desc;
         // Functional delivery is identical for both routing modes (the
         // fabric is lossless and in-process); the mode matters to the
         // timing models and to the ordering contract asserted in tests.
         let _ = routing;
         match kind {
             XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
-                let data = payload.to_bytes();
-                let msg_len = data.len() as u32;
+                let msg_len = payload.len();
                 let src = self.node(src_node);
-                let msg_id = src.msg_seq.fetch_add(1, Ordering::Relaxed)
+                let msg_id = (src.msg_seq.fetch_add(1, Ordering::Relaxed) & MSG_SEQ_MASK)
                     | ((src_node as u64) << 40);
                 src.fifo_messages.store_add(1);
                 let dst = self.node(dst_node);
-                let fifo = Arc::clone(&dst.rec.lock()[rec_fifo.0 as usize]);
-                let mut offset = 0usize;
-                loop {
-                    let chunk = (data.len() - offset).min(MAX_PAYLOAD_BYTES);
-                    fifo.deliver(MuPacket {
-                        src_node,
-                        src_context,
-                        dispatch,
-                        metadata: bytes::Bytes::clone(&metadata),
-                        msg_id,
-                        msg_len,
-                        offset: offset as u32,
-                        payload: data.slice(offset..offset + chunk),
-                    });
-                    dst.packets_received.store_add(1);
-                    offset += chunk;
-                    if offset >= data.len() {
-                        break;
+                let fifo = dst.rec.get(rec_fifo.0);
+                let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
+                let header = |i: u64| {
+                    let off = i as usize * MAX_PAYLOAD_BYTES;
+                    let chunk = (msg_len - off).min(MAX_PAYLOAD_BYTES);
+                    (off, chunk)
+                };
+                match payload {
+                    PayloadSource::Immediate(data) => {
+                        // Send-immediate already staged the payload in the
+                        // descriptor; packets carry refcounted slices of it
+                        // and the injection counter fires now — the source
+                        // buffer is no longer referenced.
+                        fifo.deliver_batch(npackets, |i| {
+                            let (off, chunk) = header(i);
+                            MuPacket {
+                                src_node,
+                                src_context,
+                                dispatch,
+                                metadata: bytes::Bytes::clone(&metadata),
+                                msg_id,
+                                msg_len: msg_len as u32,
+                                offset: off as u32,
+                                payload: PacketPayload::Inline(data.slice(off..off + chunk)),
+                            }
+                        });
+                    }
+                    PayloadSource::Region { region, offset: base, len } => {
+                        // No whole-message staging buffer in either case:
+                        // the message fragments directly from the source
+                        // region into per-packet payloads.
+                        debug_assert_eq!(len, msg_len);
+                        if inj_counter.is_some() {
+                            // The sender asked for a completion signal, and
+                            // the MU's contract is that the counter hits
+                            // zero only once the source buffer has been
+                            // read — so model the DMA read now, one packet
+                            // slice at a time (counted as per-packet copies
+                            // on the *source* node). The counter fires at
+                            // the tail of this function and the buffer is
+                            // genuinely reusable.
+                            src.payload_copies.store_add(npackets);
+                            fifo.deliver_batch(npackets, |i| {
+                                let (off, chunk) = header(i);
+                                let mut staged = vec![0u8; chunk];
+                                region.read(base + off, &mut staged);
+                                MuPacket {
+                                    src_node,
+                                    src_context,
+                                    dispatch,
+                                    metadata: bytes::Bytes::clone(&metadata),
+                                    msg_id,
+                                    msg_len: msg_len as u32,
+                                    offset: off as u32,
+                                    payload: PacketPayload::Inline(bytes::Bytes::from(staged)),
+                                }
+                            });
+                        } else {
+                            // No completion counter exists, so no correct
+                            // program can observe *when* the MU reads the
+                            // buffer (there is no synchronization edge to
+                            // race with): defer the read all the way to the
+                            // receiver's deposit. Packets carry zero-copy
+                            // windows into the source region; the one
+                            // payload copy happens on the destination node.
+                            fifo.deliver_batch(npackets, |i| {
+                                let (off, chunk) = header(i);
+                                MuPacket {
+                                    src_node,
+                                    src_context,
+                                    dispatch,
+                                    metadata: bytes::Bytes::clone(&metadata),
+                                    msg_id,
+                                    msg_len: msg_len as u32,
+                                    offset: off as u32,
+                                    payload: PacketPayload::Region {
+                                        region: region.clone(),
+                                        offset: base + off,
+                                        len: chunk,
+                                    },
+                                }
+                            });
+                        }
                     }
                 }
+                dst.packets_received.store_add(npackets);
                 let _ = dst_context;
             }
             XferKind::DirectPut { dst_region, dst_offset, rec_counter } => {
@@ -335,7 +446,7 @@ impl MuFabric {
             XferKind::RemoteGet { payload: get_desc } => {
                 let dst = self.node(dst_node);
                 dst.sys_inj.queue.push(*get_desc);
-                if let Some(w) = dst.sys_wakeup.lock().as_ref() {
+                if let Some(w) = dst.sys_wakeup.get() {
                     w.touch();
                 }
                 if matches!(self.inner.mode, EngineMode::Threaded(_)) {
@@ -396,19 +507,103 @@ mod tests {
             memfifo_desc(1, rec, PayloadSource::Region { region, offset: 0, len: 1300 }),
         );
         // 1300 bytes → 3 packets (512+512+276).
-        let mut out = vec![0u8; 1300];
+        let out = MemRegion::zeroed(1300);
         let mut count = 0;
-        while let Some(p) = fabric.poll_rec(1, rec) {
-            out[p.offset as usize..p.offset as usize + p.payload.len()]
-                .copy_from_slice(&p.payload);
+        while let Some(mut p) = fabric.poll_rec(1, rec) {
+            assert!(
+                p.payload.view().is_empty(),
+                "region payload stays in source memory until deposited"
+            );
             assert_eq!(p.msg_len, 1300);
             assert_eq!(p.dispatch, 7);
+            let off = p.offset as usize;
+            p.payload.deposit(&out, off);
             count += 1;
         }
         assert_eq!(count, 3);
-        assert_eq!(out, data);
+        assert_eq!(out.to_vec(), data);
         assert_eq!(fabric.stats(1).packets_received, 3);
         assert_eq!(fabric.stats(0).fifo_messages, 1);
+    }
+
+    #[test]
+    fn region_eager_with_counter_stages_and_completes_at_injection() {
+        // With a completion counter the MU reads the source buffer at
+        // injection: local completion never depends on receiver progress,
+        // and the buffer is genuinely reusable once the counter fires.
+        let fabric = small_fabric();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let region = MemRegion::from_vec(vec![7u8; 1000]);
+        let local_done = Counter::new();
+        local_done.add_expected(1000);
+        let mut desc = memfifo_desc(
+            1,
+            rec,
+            PayloadSource::Region { region: region.clone(), offset: 0, len: 1000 },
+        );
+        desc.inj_counter = Some(local_done.clone());
+        fabric.execute_now(0, desc);
+        assert!(
+            local_done.is_complete(),
+            "sender completion must not wait for receiver deposits"
+        );
+        // The buffer-reuse contract: overwriting the source after the
+        // counter fires must not corrupt the in-flight message.
+        region.fill(0, 1000, 0xEE);
+        let dst = MemRegion::zeroed(1000);
+        let mut count = 0;
+        while let Some(mut p) = fabric.poll_rec(1, rec) {
+            assert!(!p.payload.view().is_empty(), "DMA staged the bytes at injection");
+            let off = p.offset as usize;
+            p.payload.deposit(&dst, off);
+            count += 1;
+        }
+        assert_eq!(count, 2);
+        assert_eq!(dst.to_vec(), vec![7u8; 1000]);
+        // The per-packet DMA reads are counted on the source node.
+        assert_eq!(fabric.stats(0).payload_copies, 2);
+    }
+
+    #[test]
+    fn region_eager_without_counter_is_zero_copy_until_deposit() {
+        // With no completion counter there is no synchronization edge, so
+        // the read of the source buffer is deferred to the receiver's
+        // deposit: packets carry windows, not bytes — zero source-side
+        // copies.
+        let fabric = small_fabric();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let data: Vec<u8> = (0..1000).map(|i| (i % 201) as u8).collect();
+        let region = MemRegion::from_vec(data.clone());
+        fabric.execute_now(
+            0,
+            memfifo_desc(1, rec, PayloadSource::Region { region, offset: 0, len: 1000 }),
+        );
+        assert_eq!(fabric.stats(0).payload_copies, 0, "no staging on the source node");
+        let dst = MemRegion::zeroed(1000);
+        while let Some(mut p) = fabric.poll_rec(1, rec) {
+            assert!(p.payload.view().is_empty(), "bytes still live in source memory");
+            let off = p.offset as usize;
+            p.payload.deposit(&dst, off);
+        }
+        assert_eq!(dst.to_vec(), data);
+    }
+
+    #[test]
+    fn msg_ids_keep_node_bits_clean_of_sequence_overflow() {
+        let fabric = small_fabric();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        // Force the sequence counter near the 40-bit boundary.
+        fabric.inner.nodes[0]
+            .msg_seq
+            .store((1u64 << 40) - 1, Ordering::Relaxed);
+        for _ in 0..2 {
+            fabric.execute_now(0, memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::new())));
+        }
+        let a = fabric.poll_rec(1, rec).unwrap();
+        let b = fabric.poll_rec(1, rec).unwrap();
+        assert_eq!(a.msg_id >> 40, 0, "node 0 in high bits");
+        assert_eq!(b.msg_id >> 40, 0, "sequence wrap must not leak into node bits");
+        assert_ne!(a.msg_id, b.msg_id);
     }
 
     #[test]
@@ -509,7 +704,7 @@ mod tests {
         assert_eq!(fabric.pump_inj(0, inj, usize::MAX), 20);
         for i in 0..20u8 {
             let p = fabric.poll_rec(1, rec).expect("packet");
-            assert_eq!(p.payload[0], i, "in-order delivery");
+            assert_eq!(p.payload.view()[0], i, "in-order delivery");
         }
     }
 
@@ -544,7 +739,7 @@ mod tests {
             memfifo_desc(0, rec, PayloadSource::Immediate(Bytes::from_static(b"self"))),
         );
         let p = fabric.poll_rec(0, rec).unwrap();
-        assert_eq!(&p.payload[..], b"self");
+        assert_eq!(p.payload.view(), b"self");
         assert_eq!(p.src_node, 0);
     }
 }

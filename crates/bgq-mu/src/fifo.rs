@@ -11,6 +11,9 @@
 //! producers and the one owning context as consumer).
 
 
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::{Arc, OnceLock};
+
 use bgq_hw::{WakeupRegion, WorkQueue};
 use parking_lot::Mutex;
 
@@ -49,26 +52,44 @@ impl InjFifo {
 pub struct RecFifo {
     /// Delivered packets.
     pub queue: WorkQueue<MuPacket>,
-    wakeup: Mutex<Option<WakeupRegion>>,
+    /// Set at most once, when the owning context attaches itself; read
+    /// lock-free on every delivery.
+    wakeup: OnceLock<WakeupRegion>,
 }
 
 impl RecFifo {
     pub(crate) fn new(capacity: usize) -> Self {
         RecFifo {
             queue: WorkQueue::with_capacity(capacity),
-            wakeup: Mutex::new(None),
+            wakeup: OnceLock::new(),
         }
     }
 
-    /// Attach a wakeup region; subsequent deliveries touch it.
+    /// Attach a wakeup region; subsequent deliveries touch it. A FIFO is
+    /// owned by exactly one context, so the region is set at most once —
+    /// later calls are ignored, keeping the delivery-side read lock-free.
     pub fn set_wakeup(&self, region: WakeupRegion) {
-        *self.wakeup.lock() = Some(region);
+        let _ = self.wakeup.set(region);
     }
 
     /// Deliver a packet (fabric side): enqueue and wake any watcher.
-    pub(crate) fn deliver(&self, packet: MuPacket) {
+    pub fn deliver(&self, packet: MuPacket) {
         self.queue.push(packet);
-        if let Some(w) = self.wakeup.lock().as_ref() {
+        if let Some(w) = self.wakeup.get() {
+            w.touch();
+        }
+    }
+
+    /// Deliver `n` packets produced by `make` in one ring claim
+    /// ([`WorkQueue::push_batch_with`]) with a single wakeup touch — the
+    /// whole-message delivery path: an N-packet message costs one atomic
+    /// claim and one wakeup, not N of each.
+    pub(crate) fn deliver_batch<F>(&self, n: u64, make: F)
+    where
+        F: FnMut(u64) -> MuPacket,
+    {
+        self.queue.push_batch_with(n, make);
+        if let Some(w) = self.wakeup.get() {
             w.touch();
         }
     }
@@ -81,6 +102,72 @@ impl RecFifo {
     /// Whether the FIFO currently holds no packets.
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+}
+
+/// Fixed-size, lock-free table of a node's FIFOs.
+///
+/// The MU's FIFO count is a hardware constant (544 injection / 272
+/// reception per node), so the table is a fixed array of slots published
+/// with [`OnceLock`]: allocation writes a slot exactly once (slot indices
+/// come from the mutex-guarded [`FifoAllocator`], which is not on the hot
+/// path), after which every lookup — packet delivery, `poll_rec`, handle
+/// caching, engine pumps — is a plain atomic load with no lock and no
+/// refcount traffic.
+pub struct FifoTable<T> {
+    slots: Box<[OnceLock<Arc<T>>]>,
+    /// High-water mark of published slots; engines iterate `0..allocated()`.
+    allocated: AtomicU16,
+}
+
+impl<T> FifoTable<T> {
+    /// A table with `capacity` (hardware-limit) slots, all unallocated.
+    pub fn new(capacity: usize) -> Self {
+        FifoTable {
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            allocated: AtomicU16::new(0),
+        }
+    }
+
+    /// Shared handle to an allocated FIFO.
+    ///
+    /// # Panics
+    /// If `id` was never allocated (software addressing a FIFO it does not
+    /// own — the hardware would raise a fatal interrupt).
+    #[inline]
+    pub fn get(&self, id: u16) -> &Arc<T> {
+        self.slots[id as usize]
+            .get()
+            .expect("FIFO id addressed before allocation")
+    }
+
+    /// Like [`FifoTable::get`] but `None` for unallocated ids.
+    #[inline]
+    pub fn try_get(&self, id: u16) -> Option<&Arc<T>> {
+        self.slots.get(id as usize).and_then(|s| s.get())
+    }
+
+    /// Publish a freshly allocated FIFO at `id`. Caller must own `id` via
+    /// the allocator; each slot is written exactly once.
+    pub(crate) fn publish(&self, id: u16, fifo: Arc<T>) {
+        if self.slots[id as usize].set(fifo).is_err() {
+            panic!("FIFO slot {id} allocated twice");
+        }
+        // Release-publish the high-water mark after the slot itself so a
+        // reader that observes `allocated > id` also observes the slot.
+        self.allocated.fetch_max(id + 1, Ordering::AcqRel);
+    }
+
+    /// Number of slots published so far (a high-water mark; slots below it
+    /// are all allocated because the allocator hands out dense ranges).
+    #[inline]
+    pub fn allocated(&self) -> usize {
+        self.allocated.load(Ordering::Acquire) as usize
+    }
+
+    /// Hardware slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -185,10 +272,61 @@ mod tests {
             msg_id: 1,
             msg_len: 0,
             offset: 0,
-            payload: Bytes::new(),
+            payload: crate::packet::PacketPayload::Inline(Bytes::new()),
         });
         assert_eq!(region.epoch(), 1);
         assert!(fifo.poll().is_some());
         assert!(fifo.poll().is_none());
+    }
+
+    #[test]
+    fn batch_delivery_touches_wakeup_once() {
+        let unit = bgq_hw::WakeupUnit::new();
+        let region = unit.region();
+        let fifo = RecFifo::new(16);
+        fifo.set_wakeup(region.clone());
+        fifo.deliver_batch(3, |i| MuPacket {
+            src_node: 0,
+            src_context: 0,
+            dispatch: 1,
+            metadata: Bytes::new(),
+            msg_id: 9,
+            msg_len: 1300,
+            offset: i as u32 * 512,
+            payload: crate::packet::PacketPayload::Inline(Bytes::new()),
+        });
+        assert_eq!(region.epoch(), 1, "one wakeup for the whole message");
+        for _ in 0..3 {
+            assert!(fifo.poll().is_some());
+        }
+        assert!(fifo.poll().is_none());
+    }
+
+    #[test]
+    fn fifo_table_publishes_lock_free() {
+        let t: FifoTable<u32> = FifoTable::new(8);
+        assert_eq!(t.allocated(), 0);
+        assert_eq!(t.capacity(), 8);
+        assert!(t.try_get(0).is_none());
+        t.publish(0, Arc::new(10));
+        t.publish(1, Arc::new(11));
+        assert_eq!(t.allocated(), 2);
+        assert_eq!(**t.get(1), 11);
+        assert!(t.try_get(2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn fifo_table_rejects_double_publish() {
+        let t: FifoTable<u32> = FifoTable::new(2);
+        t.publish(0, Arc::new(1));
+        t.publish(0, Arc::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "before allocation")]
+    fn fifo_table_rejects_unallocated_lookup() {
+        let t: FifoTable<u32> = FifoTable::new(2);
+        let _ = t.get(1);
     }
 }

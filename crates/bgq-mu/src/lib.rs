@@ -44,5 +44,8 @@ pub use bgq_hw::Counter;
 pub use descriptor::{Descriptor, PayloadSource, XferKind};
 pub use engine::EngineMode;
 pub use fabric::{MuFabric, MuFabricBuilder, NodeStats};
-pub use fifo::{FifoAllocator, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE, REC_FIFOS_PER_NODE};
-pub use packet::MuPacket;
+pub use fifo::{
+    FifoAllocator, FifoTable, InjFifo, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE,
+    REC_FIFOS_PER_NODE,
+};
+pub use packet::{MuPacket, PacketPayload};

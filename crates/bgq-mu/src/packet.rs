@@ -1,6 +1,82 @@
 //! MU packets as they land in reception FIFOs.
 
+use bgq_hw::MemRegion;
 use bytes::Bytes;
+
+/// A packet's payload — either bytes carried in the packet itself or a
+/// zero-copy window into the *source* node's registered memory.
+///
+/// The real MU DMAs payload from source memory onto the wire; the receiving
+/// software's single copy is pulling it out of the reception FIFO into the
+/// destination buffer. The simulation reproduces that copy count: a
+/// [`PacketPayload::Region`] packet carries no staged bytes, only a
+/// refcounted window into the source region (standing in for the bytes the
+/// hardware would have placed in the FIFO's packet buffer), and
+/// [`PacketPayload::deposit`] performs the one region-to-destination copy.
+#[derive(Debug)]
+pub enum PacketPayload {
+    /// Bytes staged in the packet (the `PAMI_Send_immediate` copy-through
+    /// path). Shared slices of the message payload; cheap refcount clones.
+    Inline(Bytes),
+    /// Zero-copy window into the source region.
+    Region {
+        /// Source region (refcounted handle, no bytes copied).
+        region: MemRegion,
+        /// Window offset within `region`.
+        offset: usize,
+        /// Window length (≤ 512).
+        len: usize,
+    },
+}
+
+impl PacketPayload {
+    /// Logical payload length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            PacketPayload::Inline(b) => b.len(),
+            PacketPayload::Region { len, .. } => *len,
+        }
+    }
+
+    /// Whether the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload bytes *as visible in the packet buffer*: the staged
+    /// bytes for [`PacketPayload::Inline`], empty for
+    /// [`PacketPayload::Region`] (the data is still in source memory —
+    /// consumers must [`PacketPayload::deposit`] it). Dispatch handlers are
+    /// handed this view; a handler that sees fewer bytes than the message
+    /// length returns [`Recv::Into`](`crate::packet`) -style deposit
+    /// instructions rather than consuming in place.
+    #[inline]
+    pub fn view(&self) -> &[u8] {
+        match self {
+            PacketPayload::Inline(b) => b,
+            PacketPayload::Region { .. } => &[],
+        }
+    }
+
+    /// Deposit the payload into `dst` at `dst_offset` — the receive-side
+    /// copy (exactly one for either variant).
+    pub fn deposit(&mut self, dst: &MemRegion, dst_offset: usize) {
+        match self {
+            PacketPayload::Inline(b) => dst.write(dst_offset, b),
+            PacketPayload::Region { region, offset, len } => {
+                dst.copy_from(dst_offset, region, *offset, *len);
+            }
+        }
+    }
+}
+
+impl From<Bytes> for PacketPayload {
+    fn from(b: Bytes) -> Self {
+        PacketPayload::Inline(b)
+    }
+}
 
 /// A memory-FIFO packet: the unit software pulls out of a reception FIFO.
 ///
@@ -11,7 +87,9 @@ use bytes::Bytes;
 /// sends it in the first packet; the simulation clones the handle — a cheap
 /// refcount bump — onto every packet, which avoids modeling out-of-order
 /// header arrival while preserving per-packet payload granularity).
-#[derive(Debug, Clone)]
+///
+/// Packets are intentionally not `Clone`: each one owns its payload window.
+#[derive(Debug)]
 pub struct MuPacket {
     /// Source node index.
     pub src_node: u32,
@@ -28,8 +106,8 @@ pub struct MuPacket {
     pub msg_len: u32,
     /// Offset of this packet's payload within the message.
     pub offset: u32,
-    /// This packet's payload slice (≤ 512 bytes).
-    pub payload: Bytes,
+    /// This packet's payload (≤ 512 bytes, possibly a zero-copy window).
+    pub payload: PacketPayload,
 }
 
 impl MuPacket {
@@ -62,7 +140,7 @@ mod tests {
             msg_id: 1,
             msg_len: total,
             offset,
-            payload: Bytes::from(vec![0u8; len]),
+            payload: PacketPayload::Inline(Bytes::from(vec![0u8; len])),
         }
     }
 
@@ -82,5 +160,32 @@ mod tests {
         assert!(p.is_first());
         assert!(p.is_last());
         assert_eq!(p.packets_in_message(), 1);
+    }
+
+    #[test]
+    fn region_payload_reports_logical_len_but_empty_view() {
+        let region = MemRegion::from_vec((0..64).collect());
+        let p = PacketPayload::Region { region, offset: 8, len: 16 };
+        assert_eq!(p.len(), 16);
+        assert!(!p.is_empty());
+        assert!(p.view().is_empty(), "region bytes live in source memory");
+    }
+
+    #[test]
+    fn deposit_copies_window() {
+        let src = MemRegion::from_vec((0..32).collect());
+        let dst = MemRegion::zeroed(32);
+        let mut p = PacketPayload::Region { region: src, offset: 4, len: 8 };
+        p.deposit(&dst, 16);
+        assert_eq!(&dst.to_vec()[16..24], &(4..12).collect::<Vec<u8>>()[..]);
+    }
+
+    #[test]
+    fn inline_deposit_writes_bytes() {
+        let dst = MemRegion::zeroed(8);
+        let mut p = PacketPayload::Inline(Bytes::from_static(b"abcd"));
+        assert_eq!(p.view(), b"abcd");
+        p.deposit(&dst, 2);
+        assert_eq!(&dst.to_vec()[2..6], b"abcd");
     }
 }

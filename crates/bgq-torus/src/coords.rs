@@ -143,7 +143,7 @@ impl TorusShape {
         // Peel factors, round-robin over dimensions for near-cubic shapes.
         let mut factor = 2usize;
         while remaining > 1 {
-            if remaining % factor == 0 {
+            if remaining.is_multiple_of(factor) {
                 remaining /= factor;
                 extents[dim] = extents[dim].saturating_mul(factor as u16);
                 dim = (dim + 1) % NUM_DIMS;

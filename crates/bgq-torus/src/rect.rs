@@ -41,8 +41,8 @@ impl Rectangle {
     /// The rectangle covering an entire torus shape.
     pub fn full(shape: TorusShape) -> Self {
         let mut hi = [0u16; NUM_DIMS];
-        for d in 0..NUM_DIMS {
-            hi[d] = shape.0[d] - 1;
+        for (d, h) in hi.iter_mut().enumerate() {
+            *h = shape.0[d] - 1;
         }
         Rectangle { lo: Coords([0; NUM_DIMS]), hi: Coords(hi) }
     }

@@ -732,6 +732,7 @@ pub fn scatter(
 
     // Receive my subtree's blocks from my parent (root starts with all,
     // rotated so relative block x is at x·blk).
+    #[allow(clippy::needless_late_init)] // else-branch assigns inside a loop and returns
     let accum;
     let mut recv_mask = n.next_power_of_two();
     if relative == 0 {
@@ -770,6 +771,7 @@ pub fn scatter(
 
 /// Send each child its slice of `accum` (which holds relative blocks
 /// [relative, relative + extent)).
+#[allow(clippy::too_many_arguments)] // mirrors the recursive scatter state
 fn scatter_forward(
     geom: &Geometry,
     ctx: &Context,

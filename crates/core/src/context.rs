@@ -15,10 +15,14 @@
 //! any thread: they only push onto MPSC queues.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bgq_hw::{Counter, L2Counter, L2TicketMutex, MemRegion, WakeupRegion, WorkQueue};
-use bgq_mu::{Descriptor, EngineMode, InjFifoId, MuPacket, PayloadSource, RecFifo, RecFifoId, XferKind};
+use bgq_mu::{
+    Descriptor, EngineMode, InjFifo, InjFifoId, MuPacket, PayloadSource, RecFifo, RecFifoId,
+    XferKind,
+};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
@@ -103,11 +107,25 @@ pub struct Context {
     rec_fifo_id: RecFifoId,
     rec_fifo: Arc<RecFifo>,
     inj_ids: Vec<InjFifoId>,
+    /// Cached handles to this context's exclusive injection FIFOs —
+    /// initiation and pumping never re-consult the fabric's FIFO table.
+    inj_fifos: Vec<Arc<InjFifo>>,
+    /// Cached handle to the node's system injection FIFO (emptiness probe
+    /// for the idle fast path).
+    sys_fifo: Arc<InjFifo>,
+    /// Whether descriptors are executed inline from `advance` (cached from
+    /// the fabric's engine mode).
+    inline_engine: bool,
     mailbox: Arc<ShmMailbox>,
     wakeup: WakeupRegion,
     work: WorkQueue<WorkFn>,
     dispatch: RwLock<HashMap<u16, DispatchFn>>,
     advance_state: Mutex<AdvanceState>,
+    /// Number of in-flight internal obligations (reassembly entries plus
+    /// pending rendezvous receives). Written only under `advance_state`;
+    /// read lock-free by [`Context::is_quiescent`] and the empty-fast-path
+    /// in [`Context::advance`].
+    pending_internal: AtomicUsize,
     user_lock: L2TicketMutex,
     // statistics
     sends_initiated: L2Counter,
@@ -134,6 +152,12 @@ impl Context {
             .fabric()
             .alloc_inj_fifos(node, machine.inj_fifos_per_context)
             .unwrap_or_else(|| panic!("node {node} out of MU injection FIFOs"));
+        let inj_fifos: Vec<Arc<InjFifo>> = inj_ids
+            .iter()
+            .map(|id| machine.fabric().inj_fifo(node, *id))
+            .collect();
+        let sys_fifo = machine.fabric().sys_fifo(node);
+        let inline_engine = matches!(machine.fabric().engine_mode(), EngineMode::Inline);
         let mailbox = Arc::new(ShmMailbox::new(512, wakeup.clone()));
         machine.register_endpoint(
             client,
@@ -153,6 +177,9 @@ impl Context {
             rec_fifo_id,
             rec_fifo,
             inj_ids,
+            inj_fifos,
+            sys_fifo,
+            inline_engine,
             mailbox,
             wakeup,
             work: WorkQueue::with_capacity(256),
@@ -161,6 +188,7 @@ impl Context {
                 reassembly: HashMap::new(),
                 rzv_pending: Vec::new(),
             }),
+            pending_internal: AtomicUsize::new(0),
             user_lock: L2TicketMutex::new(),
             sends_initiated: L2Counter::new(0),
             messages_dispatched: L2Counter::new(0),
@@ -416,8 +444,9 @@ impl Context {
     /// context uses the same FIFO, "so that the same FIFO is used every
     /// time for a given destination" — the ordering rule.
     fn inject_to(&self, dest_task: u32, desc: Descriptor) {
-        let fifo = self.inj_ids[dest_task as usize % self.inj_ids.len()];
-        self.machine.fabric().inject(self.node, fifo, desc);
+        // Cached-handle injection: no FIFO-table lookup on the send path.
+        let fifo = &self.inj_fifos[dest_task as usize % self.inj_fifos.len()];
+        self.machine.fabric().inject_handle(self.node, fifo, desc);
     }
 
     fn send_shm(&self, args: SendArgs) {
@@ -467,10 +496,29 @@ impl Context {
     /// number of events processed. Concurrent calls are safe; the loser
     /// makes no progress and returns 0.
     pub fn advance(&self) -> usize {
+        // Empty fast path: when every queue this context drains is
+        // observably empty, return without taking the advance lock at all —
+        // the polling-loop cost the paper's latency numbers depend on.
+        if self.observably_idle() {
+            return 0;
+        }
         let Some(mut st) = self.advance_state.try_lock() else {
             return 0;
         };
         self.advance_locked(&mut st)
+    }
+
+    /// Lock-free probe of every queue `advance` would drain. `true` means a
+    /// full `advance` would process zero events right now.
+    #[inline]
+    fn observably_idle(&self) -> bool {
+        self.work.is_empty()
+            && self.rec_fifo.is_empty()
+            && self.mailbox.queue.is_empty()
+            && self.pending_internal.load(Ordering::Acquire) == 0
+            && (!self.inline_engine
+                || (self.inj_fifos.iter().all(|f| f.queue.is_empty())
+                    && self.sys_fifo.queue.is_empty()))
     }
 
     /// Keep advancing (yielding the CPU in between) until `cond` is true.
@@ -483,14 +531,14 @@ impl Context {
     }
 
     /// Whether the context believes it has nothing to do (used by
-    /// commthreads to decide to park).
+    /// commthreads to decide to park). Non-blocking: reads only lock-free
+    /// queue-emptiness probes and the `pending_internal` counter, so a
+    /// commthread can poll it while another thread holds the advance lock.
     pub fn is_quiescent(&self) -> bool {
-        let st = self.advance_state.lock();
         self.work.is_empty()
             && self.rec_fifo.is_empty()
             && self.mailbox.queue.is_empty()
-            && st.reassembly.is_empty()
-            && st.rzv_pending.is_empty()
+            && self.pending_internal.load(Ordering::Acquire) == 0
     }
 
     fn advance_locked(&self, st: &mut AdvanceState) -> usize {
@@ -510,9 +558,9 @@ impl Context {
 
         // 2. Pump this context's own injection FIFOs (inline engine mode;
         //    with threaded engines this finds them empty).
-        if matches!(self.machine.fabric().engine_mode(), EngineMode::Inline) {
-            for id in &self.inj_ids {
-                events += self.machine.fabric().pump_inj(self.node, *id, INJ_BUDGET);
+        if self.inline_engine {
+            for fifo in &self.inj_fifos {
+                events += self.machine.fabric().pump_inj_handle(self.node, fifo, INJ_BUDGET);
             }
             // 3. Service the node's system FIFO (remote gets targeting any
             //    context on this node); one context at a time.
@@ -549,6 +597,7 @@ impl Context {
             while i < st.rzv_pending.len() {
                 if st.rzv_pending[i].0.is_complete() {
                     let (_c, cb) = st.rzv_pending.swap_remove(i);
+                    self.pending_internal.fetch_sub(1, Ordering::AcqRel);
                     if let Some(cb) = cb {
                         cb(self);
                     }
@@ -562,7 +611,7 @@ impl Context {
         events
     }
 
-    fn handle_mu_packet(&self, st: &mut AdvanceState, pkt: MuPacket) {
+    fn handle_mu_packet(&self, st: &mut AdvanceState, mut pkt: MuPacket) {
         if pkt.is_first() {
             let (src_task, body) = wire::open_envelope(&pkt.metadata);
             let src = Endpoint { task: src_task, context: pkt.src_context };
@@ -578,17 +627,25 @@ impl Context {
             };
             self.messages_dispatched.store_add(1);
             let handler = self.handler(pkt.dispatch);
-            match handler(self, &msg, &pkt.payload) {
+            // The handler sees the bytes staged in the packet buffer —
+            // everything for an inline payload, nothing for a zero-copy
+            // window (the data is still in source memory and must be
+            // deposited).
+            match handler(self, &msg, pkt.payload.view()) {
                 Recv::Done => {
                     assert!(
-                        pkt.is_last(),
+                        pkt.is_last() && pkt.payload.view().len() == pkt.payload.len(),
                         "Recv::Done on a partial payload ({} of {} bytes)",
-                        pkt.payload.len(),
+                        pkt.payload.view().len(),
                         pkt.msg_len
                     );
                 }
                 Recv::Into { region, offset, on_complete } => {
-                    region.write(offset, &pkt.payload);
+                    // The receive-side copy: packet buffer (or source
+                    // window) straight into the destination buffer.
+                    let pkt_len = pkt.payload.len();
+                    pkt.payload.deposit(&region, offset);
+                    self.machine.fabric().note_payload_copy(self.node);
                     if pkt.is_last() {
                         on_complete(self);
                     } else {
@@ -597,10 +654,11 @@ impl Context {
                             Reassembly {
                                 region,
                                 base_offset: offset,
-                                remaining: pkt.msg_len as usize - pkt.payload.len(),
+                                remaining: pkt.msg_len as usize - pkt_len,
                                 on_complete: Some(on_complete),
                             },
                         );
+                        self.pending_internal.fetch_add(1, Ordering::AcqRel);
                     }
                 }
             }
@@ -610,12 +668,14 @@ impl Context {
                 .reassembly
                 .get_mut(&key)
                 .expect("continuation packet without a first packet (ordering violated)");
-            entry
-                .region
-                .write(entry.base_offset + pkt.offset as usize, &pkt.payload);
-            entry.remaining -= pkt.payload.len();
+            let pkt_len = pkt.payload.len();
+            let dst_offset = entry.base_offset + pkt.offset as usize;
+            pkt.payload.deposit(&entry.region, dst_offset);
+            self.machine.fabric().note_payload_copy(self.node);
+            entry.remaining -= pkt_len;
             if entry.remaining == 0 {
                 let mut entry = st.reassembly.remove(&key).expect("entry present");
+                self.pending_internal.fetch_sub(1, Ordering::AcqRel);
                 if let Some(cb) = entry.on_complete.take() {
                     cb(self);
                 }
@@ -659,6 +719,7 @@ impl Context {
                 };
                 self.inject_to(src.task, get);
                 st.rzv_pending.push((done, Some(on_complete)));
+                self.pending_internal.fetch_add(1, Ordering::AcqRel);
             }
         }
     }
@@ -730,6 +791,11 @@ impl Context {
     /// The reception FIFO id (diagnostics).
     pub fn rec_fifo_id(&self) -> RecFifoId {
         self.rec_fifo_id
+    }
+
+    /// This context's exclusive injection FIFO ids (diagnostics).
+    pub fn inj_fifo_ids(&self) -> &[InjFifoId] {
+        &self.inj_ids
     }
 
     /// This context's shared-memory mailbox (exposed for tests).

@@ -100,7 +100,7 @@ impl Topology {
                     return None;
                 }
                 let delta = task - first;
-                (delta % stride == 0 && delta / stride < *count)
+                (delta.is_multiple_of(*stride) && delta / stride < *count)
                     .then(|| (delta / stride) as usize)
             }
             Topology::Rect { rect, shape, ppn } => {

@@ -106,6 +106,67 @@ fn eager_send_multi_packet_reassembles() {
 }
 
 #[test]
+fn eager_region_path_copies_payload_exactly_once() {
+    // The zero-copy audit: an eager memory-FIFO message whose source needs
+    // no completion signal crosses the fabric with exactly ONE payload copy
+    // end-to-end — the receiver's deposit from the source window into the
+    // destination buffer. The seed implementation performed two (a
+    // whole-message staging copy at injection plus the deposit).
+    let machine = Machine::with_nodes(2).build();
+    let c0 = Client::create(&machine, 0, "t", 1);
+    let c1 = Client::create(&machine, 1, "t", 1);
+    let sink = Arc::new(Sink::default());
+    c1.context(0).set_dispatch(DISPATCH, sink.handler());
+
+    // Single-packet eager (400 bytes).
+    let data: Vec<u8> = (0..400u32).map(|i| (i % 97) as u8).collect();
+    c0.context(0).send(SendArgs {
+        dest: Endpoint::of_task(1),
+        dispatch: DISPATCH,
+        metadata: vec![],
+        payload: PayloadSource::Region {
+            region: MemRegion::from_vec(data.clone()),
+            offset: 0,
+            len: 400,
+        },
+        local_done: None,
+    });
+    while sink.received() < 1 {
+        c0.context(0).advance();
+        c1.context(0).advance();
+    }
+    assert_eq!(sink.messages.lock()[0].2, data);
+    let stats0 = machine.fabric().stats(0);
+    let stats1 = machine.fabric().stats(1);
+    assert_eq!(stats0.payload_copies, 0, "no staging copy on the source node");
+    assert_eq!(stats1.payload_copies, 1, "exactly one deposit copy on the destination");
+
+    // Multi-packet eager (3000 bytes → 6 packets): still one copy per
+    // payload byte, all on the destination side.
+    let data2: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+    c0.context(0).send(SendArgs {
+        dest: Endpoint::of_task(1),
+        dispatch: DISPATCH,
+        metadata: vec![],
+        payload: PayloadSource::Region {
+            region: MemRegion::from_vec(data2.clone()),
+            offset: 0,
+            len: 3000,
+        },
+        local_done: None,
+    });
+    while sink.received() < 2 {
+        c0.context(0).advance();
+        c1.context(0).advance();
+    }
+    assert_eq!(sink.messages.lock()[1].2, data2);
+    let stats0 = machine.fabric().stats(0);
+    let stats1 = machine.fabric().stats(1);
+    assert_eq!(stats0.payload_copies, 0, "source node never touches payload bytes");
+    assert_eq!(stats1.payload_copies, 1 + 6, "one deposit per packet, nothing else");
+}
+
+#[test]
 fn rendezvous_send_pulls_large_payload() {
     let machine = Machine::with_nodes(2).build();
     let c0 = Client::create(&machine, 0, "t", 1);

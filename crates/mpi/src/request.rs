@@ -117,7 +117,7 @@ impl RequestAllocator {
         }
         // Cheap thread identity: hash the address of a thread-local.
         thread_local! {
-            static MARKER: u8 = 0;
+            static MARKER: u8 = const { 0 };
         }
         let addr = MARKER.with(|m| m as *const u8 as usize);
         (addr >> 4) % self.shards.len()

@@ -6,10 +6,8 @@
 //! the measurement (per-message software costs). Every constant is a plain
 //! field so ablations can sweep it.
 
-use serde::{Deserialize, Serialize};
-
 /// All timing/bandwidth constants of the modeled machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineParams {
     // ---- links & packets -------------------------------------------------
     /// Raw per-direction link bandwidth (B/s): 2 GB/s.

@@ -84,6 +84,7 @@ impl<T: PartialEq> Engine<T> {
     }
 
     /// Pop the next event, advancing time.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: &mut self re-entrancy with run()
     pub fn next(&mut self) -> Option<Event<T>> {
         let ev = self.heap.pop()?;
         self.now = ev.time;

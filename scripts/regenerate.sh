@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Regenerate every artifact EXPERIMENTS.md records:
-#   test_output.txt   — full workspace test run
-#   bench_output.txt  — full Criterion benchmark run
-#   repro_output.txt  — every paper table/figure (measured + modeled)
+#   test_output.txt     — full workspace test run
+#   bench_output.txt    — full Criterion benchmark run
+#   repro_output.txt    — every paper table/figure (measured + modeled)
+#   BENCH_msgrate.json  — MU fast-path message-rate / copy-count record
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo test --workspace 2>&1 | tee test_output.txt
 cargo build --release -p pami-bench
 ./target/release/repro all | tee repro_output.txt
+./target/release/msgrate
 cargo bench --workspace 2>&1 | tee bench_output.txt

@@ -1,0 +1,273 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], the group
+//! configuration chain (`warm_up_time`, `sample_size`, `measurement_time`,
+//! `throughput`), [`Bencher::iter`] and [`Bencher::iter_custom`],
+//! [`Throughput`], and [`black_box`].
+//!
+//! Passing `--test` on the command line (as `cargo bench -- --test` does)
+//! runs every benchmark exactly once as a smoke test, matching real
+//! criterion's behavior for CI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group; reported alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("\nbenchmark group: {name}");
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            test_mode,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                format!(
+                    "  ({:.3} Melem/s)",
+                    n as f64 / b.ns_per_iter * 1e9 / 1e6
+                )
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                format!(
+                    "  ({:.3} MiB/s)",
+                    n as f64 / b.ns_per_iter * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        if self.test_mode {
+            println!("  {}/{id}: smoke ok", self.name);
+        } else {
+            println!(
+                "  {}/{id}: {:.1} ns/iter over {} iters{rate}",
+                self.name, b.ns_per_iter, b.iters
+            );
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called in batches until the measurement budget is
+    /// spent. In `--test` mode the routine runs exactly once.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up & batch calibration: grow the batch until it runs ≥ ~1ms.
+        let mut batch = 1u64;
+        let warm_end = Instant::now() + self.warm_up;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt < Duration::from_millis(1) && batch < (1 << 24) {
+                batch *= 2;
+            }
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        // Measurement: fixed-size batches until the time budget is spent.
+        let samples = self.sample_size.max(1) as u64;
+        let budget = self.measurement;
+        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut done = 0u64;
+        while done < samples && start.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+            done += 1;
+        }
+        self.iters = iters.max(1);
+        self.ns_per_iter = total.as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Time a routine that runs `n` iterations itself and reports how long
+    /// they took — for benchmarks whose per-iteration setup must be excluded.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        if self.test_mode {
+            black_box(routine(1));
+            self.iters = 1;
+            return;
+        }
+        // Calibrate n so one call takes a meaningful fraction of the budget.
+        let mut n = 1u64;
+        loop {
+            let dt = routine(n);
+            if dt >= Duration::from_millis(5) || n >= (1 << 22) {
+                break;
+            }
+            n *= 4;
+        }
+        let samples = self.sample_size.max(1) as u64;
+        let budget = self.measurement;
+        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut done = 0u64;
+        while done < samples && start.elapsed() < budget {
+            total += routine(n);
+            iters += n;
+            done += 1;
+        }
+        self.iters = iters.max(1);
+        self.ns_per_iter = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        g.bench_function("custom", |b| {
+            b.iter_custom(|n| {
+                let t = Instant::now();
+                for i in 0..n {
+                    black_box(i);
+                }
+                t.elapsed()
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { test_mode: true };
+        sample_bench(&mut c);
+        let mut c = Criterion { test_mode: false };
+        sample_bench(&mut c);
+    }
+}

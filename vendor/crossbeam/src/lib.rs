@@ -1,0 +1,68 @@
+//! Minimal offline stand-in for the `crossbeam` facade crate. Only
+//! `crossbeam::utils::CachePadded` is provided — the single item this
+//! workspace consumes.
+
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent values. 128-byte alignment matches
+    /// crossbeam's choice on modern x86_64 (adjacent-line prefetcher) and is
+    /// a safe over-alignment elsewhere.
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn padded_is_aligned_and_transparent() {
+            let p = CachePadded::new(7u64);
+            assert_eq!(*p, 7);
+            assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+            assert_eq!(p.into_inner(), 7);
+        }
+    }
+}

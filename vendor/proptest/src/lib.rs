@@ -1,0 +1,649 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]` headers),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`/`prop_oneof!`,
+//! [`strategy::Strategy`] with `prop_map`, [`strategy::Just`], `any::<T>()`
+//! for primitive integers, integer and float range strategies, tuple
+//! strategies up to arity 6, `collection::vec`, and `option::weighted`.
+//!
+//! Differences from real proptest: generation only (no shrinking), and a
+//! deterministic per-test RNG seed so failures reproduce exactly.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A source of random values of type `Value`. Unlike real proptest there
+    /// is no shrink tree — `generate` just produces a value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<V, S: Strategy<Value = V> + ?Sized> Strategy for Box<S> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<V, S: Strategy<Value = V> + ?Sized> Strategy for &S {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `s.prop_map(f)` adaptor.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives — the engine behind
+    /// `prop_oneof!`.
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Coerce a concrete strategy to a boxed trait object (used by
+    /// `prop_oneof!` so heterogeneous arms unify on their `Value`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    // ------------------------------------------------------ range strategies
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (self.start as f64 + unit * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    // ------------------------------------------------------ tuple strategies
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A a)
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+        (A a, B b, C c, D d, E e)
+        (A a, B b, C c, D d, E e, F f)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Full-range generation for primitive types, reachable via `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for a primitive type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy producing `Some(inner)` with probability `prob`.
+    pub struct Weighted<S> {
+        prob: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.prob {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `proptest::option::weighted(prob, strategy)`.
+    pub fn weighted<S: Strategy>(prob: f64, inner: S) -> Weighted<S> {
+        Weighted { prob, inner }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+
+    /// Deterministic SplitMix64 generator; one instance per property test.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — retry with a fresh input.
+        Reject(String),
+        /// `prop_assert*` failed — the property is false.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure, mirroring real proptest's constructor.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Construct a rejection, mirroring real proptest's constructor.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Drive `cases` successful executions of `test`, retrying rejected
+    /// inputs (up to a generous cap) and panicking on the first failure.
+    pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        // Stable per-test seed: failures reproduce deterministically.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng::new(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let max_rejects = config.cases as u64 * 64 + 1024;
+        while passed < config.cases {
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest {name}: too many inputs rejected by prop_assume! \
+                             ({rejected} rejections for {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest {name}: property failed after {passed} passing cases: {msg}");
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    // `#[macro_export]` macros live at the crate root; re-export for glob use.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ------------------------------------------------------------------ macros
+
+/// Uniform choice among strategy arms (weights are not supported by this
+/// stand-in; the workspace only uses unweighted arms).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert a boolean condition inside a property, failing the case (not the
+/// process) so the runner can report the generated input count.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions compare equal with `==`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Assert two expressions compare unequal with `!=`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Discard the current case and try another input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(a in 0u32..10, b in any::<u64>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse_args! {
+                config = ($config);
+                name = $name;
+                pats = ();
+                strats = ();
+                body = $body;
+                cur = ();
+                rest = ($($args)*);
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Token-muncher splitting `a in strat1, b in strat2, ...` into pattern and
+/// strategy lists. Strategy expressions may contain commas only inside
+/// bracketed groups (true for all ordinary expressions).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse_args {
+    // Begin an argument: grab its name and the `in` keyword.
+    (config = $cfg:tt; name = $name:ident; pats = ($($p:pat_param,)*); strats = ($($s:expr,)*);
+     body = $body:block; cur = (); rest = ($arg:ident in $($rest:tt)*);) => {
+        $crate::__proptest_parse_args! {
+            config = $cfg; name = $name; pats = ($($p,)* $arg,); strats = ($($s,)*);
+            body = $body; cur = (@strat); rest = ($($rest)*);
+        }
+    };
+    // End of the current strategy at a top-level comma.
+    (config = $cfg:tt; name = $name:ident; pats = $pats:tt; strats = ($($s:expr,)*);
+     body = $body:block; cur = (@strat $($acc:tt)+); rest = (, $($rest:tt)*);) => {
+        $crate::__proptest_parse_args! {
+            config = $cfg; name = $name; pats = $pats; strats = ($($s,)* ($($acc)+),);
+            body = $body; cur = (); rest = ($($rest)*);
+        }
+    };
+    // Accumulate one token of the current strategy expression.
+    (config = $cfg:tt; name = $name:ident; pats = $pats:tt; strats = $strats:tt;
+     body = $body:block; cur = (@strat $($acc:tt)*); rest = ($t:tt $($rest:tt)*);) => {
+        $crate::__proptest_parse_args! {
+            config = $cfg; name = $name; pats = $pats; strats = $strats;
+            body = $body; cur = (@strat $($acc)* $t); rest = ($($rest)*);
+        }
+    };
+    // Input exhausted mid-strategy: flush the final strategy.
+    (config = $cfg:tt; name = $name:ident; pats = $pats:tt; strats = ($($s:expr,)*);
+     body = $body:block; cur = (@strat $($acc:tt)+); rest = ();) => {
+        $crate::__proptest_parse_args! {
+            config = $cfg; name = $name; pats = $pats; strats = ($($s,)* ($($acc)+),);
+            body = $body; cur = (); rest = ();
+        }
+    };
+    // All arguments parsed: emit the runner invocation.
+    (config = ($cfg:expr); name = $name:ident; pats = ($($p:pat_param,)+); strats = ($($s:expr,)+);
+     body = $body:block; cur = (); rest = ();) => {
+        #[allow(unused_parens)]
+        {
+            let __config = $cfg;
+            let __strategy = ($($s,)+);
+            $crate::test_runner::run(
+                &__config,
+                stringify!($name),
+                __strategy,
+                |($($p,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = (3u32..11).generate(&mut rng);
+            assert!((3..11).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_sizes() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<i64>(), 1..16).generate(&mut rng);
+            assert!((1..16).contains(&v.len()));
+            let exact = crate::collection::vec(any::<i64>(), 4).generate(&mut rng);
+            assert_eq!(exact.len(), 4);
+            let _ = crate::option::weighted(0.6, 0u8..255).generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_single_arg(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn macro_multi_arg(
+            op in prop_oneof![Just(1u8), Just(2u8)],
+            v in crate::collection::vec(any::<i64>(), 1..8),
+            f in -1e3f64..1e3,
+        ) {
+            prop_assert!(op == 1 || op == 2);
+            prop_assert!(!v.is_empty());
+            prop_assume!(f != 0.5);
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn macro_prop_map(pair in (0u16..4, 0u16..4).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+}
