@@ -5,8 +5,17 @@
 //!
 //! * single-context eager message rate (one producer context per node),
 //! * 16-context aggregate message rate (16 processes per node),
+//! * multi-context rate (N contexts, N sender threads — paper Figure 5 shape),
 //! * eager half-round-trip latency,
-//! * payload copy counts observed by the MU for the eager memory-FIFO path.
+//! * payload copy counts observed by the MU for the eager memory-FIFO path,
+//! * telemetry overhead: the same rate with the UPC probes compiled out
+//!   (fed in via `MSGRATE_RATE_TELEMETRY_OFF` from a
+//!   `--no-default-features` run of this binary).
+//!
+//! When the `telemetry` feature is on, the run also emits the `pamistat`
+//! report pair: `telemetry.json` (counters + histogram summaries from every
+//! layer: `mu.*`, `ctx.*`, `match.*`, `coll.*`, `commthread.*`) and
+//! `telemetry_trace.json` (chrome://tracing timeline).
 //!
 //! `seed_rate` records the single-context rate measured on the pre-zero-copy
 //! tree (commit 281ce36 lineage) on this same host, so the JSON is a
@@ -16,7 +25,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pami::{Client, Context, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs};
-use pami_bench::{measure_message_rate, measure_pami_half_rtt, MeasuredRateSeries};
+use pami_bench::{
+    measure_message_rate, measure_message_rate_multi, measure_pami_half_rtt, pamistat_sample,
+    MeasuredRateSeries,
+};
 
 /// Single-context eager message rate of the tree *before* the zero-copy,
 /// lock-free fast path landed, measured with this same binary (msgs/sec).
@@ -30,6 +42,8 @@ const SEED_COPIES_PER_MSG: u64 = 2;
 /// (no local-completion counter — the zero-copy window path), summed over
 /// both nodes. The seed tree staged the whole message before fragmenting,
 /// making this 2; the zero-copy path's only copy is the receiver's deposit.
+/// Reads the UPC `mu.payload_copies` counters, so it is only meaningful
+/// when the `telemetry` feature is compiled in (0 otherwise).
 fn measure_eager_copies() -> u64 {
     let machine = Machine::with_nodes(2).build();
     let sender = Client::create(&machine, 0, "copies", 1);
@@ -68,7 +82,8 @@ fn measure_eager_copies() -> u64 {
         sender.context(0).advance();
         receiver.context(0).advance();
     }
-    machine.fabric().stats(0).payload_copies + machine.fabric().stats(1).payload_copies
+    machine.fabric().counters(0).payload_copies.value()
+        + machine.fabric().counters(1).payload_copies.value()
 }
 
 fn main() {
@@ -88,14 +103,46 @@ fn main() {
 
     let single = best(1, msgs);
     let sixteen = best(16, msgs / 16);
+    let multi_ctx = 4usize;
+    let multi = (0..3)
+        .map(|_| measure_message_rate_multi(multi_ctx, (msgs / multi_ctx).max(1)))
+        .fold(0.0f64, f64::max);
     let latency = measure_pami_half_rtt(false, 8, 2000).as_secs_f64();
     let copies = measure_eager_copies();
 
+    // Telemetry on/off delta. A `--no-default-features` build of this binary
+    // exports its single-context rate via MSGRATE_RATE_TELEMETRY_OFF so the
+    // default (telemetry-on) run can record the overhead in one JSON file.
+    let telemetry_enabled = bgq_upc::ENABLED;
+    let off_rate: Option<f64> = std::env::var("MSGRATE_RATE_TELEMETRY_OFF")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let (off_rate_json, overhead_json) = match off_rate {
+        Some(off) if off > 0.0 => (
+            format!("{off:.1}"),
+            format!("{:.3}", (off - single) / off * 100.0),
+        ),
+        _ => ("null".to_string(), "null".to_string()),
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"msgrate\",\n  \"msgs\": {msgs},\n  \"seed_rate\": {SEED_RATE:.1},\n  \"single_context_rate\": {single:.1},\n  \"rate_vs_seed\": {ratio:.3},\n  \"sixteen_context_rate\": {sixteen:.1},\n  \"eager_half_rtt_us\": {lat_us:.3},\n  \"seed_copies_per_eager_msg\": {SEED_COPIES_PER_MSG},\n  \"copies_per_eager_msg\": {copies}\n}}\n",
+        "{{\n  \"bench\": \"msgrate\",\n  \"msgs\": {msgs},\n  \"seed_rate\": {SEED_RATE:.1},\n  \"single_context_rate\": {single:.1},\n  \"rate_vs_seed\": {ratio:.3},\n  \"sixteen_context_rate\": {sixteen:.1},\n  \"multi_context_threads\": {multi_ctx},\n  \"multi_context_rate\": {multi:.1},\n  \"eager_half_rtt_us\": {lat_us:.3},\n  \"seed_copies_per_eager_msg\": {SEED_COPIES_PER_MSG},\n  \"copies_per_eager_msg\": {copies},\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry_off_rate\": {off_rate_json},\n  \"telemetry_overhead_pct\": {overhead_json}\n}}\n",
         ratio = if SEED_RATE > 0.0 { single / SEED_RATE } else { 0.0 },
         lat_us = latency * 1e6,
     );
     print!("{json}");
     std::fs::write("BENCH_msgrate.json", json).expect("write BENCH_msgrate.json");
+
+    // pamistat: a whole-stack sample workload whose single UPC registry
+    // snapshot covers every instrumented layer, plus the merged
+    // chrome://tracing timeline. Skipped when the probes are compiled out
+    // (the report would be empty).
+    if telemetry_enabled {
+        let (report, trace) = pamistat_sample();
+        std::fs::write("telemetry.json", &report).expect("write telemetry.json");
+        std::fs::write("telemetry_trace.json", &trace).expect("write telemetry_trace.json");
+        println!("pamistat: wrote telemetry.json + telemetry_trace.json");
+    } else {
+        println!("pamistat: telemetry feature compiled out; no report");
+    }
 }

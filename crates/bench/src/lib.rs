@@ -295,6 +295,154 @@ pub fn measure_message_rate(series: MeasuredRateSeries, ppn: usize, msgs: usize)
     }
 }
 
+/// Multi-context message rate (the paper's Figure 5 parallelism shape): one
+/// sender client on node 0 with `contexts` PAMI contexts and **one thread
+/// per context**, each flooding its paired receiver context on node 1 with
+/// `msgs` 8-byte messages. Every thread drives exactly its own context pair
+/// — contexts are independent, lock-free channels, so no thread ever takes
+/// a context lock and the aggregate rate scales with hardware threads.
+pub fn measure_message_rate_multi(contexts: usize, msgs: usize) -> f64 {
+    assert!(contexts >= 1);
+    let machine = Machine::with_nodes(2).build();
+    let sender = Client::create(&machine, 0, "mrate", contexts);
+    let receiver = Client::create(&machine, 1, "mrate", contexts);
+    let got: Vec<Arc<AtomicU64>> =
+        (0..contexts).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    for (i, g) in got.iter().enumerate() {
+        let g = Arc::clone(g);
+        receiver.context(i).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                g.fetch_add(1, Ordering::Relaxed);
+                Recv::Done
+            }),
+        );
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (i, g) in got.iter().enumerate() {
+            let stx = Arc::clone(sender.context(i));
+            let rtx = Arc::clone(receiver.context(i));
+            let g = Arc::clone(g);
+            s.spawn(move || {
+                for k in 0..msgs {
+                    stx.send(SendArgs {
+                        dest: Endpoint { task: 1, context: i as u16 },
+                        dispatch: 1,
+                        metadata: Vec::new(),
+                        payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[0u8; 8])),
+                        local_done: None,
+                    });
+                    if k % 16 == 0 {
+                        stx.advance();
+                        rtx.advance();
+                    }
+                }
+                while g.load(Ordering::Relaxed) < msgs as u64 {
+                    stx.advance();
+                    rtx.advance();
+                }
+            });
+        }
+    });
+    (msgs * contexts) as f64 / start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// pamistat: a whole-stack telemetry sample
+// ---------------------------------------------------------------------------
+
+/// Run a small whole-stack workload on one machine and return its
+/// (`telemetry.json`, chrome-trace JSON) pair — the `pamistat` report.
+///
+/// The workload deliberately crosses every instrumented layer so the
+/// report has non-zero counters from each: MU fabric traffic (`mu.*`,
+/// including rendezvous RDMA), context advance/sends (`ctx.*`), MPI
+/// matching with pre-posted, unexpected, and wildcard receives
+/// (`match.*`), hardware collectives with per-phase timing (`coll.*`),
+/// and a commthread pool servicing posted work (`commthread.*`).
+///
+/// With the `telemetry` feature off both strings are valid but empty
+/// reports (the probes compile to no-ops).
+pub fn pamistat_sample() -> (String, String) {
+    use pami::coll::Algorithm;
+    use pami::CommThreadPool;
+
+    let machine = Machine::with_nodes(2).ppn(2).build();
+    machine.run(|env| {
+        let mpi = Mpi::init(&env.machine, env.task, MpiConfig::default());
+        env.machine.task_barrier();
+        let world = mpi.world().clone();
+        let me = world.rank();
+        let n = world.size();
+        world.optimize().expect("world is rectangular");
+
+        // Pre-posted ring exchange, large enough for rendezvous RDMA
+        // (64 KiB > the 4 KiB eager limit).
+        const LEN: usize = 64 * 1024;
+        let rbuf = MemRegion::zeroed(LEN);
+        let sbuf = MemRegion::from_vec(vec![me as u8; LEN]);
+        let from = (me + n - 1) % n;
+        let to = (me + 1) % n;
+        let r = mpi.irecv(&rbuf, 0, LEN, from as i32, 7, &world);
+        mpi.barrier(&world);
+        let s = mpi.isend(&sbuf, 0, LEN, to, 7, &world);
+        mpi.wait(r);
+        mpi.wait(s);
+
+        // Unexpected + wildcard traffic: everyone fires at rank 0 before
+        // it posts, then rank 0 drains with ANY_SOURCE/ANY_TAG.
+        if me != 0 {
+            mpi.send(&sbuf, 0, 8, 0, 100 + me as i32, &world);
+        }
+        mpi.barrier(&world);
+        if me == 0 {
+            for _ in 0..n - 1 {
+                let b = MemRegion::zeroed(8);
+                mpi.recv(&b, 0, 8, ANY_SOURCE, pami_mpi::ANY_TAG, &world);
+            }
+        }
+
+        // Collectives over the classroute: barrier, allreduce (parallel
+        // local combine + pipelined network), broadcast.
+        mpi.barrier(&world);
+        let src = MemRegion::zeroed(1024);
+        let dst = MemRegion::zeroed(1024);
+        mpi.allreduce_with(
+            Algorithm::HwCollNet,
+            (&src, 0),
+            (&dst, 0),
+            128,
+            pami::CollOp::Sum,
+            pami::DataType::Float64,
+            &world,
+        );
+        mpi.bcast_with(Algorithm::HwCollNet, &src, 0, 1024, 0, &world);
+        mpi.barrier(&world);
+    });
+
+    // Commthread segment: a pool services posted work items on the same
+    // machine (parks in the wakeup unit, wakes, runs the handoffs).
+    let client = Client::create(&machine, 0, "stat", 1);
+    let ran = Arc::new(AtomicU64::new(0));
+    let pool = CommThreadPool::spawn(vec![Arc::clone(client.context(0))], 1);
+    for _ in 0..8 {
+        let ran = Arc::clone(&ran);
+        client.context(0).post(Box::new(move |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        }));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while ran.load(Ordering::Relaxed) < 8 {
+        assert!(Instant::now() < deadline, "commthread made no progress");
+        std::thread::yield_now();
+    }
+    pool.shutdown();
+
+    let upc = machine.telemetry();
+    (upc.report_json(), upc.chrome_trace_json())
+}
+
 // ---------------------------------------------------------------------------
 // Table 3 (measured): neighbor throughput
 // ---------------------------------------------------------------------------

@@ -164,7 +164,7 @@ mod tests {
                         // After release of round r, the generation is at
                         // least r+1 — a member can never observe an older
                         // one.
-                        assert!(b.generation() >= r + 1);
+                        assert!(b.generation() > r);
                         hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
                 });

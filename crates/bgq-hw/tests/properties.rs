@@ -165,7 +165,7 @@ fn workqueue_mixed_batch_producers_preserve_order() {
                 s.spawn(move || {
                     let mut i = 0u32;
                     while i < PER {
-                        if (i / 7) % 2 == 0 {
+                        if (i / 7).is_multiple_of(2) {
                             // Batch of up to 5 (clipped at PER).
                             let n = 5.min(PER - i);
                             let batch: Vec<(u8, u32)> =

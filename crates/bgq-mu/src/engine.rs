@@ -141,8 +141,24 @@ mod tests {
                 },
             );
         }
-        // No explicit pump anywhere: engines must deliver all four.
-        wait_for(|| fabric.stats(1).packets_received == 4, "engine delivery");
+        // No explicit pump anywhere: engines must deliver all four. Count
+        // arrivals by draining the reception FIFO (telemetry-independent).
+        let start = Instant::now();
+        let mut received = 0;
+        while received < 4 {
+            if fabric.poll_rec(1, rec).is_some() {
+                received += 1;
+            } else {
+                assert!(
+                    start.elapsed() < Duration::from_secs(10),
+                    "timeout: engine delivery"
+                );
+                std::thread::yield_now();
+            }
+        }
+        if cfg!(feature = "telemetry") {
+            assert_eq!(fabric.counters(1).packets_received.value(), 4);
+        }
     }
 
     #[test]

@@ -12,9 +12,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use bgq_hw::{L2Counter, WakeupRegion, WakeupUnit};
+use bgq_hw::{WakeupRegion, WakeupUnit};
 use bgq_torus::packet::MAX_PAYLOAD_BYTES;
 use bgq_torus::TorusShape;
+use bgq_upc::{Counter, Upc};
 
 use crate::descriptor::{Descriptor, PayloadSource, XferKind};
 use crate::engine::{self, EngineMode};
@@ -31,23 +32,48 @@ use crate::packet::{MuPacket, PacketPayload};
 /// still be in flight).
 const MSG_SEQ_MASK: u64 = (1 << 40) - 1;
 
-/// Snapshot of one node's MU activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NodeStats {
+/// Per-node MU telemetry probes (`mu.*` layer), registered on the fabric's
+/// [`Upc`] registry. These replaced the old bespoke `NodeStats` snapshot
+/// struct: each field is a live `bgq-upc` counter handle — read one with
+/// `.value()`, or aggregate all nodes through `Upc::snapshot()`. With the
+/// `telemetry` feature off every field is a zero-sized no-op.
+pub struct MuCounters {
     /// Memory-FIFO messages sent from this node.
-    pub fifo_messages: u64,
+    pub fifo_messages: Counter,
+    /// Memory-FIFO packets created at injection on this node.
+    pub packets_injected: Counter,
     /// Memory-FIFO packets delivered *to* this node.
-    pub packets_received: u64,
+    pub packets_received: Counter,
+    /// Packets dropped in the fabric. The simulated torus is lossless, so
+    /// this stays zero by construction — it exists so the report schema
+    /// matches real MU hardware, where it is the first thing to check.
+    pub packets_dropped: Counter,
     /// Direct-put bytes written into this node's memory.
-    pub put_bytes_in: u64,
+    pub put_bytes_in: Counter,
     /// Remote-get requests serviced by this node.
-    pub remote_gets_serviced: u64,
+    pub remote_gets_serviced: Counter,
     /// Descriptors executed by this node's engines.
-    pub descriptors_executed: u64,
-    /// Payload copies performed while receiving into this node's memory
-    /// (deposits out of the reception FIFO). The zero-copy eager path does
-    /// exactly one per packet; the old staging path did two.
-    pub payload_copies: u64,
+    pub descriptors_executed: Counter,
+    /// Payload copies performed on this node: receive-side deposits out of
+    /// the reception FIFO, plus source-side per-packet DMA staging when an
+    /// injection counter demands it. The zero-copy eager path does exactly
+    /// one per packet.
+    pub payload_copies: Counter,
+}
+
+impl MuCounters {
+    fn new(upc: &Upc) -> Self {
+        MuCounters {
+            fifo_messages: upc.counter("mu.fifo_messages"),
+            packets_injected: upc.counter("mu.packets_injected"),
+            packets_received: upc.counter("mu.packets_received"),
+            packets_dropped: upc.counter("mu.packets_dropped"),
+            put_bytes_in: upc.counter("mu.put_bytes_in"),
+            remote_gets_serviced: upc.counter("mu.remote_gets_serviced"),
+            descriptors_executed: upc.counter("mu.descriptors_executed"),
+            payload_copies: upc.counter("mu.payload_copies"),
+        }
+    }
 }
 
 pub(crate) struct NodeMu {
@@ -63,13 +89,8 @@ pub(crate) struct NodeMu {
     /// Wakes this node's engine threads (threaded mode).
     pub engine_wakeup: WakeupRegion,
     pub msg_seq: AtomicU64,
-    // stats
-    pub fifo_messages: L2Counter,
-    pub packets_received: L2Counter,
-    pub put_bytes_in: L2Counter,
-    pub remote_gets_serviced: L2Counter,
-    pub descriptors_executed: L2Counter,
-    pub payload_copies: L2Counter,
+    /// `mu.*` telemetry probes for this node.
+    pub counters: MuCounters,
 }
 
 pub(crate) struct FabricInner {
@@ -87,6 +108,7 @@ pub struct MuFabricBuilder {
     inj_fifo_capacity: usize,
     rec_fifo_capacity: usize,
     mode: EngineMode,
+    telemetry: Upc,
 }
 
 impl MuFabricBuilder {
@@ -108,6 +130,14 @@ impl MuFabricBuilder {
         self
     }
 
+    /// Register the fabric's `mu.*` probes on a shared telemetry registry
+    /// (PAMI's `Machine` passes its own so one snapshot covers every
+    /// layer). Defaults to a private registry.
+    pub fn telemetry(mut self, upc: Upc) -> Self {
+        self.telemetry = upc;
+        self
+    }
+
     /// Build the fabric (and spawn engine threads in threaded mode).
     pub fn build(self) -> MuFabric {
         let wakeups = WakeupUnit::new();
@@ -120,12 +150,7 @@ impl MuFabricBuilder {
                 sys_wakeup: OnceLock::new(),
                 engine_wakeup: wakeups.region(),
                 msg_seq: AtomicU64::new(0),
-                fifo_messages: L2Counter::new(0),
-                packets_received: L2Counter::new(0),
-                put_bytes_in: L2Counter::new(0),
-                remote_gets_serviced: L2Counter::new(0),
-                descriptors_executed: L2Counter::new(0),
-                payload_copies: L2Counter::new(0),
+                counters: MuCounters::new(&self.telemetry),
             })
             .collect();
         let inner = Arc::new(FabricInner {
@@ -158,6 +183,7 @@ impl MuFabric {
             inj_fifo_capacity: 128,
             rec_fifo_capacity: 512,
             mode: EngineMode::Inline,
+            telemetry: Upc::new(),
         }
     }
 
@@ -281,7 +307,7 @@ impl MuFabric {
         while done < budget {
             match sys.queue.pop() {
                 Some(desc) => {
-                    self.node(node).remote_gets_serviced.store_add(1);
+                    self.node(node).counters.remote_gets_serviced.incr();
                     self.execute(node, desc);
                     done += 1;
                 }
@@ -299,26 +325,21 @@ impl MuFabric {
     /// Record one receive-side payload copy on `node` (contexts call this
     /// when they deposit a packet payload into destination memory).
     pub fn note_payload_copy(&self, node: u32) {
-        self.node(node).payload_copies.store_add(1);
+        self.node(node).counters.payload_copies.incr();
     }
 
-    /// Activity counters for `node`.
-    pub fn stats(&self, node: u32) -> NodeStats {
-        let n = self.node(node);
-        NodeStats {
-            fifo_messages: n.fifo_messages.load(),
-            packets_received: n.packets_received.load(),
-            put_bytes_in: n.put_bytes_in.load(),
-            remote_gets_serviced: n.remote_gets_serviced.load(),
-            descriptors_executed: n.descriptors_executed.load(),
-            payload_copies: n.payload_copies.load(),
-        }
+    /// Live `mu.*` telemetry probes for `node`. Read a single probe with
+    /// `.value()`; aggregate across nodes via the registry passed to
+    /// [`MuFabricBuilder::telemetry`]. All zeros when the `telemetry`
+    /// feature is off.
+    pub fn counters(&self, node: u32) -> &MuCounters {
+        &self.node(node).counters
     }
 
     /// Execute one descriptor on behalf of `src_node`. This is "the MU
     /// hardware": it performs the data movement the descriptor asks for.
     pub(crate) fn execute(&self, src_node: u32, desc: Descriptor) {
-        self.node(src_node).descriptors_executed.store_add(1);
+        self.node(src_node).counters.descriptors_executed.incr();
         let credit = desc.completion_credit();
         let Descriptor {
             dst_node,
@@ -339,10 +360,11 @@ impl MuFabric {
                 let src = self.node(src_node);
                 let msg_id = (src.msg_seq.fetch_add(1, Ordering::Relaxed) & MSG_SEQ_MASK)
                     | ((src_node as u64) << 40);
-                src.fifo_messages.store_add(1);
+                src.counters.fifo_messages.incr();
                 let dst = self.node(dst_node);
                 let fifo = dst.rec.get(rec_fifo.0);
                 let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
+                src.counters.packets_injected.add(npackets);
                 let header = |i: u64| {
                     let off = i as usize * MAX_PAYLOAD_BYTES;
                     let chunk = (msg_len - off).min(MAX_PAYLOAD_BYTES);
@@ -382,7 +404,7 @@ impl MuFabric {
                             // on the *source* node). The counter fires at
                             // the tail of this function and the buffer is
                             // genuinely reusable.
-                            src.payload_copies.store_add(npackets);
+                            src.counters.payload_copies.add(npackets);
                             fifo.deliver_batch(npackets, |i| {
                                 let (off, chunk) = header(i);
                                 let mut staged = vec![0u8; chunk];
@@ -426,7 +448,7 @@ impl MuFabric {
                         }
                     }
                 }
-                dst.packets_received.store_add(npackets);
+                dst.counters.packets_received.add(npackets);
                 let _ = dst_context;
             }
             XferKind::DirectPut { dst_region, dst_offset, rec_counter } => {
@@ -438,7 +460,7 @@ impl MuFabric {
                         dst_region.copy_from(dst_offset, region, *offset, *len);
                     }
                 }
-                self.node(dst_node).put_bytes_in.store_add(payload.len() as u64);
+                self.node(dst_node).counters.put_bytes_in.add(payload.len() as u64);
                 if let Some(c) = rec_counter {
                     c.delivered(credit);
                 }
@@ -522,8 +544,11 @@ mod tests {
         }
         assert_eq!(count, 3);
         assert_eq!(out.to_vec(), data);
-        assert_eq!(fabric.stats(1).packets_received, 3);
-        assert_eq!(fabric.stats(0).fifo_messages, 1);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(fabric.counters(1).packets_received.value(), 3);
+            assert_eq!(fabric.counters(0).packets_injected.value(), 3);
+            assert_eq!(fabric.counters(0).fifo_messages.value(), 1);
+        }
     }
 
     #[test]
@@ -561,7 +586,9 @@ mod tests {
         assert_eq!(count, 2);
         assert_eq!(dst.to_vec(), vec![7u8; 1000]);
         // The per-packet DMA reads are counted on the source node.
-        assert_eq!(fabric.stats(0).payload_copies, 2);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(fabric.counters(0).payload_copies.value(), 2);
+        }
     }
 
     #[test]
@@ -578,7 +605,11 @@ mod tests {
             0,
             memfifo_desc(1, rec, PayloadSource::Region { region, offset: 0, len: 1000 }),
         );
-        assert_eq!(fabric.stats(0).payload_copies, 0, "no staging on the source node");
+        assert_eq!(
+            fabric.counters(0).payload_copies.value(),
+            0,
+            "no staging on the source node"
+        );
         let dst = MemRegion::zeroed(1000);
         while let Some(mut p) = fabric.poll_rec(1, rec) {
             assert!(p.payload.view().is_empty(), "bytes still live in source memory");
@@ -645,7 +676,9 @@ mod tests {
         assert!(inj.is_complete());
         assert!(rec.is_complete());
         assert_eq!(&dst.to_vec()[25..75], &(10..60).collect::<Vec<u8>>()[..]);
-        assert_eq!(fabric.stats(1).put_bytes_in, 50);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(fabric.counters(1).put_bytes_in.value(), 50);
+        }
     }
 
     #[test]
@@ -685,7 +718,9 @@ mod tests {
         assert_eq!(fabric.pump_sys(1, 16), 1);
         assert!(done.is_complete());
         assert_eq!(local.to_vec(), (100..164).collect::<Vec<u8>>());
-        assert_eq!(fabric.stats(1).remote_gets_serviced, 1);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(fabric.counters(1).remote_gets_serviced.value(), 1);
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod packet;
 pub use bgq_hw::Counter;
 pub use descriptor::{Descriptor, PayloadSource, XferKind};
 pub use engine::EngineMode;
-pub use fabric::{MuFabric, MuFabricBuilder, NodeStats};
+pub use fabric::{MuCounters, MuFabric, MuFabricBuilder};
 pub use fifo::{
     FifoAllocator, FifoTable, InjFifo, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE,
     REC_FIFOS_PER_NODE,

@@ -11,10 +11,6 @@ fn arb_shape() -> impl Strategy<Value = TorusShape> {
         .prop_map(|(a, b, c, d, e)| TorusShape::new([a, b, c, d, e]))
 }
 
-fn arb_coords(shape: TorusShape) -> impl Strategy<Value = Coords> {
-    (0..shape.num_nodes()).prop_map(move |i| shape.coords_of(i))
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -20,9 +20,60 @@
 use bgq_collnet::{CollContribution, CollOp, CollOutput, DataType};
 use bgq_hw::{Counter, MemRegion};
 use bgq_mu::PayloadSource;
+use bgq_upc::{Histogram, Stamp, Upc};
 
 use crate::context::Context;
 use crate::geometry::{BoardEntry, Geometry};
+
+/// `coll.*` telemetry probes — per-phase timing of the collective paths
+/// (the UPC-style breakdown the paper uses to attribute Figure 6/7 latency
+/// to local math vs. network contribution vs. result copy). One instance
+/// per [`crate::machine::Machine`], registered at build so repeated
+/// collectives share probes instead of growing the registry.
+pub(crate) struct CollProbes {
+    pub(crate) barriers: bgq_upc::Counter,
+    pub(crate) broadcasts: bgq_upc::Counter,
+    pub(crate) allreduces: bgq_upc::Counter,
+    pub(crate) reduces: bgq_upc::Counter,
+    pub(crate) gathers: bgq_upc::Counter,
+    pub(crate) scatters: bgq_upc::Counter,
+    pub(crate) allgathers: bgq_upc::Counter,
+    pub(crate) alltoalls: bgq_upc::Counter,
+    /// End-to-end latency per operation, all algorithms.
+    pub(crate) barrier_ns: Histogram,
+    pub(crate) bcast_ns: Histogram,
+    pub(crate) allreduce_ns: Histogram,
+    pub(crate) reduce_ns: Histogram,
+    /// Hardware-allreduce phases: the parallel local combine over this
+    /// task's slice (Figure 3) and the leader's pipelined network
+    /// contribution (Figure 4).
+    pub(crate) allreduce_local_ns: Histogram,
+    pub(crate) allreduce_network_ns: Histogram,
+    /// Hardware-broadcast network phase (leader inject / leader receive).
+    pub(crate) bcast_network_ns: Histogram,
+}
+
+impl CollProbes {
+    pub(crate) fn new(upc: &Upc) -> CollProbes {
+        CollProbes {
+            barriers: upc.counter("coll.barriers"),
+            broadcasts: upc.counter("coll.broadcasts"),
+            allreduces: upc.counter("coll.allreduces"),
+            reduces: upc.counter("coll.reduces"),
+            gathers: upc.counter("coll.gathers"),
+            scatters: upc.counter("coll.scatters"),
+            allgathers: upc.counter("coll.allgathers"),
+            alltoalls: upc.counter("coll.alltoalls"),
+            barrier_ns: upc.histogram("coll.barrier_ns"),
+            bcast_ns: upc.histogram("coll.bcast_ns"),
+            allreduce_ns: upc.histogram("coll.allreduce_ns"),
+            reduce_ns: upc.histogram("coll.reduce_ns"),
+            allreduce_local_ns: upc.histogram("coll.allreduce.local_ns"),
+            allreduce_network_ns: upc.histogram("coll.allreduce.network_ns"),
+            bcast_network_ns: upc.histogram("coll.bcast.network_ns"),
+        }
+    }
+}
 
 /// Which implementation a collective uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,6 +167,16 @@ pub enum BarrierAlg {
 
 /// Barrier with an explicit inter-node mechanism.
 pub fn barrier_with(geom: &Geometry, ctx: &Context, alg: BarrierAlg) {
+    let machine = geom.machine();
+    let probes = machine.coll_probes();
+    probes.barriers.incr();
+    let start = Stamp::now();
+    barrier_inner(geom, ctx, alg);
+    probes.barrier_ns.record_since(start);
+    machine.telemetry().trace_span("coll.barrier", start, geom.size() as u64);
+}
+
+fn barrier_inner(geom: &Geometry, ctx: &Context, alg: BarrierAlg) {
     // Consume a sequence number to keep collective ordering aligned even
     // though the barrier itself never touches the board.
     geom.next_seq(ctx.task());
@@ -183,6 +244,24 @@ pub fn broadcast_with(
     offset: usize,
     len: usize,
 ) {
+    let machine = geom.machine();
+    let probes = machine.coll_probes();
+    probes.broadcasts.incr();
+    let start = Stamp::now();
+    broadcast_inner(geom, ctx, alg, root_rank, region, offset, len);
+    probes.bcast_ns.record_since(start);
+    machine.telemetry().trace_span("coll.broadcast", start, len as u64);
+}
+
+fn broadcast_inner(
+    geom: &Geometry,
+    ctx: &Context,
+    alg: Algorithm,
+    root_rank: usize,
+    region: &MemRegion,
+    offset: usize,
+    len: usize,
+) {
     let seq = geom.next_seq(ctx.task());
     if geom.size() == 1 || len == 0 {
         if len == 0 {
@@ -227,6 +306,7 @@ fn hw_broadcast(
     local_barrier(geom, ctx);
 
     if is_leader {
+        let net_start = Stamp::now();
         let coords = machine.shape().coords_of(node as usize);
         let done = Counter::new();
         done.add_expected(len as u64);
@@ -283,6 +363,9 @@ fn hw_broadcast(
             }
         }
         ctx.advance_until(|| done.is_complete());
+        let probes = machine.coll_probes();
+        probes.bcast_network_ns.record_since(net_start);
+        machine.telemetry().trace_span("coll.bcast.network", net_start, len as u64);
         group.board.post(
             seq,
             SLOT_RESULT,
@@ -381,6 +464,26 @@ pub fn allreduce_with(
     op: CollOp,
     dtype: DataType,
 ) {
+    let machine = geom.machine();
+    let probes = machine.coll_probes();
+    probes.allreduces.incr();
+    let start = Stamp::now();
+    allreduce_inner(geom, ctx, alg, src, dst, count, op, dtype);
+    probes.allreduce_ns.record_since(start);
+    machine.telemetry().trace_span("coll.allreduce", start, (count * ELEM) as u64);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn allreduce_inner(
+    geom: &Geometry,
+    ctx: &Context,
+    alg: Algorithm,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
     let seq = geom.next_seq(ctx.task());
     if count == 0 {
         return;
@@ -409,6 +512,10 @@ pub fn reduce(
     op: CollOp,
     dtype: DataType,
 ) {
+    let machine = geom.machine();
+    let probes = machine.coll_probes();
+    probes.reduces.incr();
+    let start = Stamp::now();
     let seq = geom.next_seq(ctx.task());
     if count == 0 {
         return;
@@ -421,6 +528,8 @@ pub fn reduce(
     // would deliver at the route root, so (as the real library does for
     // mismatched roots) go through the binomial tree.
     sw_reduce_bcast(geom, ctx, seq, Some(root_rank), src, dst, count, op, dtype);
+    probes.reduce_ns.record_since(start);
+    machine.telemetry().trace_span("coll.reduce", start, (count * ELEM) as u64);
 }
 
 /// Split `count` elements into `parts` contiguous ranges; returns the
@@ -474,6 +583,7 @@ fn hw_allreduce(
 
     // Parallel local math: each member combines everyone's input over its
     // slice of elements and deposits into the node buffer (Figure 3).
+    let local_start = Stamp::now();
     let node_src: (MemRegion, usize) = if ppn > 1 {
         let (buf, buf_off, _) = entry_region(wait_board(geom, ctx, seq, SLOT_NODEBUF));
         let (lo, hi) = partition(count, ppn, slot as usize);
@@ -496,12 +606,16 @@ fn hw_allreduce(
             buf.write(buf_off + byte_lo, &acc);
         }
         local_barrier(geom, ctx);
+        let probes = machine.coll_probes();
+        probes.allreduce_local_ns.record_since(local_start);
+        machine.telemetry().trace_span("coll.allreduce.local", local_start, len as u64);
         (buf, buf_off)
     } else {
         (src.0.clone(), src.1)
     };
 
     if is_leader {
+        let net_start = Stamp::now();
         let coords = machine.shape().coords_of(node as usize);
         let done = Counter::new();
         done.add_expected(len as u64);
@@ -530,6 +644,9 @@ fn hw_allreduce(
             sent += chunk;
         }
         ctx.advance_until(|| done.is_complete());
+        let probes = machine.coll_probes();
+        probes.allreduce_network_ns.record_since(net_start);
+        machine.telemetry().trace_span("coll.allreduce.network", net_start, len as u64);
         group.board.post(
             seq,
             SLOT_RESULT,
@@ -641,6 +758,7 @@ pub fn gather(
     dst: (&MemRegion, usize),
     blk: usize,
 ) {
+    geom.machine().coll_probes().gathers.incr();
     let seq = geom.next_seq(ctx.task());
     let n = geom.size();
     let rank = geom.rank_of(ctx.task()).expect("caller is a member");
@@ -721,6 +839,7 @@ pub fn scatter(
     dst: (&MemRegion, usize),
     blk: usize,
 ) {
+    geom.machine().coll_probes().scatters.incr();
     let seq = geom.next_seq(ctx.task());
     let n = geom.size();
     let rank = geom.rank_of(ctx.task()).expect("caller is a member");
@@ -819,6 +938,7 @@ pub fn allgather(
     dst: (&MemRegion, usize),
     blk: usize,
 ) {
+    geom.machine().coll_probes().allgathers.incr();
     let seq = geom.next_seq(ctx.task());
     let n = geom.size();
     let rank = geom.rank_of(ctx.task()).expect("caller is a member");
@@ -860,6 +980,7 @@ pub fn alltoall(
     dst: (&MemRegion, usize),
     blk: usize,
 ) {
+    geom.machine().coll_probes().alltoalls.incr();
     let seq = geom.next_seq(ctx.task());
     let n = geom.size();
     let rank = geom.rank_of(ctx.task()).expect("caller is a member");

@@ -15,11 +15,25 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bgq_hw::Waiter;
+use bgq_upc::Counter;
 
 use crate::context::Context;
 
 /// How long a parked commthread sleeps before rechecking shutdown/pause.
 const PARK_TIMEOUT: Duration = Duration::from_millis(2);
+
+/// `commthread.*` telemetry probes, shared by every thread of a pool.
+/// (The companion `commthread.handoff_ns` histogram is recorded in
+/// `Context::advance`, where posted work actually runs.)
+#[derive(Clone)]
+struct CommProbes {
+    /// Times a commthread entered the parked (wakeup-wait) state.
+    parks: Counter,
+    /// Times a commthread returned from a park (timeout or wakeup touch).
+    wakeups: Counter,
+    /// Advance events processed by the pool's threads.
+    advances: Counter,
+}
 
 struct PoolShared {
     shutdown: AtomicBool,
@@ -68,6 +82,12 @@ impl CommThreadPool {
     ) -> CommThreadPool {
         assert!(threads > 0, "a commthread pool needs at least one thread");
         assert!(!contexts.is_empty(), "a commthread pool needs contexts to advance");
+        let upc = contexts[0].machine().telemetry();
+        let probes = CommProbes {
+            parks: upc.counter("commthread.parks"),
+            wakeups: upc.counter("commthread.wakeups"),
+            advances: upc.counter("commthread.advances"),
+        };
         let shared = Arc::new(PoolShared {
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
@@ -79,10 +99,11 @@ impl CommThreadPool {
             let my: Vec<Arc<Context>> =
                 contexts.iter().skip(t).step_by(threads).cloned().collect();
             let shared = Arc::clone(&shared);
+            let probes = probes.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("commthread-{t}"))
-                    .spawn(move || run_commthread(my, shared, discipline))
+                    .spawn(move || run_commthread(my, shared, probes, discipline))
                     .expect("spawn commthread"),
             );
         }
@@ -144,6 +165,7 @@ impl Drop for CommThreadPool {
 fn run_commthread(
     contexts: Vec<Arc<Context>>,
     shared: Arc<PoolShared>,
+    probes: CommProbes,
     discipline: LockDiscipline,
 ) {
     let mut waiter = Waiter::new();
@@ -173,12 +195,15 @@ fn run_commthread(
         }
         if worked > 0 {
             shared.advances.fetch_add(worked as u64, Ordering::Relaxed);
+            probes.advances.add(worked as u64);
         } else {
             // Nothing to do: enter the wakeup-wait state until a producer
             // touches one of our regions.
+            probes.parks.incr();
             shared.parked_threads.fetch_add(1, Ordering::Relaxed);
             waiter.wait_timeout(PARK_TIMEOUT);
             shared.parked_threads.fetch_sub(1, Ordering::Relaxed);
+            probes.wakeups.incr();
         }
     }
 }

@@ -18,11 +18,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use bgq_hw::{Counter, L2Counter, L2TicketMutex, MemRegion, WakeupRegion, WorkQueue};
+use bgq_hw::{Counter, L2TicketMutex, MemRegion, WakeupRegion, WorkQueue};
 use bgq_mu::{
     Descriptor, EngineMode, InjFifo, InjFifoId, MuPacket, PayloadSource, RecFifo, RecFifoId,
     XferKind,
 };
+use bgq_upc::{Histogram, Stamp, Upc};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
@@ -97,6 +98,53 @@ const INJ_BUDGET: usize = 32;
 const SYS_BUDGET: usize = 32;
 const RECV_BUDGET: usize = 64;
 
+/// Per-context `ctx.*` telemetry probes (plus the `commthread.handoff_ns`
+/// histogram, which is *measured* here — at work execution — even though
+/// commthreads are usually the ones draining the queue). Instances register
+/// on the machine's [`Upc`]; snapshots sum across contexts. Every field is
+/// a zero-sized no-op when the `telemetry` feature is off.
+struct CtxProbes {
+    /// `advance` calls (including fast-path returns).
+    advance_calls: bgq_upc::Counter,
+    /// `advance` calls that returned through the lock-free idle fast path.
+    idle_fastpath_hits: bgq_upc::Counter,
+    /// Events processed across all `advance` calls.
+    advance_events: bgq_upc::Counter,
+    /// Sends by protocol.
+    sends_immediate: bgq_upc::Counter,
+    sends_eager: bgq_upc::Counter,
+    sends_rzv: bgq_upc::Counter,
+    sends_shm: bgq_upc::Counter,
+    puts: bgq_upc::Counter,
+    gets: bgq_upc::Counter,
+    /// First packets (or shm messages / RTSs) dispatched to handlers.
+    messages_dispatched: bgq_upc::Counter,
+    /// Posted work items executed.
+    work_items: bgq_upc::Counter,
+    /// Nanoseconds from `Context::post` to the work item running on the
+    /// advancing thread (the paper's commthread-handoff cost).
+    handoff_ns: Histogram,
+}
+
+impl CtxProbes {
+    fn new(upc: &Upc) -> Self {
+        CtxProbes {
+            advance_calls: upc.counter("ctx.advance_calls"),
+            idle_fastpath_hits: upc.counter("ctx.idle_fastpath_hits"),
+            advance_events: upc.counter("ctx.advance_events"),
+            sends_immediate: upc.counter("ctx.sends_immediate"),
+            sends_eager: upc.counter("ctx.sends_eager"),
+            sends_rzv: upc.counter("ctx.sends_rzv"),
+            sends_shm: upc.counter("ctx.sends_shm"),
+            puts: upc.counter("ctx.puts"),
+            gets: upc.counter("ctx.gets"),
+            messages_dispatched: upc.counter("ctx.messages_dispatched"),
+            work_items: upc.counter("ctx.work_items"),
+            handoff_ns: upc.histogram("commthread.handoff_ns"),
+        }
+    }
+}
+
 /// A PAMI communication context.
 pub struct Context {
     machine: Arc<Machine>,
@@ -118,7 +166,9 @@ pub struct Context {
     inline_engine: bool,
     mailbox: Arc<ShmMailbox>,
     wakeup: WakeupRegion,
-    work: WorkQueue<WorkFn>,
+    /// Posted work plus its post-time stamp for handoff-latency telemetry
+    /// (the stamp is zero-sized with telemetry off).
+    work: WorkQueue<(Stamp, WorkFn)>,
     dispatch: RwLock<HashMap<u16, DispatchFn>>,
     advance_state: Mutex<AdvanceState>,
     /// Number of in-flight internal obligations (reassembly entries plus
@@ -127,10 +177,8 @@ pub struct Context {
     /// in [`Context::advance`].
     pending_internal: AtomicUsize,
     user_lock: L2TicketMutex,
-    // statistics
-    sends_initiated: L2Counter,
-    messages_dispatched: L2Counter,
-    work_items_run: L2Counter,
+    /// `ctx.*` telemetry probes, registered on the machine's UPC registry.
+    probes: CtxProbes,
 }
 
 impl Context {
@@ -190,9 +238,7 @@ impl Context {
             }),
             pending_internal: AtomicUsize::new(0),
             user_lock: L2TicketMutex::new(),
-            sends_initiated: L2Counter::new(0),
-            messages_dispatched: L2Counter::new(0),
-            work_items_run: L2Counter::new(0),
+            probes: CtxProbes::new(machine.telemetry()),
         })
     }
 
@@ -260,7 +306,7 @@ impl Context {
     /// this context next (commthread handoff). Lock-free; wakes parked
     /// commthreads.
     pub fn post(&self, work: WorkFn) {
-        self.work.push(work);
+        self.work.push((Stamp::now(), work));
         self.wakeup.touch();
     }
 
@@ -283,7 +329,7 @@ impl Context {
             return Err("send_immediate payload exceeds one packet");
         }
         assert!(dispatch < DISPATCH_INTERNAL_BASE, "dispatch id reserved");
-        self.sends_initiated.store_add(1);
+        self.probes.sends_immediate.incr();
         let dest_node = self.machine.task_node(dest.task);
         if dest_node == self.node {
             let addr = self.machine.endpoint_addr(self.client, dest.task, dest.context);
@@ -322,14 +368,15 @@ impl Context {
     /// the payload has left the source buffer.
     pub fn send(&self, args: SendArgs) {
         assert!(args.dispatch < DISPATCH_INTERNAL_BASE, "dispatch id reserved");
-        self.sends_initiated.store_add(1);
         let dest_node = self.machine.task_node(args.dest.task);
         if dest_node == self.node {
+            self.probes.sends_shm.incr();
             return self.send_shm(args);
         }
         let addr = self.machine.endpoint_addr(self.client, args.dest.task, args.dest.context);
         let len = args.payload.len();
         if len <= self.machine.eager_limit {
+            self.probes.sends_eager.incr();
             let desc = Descriptor {
                 dst_node: dest_node,
                 dst_context: args.dest.context,
@@ -347,6 +394,7 @@ impl Context {
         } else {
             // Rendezvous: register the source, send an RTS; the target pulls
             // the payload with a remote get.
+            self.probes.sends_rzv.incr();
             let key = self.machine.rzv_register(args.payload, args.local_done);
             let rts = wire::rts(args.dispatch, len as u64, key, &args.metadata);
             let desc = Descriptor {
@@ -377,7 +425,7 @@ impl Context {
         window_offset: usize,
         local_done: Option<Counter>,
     ) {
-        self.sends_initiated.store_add(1);
+        self.probes.puts.incr();
         let win = self
             .machine
             .window(window)
@@ -410,7 +458,7 @@ impl Context {
         len: usize,
         done: Option<Counter>,
     ) {
-        self.sends_initiated.store_add(1);
+        self.probes.gets.incr();
         let win = self
             .machine
             .window(window)
@@ -499,13 +547,17 @@ impl Context {
         // Empty fast path: when every queue this context drains is
         // observably empty, return without taking the advance lock at all —
         // the polling-loop cost the paper's latency numbers depend on.
+        self.probes.advance_calls.incr();
         if self.observably_idle() {
+            self.probes.idle_fastpath_hits.incr();
             return 0;
         }
         let Some(mut st) = self.advance_state.try_lock() else {
             return 0;
         };
-        self.advance_locked(&mut st)
+        let events = self.advance_locked(&mut st);
+        self.probes.advance_events.add(events as u64);
+        events
     }
 
     /// Lock-free probe of every queue `advance` would drain. `true` means a
@@ -544,12 +596,15 @@ impl Context {
     fn advance_locked(&self, st: &mut AdvanceState) -> usize {
         let mut events = 0usize;
 
-        // 1. Posted work (commthread handoff path).
+        // 1. Posted work (commthread handoff path). The handoff latency —
+        //    post() to here — is the cost the paper's commthread design
+        //    tries to hide; record it before running the item.
         for _ in 0..WORK_BUDGET {
             match self.work.pop() {
-                Some(work) => {
+                Some((posted, work)) => {
+                    self.probes.handoff_ns.record_since(posted);
                     work(self);
-                    self.work_items_run.store_add(1);
+                    self.probes.work_items.incr();
                     events += 1;
                 }
                 None => break,
@@ -625,7 +680,7 @@ impl Context {
                 metadata: body,
                 len: pkt.msg_len as u64,
             };
-            self.messages_dispatched.store_add(1);
+            self.probes.messages_dispatched.incr();
             let handler = self.handler(pkt.dispatch);
             // The handler sees the bytes staged in the packet buffer —
             // everything for an inline payload, nothing for a zero-copy
@@ -686,7 +741,7 @@ impl Context {
     fn handle_rts(&self, st: &mut AdvanceState, src: Endpoint, body: &Bytes) {
         let (dispatch, len, key, metadata) = wire::open_rts(body);
         let msg = IncomingMsg { src, dispatch, metadata, len };
-        self.messages_dispatched.store_add(1);
+        self.probes.messages_dispatched.incr();
         let handler = self.handler(dispatch);
         match handler(self, &msg, &[]) {
             Recv::Done => panic!("rendezvous arrival of {len} bytes cannot be Recv::Done"),
@@ -731,7 +786,7 @@ impl Context {
             metadata: msg.metadata,
             len: msg.payload.len() as u64,
         };
-        self.messages_dispatched.store_add(1);
+        self.probes.messages_dispatched.incr();
         let handler = self.handler(msg.dispatch);
         match msg.payload {
             ShmPayload::Inline(bytes) => match handler(self, &info, &bytes) {
@@ -773,19 +828,27 @@ impl Context {
 
     // ---- statistics --------------------------------------------------------
 
-    /// Sends initiated through this context.
+    /// Sends initiated through this context, across every protocol
+    /// (telemetry aggregate; 0 with the `telemetry` feature off).
     pub fn sends_initiated(&self) -> u64 {
-        self.sends_initiated.load()
+        self.probes.sends_immediate.value()
+            + self.probes.sends_eager.value()
+            + self.probes.sends_rzv.value()
+            + self.probes.sends_shm.value()
+            + self.probes.puts.value()
+            + self.probes.gets.value()
     }
 
-    /// Messages dispatched (first packets seen) by this context.
+    /// Messages dispatched (first packets seen) by this context
+    /// (telemetry aggregate; 0 with the `telemetry` feature off).
     pub fn messages_dispatched(&self) -> u64 {
-        self.messages_dispatched.load()
+        self.probes.messages_dispatched.value()
     }
 
-    /// Posted work items executed.
+    /// Posted work items executed (telemetry aggregate; 0 with the
+    /// `telemetry` feature off).
     pub fn work_items_run(&self) -> u64 {
-        self.work_items_run.load()
+        self.probes.work_items.value()
     }
 
     /// The reception FIFO id (diagnostics).

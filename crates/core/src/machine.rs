@@ -22,6 +22,7 @@ use bgq_collnet::{ClassRoute, ClassRouteManager, CollNet, GiBarrier};
 use bgq_hw::{Counter, GlobalVa, MemRegion, WakeupUnit};
 use bgq_mu::{EngineMode, MuFabric, PayloadSource, RecFifoId};
 use bgq_torus::{Rectangle, TorusShape};
+use bgq_upc::Upc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::proto::ShmMailbox;
@@ -106,16 +107,21 @@ impl MachineBuilder {
     /// Build the machine.
     pub fn build(self) -> Arc<Machine> {
         let nodes = self.shape.num_nodes();
+        let telemetry = Upc::new();
+        let coll_probes = crate::coll::CollProbes::new(&telemetry);
         let fabric = MuFabric::builder(self.shape)
             .engine_mode(self.engine_mode)
             .inj_fifo_capacity(self.inj_fifo_capacity)
             .rec_fifo_capacity(self.rec_fifo_capacity)
+            .telemetry(telemetry.clone())
             .build();
         let classroutes = ClassRouteManager::new(self.shape);
         let world_route = classroutes
             .allocate(Rectangle::full(self.shape), None)
             .expect("fresh machine always has a classroute for COMM_WORLD");
         Arc::new(Machine {
+            telemetry,
+            coll_probes,
             shape: self.shape,
             ppn: self.ppn,
             eager_limit: self.eager_limit,
@@ -142,6 +148,13 @@ impl MachineBuilder {
 /// One simulated partition: substrates plus registries, shared by every
 /// task thread.
 pub struct Machine {
+    /// The partition's UPC telemetry registry: every layer (MU fabric,
+    /// contexts, commthreads, matching, collectives) registers its probes
+    /// here so one snapshot covers the whole stack.
+    telemetry: Upc,
+    /// Collective-operation probes (`coll.*`), registered once so repeated
+    /// collectives don't grow the registry.
+    coll_probes: crate::coll::CollProbes,
     shape: TorusShape,
     ppn: usize,
     pub(crate) eager_limit: usize,
@@ -236,6 +249,18 @@ impl Machine {
     /// The MU fabric (low-level access for tests and benchmarks).
     pub fn fabric(&self) -> &MuFabric {
         &self.fabric
+    }
+
+    /// The machine-wide telemetry registry (`bgq-upc`). Snapshot it for a
+    /// `pamistat`-style report over every layer's probes; no-op when the
+    /// `telemetry` feature is off.
+    pub fn telemetry(&self) -> &Upc {
+        &self.telemetry
+    }
+
+    /// The machine's `coll.*` probes (shared by every geometry).
+    pub(crate) fn coll_probes(&self) -> &crate::coll::CollProbes {
+        &self.coll_probes
     }
 
     /// The wakeup unit of `node`.

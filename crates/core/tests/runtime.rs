@@ -11,10 +11,13 @@ use pami::{
 };
 use parking_lot::Mutex;
 
+/// (src, metadata, payload) of one delivered message.
+type Delivered = (Endpoint, Vec<u8>, Vec<u8>);
+
 /// A sink that collects delivered messages for assertions.
 #[derive(Default)]
 struct Sink {
-    messages: Mutex<Vec<(Endpoint, Vec<u8>, Vec<u8>)>>, // (src, metadata, payload)
+    messages: Mutex<Vec<Delivered>>,
     count: AtomicU64,
 }
 
@@ -136,10 +139,12 @@ fn eager_region_path_copies_payload_exactly_once() {
         c1.context(0).advance();
     }
     assert_eq!(sink.messages.lock()[0].2, data);
-    let stats0 = machine.fabric().stats(0);
-    let stats1 = machine.fabric().stats(1);
-    assert_eq!(stats0.payload_copies, 0, "no staging copy on the source node");
-    assert_eq!(stats1.payload_copies, 1, "exactly one deposit copy on the destination");
+    if cfg!(feature = "telemetry") {
+        let src_copies = machine.fabric().counters(0).payload_copies.value();
+        let dst_copies = machine.fabric().counters(1).payload_copies.value();
+        assert_eq!(src_copies, 0, "no staging copy on the source node");
+        assert_eq!(dst_copies, 1, "exactly one deposit copy on the destination");
+    }
 
     // Multi-packet eager (3000 bytes → 6 packets): still one copy per
     // payload byte, all on the destination side.
@@ -160,10 +165,12 @@ fn eager_region_path_copies_payload_exactly_once() {
         c1.context(0).advance();
     }
     assert_eq!(sink.messages.lock()[1].2, data2);
-    let stats0 = machine.fabric().stats(0);
-    let stats1 = machine.fabric().stats(1);
-    assert_eq!(stats0.payload_copies, 0, "source node never touches payload bytes");
-    assert_eq!(stats1.payload_copies, 1 + 6, "one deposit per packet, nothing else");
+    if cfg!(feature = "telemetry") {
+        let src_copies = machine.fabric().counters(0).payload_copies.value();
+        let dst_copies = machine.fabric().counters(1).payload_copies.value();
+        assert_eq!(src_copies, 0, "source node never touches payload bytes");
+        assert_eq!(dst_copies, 1 + 6, "one deposit per packet, nothing else");
+    }
 }
 
 #[test]
@@ -195,8 +202,10 @@ fn rendezvous_send_pulls_large_payload() {
     assert_eq!(sink.messages.lock()[0].2, data);
     // The payload must have used RDMA: node 1 received put bytes, and no
     // payload packets hit its reception FIFO beyond the RTS.
-    assert_eq!(machine.fabric().stats(1).put_bytes_in, len as u64);
-    assert_eq!(machine.fabric().stats(0).remote_gets_serviced, 1);
+    if cfg!(feature = "telemetry") {
+        assert_eq!(machine.fabric().counters(1).put_bytes_in.value(), len as u64);
+        assert_eq!(machine.fabric().counters(0).remote_gets_serviced.value(), 1);
+    }
 }
 
 #[test]
@@ -237,7 +246,9 @@ fn shm_inline_and_global_va_paths() {
     assert_eq!(msgs[0].2, b"short");
     assert_eq!(msgs[1].2, data);
     // No MU traffic for intra-node messages.
-    assert_eq!(machine.fabric().stats(0).fifo_messages, 0);
+    if cfg!(feature = "telemetry") {
+        assert_eq!(machine.fabric().counters(0).fifo_messages.value(), 0);
+    }
 }
 
 #[test]
@@ -264,8 +275,16 @@ fn ordering_preserved_per_destination() {
             local_done: None,
         });
     }
-    c0.context(0).advance_until(|| machine.fabric().stats(0).fifo_messages == 50);
-    c1.context(0).advance_until(|| order.lock().len() == 50);
+    // Advance both sides until every message delivered (the semantic
+    // completion signal — telemetry counters are not progress conditions,
+    // they read zero when the feature is compiled out).
+    while order.lock().len() < 50 {
+        c0.context(0).advance();
+        c1.context(0).advance();
+    }
+    if cfg!(feature = "telemetry") {
+        assert_eq!(machine.fabric().counters(0).fifo_messages.value(), 50);
+    }
     assert_eq!(*order.lock(), (0..50).collect::<Vec<u8>>());
 }
 
@@ -320,8 +339,10 @@ fn post_handoff_runs_on_advancing_thread() {
         }));
     }
     assert_eq!(ran.load(Ordering::SeqCst), 0, "nothing runs before advance");
-    ctx.advance_until(|| ctx.work_items_run() == 10);
-    assert_eq!(ran.load(Ordering::SeqCst), 45);
+    ctx.advance_until(|| ran.load(Ordering::SeqCst) == 45);
+    if cfg!(feature = "telemetry") {
+        assert_eq!(ctx.work_items_run(), 10);
+    }
 }
 
 #[test]
@@ -537,7 +558,7 @@ fn reduce_delivers_at_root_only() {
         coll::reduce(&geom, ctx, 3, (&src, 0), (&dst, 0), 1, CollOp::Sum, DataType::Int64);
         let got = bgq_collnet::ops::elems::to_i64(&dst.to_vec())[0];
         if env.task == 3 {
-            assert_eq!(got, 0 + 1 + 2 + 3);
+            assert_eq!(got, 6); // 0 + 1 + 2 + 3
         } else {
             assert_eq!(got, -1, "non-root dst untouched");
         }

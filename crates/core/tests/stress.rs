@@ -58,8 +58,15 @@ fn reception_fifo_overflow_engages_and_recovers() {
         // Pump the sender so packets pile into the tiny reception ring.
         c0.context(0).advance();
     }
-    c0.context(0).advance_until(|| machine.fabric().stats(0).fifo_messages == N as u64);
-    c1.context(0).advance_until(|| order.lock().len() == N as usize);
+    // Drive both sides to delivery (the semantic signal — telemetry
+    // counters read zero when the feature is compiled out).
+    while order.lock().len() < N as usize {
+        c0.context(0).advance();
+        c1.context(0).advance();
+    }
+    if cfg!(feature = "telemetry") {
+        assert_eq!(machine.fabric().counters(0).fifo_messages.value(), N as u64);
+    }
     assert_eq!(*order.lock(), (0..N).collect::<Vec<u32>>(), "overflow preserved order");
 }
 
@@ -73,7 +80,7 @@ fn eager_rendezvous_boundary_is_exact() {
     c1.context(0).set_dispatch(1, counting_handler(&count, &bytes));
 
     for (len, expect_rzv) in [(999usize, false), (1000, false), (1001, true)] {
-        let before_puts = machine.fabric().stats(1).put_bytes_in;
+        let before_puts = machine.fabric().counters(1).put_bytes_in.value();
         let done = Counter::new();
         done.add_expected(len as u64);
         c0.context(0).send(SendArgs {
@@ -91,8 +98,10 @@ fn eager_rendezvous_boundary_is_exact() {
             c0.context(0).advance();
             c1.context(0).advance();
         }
-        let used_rzv = machine.fabric().stats(1).put_bytes_in > before_puts;
-        assert_eq!(used_rzv, expect_rzv, "len {len}: wrong protocol");
+        if cfg!(feature = "telemetry") {
+            let used_rzv = machine.fabric().counters(1).put_bytes_in.value() > before_puts;
+            assert_eq!(used_rzv, expect_rzv, "len {len}: wrong protocol");
+        }
     }
     c1.context(0).advance_until(|| count.load(Ordering::Relaxed) == 3);
     assert_eq!(bytes.load(Ordering::Relaxed), 999 + 1000 + 1001);
@@ -128,7 +137,9 @@ fn many_concurrent_rendezvous_transfers() {
         c1.context(0).advance();
     }
     assert_eq!(bytes.load(Ordering::Relaxed), (N * LEN) as u64);
-    assert_eq!(machine.fabric().stats(1).put_bytes_in, (N * LEN) as u64);
+    if cfg!(feature = "telemetry") {
+        assert_eq!(machine.fabric().counters(1).put_bytes_in.value(), (N * LEN) as u64);
+    }
 }
 
 #[test]

@@ -12,11 +12,12 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use bgq_hw::{L2Counter, L2TicketMutex, MemRegion};
+use bgq_hw::{L2TicketMutex, MemRegion};
+use bgq_upc::{Counter, Histogram, Upc};
 use parking_lot::Mutex;
 
 use crate::request::RequestInner;
-use crate::types::{matches, Status, Tag};
+use crate::types::{matches, Status, Tag, ANY_SOURCE, ANY_TAG};
 
 /// A posted receive waiting for its message.
 pub struct PostedRecv {
@@ -63,14 +64,48 @@ pub struct Unexpected {
     pub state: Arc<Mutex<UnexpectedData>>,
 }
 
+/// `match.*` telemetry probes: queue traffic, wildcard pressure, and the
+/// depth distributions the paper's section IV.A discussion of parallel
+/// receive queues turns on.
+struct MatchProbes {
+    /// Messages that matched a pre-posted receive (fast path).
+    matched_posted: Counter,
+    /// Posted receives that matched an already-staged unexpected message.
+    matched_unexpected: Counter,
+    /// Receives queued on the posted queue (matched nothing at post time).
+    posted_queued: Counter,
+    /// Messages staged on the unexpected queue.
+    unexpected_queued: Counter,
+    /// Successful matches whose posted selector used `ANY_SOURCE` or
+    /// `ANY_TAG` — the wildcard traffic that forces the single-queue/L2
+    /// mutex design.
+    wildcard_hits: Counter,
+    /// Posted-queue depth observed at each enqueue.
+    posted_depth: Histogram,
+    /// Unexpected-queue depth observed at each enqueue.
+    unexpected_depth: Histogram,
+}
+
+impl MatchProbes {
+    fn new(upc: &Upc) -> MatchProbes {
+        MatchProbes {
+            matched_posted: upc.counter("match.matched_posted"),
+            matched_unexpected: upc.counter("match.matched_unexpected"),
+            posted_queued: upc.counter("match.posted_queued"),
+            unexpected_queued: upc.counter("match.unexpected_queued"),
+            wildcard_hits: upc.counter("match.wildcard_hits"),
+            posted_depth: upc.histogram("match.posted_depth"),
+            unexpected_depth: upc.histogram("match.unexpected_depth"),
+        }
+    }
+}
+
 /// The per-rank matching engine.
 pub struct MatchEngine {
     /// The L2 atomic mutex serializing queue access.
     pub lock: L2TicketMutex,
     queues: Mutex<Queues>,
-    // Counters for the unexpected-message statistics benchmarks report.
-    matched_posted: L2Counter,
-    queued_unexpected: L2Counter,
+    probes: MatchProbes,
 }
 
 #[derive(Default)]
@@ -86,13 +121,20 @@ impl Default for MatchEngine {
 }
 
 impl MatchEngine {
-    /// An empty engine.
+    /// An empty engine with a private telemetry registry (unit tests,
+    /// standalone use). Production ranks use
+    /// [`MatchEngine::with_telemetry`] so `match.*` probes land in the
+    /// machine-wide snapshot.
     pub fn new() -> MatchEngine {
+        Self::with_telemetry(&Upc::new())
+    }
+
+    /// An empty engine registering its `match.*` probes on `upc`.
+    pub fn with_telemetry(upc: &Upc) -> MatchEngine {
         MatchEngine {
             lock: L2TicketMutex::new(),
             queues: Mutex::new(Queues::default()),
-            matched_posted: L2Counter::new(0),
-            queued_unexpected: L2Counter::new(0),
+            probes: MatchProbes::new(upc),
         }
     }
 
@@ -109,14 +151,22 @@ impl MatchEngine {
             .posted
             .iter()
             .position(|p| p.comm == comm && matches(p.src, p.tag, src, tag))?;
-        self.matched_posted.store_add(1);
-        q.posted.remove(idx)
+        self.probes.matched_posted.incr();
+        let hit = q.posted.remove(idx);
+        if let Some(p) = &hit {
+            if p.src == ANY_SOURCE || p.tag == ANY_TAG {
+                self.probes.wildcard_hits.incr();
+            }
+        }
+        hit
     }
 
     /// Queue a message that matched nothing.
     pub fn add_unexpected(&self, msg: Unexpected) {
-        self.queued_unexpected.store_add(1);
-        self.queues.lock().unexpected.push_back(msg);
+        self.probes.unexpected_queued.incr();
+        let mut q = self.queues.lock();
+        q.unexpected.push_back(msg);
+        self.probes.unexpected_depth.record(q.unexpected.len() as u64);
     }
 
     /// Receive-posting side: find the first unexpected message matching the
@@ -128,12 +178,19 @@ impl MatchEngine {
             .unexpected
             .iter()
             .position(|u| u.comm == comm && matches(src, tag, u.src, u.tag))?;
+        self.probes.matched_unexpected.incr();
+        if src == ANY_SOURCE || tag == ANY_TAG {
+            self.probes.wildcard_hits.incr();
+        }
         q.unexpected.remove(idx)
     }
 
     /// Queue a receive that matched nothing.
     pub fn add_posted(&self, recv: PostedRecv) {
-        self.queues.lock().posted.push_back(recv);
+        self.probes.posted_queued.incr();
+        let mut q = self.queues.lock();
+        q.posted.push_back(recv);
+        self.probes.posted_depth.record(q.posted.len() as u64);
     }
 
     /// Probe: the envelope of the first unexpected message matching the
@@ -157,13 +214,15 @@ impl MatchEngine {
     }
 
     /// Messages that matched a pre-posted receive (fast path count).
+    /// Telemetry-backed: reads 0 when the `telemetry` feature is off.
     pub fn matched_posted_count(&self) -> u64 {
-        self.matched_posted.load()
+        self.probes.matched_posted.value()
     }
 
-    /// Messages that had to be staged unexpected.
+    /// Messages that had to be staged unexpected. Telemetry-backed: reads
+    /// 0 when the `telemetry` feature is off.
     pub fn unexpected_count(&self) -> u64 {
-        self.queued_unexpected.load()
+        self.probes.unexpected_queued.value()
     }
 }
 

@@ -97,7 +97,7 @@ impl Mpi {
                 LibFlavor::Classic => RequestAllocator::shared(),
                 LibFlavor::ThreadOptimized => RequestAllocator::sharded(8),
             },
-            matcher: MatchEngine::new(),
+            matcher: MatchEngine::with_telemetry(machine.telemetry()),
         });
         for ctx in client.contexts() {
             Self::register_dispatch(ctx, &shared);
@@ -553,25 +553,6 @@ pub(crate) fn unpack_meta(metadata: &bytes::Bytes) -> (i32, Tag, u32) {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn meta_round_trips() {
-        let m = bytes::Bytes::from(pack_meta(-1, ANY_TAG, 77));
-        assert_eq!(unpack_meta(&m), (ANY_SOURCE, ANY_TAG, 77));
-        let m = bytes::Bytes::from(pack_meta(12, 34, 0));
-        assert_eq!(unpack_meta(&m), (12, 34, 0));
-    }
-
-    #[test]
-    fn contiguous_detection() {
-        assert!(matches!(contiguous_or_list(&[3, 4, 5]), Topology::Range { first: 3, count: 3, stride: 1 }));
-        assert!(matches!(contiguous_or_list(&[3, 5, 6]), Topology::List(_)));
-    }
-}
-
 impl Mpi {
     /// `MPI_Sendrecv`: simultaneous send and receive (deadlock-free for
     /// exchange patterns like halo swaps).
@@ -613,5 +594,24 @@ impl Mpi {
                 std::thread::yield_now();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trips() {
+        let m = bytes::Bytes::from(pack_meta(-1, ANY_TAG, 77));
+        assert_eq!(unpack_meta(&m), (ANY_SOURCE, ANY_TAG, 77));
+        let m = bytes::Bytes::from(pack_meta(12, 34, 0));
+        assert_eq!(unpack_meta(&m), (12, 34, 0));
+    }
+
+    #[test]
+    fn contiguous_detection() {
+        assert!(matches!(contiguous_or_list(&[3, 4, 5]), Topology::Range { first: 3, count: 3, stride: 1 }));
+        assert!(matches!(contiguous_or_list(&[3, 5, 6]), Topology::List(_)));
     }
 }

@@ -115,7 +115,7 @@ fn unexpected_messages_then_matching_recv() {
         } else {
             // Give the messages time to land unexpected.
             let probe = std::time::Instant::now();
-            while mpi.matcher().unexpected_count() < 4 {
+            while mpi.matcher().unexpected_len() < 4 {
                 mpi.advance();
                 assert!(probe.elapsed().as_secs() < 10, "unexpected never arrived");
             }
@@ -173,10 +173,13 @@ fn large_messages_use_rendezvous() {
             let v = buf.to_vec();
             assert!(v.iter().enumerate().all(|(i, &b)| b == (i % 247) as u8));
             // RDMA delivered the payload.
-            assert_eq!(
-                mpi.machine().fabric().stats(mpi.machine().task_node(1)).put_bytes_in,
-                len as u64
-            );
+            if cfg!(feature = "telemetry") {
+                let node = mpi.machine().task_node(1);
+                assert_eq!(
+                    mpi.machine().fabric().counters(node).put_bytes_in.value(),
+                    len as u64
+                );
+            }
         }
     });
 }
@@ -207,8 +210,11 @@ fn isend_irecv_waitall_two_phase() {
         }
         assert!(recv_buf.to_vec().iter().all(|&b| b == peer as u8));
         // Everything was pre-posted: no unexpected messages.
-        assert_eq!(mpi.matcher().unexpected_count(), 0);
-        assert_eq!(mpi.matcher().matched_posted_count(), N as u64);
+        assert_eq!(mpi.matcher().unexpected_len(), 0);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(mpi.matcher().unexpected_count(), 0);
+            assert_eq!(mpi.matcher().matched_posted_count(), N as u64);
+        }
     });
 }
 
@@ -335,7 +341,7 @@ fn comm_split_colors_and_collectives() {
         let src = MemRegion::from_vec(elems::from_i64(&[me as i64]));
         let dst = MemRegion::zeroed(8);
         mpi.allreduce((&src, 0), (&dst, 0), 1, CollOp::Sum, DataType::Int64, &sub);
-        let want = if color == 0 { 0 + 2 } else { 1 + 3 };
+        let want = if color == 0 { 2 } else { 4 }; // 0+2 vs 1+3
         assert_eq!(elems::to_i64(&dst.to_vec()), vec![want]);
     });
 }
@@ -362,9 +368,8 @@ fn classroute_rotation_between_communicators() {
         world.optimize().unwrap();
         // Exhaust the remaining user routes with dups of world's rectangle.
         // (COMM_WORLD's boot route + ours are already placed.)
-        while dup.optimize().is_ok() {
+        if dup.optimize().is_ok() {
             dup.deoptimize();
-            break;
         }
         mpi.barrier(&world);
         if world.rank() == 0 {

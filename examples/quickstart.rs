@@ -61,8 +61,10 @@ fn main() {
                 payload: PayloadSource::Immediate(bytes::Bytes::from_static(b"pong-me")),
                 local_done: None,
             });
-            // Drive our own context so the injection FIFO drains.
-            ctx.advance_until(|| env.machine.fabric().stats(0).fifo_messages >= 2);
+            // Drive our own context so the injection FIFO drains; both
+            // sides advance until the receiver has dispatched both
+            // messages.
+            ctx.advance_until(|| received2.load(Ordering::SeqCst) == 2);
         } else {
             // Advance until both messages have been dispatched.
             ctx.advance_until(|| received2.load(Ordering::SeqCst) == 2);
@@ -71,5 +73,15 @@ fn main() {
 
     println!("delivered {} messages", received.load(Ordering::SeqCst));
     assert_eq!(received.load(Ordering::SeqCst), 2);
+
+    // The UPC-style telemetry registry saw the whole exchange; one
+    // snapshot covers every layer (`mu.*` here — the report is empty when
+    // built with `--no-default-features`).
+    let snap = machine.telemetry().snapshot();
+    println!(
+        "telemetry: {} MU fifo messages, {} packets injected",
+        snap.counter("mu.fifo_messages"),
+        snap.counter("mu.packets_injected"),
+    );
     println!("quickstart OK");
 }
