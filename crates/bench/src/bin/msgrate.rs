@@ -8,6 +8,8 @@
 //! * multi-context rate (N contexts, N sender threads — paper Figure 5 shape),
 //! * eager half-round-trip latency,
 //! * payload copy counts observed by the MU for the eager memory-FIFO path,
+//! * adaptive-vs-static protocol-policy A/B on a mixed-size workload,
+//! * `ctx.handoff_ns` / `commthread.handoff_ns` p50/p99 (post → execution),
 //! * telemetry overhead: the same rate with the UPC probes compiled out
 //!   (fed in via `MSGRATE_RATE_TELEMETRY_OFF` from a
 //!   `--no-default-features` run of this binary).
@@ -26,8 +28,8 @@ use std::sync::Arc;
 
 use pami::{Client, Context, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs};
 use pami_bench::{
-    measure_message_rate, measure_message_rate_multi, measure_pami_half_rtt, pamistat_sample,
-    MeasuredRateSeries,
+    measure_handoff_percentiles, measure_message_rate, measure_message_rate_multi,
+    measure_pami_half_rtt, measure_policy_ab, pamistat_sample, MeasuredRateSeries,
 };
 
 /// Single-context eager message rate of the tree *before* the zero-copy,
@@ -110,6 +112,21 @@ fn main() {
     let latency = measure_pami_half_rtt(false, 8, 2000).as_secs_f64();
     let copies = measure_eager_copies();
 
+    // Protocol-policy A/B: the same mixed-size workload (256 B + 16 KiB
+    // streams) under the static crossover and the adaptive per-destination
+    // policy. Best-of-3 each, interleaved so host noise hits both arms.
+    let ab_msgs = (msgs / 6).max(500);
+    let (policy_static, policy_adaptive) = (0..3).fold((0.0f64, 0.0f64), |(st, ad), _| {
+        (
+            st.max(measure_policy_ab(false, ab_msgs)),
+            ad.max(measure_policy_ab(true, ab_msgs)),
+        )
+    });
+
+    // Handoff-latency percentiles: context post → execution, split into the
+    // all-threads view and the commthread-only view.
+    let ((ctx_p50, ctx_p99), (ct_p50, ct_p99)) = measure_handoff_percentiles(256);
+
     // Telemetry on/off delta. A `--no-default-features` build of this binary
     // exports its single-context rate via MSGRATE_RATE_TELEMETRY_OFF so the
     // default (telemetry-on) run can record the overhead in one JSON file.
@@ -126,9 +143,10 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"msgrate\",\n  \"msgs\": {msgs},\n  \"seed_rate\": {SEED_RATE:.1},\n  \"single_context_rate\": {single:.1},\n  \"rate_vs_seed\": {ratio:.3},\n  \"sixteen_context_rate\": {sixteen:.1},\n  \"multi_context_threads\": {multi_ctx},\n  \"multi_context_rate\": {multi:.1},\n  \"eager_half_rtt_us\": {lat_us:.3},\n  \"seed_copies_per_eager_msg\": {SEED_COPIES_PER_MSG},\n  \"copies_per_eager_msg\": {copies},\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry_off_rate\": {off_rate_json},\n  \"telemetry_overhead_pct\": {overhead_json}\n}}\n",
+        "{{\n  \"bench\": \"msgrate\",\n  \"msgs\": {msgs},\n  \"seed_rate\": {SEED_RATE:.1},\n  \"single_context_rate\": {single:.1},\n  \"rate_vs_seed\": {ratio:.3},\n  \"sixteen_context_rate\": {sixteen:.1},\n  \"multi_context_threads\": {multi_ctx},\n  \"multi_context_rate\": {multi:.1},\n  \"eager_half_rtt_us\": {lat_us:.3},\n  \"seed_copies_per_eager_msg\": {SEED_COPIES_PER_MSG},\n  \"copies_per_eager_msg\": {copies},\n  \"policy_ab_msgs\": {ab_msgs},\n  \"policy_static_rate\": {policy_static:.1},\n  \"policy_adaptive_rate\": {policy_adaptive:.1},\n  \"policy_adaptive_vs_static\": {policy_ratio:.3},\n  \"ctx_handoff_p50_ns\": {ctx_p50},\n  \"ctx_handoff_p99_ns\": {ctx_p99},\n  \"commthread_handoff_p50_ns\": {ct_p50},\n  \"commthread_handoff_p99_ns\": {ct_p99},\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry_off_rate\": {off_rate_json},\n  \"telemetry_overhead_pct\": {overhead_json}\n}}\n",
         ratio = if SEED_RATE > 0.0 { single / SEED_RATE } else { 0.0 },
         lat_us = latency * 1e6,
+        policy_ratio = if policy_static > 0.0 { policy_adaptive / policy_static } else { 0.0 },
     );
     print!("{json}");
     std::fs::write("BENCH_msgrate.json", json).expect("write BENCH_msgrate.json");

@@ -1,0 +1,166 @@
+//! `pamistat` — the stack's telemetry report tool.
+//!
+//! ```text
+//! pamistat sample [PREFIX]        run a whole-stack sample workload and write
+//!                                 PREFIX.json + PREFIX_trace.json
+//!                                 (default PREFIX: telemetry)
+//! pamistat show FILE.json         pretty-print one report (layer totals,
+//!                                 counters, histogram summaries)
+//! pamistat diff OLD.json NEW.json print per-counter and per-histogram deltas
+//!                                 between two reports
+//! ```
+//!
+//! `sample` needs the `telemetry` feature (the default); with the probes
+//! compiled out it still writes structurally valid but empty reports and
+//! says so. `show`/`diff` work on any previously captured report — the
+//! parser lives in `pami_bench::report` and handles exactly the format
+//! `bgq_upc::Snapshot::report_json` emits.
+
+use pami_bench::report::{self, Report};
+use pami_bench::pamistat_sample;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sample") => sample(args.get(1).map(String::as_str).unwrap_or("telemetry")),
+        Some("show") => {
+            let Some(path) = args.get(1) else { return usage() };
+            show(&load(path));
+        }
+        Some("diff") => {
+            let (Some(old), Some(new)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            diff(&load(old), &load(new));
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!("usage: pamistat sample [PREFIX] | show FILE.json | diff OLD.json NEW.json");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Report {
+    match std::fs::read_to_string(path) {
+        Ok(text) => report::parse(&text),
+        Err(e) => {
+            eprintln!("pamistat: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn sample(prefix: &str) {
+    let (report_json, trace_json) = pamistat_sample();
+    let report_path = format!("{prefix}.json");
+    let trace_path = format!("{prefix}_trace.json");
+    std::fs::write(&report_path, &report_json).expect("write report");
+    std::fs::write(&trace_path, &trace_json).expect("write trace");
+    if bgq_upc::ENABLED {
+        println!("pamistat: wrote {report_path} + {trace_path}");
+        show(&report::parse(&report_json));
+    } else {
+        println!(
+            "pamistat: telemetry feature compiled out; wrote empty {report_path} + {trace_path}"
+        );
+    }
+}
+
+fn layer_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+fn show(r: &Report) {
+    println!();
+    println!("-- layers --");
+    let mut layers: Vec<&str> = r.counters.iter().map(|(n, _)| layer_of(n)).collect();
+    layers.sort_unstable();
+    layers.dedup();
+    for layer in layers {
+        let total: u64 = r
+            .counters
+            .iter()
+            .filter(|(n, _)| layer_of(n) == layer)
+            .map(|(_, v)| *v)
+            .sum();
+        println!("{layer:<14}{total:>14}");
+    }
+    println!();
+    println!("-- counters --");
+    for (name, v) in &r.counters {
+        println!("{name:<34}{v:>14}");
+    }
+    println!();
+    println!("-- histograms (ns unless named otherwise) --");
+    println!(
+        "{:<30}{:>10}{:>14}{:>10}{:>10}{:>12}",
+        "name", "count", "sum", "p50", "p99", "max"
+    );
+    for (name, h) in &r.histograms {
+        println!(
+            "{:<30}{:>10}{:>14}{:>10}{:>10}{:>12}",
+            name, h.count, h.sum, h.p50, h.p99, h.max
+        );
+    }
+}
+
+fn diff(old: &Report, new: &Report) {
+    // Union of counter names, file order of `new` first, then `old`-only.
+    let mut names: Vec<&str> = new.counters.iter().map(|(n, _)| n.as_str()).collect();
+    for (n, _) in &old.counters {
+        if !names.contains(&n.as_str()) {
+            names.push(n);
+        }
+    }
+    println!();
+    println!("-- counter deltas (new - old; unchanged rows skipped) --");
+    println!("{:<34}{:>14}{:>14}{:>14}", "name", "old", "new", "delta");
+    let mut changed = 0usize;
+    for name in &names {
+        let (o, n) = (old.counter(name), new.counter(name));
+        if o == n {
+            continue;
+        }
+        changed += 1;
+        let delta = n as i64 - o as i64;
+        println!("{name:<34}{o:>14}{n:>14}{delta:>+14}");
+    }
+    if changed == 0 {
+        println!("(no counter changed)");
+    }
+
+    let mut hnames: Vec<&str> = new.histograms.iter().map(|(n, _)| n.as_str()).collect();
+    for (n, _) in &old.histograms {
+        if !hnames.contains(&n.as_str()) {
+            hnames.push(n);
+        }
+    }
+    println!();
+    println!("-- histogram deltas (count/sum are new-old; p50/p99/max are new vs old) --");
+    println!(
+        "{:<30}{:>12}{:>14}{:>18}{:>18}",
+        "name", "Δcount", "Δsum", "p50 old→new", "p99 old→new"
+    );
+    let mut hchanged = 0usize;
+    for name in &hnames {
+        let o = old.histogram(name).unwrap_or_default();
+        let n = new.histogram(name).unwrap_or_default();
+        if o == n {
+            continue;
+        }
+        hchanged += 1;
+        println!(
+            "{:<30}{:>+12}{:>+14}{:>18}{:>18}",
+            name,
+            n.count as i64 - o.count as i64,
+            n.sum as i64 - o.sum as i64,
+            format!("{}→{}", o.p50, n.p50),
+            format!("{}→{}", o.p99, n.p99),
+        );
+    }
+    if hchanged == 0 {
+        println!("(no histogram changed)");
+    }
+}

@@ -349,6 +349,127 @@ pub fn measure_message_rate_multi(contexts: usize, msgs: usize) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol-policy A/B: adaptive vs static eager/rendezvous crossover
+// ---------------------------------------------------------------------------
+
+/// Mixed-size protocol-policy A/B over a windowed (latency-bound) request
+/// loop. Task 0 alternates 256 B (unambiguously eager) messages to task 1
+/// with 16 KiB messages to task 2, waiting for each delivery before
+/// posting the next, so per-message completion latency — exactly the
+/// signal the adaptive policy optimises — dominates the measured rate. The
+/// machine's static crossover is 32 KiB, a plausible default for hardware
+/// whose MU moves eager payloads for free, but wrong on this host's
+/// simulated MU: a 16 KiB eager message fragments into a string of staged
+/// packet copies (~2.4x the wall cost of the alternative), while
+/// rendezvous pulls the payload zero-copy after one RTS round trip. The
+/// static policy eats that cost on every large message forever; the
+/// adaptive policy compares eager delivery time against rendezvous round
+/// trips per destination from live telemetry feedback, walks the task-2
+/// crossover down below 16 KiB, and switches the large stream to
+/// rendezvous — while leaving the task-1 crossover (whose small messages
+/// eager serves well) alone. Returns messages per second of wall time,
+/// including the adaptive arm's convergence transient.
+///
+/// With the `telemetry` feature compiled out the adaptive policy degrades
+/// to the static decision (no measurements), so the two rates tie.
+pub fn measure_policy_ab(adaptive: bool, msgs: usize) -> f64 {
+    const SMALL: usize = 256;
+    const LARGE: usize = 16 * 1024;
+    let mut builder = Machine::with_nodes(3).eager_limit(32 * 1024);
+    if adaptive {
+        builder = builder.adaptive_policy();
+    }
+    let machine = builder.build();
+    let sender = Client::create(&machine, 0, "ab", 1);
+    let recvs: Vec<Arc<Client>> =
+        (1..3u32).map(|t| Client::create(&machine, t, "ab", 1)).collect();
+    let got = Arc::new(AtomicU64::new(0));
+    for c in &recvs {
+        let got = Arc::clone(&got);
+        let sink = MemRegion::zeroed(LARGE);
+        c.context(0).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                let got = Arc::clone(&got);
+                Recv::Into {
+                    region: sink.clone(),
+                    offset: 0,
+                    on_complete: Box::new(move |_| {
+                        got.fetch_add(1, Ordering::Relaxed);
+                    }),
+                }
+            }),
+        );
+    }
+    let small = MemRegion::from_vec(vec![1u8; SMALL]);
+    let large = MemRegion::from_vec(vec![2u8; LARGE]);
+    let advance_all = |sender: &Arc<Client>, recvs: &[Arc<Client>]| {
+        sender.context(0).advance();
+        for c in recvs {
+            c.context(0).advance();
+        }
+    };
+    let total = (msgs * 2) as u64;
+    let start = Instant::now();
+    for _ in 0..msgs {
+        for (dest, region, len) in [(1u32, &small, SMALL), (2u32, &large, LARGE)] {
+            let before = got.load(Ordering::Relaxed);
+            sender.context(0).send(SendArgs {
+                dest: Endpoint::of_task(dest),
+                dispatch: 1,
+                metadata: Vec::new(),
+                payload: PayloadSource::Region { region: region.clone(), offset: 0, len },
+                local_done: None,
+            });
+            while got.load(Ordering::Relaxed) == before {
+                advance_all(&sender, &recvs);
+            }
+        }
+    }
+    debug_assert_eq!(got.load(Ordering::Relaxed), total);
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// p50/p99 of the context-post → execution handoff, measured over a
+/// commthread pool draining `posts` work items. Returns
+/// `((ctx_p50, ctx_p99), (commthread_p50, commthread_p99))` in
+/// nanoseconds — `ctx.handoff_ns` counts every advancing thread,
+/// `commthread.handoff_ns` only the pool's threads. All zeros with the
+/// `telemetry` feature compiled out.
+pub fn measure_handoff_percentiles(posts: usize) -> ((u64, u64), (u64, u64)) {
+    use pami::CommThreadPool;
+    let machine = Machine::with_nodes(1).build();
+    let client = Client::create(&machine, 0, "handoff", 1);
+    let pool = CommThreadPool::spawn(vec![Arc::clone(client.context(0))], 1);
+    let ran = Arc::new(AtomicU64::new(0));
+    for i in 0..posts {
+        let ran_in = Arc::clone(&ran);
+        client.context(0).post(Box::new(move |_| {
+            ran_in.fetch_add(1, Ordering::Relaxed);
+        }));
+        // Let the pool drain every few posts so the histogram samples both
+        // the parked-wakeup and already-running cases.
+        if i % 8 == 7 {
+            let target = (i + 1) as u64;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while ran.load(Ordering::Relaxed) < target {
+                assert!(Instant::now() < deadline, "commthread made no progress");
+                std::thread::yield_now();
+            }
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while ran.load(Ordering::Relaxed) < posts as u64 {
+        assert!(Instant::now() < deadline, "commthread made no progress");
+        std::thread::yield_now();
+    }
+    pool.shutdown();
+    let snap = machine.telemetry().snapshot();
+    let pair = |name: &str| snap.histogram(name).map(|h| (h.p50, h.p99)).unwrap_or((0, 0));
+    (pair("ctx.handoff_ns"), pair("commthread.handoff_ns"))
+}
+
+// ---------------------------------------------------------------------------
 // pamistat: a whole-stack telemetry sample
 // ---------------------------------------------------------------------------
 
@@ -581,6 +702,122 @@ pub fn measure_collective(nodes: usize, ppn: usize, rounds: usize, which: CollBe
     });
     let out = *result.lock();
     out
+}
+
+// ---------------------------------------------------------------------------
+// telemetry.json parsing (pamistat diff / CI gates)
+// ---------------------------------------------------------------------------
+
+/// A parsed `telemetry.json` report (the output of
+/// `bgq_upc::Snapshot::report_json`). The format is line-oriented and
+/// produced by this workspace only, so the parser is deliberately small:
+/// no external JSON dependency.
+pub mod report {
+    /// Histogram summary row as serialized into `telemetry.json`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct Hist {
+        pub count: u64,
+        pub sum: u64,
+        pub p50: u64,
+        pub p99: u64,
+        pub max: u64,
+    }
+
+    /// Parsed report: counters and histogram summaries, in file order.
+    #[derive(Debug, Clone, Default)]
+    pub struct Report {
+        pub counters: Vec<(String, u64)>,
+        pub histograms: Vec<(String, Hist)>,
+    }
+
+    impl Report {
+        /// Counter value by exact name (0 if absent).
+        pub fn counter(&self, name: &str) -> u64 {
+            self.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        }
+
+        /// Histogram summary by exact name.
+        pub fn histogram(&self, name: &str) -> Option<Hist> {
+            self.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| *h)
+        }
+    }
+
+    fn quoted_name(line: &str) -> Option<&str> {
+        let start = line.find('"')? + 1;
+        let end = start + line[start..].find('"')?;
+        Some(&line[start..end])
+    }
+
+    fn field_u64(line: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\": ");
+        let Some(pos) = line.find(&pat) else { return 0 };
+        line[pos + pat.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap_or(0)
+    }
+
+    /// Parse a `telemetry.json` string. Lines that do not look like
+    /// entries (braces, section headers) are skipped, so the parser is
+    /// robust to the exact indentation the reporter emits.
+    pub fn parse(text: &str) -> Report {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Counters,
+            Histograms,
+        }
+        let mut section = Section::None;
+        let mut out = Report::default();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("\"counters\"") {
+                section = Section::Counters;
+                continue;
+            }
+            if t.starts_with("\"histograms\"") {
+                section = Section::Histograms;
+                continue;
+            }
+            let Some(name) = quoted_name(t) else { continue };
+            match section {
+                Section::Counters => {
+                    let Some(colon) = t.find(':') else { continue };
+                    let value: String = t[colon + 1..]
+                        .trim()
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect();
+                    if let Ok(v) = value.parse() {
+                        out.counters.push((name.to_string(), v));
+                    }
+                }
+                Section::Histograms => {
+                    out.histograms.push((
+                        name.to_string(),
+                        Hist {
+                            count: field_u64(t, "count"),
+                            sum: field_u64(t, "sum"),
+                            p50: field_u64(t, "p50"),
+                            p99: field_u64(t, "p99"),
+                            max: field_u64(t, "max"),
+                        },
+                    ));
+                }
+                Section::None => {}
+            }
+        }
+        out
+    }
 }
 
 /// Functional barrier timing with an explicit inter-node mechanism (the

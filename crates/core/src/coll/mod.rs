@@ -13,9 +13,19 @@
 //!   sends — what non-rectangular (or deoptimized) communicators fall back
 //!   to, and the baseline the hardware path is measured against.
 //!
+//! Selection is delegated to the machine's [`CollRegistry`]: every
+//! algorithm — hardware, software fallback, and layered additions like the
+//! MPI rectangle broadcast — registers an [`AlgEntry`] with an availability
+//! predicate and a cost hint, the public entry points pick the cheapest
+//! available entry, and the `*_with` variants become forced lookups by
+//! name. [`crate::geometry::Geometry::algorithms_query`] exposes the whole
+//! list per geometry (PAMI's `PAMI_Geometry_algorithms_query`).
+//!
 //! All operations are blocking and *collective*: every member task must
 //! call them in the same order. Progress is made by advancing the calling
 //! context, so they compose with commthreads and other traffic.
+
+use std::sync::Arc;
 
 use bgq_collnet::{CollContribution, CollOp, CollOutput, DataType};
 use bgq_hw::{Counter, MemRegion};
@@ -24,6 +34,13 @@ use bgq_upc::{Histogram, Stamp, Upc};
 
 use crate::context::Context;
 use crate::geometry::{BoardEntry, Geometry};
+
+pub mod registry;
+
+pub use registry::{
+    AlgEntry, AlgExec, AlgInfo, AvailFn, AllreduceExec, BarrierExec, BlockExec, BroadcastExec,
+    CollKind, CollRegistry, ExchangeExec, ReduceExec,
+};
 
 /// `coll.*` telemetry probes — per-phase timing of the collective paths
 /// (the UPC-style breakdown the paper uses to attribute Figure 6/7 latency
@@ -101,6 +118,143 @@ const SLOT_ROOT: u32 = 0x4000_0000;
 const SLOT_NODEBUF: u32 = 0x4000_0001;
 const SLOT_RESULT: u32 = 0x4000_0002;
 
+// ---------------------------------------------------------------------------
+// Builtin registry entries
+// ---------------------------------------------------------------------------
+
+/// Registry names of the builtin algorithms (stable; `*_with` forcing and
+/// tests refer to these).
+pub mod names {
+    pub const GI_BARRIER: &str = "gi-barrier";
+    pub const COLLNET_BARRIER: &str = "collnet-barrier";
+    pub const HW_BCAST: &str = "hw-collnet-bcast";
+    pub const SW_BCAST: &str = "sw-binomial-bcast";
+    pub const HW_ALLREDUCE: &str = "hw-collnet-allreduce";
+    pub const SW_ALLREDUCE: &str = "sw-binomial-allreduce";
+    pub const SW_REDUCE: &str = "sw-binomial-reduce";
+    pub const SW_GATHER: &str = "sw-binomial-gather";
+    pub const SW_SCATTER: &str = "sw-binomial-scatter";
+    pub const SW_ALLGATHER: &str = "sw-ring-allgather";
+    pub const SW_ALLTOALL: &str = "sw-pairwise-alltoall";
+}
+
+/// Register every algorithm the core crate ships. Cost convention: hardware
+/// paths 10–20 (available only with a classroute), software fallbacks 100
+/// (always available), so auto-selection reproduces the old `use_hw`
+/// decision exactly.
+pub(crate) fn register_builtins(reg: &CollRegistry) {
+    let always: AvailFn = Arc::new(|_: &Geometry| true);
+    let routed: AvailFn = Arc::new(|g: &Geometry| g.route().is_some());
+
+    reg.register(AlgEntry::new(
+        names::GI_BARRIER,
+        CollKind::Barrier,
+        10,
+        always.clone(),
+        AlgExec::Barrier(Arc::new(gi_barrier)),
+    ));
+    reg.register(AlgEntry::new(
+        names::COLLNET_BARRIER,
+        CollKind::Barrier,
+        20,
+        routed.clone(),
+        AlgExec::Barrier(Arc::new(collnet_barrier)),
+    ));
+    reg.register(AlgEntry::new(
+        names::HW_BCAST,
+        CollKind::Broadcast,
+        10,
+        routed.clone(),
+        AlgExec::Broadcast(Arc::new(hw_broadcast)),
+    ));
+    reg.register(AlgEntry::new(
+        names::SW_BCAST,
+        CollKind::Broadcast,
+        100,
+        always.clone(),
+        AlgExec::Broadcast(Arc::new(sw_broadcast)),
+    ));
+    reg.register(AlgEntry::new(
+        names::HW_ALLREDUCE,
+        CollKind::Allreduce,
+        10,
+        routed,
+        AlgExec::Allreduce(Arc::new(hw_allreduce)),
+    ));
+    reg.register(AlgEntry::new(
+        names::SW_ALLREDUCE,
+        CollKind::Allreduce,
+        100,
+        always.clone(),
+        AlgExec::Allreduce(Arc::new(sw_allreduce)),
+    ));
+    reg.register(AlgEntry::new(
+        names::SW_REDUCE,
+        CollKind::Reduce,
+        100,
+        always.clone(),
+        AlgExec::Reduce(Arc::new(sw_reduce)),
+    ));
+    reg.register(AlgEntry::new(
+        names::SW_GATHER,
+        CollKind::Gather,
+        100,
+        always.clone(),
+        AlgExec::Block(Arc::new(sw_gather)),
+    ));
+    reg.register(AlgEntry::new(
+        names::SW_SCATTER,
+        CollKind::Scatter,
+        100,
+        always.clone(),
+        AlgExec::Block(Arc::new(sw_scatter)),
+    ));
+    reg.register(AlgEntry::new(
+        names::SW_ALLGATHER,
+        CollKind::Allgather,
+        100,
+        always.clone(),
+        AlgExec::Exchange(Arc::new(sw_allgather)),
+    ));
+    reg.register(AlgEntry::new(
+        names::SW_ALLTOALL,
+        CollKind::Alltoall,
+        100,
+        always,
+        AlgExec::Exchange(Arc::new(sw_alltoall)),
+    ));
+}
+
+/// Map an [`Algorithm`] forcing onto a registry name (`None` = auto).
+/// Preserves the pre-registry contract: forcing `HwCollNet` on an
+/// unoptimized geometry panics here, before any lookup.
+fn forced_name(
+    geom: &Geometry,
+    alg: Algorithm,
+    hw: &'static str,
+    sw: &'static str,
+) -> Option<&'static str> {
+    match alg {
+        Algorithm::Auto => None,
+        Algorithm::HwCollNet => {
+            assert!(
+                geom.route().is_some(),
+                "Algorithm::HwCollNet on an unoptimized geometry — call optimize() first"
+            );
+            Some(hw)
+        }
+        Algorithm::SwBinomial => Some(sw),
+    }
+}
+
+fn lookup(geom: &Geometry, kind: CollKind, forced: Option<&str>) -> Arc<AlgEntry> {
+    let reg = geom.machine().coll_registry();
+    match forced {
+        Some(name) => reg.forced(kind, name),
+        None => reg.select(kind, geom),
+    }
+}
+
 fn local_barrier(geom: &Geometry, ctx: &Context) {
     let group = geom.group(ctx.node());
     if group.tasks.len() == 1 {
@@ -108,20 +262,6 @@ fn local_barrier(geom: &Geometry, ctx: &Context) {
     }
     let generation = group.barrier.arrive();
     ctx.advance_until(|| group.barrier.is_released(generation));
-}
-
-fn use_hw(geom: &Geometry, alg: Algorithm) -> bool {
-    match alg {
-        Algorithm::Auto => geom.route().is_some(),
-        Algorithm::HwCollNet => {
-            assert!(
-                geom.route().is_some(),
-                "Algorithm::HwCollNet on an unoptimized geometry — call optimize() first"
-            );
-            true
-        }
-        Algorithm::SwBinomial => false,
-    }
 }
 
 fn entry_region(entry: BoardEntry) -> (MemRegion, usize, usize) {
@@ -148,9 +288,11 @@ fn wait_board(geom: &Geometry, ctx: &Context, seq: u64, slot: u32) -> BoardEntry
 // ---------------------------------------------------------------------------
 
 /// Barrier over the geometry: L2 local barrier on each node bracketing a GI
-/// barrier across the nodes (paper section IV.B).
+/// barrier across the nodes (paper section IV.B). Auto-selection picks the
+/// GI entry on every geometry — the paper chose the GI network over
+/// collective-network barriers for latency, and the cost hints encode that.
 pub fn barrier(geom: &Geometry, ctx: &Context) {
-    barrier_with(geom, ctx, BarrierAlg::GlobalInterrupt)
+    barrier_dispatch(geom, ctx, None)
 }
 
 /// Which inter-node mechanism a barrier uses (ablation hook: the paper
@@ -165,54 +307,72 @@ pub enum BarrierAlg {
     CollNet,
 }
 
-/// Barrier with an explicit inter-node mechanism.
+/// Barrier with an explicit inter-node mechanism (forced registry lookup).
 pub fn barrier_with(geom: &Geometry, ctx: &Context, alg: BarrierAlg) {
+    let name = match alg {
+        BarrierAlg::GlobalInterrupt => names::GI_BARRIER,
+        BarrierAlg::CollNet => names::COLLNET_BARRIER,
+    };
+    barrier_dispatch(geom, ctx, Some(name))
+}
+
+fn barrier_dispatch(geom: &Geometry, ctx: &Context, forced: Option<&str>) {
     let machine = geom.machine();
     let probes = machine.coll_probes();
     probes.barriers.incr();
     let start = Stamp::now();
-    barrier_inner(geom, ctx, alg);
+    // Consume a sequence number to keep collective ordering aligned even
+    // though the barrier itself never touches the board.
+    let seq = geom.next_seq(ctx.task());
+    if geom.size() > 1 {
+        let entry = lookup(geom, CollKind::Barrier, forced);
+        match entry.exec() {
+            AlgExec::Barrier(f) => f(geom, ctx, seq),
+            _ => unreachable!("barrier entry with a non-barrier body"),
+        }
+    }
     probes.barrier_ns.record_since(start);
     machine.telemetry().trace_span("coll.barrier", start, geom.size() as u64);
 }
 
-fn barrier_inner(geom: &Geometry, ctx: &Context, alg: BarrierAlg) {
-    // Consume a sequence number to keep collective ordering aligned even
-    // though the barrier itself never touches the board.
-    geom.next_seq(ctx.task());
-    if geom.size() == 1 {
-        return;
-    }
+/// GI-network barrier body: local barrier, leader arrives at the GI wire,
+/// local barrier.
+fn gi_barrier(geom: &Geometry, ctx: &Context, _seq: u64) {
     let group = geom.group(ctx.node());
     local_barrier(geom, ctx);
     if ctx.task() == group.leader && geom.nodes().len() > 1 {
-        match alg {
-            BarrierAlg::GlobalInterrupt => {
-                let phase = geom.gi().arrive();
-                ctx.advance_until(|| geom.gi().is_released(phase));
-            }
-            BarrierAlg::CollNet => {
-                let route = geom
-                    .route()
-                    .expect("BarrierAlg::CollNet requires an optimized geometry");
-                let machine = geom.machine();
-                let done = Counter::new();
-                done.add_expected(1);
-                machine.collnet().contribute(
-                    &route,
-                    machine.shape().coords_of(ctx.node() as usize),
-                    bgq_collnet::CollContribution::Barrier {
-                        output: Some(bgq_collnet::CollOutput {
-                            region: MemRegion::zeroed(0),
-                            offset: 0,
-                            counter: Some(done.clone()),
-                            wakeup: None,
-                        }),
-                    },
-                );
-                ctx.advance_until(|| done.is_complete());
-            }
-        }
+        let phase = geom.gi().arrive();
+        ctx.advance_until(|| geom.gi().is_released(phase));
+    }
+    local_barrier(geom, ctx);
+}
+
+/// Collective-network barrier body: a zero-payload contribution over the
+/// classroute. Panics (leader only, multi-node only) when the geometry has
+/// no route — exactly the pre-registry behaviour.
+fn collnet_barrier(geom: &Geometry, ctx: &Context, _seq: u64) {
+    let group = geom.group(ctx.node());
+    local_barrier(geom, ctx);
+    if ctx.task() == group.leader && geom.nodes().len() > 1 {
+        let route = geom
+            .route()
+            .expect("BarrierAlg::CollNet requires an optimized geometry");
+        let machine = geom.machine();
+        let done = Counter::new();
+        done.add_expected(1);
+        machine.collnet().contribute(
+            &route,
+            machine.shape().coords_of(ctx.node() as usize),
+            CollContribution::Barrier {
+                output: Some(CollOutput {
+                    region: MemRegion::zeroed(0),
+                    offset: 0,
+                    counter: Some(done.clone()),
+                    wakeup: None,
+                }),
+            },
+        );
+        ctx.advance_until(|| done.is_complete());
     }
     local_barrier(geom, ctx);
 }
@@ -222,7 +382,7 @@ fn barrier_inner(geom: &Geometry, ctx: &Context, alg: BarrierAlg) {
 // ---------------------------------------------------------------------------
 
 /// Broadcast `len` bytes at (`region`, `offset`) from geometry rank
-/// `root_rank` to the same place on every member (default algorithm).
+/// `root_rank` to the same place on every member (registry auto-selection).
 pub fn broadcast(
     geom: &Geometry,
     ctx: &Context,
@@ -231,10 +391,10 @@ pub fn broadcast(
     offset: usize,
     len: usize,
 ) {
-    broadcast_with(geom, ctx, Algorithm::Auto, root_rank, region, offset, len)
+    broadcast_dispatch(geom, ctx, None, root_rank, region, offset, len)
 }
 
-/// Broadcast with an explicit algorithm choice.
+/// Broadcast with an explicit algorithm choice (forced registry lookup).
 pub fn broadcast_with(
     geom: &Geometry,
     ctx: &Context,
@@ -244,37 +404,52 @@ pub fn broadcast_with(
     offset: usize,
     len: usize,
 ) {
-    let machine = geom.machine();
-    let probes = machine.coll_probes();
-    probes.broadcasts.incr();
-    let start = Stamp::now();
-    broadcast_inner(geom, ctx, alg, root_rank, region, offset, len);
-    probes.bcast_ns.record_since(start);
-    machine.telemetry().trace_span("coll.broadcast", start, len as u64);
+    let forced = forced_name(geom, alg, names::HW_BCAST, names::SW_BCAST);
+    broadcast_dispatch(geom, ctx, forced, root_rank, region, offset, len)
 }
 
-fn broadcast_inner(
+/// Broadcast through a named registry entry — how layered algorithms (the
+/// MPI rectangle broadcast) are invoked once registered.
+///
+/// # Panics
+/// If no broadcast algorithm is registered under `name`.
+pub fn broadcast_named(
     geom: &Geometry,
     ctx: &Context,
-    alg: Algorithm,
+    name: &str,
     root_rank: usize,
     region: &MemRegion,
     offset: usize,
     len: usize,
 ) {
+    broadcast_dispatch(geom, ctx, Some(name), root_rank, region, offset, len)
+}
+
+fn broadcast_dispatch(
+    geom: &Geometry,
+    ctx: &Context,
+    forced: Option<&str>,
+    root_rank: usize,
+    region: &MemRegion,
+    offset: usize,
+    len: usize,
+) {
+    let machine = geom.machine();
+    let probes = machine.coll_probes();
+    probes.broadcasts.incr();
+    let start = Stamp::now();
+    // Consume the sequence number even for trivial cases (MPI_Bcast of zero
+    // bytes is a no-op but collective ordering must stay aligned).
     let seq = geom.next_seq(ctx.task());
-    if geom.size() == 1 || len == 0 {
-        if len == 0 {
-            // Still synchronize: MPI_Bcast of zero bytes is a no-op but our
-            // sequence numbers must stay aligned; nothing more to do.
+    if geom.size() > 1 && len > 0 {
+        let entry = lookup(geom, CollKind::Broadcast, forced);
+        match entry.exec() {
+            AlgExec::Broadcast(f) => f(geom, ctx, seq, root_rank, region, offset, len),
+            _ => unreachable!("broadcast entry with a non-broadcast body"),
         }
-        return;
     }
-    if use_hw(geom, alg) {
-        hw_broadcast(geom, ctx, seq, root_rank, region, offset, len);
-    } else {
-        sw_broadcast(geom, ctx, seq, root_rank, region, offset, len);
-    }
+    probes.bcast_ns.record_since(start);
+    machine.telemetry().trace_span("coll.broadcast", start, len as u64);
 }
 
 fn hw_broadcast(
@@ -438,7 +613,7 @@ fn sw_broadcast(
 // ---------------------------------------------------------------------------
 
 /// Allreduce `count` 8-byte elements from (`src`) into (`dst`) on every
-/// member (default algorithm).
+/// member (registry auto-selection).
 #[allow(clippy::too_many_arguments)]
 pub fn allreduce(
     geom: &Geometry,
@@ -449,10 +624,10 @@ pub fn allreduce(
     op: CollOp,
     dtype: DataType,
 ) {
-    allreduce_with(geom, ctx, Algorithm::Auto, src, dst, count, op, dtype)
+    allreduce_dispatch(geom, ctx, None, src, dst, count, op, dtype)
 }
 
-/// Allreduce with an explicit algorithm choice.
+/// Allreduce with an explicit algorithm choice (forced registry lookup).
 #[allow(clippy::too_many_arguments)]
 pub fn allreduce_with(
     geom: &Geometry,
@@ -464,43 +639,47 @@ pub fn allreduce_with(
     op: CollOp,
     dtype: DataType,
 ) {
-    let machine = geom.machine();
-    let probes = machine.coll_probes();
-    probes.allreduces.incr();
-    let start = Stamp::now();
-    allreduce_inner(geom, ctx, alg, src, dst, count, op, dtype);
-    probes.allreduce_ns.record_since(start);
-    machine.telemetry().trace_span("coll.allreduce", start, (count * ELEM) as u64);
+    let forced = forced_name(geom, alg, names::HW_ALLREDUCE, names::SW_ALLREDUCE);
+    allreduce_dispatch(geom, ctx, forced, src, dst, count, op, dtype)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn allreduce_inner(
+fn allreduce_dispatch(
     geom: &Geometry,
     ctx: &Context,
-    alg: Algorithm,
+    forced: Option<&str>,
     src: (&MemRegion, usize),
     dst: (&MemRegion, usize),
     count: usize,
     op: CollOp,
     dtype: DataType,
 ) {
+    let machine = geom.machine();
+    let probes = machine.coll_probes();
+    probes.allreduces.incr();
+    let start = Stamp::now();
     let seq = geom.next_seq(ctx.task());
-    if count == 0 {
-        return;
+    if count > 0 {
+        if geom.size() == 1 {
+            dst.0.copy_from(dst.1, src.0, src.1, count * ELEM);
+        } else {
+            let entry = lookup(geom, CollKind::Allreduce, forced);
+            match entry.exec() {
+                AlgExec::Allreduce(f) => f(geom, ctx, seq, src, dst, count, op, dtype),
+                _ => unreachable!("allreduce entry with a non-allreduce body"),
+            }
+        }
     }
-    if geom.size() == 1 {
-        dst.0.copy_from(dst.1, src.0, src.1, count * ELEM);
-        return;
-    }
-    if use_hw(geom, alg) {
-        hw_allreduce(geom, ctx, seq, src, dst, count, op, dtype);
-    } else {
-        sw_reduce_bcast(geom, ctx, seq, None, src, dst, count, op, dtype);
-    }
+    probes.allreduce_ns.record_since(start);
+    machine.telemetry().trace_span("coll.allreduce", start, (count * ELEM) as u64);
 }
 
-/// Reduce to `root_rank` (default algorithm): the result lands in `dst` on
-/// the root; other members' `dst` is untouched.
+/// Reduce to `root_rank` (registry auto-selection): the result lands in
+/// `dst` on the root; other members' `dst` is untouched.
+///
+/// Only the software binomial path registers for reduce: the hardware
+/// reduction would deliver at the route root, so (as the real library does
+/// for mismatched roots) arbitrary-root reduces go through the tree.
 #[allow(clippy::too_many_arguments)]
 pub fn reduce(
     geom: &Geometry,
@@ -524,10 +703,11 @@ pub fn reduce(
         dst.0.copy_from(dst.1, src.0, src.1, count * ELEM);
         return;
     }
-    // The software path handles arbitrary roots; the hardware reduction
-    // would deliver at the route root, so (as the real library does for
-    // mismatched roots) go through the binomial tree.
-    sw_reduce_bcast(geom, ctx, seq, Some(root_rank), src, dst, count, op, dtype);
+    let entry = lookup(geom, CollKind::Reduce, None);
+    match entry.exec() {
+        AlgExec::Reduce(f) => f(geom, ctx, seq, root_rank, src, dst, count, op, dtype),
+        _ => unreachable!("reduce entry with a non-reduce body"),
+    }
     probes.reduce_ns.record_since(start);
     machine.telemetry().trace_span("coll.reduce", start, (count * ELEM) as u64);
 }
@@ -664,6 +844,38 @@ fn hw_allreduce(
     }
 }
 
+/// Software allreduce body: binomial reduce to relative rank 0, then
+/// binomial broadcast of the result.
+#[allow(clippy::too_many_arguments)]
+fn sw_allreduce(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    sw_reduce_bcast(geom, ctx, seq, None, src, dst, count, op, dtype)
+}
+
+/// Software reduce body: binomial reduce to `root_rank`.
+#[allow(clippy::too_many_arguments)]
+fn sw_reduce(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    root_rank: usize,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    sw_reduce_bcast(geom, ctx, seq, Some(root_rank), src, dst, count, op, dtype)
+}
+
 /// Software fallback: binomial reduce to a root, then (for allreduce)
 /// binomial broadcast of the result. `root_rank: None` means allreduce.
 #[allow(clippy::too_many_arguments)]
@@ -760,12 +972,27 @@ pub fn gather(
 ) {
     geom.machine().coll_probes().gathers.incr();
     let seq = geom.next_seq(ctx.task());
-    let n = geom.size();
-    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
-    if n == 1 {
+    if geom.size() == 1 {
         dst.0.copy_from(dst.1, src.0, src.1, blk);
         return;
     }
+    match lookup(geom, CollKind::Gather, None).exec() {
+        AlgExec::Block(f) => f(geom, ctx, seq, root_rank, src, dst, blk),
+        _ => unreachable!("gather entry with a non-block body"),
+    }
+}
+
+fn sw_gather(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    root_rank: usize,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
     let relative = (rank + n - root_rank) % n;
 
     // Accumulate my subtree's blocks (relative block x at offset x·blk).
@@ -841,12 +1068,27 @@ pub fn scatter(
 ) {
     geom.machine().coll_probes().scatters.incr();
     let seq = geom.next_seq(ctx.task());
-    let n = geom.size();
-    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
-    if n == 1 {
+    if geom.size() == 1 {
         dst.0.copy_from(dst.1, src.0, src.1, blk);
         return;
     }
+    match lookup(geom, CollKind::Scatter, None).exec() {
+        AlgExec::Block(f) => f(geom, ctx, seq, root_rank, src, dst, blk),
+        _ => unreachable!("scatter entry with a non-block body"),
+    }
+}
+
+fn sw_scatter(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    root_rank: usize,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
     let relative = (rank + n - root_rank) % n;
 
     // Receive my subtree's blocks from my parent (root starts with all,
@@ -940,12 +1182,28 @@ pub fn allgather(
 ) {
     geom.machine().coll_probes().allgathers.incr();
     let seq = geom.next_seq(ctx.task());
-    let n = geom.size();
     let rank = geom.rank_of(ctx.task()).expect("caller is a member");
     dst.0.copy_from(dst.1 + rank * blk, src.0, src.1, blk);
-    if n == 1 {
+    if geom.size() == 1 {
         return;
     }
+    match lookup(geom, CollKind::Allgather, None).exec() {
+        AlgExec::Exchange(f) => f(geom, ctx, seq, src, dst, blk),
+        _ => unreachable!("allgather entry with a non-exchange body"),
+    }
+}
+
+/// Ring allgather body (the caller has already deposited its own block).
+fn sw_allgather(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    _src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
     let right = (rank + 1) % n;
     let left = (rank + n - 1) % n;
     for step in 0..n - 1 {
@@ -982,9 +1240,29 @@ pub fn alltoall(
 ) {
     geom.machine().coll_probes().alltoalls.incr();
     let seq = geom.next_seq(ctx.task());
-    let n = geom.size();
     let rank = geom.rank_of(ctx.task()).expect("caller is a member");
     dst.0.copy_from(dst.1 + rank * blk, src.0, src.1 + rank * blk, blk);
+    if geom.size() == 1 {
+        return;
+    }
+    match lookup(geom, CollKind::Alltoall, None).exec() {
+        AlgExec::Exchange(f) => f(geom, ctx, seq, src, dst, blk),
+        _ => unreachable!("alltoall entry with a non-exchange body"),
+    }
+}
+
+/// Pairwise-exchange alltoall body (the caller has already copied the local
+/// block).
+fn sw_alltoall(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    blk: usize,
+) {
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
     for step in 1..n {
         let to = (rank + step) % n;
         let from = (rank + n - step) % n;

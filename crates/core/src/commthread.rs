@@ -168,6 +168,9 @@ fn run_commthread(
     probes: CommProbes,
     discipline: LockDiscipline,
 ) {
+    // Mark this thread so handoff latencies it measures land in
+    // `commthread.handoff_ns` in addition to `ctx.handoff_ns`.
+    crate::context::set_commthread_marker(true);
     let mut waiter = Waiter::new();
     for ctx in &contexts {
         waiter.subscribe(ctx.wakeup_region());

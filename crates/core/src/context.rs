@@ -14,6 +14,7 @@
 //! shared use with [`Context::lock`]). Sends are initiated lock-free from
 //! any thread: they only push onto MPSC queues.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -29,7 +30,26 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::endpoint::Endpoint;
 use crate::machine::Machine;
+use crate::policy::{ProtoEvent, Protocol};
 use crate::proto::{wire, SendArgs, ShmMailbox, ShmMsg, ShmPayload, DISPATCH_INTERNAL_BASE, DISPATCH_RZV_RTS};
+
+thread_local! {
+    /// Whether the current thread is a commthread-pool worker. Set by
+    /// [`crate::commthread::CommThreadPool`]; used to split handoff-latency
+    /// telemetry between `ctx.handoff_ns` (any advancing thread) and
+    /// `commthread.handoff_ns` (commthread workers only).
+    static IS_COMMTHREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Mark (or unmark) the calling thread as a commthread-pool worker.
+pub(crate) fn set_commthread_marker(on: bool) {
+    IS_COMMTHREAD.with(|c| c.set(on));
+}
+
+#[inline]
+fn on_commthread() -> bool {
+    IS_COMMTHREAD.with(|c| c.get())
+}
 
 /// Completion callback invoked on the advancing thread.
 pub type CompletionFn = Box<dyn FnOnce(&Context) + Send>;
@@ -81,6 +101,20 @@ struct Reassembly {
     base_offset: usize,
     remaining: usize,
     on_complete: Option<CompletionFn>,
+    /// Send-side stamp from the first packet's envelope; fed back to the
+    /// protocol policy when the last byte lands.
+    stamp: Stamp,
+    total_len: usize,
+}
+
+/// A rendezvous receive waiting on its reception counter.
+struct RzvPending {
+    done: Counter,
+    on_complete: Option<CompletionFn>,
+    /// RTS send-side stamp — completion minus this is the full rendezvous
+    /// round trip, the policy's rendezvous cost signal.
+    stamp: Stamp,
+    len: usize,
 }
 
 struct AdvanceState {
@@ -88,7 +122,7 @@ struct AdvanceState {
     /// message id).
     reassembly: HashMap<(u32, u64), Reassembly>,
     /// Rendezvous receives waiting on their reception counters.
-    rzv_pending: Vec<(Counter, Option<CompletionFn>)>,
+    rzv_pending: Vec<RzvPending>,
 }
 
 /// Per-advance budgets: how many items of each kind one `advance` call
@@ -121,9 +155,13 @@ struct CtxProbes {
     messages_dispatched: bgq_upc::Counter,
     /// Posted work items executed.
     work_items: bgq_upc::Counter,
-    /// Nanoseconds from `Context::post` to the work item running on the
-    /// advancing thread (the paper's commthread-handoff cost).
+    /// Nanoseconds from `Context::post` to the work item running, when the
+    /// advancing thread is a commthread-pool worker (the paper's
+    /// commthread-handoff cost).
     handoff_ns: Histogram,
+    /// Same post→execution latency, measured for *every* advancing thread
+    /// (application threads draining their own queue included).
+    ctx_handoff_ns: Histogram,
 }
 
 impl CtxProbes {
@@ -141,6 +179,7 @@ impl CtxProbes {
             messages_dispatched: upc.counter("ctx.messages_dispatched"),
             work_items: upc.counter("ctx.work_items"),
             handoff_ns: upc.histogram("commthread.handoff_ns"),
+            ctx_handoff_ns: upc.histogram("ctx.handoff_ns"),
         }
     }
 }
@@ -177,6 +216,11 @@ pub struct Context {
     /// in [`Context::advance`].
     pending_internal: AtomicUsize,
     user_lock: L2TicketMutex,
+    /// Cached `machine.policy().wants_feedback()`: when `false` (the
+    /// static default) the send path writes a zero stamp and delivery
+    /// never reads the clock or calls `observe` — zero per-message policy
+    /// cost on the hot path.
+    policy_feedback: bool,
     /// `ctx.*` telemetry probes, registered on the machine's UPC registry.
     probes: CtxProbes,
 }
@@ -238,6 +282,7 @@ impl Context {
             }),
             pending_internal: AtomicUsize::new(0),
             user_lock: L2TicketMutex::new(),
+            policy_feedback: bgq_upc::ENABLED && machine.policy().wants_feedback(),
             probes: CtxProbes::new(machine.telemetry()),
         })
     }
@@ -330,6 +375,12 @@ impl Context {
         }
         assert!(dispatch < DISPATCH_INTERNAL_BASE, "dispatch id reserved");
         self.probes.sends_immediate.incr();
+        // One-packet immediates are eager by construction: a packet fits
+        // under every policy's minimum clamp, so consulting the policy
+        // could only ever answer `Eager` — but the delivery outcome still
+        // flows back through the stamped envelope so adaptive policies see
+        // immediate traffic in their eager cost model.
+        let stamp = self.send_stamp();
         let dest_node = self.machine.task_node(dest.task);
         if dest_node == self.node {
             let addr = self.machine.endpoint_addr(self.client, dest.task, dest.context);
@@ -337,6 +388,7 @@ impl Context {
                 src: self.endpoint(),
                 dispatch,
                 metadata: Bytes::copy_from_slice(metadata),
+                stamp,
                 payload: ShmPayload::Inline(Bytes::copy_from_slice(payload)),
             });
             return Ok(());
@@ -353,7 +405,7 @@ impl Context {
                 kind: XferKind::MemoryFifo {
                     rec_fifo: addr.rec_fifo,
                     dispatch,
-                    metadata: wire::envelope(self.task, metadata),
+                    metadata: wire::envelope(self.task, stamp, metadata),
                 },
                 inj_counter: None,
             },
@@ -375,42 +427,46 @@ impl Context {
         }
         let addr = self.machine.endpoint_addr(self.client, args.dest.task, args.dest.context);
         let len = args.payload.len();
-        if len <= self.machine.eager_limit {
-            self.probes.sends_eager.incr();
-            let desc = Descriptor {
-                dst_node: dest_node,
-                dst_context: args.dest.context,
-                src_context: self.offset,
-                routing: bgq_torus::Routing::Deterministic,
-                payload: args.payload,
-                kind: XferKind::MemoryFifo {
-                    rec_fifo: addr.rec_fifo,
-                    dispatch: args.dispatch,
-                    metadata: wire::envelope(self.task, &args.metadata),
-                },
-                inj_counter: args.local_done,
-            };
-            self.inject_to(args.dest.task, desc);
-        } else {
-            // Rendezvous: register the source, send an RTS; the target pulls
-            // the payload with a remote get.
-            self.probes.sends_rzv.incr();
-            let key = self.machine.rzv_register(args.payload, args.local_done);
-            let rts = wire::rts(args.dispatch, len as u64, key, &args.metadata);
-            let desc = Descriptor {
-                dst_node: dest_node,
-                dst_context: args.dest.context,
-                src_context: self.offset,
-                routing: bgq_torus::Routing::Deterministic,
-                payload: PayloadSource::Immediate(Bytes::new()),
-                kind: XferKind::MemoryFifo {
-                    rec_fifo: addr.rec_fifo,
-                    dispatch: DISPATCH_RZV_RTS,
-                    metadata: wire::envelope(self.task, &rts),
-                },
-                inj_counter: None,
-            };
-            self.inject_to(args.dest.task, desc);
+        let stamp = self.send_stamp();
+        match self.machine.policy().select(args.dest.task, len) {
+            Protocol::Eager => {
+                self.probes.sends_eager.incr();
+                let desc = Descriptor {
+                    dst_node: dest_node,
+                    dst_context: args.dest.context,
+                    src_context: self.offset,
+                    routing: bgq_torus::Routing::Deterministic,
+                    payload: args.payload,
+                    kind: XferKind::MemoryFifo {
+                        rec_fifo: addr.rec_fifo,
+                        dispatch: args.dispatch,
+                        metadata: wire::envelope(self.task, stamp, &args.metadata),
+                    },
+                    inj_counter: args.local_done,
+                };
+                self.inject_to(args.dest.task, desc);
+            }
+            Protocol::Rendezvous => {
+                // Rendezvous: register the source, send an RTS; the target
+                // pulls the payload with a remote get.
+                self.probes.sends_rzv.incr();
+                let key = self.machine.rzv_register(args.payload, args.local_done);
+                let rts = wire::rts(args.dispatch, len as u64, key, &args.metadata);
+                let desc = Descriptor {
+                    dst_node: dest_node,
+                    dst_context: args.dest.context,
+                    src_context: self.offset,
+                    routing: bgq_torus::Routing::Deterministic,
+                    payload: PayloadSource::Immediate(Bytes::new()),
+                    kind: XferKind::MemoryFifo {
+                        rec_fifo: addr.rec_fifo,
+                        dispatch: DISPATCH_RZV_RTS,
+                        metadata: wire::envelope(self.task, stamp, &rts),
+                    },
+                    inj_counter: None,
+                };
+                self.inject_to(args.dest.task, desc);
+            }
         }
     }
 
@@ -500,7 +556,12 @@ impl Context {
     fn send_shm(&self, args: SendArgs) {
         let addr = self.machine.endpoint_addr(self.client, args.dest.task, args.dest.context);
         let len = args.payload.len();
-        let payload = if len <= self.machine.eager_limit {
+        let stamp = self.send_stamp();
+        let eager = matches!(
+            self.machine.policy().select(args.dest.task, len),
+            Protocol::Eager
+        );
+        let payload = if eager {
             let bytes = args.payload.to_bytes();
             if let Some(c) = args.local_done {
                 c.delivered(if len == 0 { 1 } else { len as u64 });
@@ -532,6 +593,7 @@ impl Context {
             src: self.endpoint(),
             dispatch: args.dispatch,
             metadata: Bytes::from(args.metadata),
+            stamp,
             payload,
         });
     }
@@ -602,7 +664,10 @@ impl Context {
         for _ in 0..WORK_BUDGET {
             match self.work.pop() {
                 Some((posted, work)) => {
-                    self.probes.handoff_ns.record_since(posted);
+                    self.probes.ctx_handoff_ns.record_since(posted);
+                    if on_commthread() {
+                        self.probes.handoff_ns.record_since(posted);
+                    }
                     work(self);
                     self.probes.work_items.incr();
                     events += 1;
@@ -650,10 +715,15 @@ impl Context {
         if !st.rzv_pending.is_empty() {
             let mut i = 0;
             while i < st.rzv_pending.len() {
-                if st.rzv_pending[i].0.is_complete() {
-                    let (_c, cb) = st.rzv_pending.swap_remove(i);
+                if st.rzv_pending[i].done.is_complete() {
+                    let pending = st.rzv_pending.swap_remove(i);
                     self.pending_internal.fetch_sub(1, Ordering::AcqRel);
-                    if let Some(cb) = cb {
+                    self.observe(|| ProtoEvent::RzvComplete {
+                        dest: self.task,
+                        len: pending.len,
+                        ns: pending.stamp.elapsed_ns(),
+                    });
+                    if let Some(cb) = pending.on_complete {
                         cb(self);
                     }
                     events += 1;
@@ -666,12 +736,37 @@ impl Context {
         events
     }
 
+    /// Send-side stamp for the wire envelope: a real clock read only when
+    /// the policy consumes delivery feedback (zero otherwise, and always
+    /// zero-sized with telemetry off).
+    #[inline]
+    fn send_stamp(&self) -> Stamp {
+        if self.policy_feedback {
+            Stamp::now()
+        } else {
+            Stamp::from_ns(0)
+        }
+    }
+
+    /// Feed a delivery outcome back to the machine's protocol policy. The
+    /// policy is machine-wide and the stamp rides the process-global clock,
+    /// so the receiving context can report on the sender's behalf. The
+    /// event is built lazily so the delivery path never reads the clock
+    /// under a feedback-free (static) policy; compiles away entirely with
+    /// telemetry off.
+    #[inline]
+    fn observe(&self, ev: impl FnOnce() -> ProtoEvent) {
+        if self.policy_feedback {
+            self.machine.policy().observe(ev());
+        }
+    }
+
     fn handle_mu_packet(&self, st: &mut AdvanceState, mut pkt: MuPacket) {
         if pkt.is_first() {
-            let (src_task, body) = wire::open_envelope(&pkt.metadata);
+            let (src_task, stamp, body) = wire::open_envelope(&pkt.metadata);
             let src = Endpoint { task: src_task, context: pkt.src_context };
             if pkt.dispatch == DISPATCH_RZV_RTS {
-                self.handle_rts(st, src, &body);
+                self.handle_rts(st, src, stamp, &body);
                 return;
             }
             let msg = IncomingMsg {
@@ -694,6 +789,11 @@ impl Context {
                         pkt.payload.view().len(),
                         pkt.msg_len
                     );
+                    self.observe(|| ProtoEvent::EagerDelivered {
+                        dest: self.task,
+                        len: pkt.msg_len as usize,
+                        ns: stamp.elapsed_ns(),
+                    });
                 }
                 Recv::Into { region, offset, on_complete } => {
                     // The receive-side copy: packet buffer (or source
@@ -702,6 +802,11 @@ impl Context {
                     pkt.payload.deposit(&region, offset);
                     self.machine.fabric().note_payload_copy(self.node);
                     if pkt.is_last() {
+                        self.observe(|| ProtoEvent::EagerDelivered {
+                            dest: self.task,
+                            len: pkt.msg_len as usize,
+                            ns: stamp.elapsed_ns(),
+                        });
                         on_complete(self);
                     } else {
                         st.reassembly.insert(
@@ -711,6 +816,8 @@ impl Context {
                                 base_offset: offset,
                                 remaining: pkt.msg_len as usize - pkt_len,
                                 on_complete: Some(on_complete),
+                                stamp,
+                                total_len: pkt.msg_len as usize,
                             },
                         );
                         self.pending_internal.fetch_add(1, Ordering::AcqRel);
@@ -731,6 +838,11 @@ impl Context {
             if entry.remaining == 0 {
                 let mut entry = st.reassembly.remove(&key).expect("entry present");
                 self.pending_internal.fetch_sub(1, Ordering::AcqRel);
+                self.observe(|| ProtoEvent::EagerDelivered {
+                    dest: self.task,
+                    len: entry.total_len,
+                    ns: entry.stamp.elapsed_ns(),
+                });
                 if let Some(cb) = entry.on_complete.take() {
                     cb(self);
                 }
@@ -738,7 +850,7 @@ impl Context {
         }
     }
 
-    fn handle_rts(&self, st: &mut AdvanceState, src: Endpoint, body: &Bytes) {
+    fn handle_rts(&self, st: &mut AdvanceState, src: Endpoint, stamp: Stamp, body: &Bytes) {
         let (dispatch, len, key, metadata) = wire::open_rts(body);
         let msg = IncomingMsg { src, dispatch, metadata, len };
         self.probes.messages_dispatched.incr();
@@ -773,7 +885,12 @@ impl Context {
                     inj_counter: None,
                 };
                 self.inject_to(src.task, get);
-                st.rzv_pending.push((done, Some(on_complete)));
+                st.rzv_pending.push(RzvPending {
+                    done,
+                    on_complete: Some(on_complete),
+                    stamp,
+                    len: len as usize,
+                });
                 self.pending_internal.fetch_add(1, Ordering::AcqRel);
             }
         }
@@ -788,14 +905,23 @@ impl Context {
         };
         self.probes.messages_dispatched.incr();
         let handler = self.handler(msg.dispatch);
+        let stamp = msg.stamp;
         match msg.payload {
-            ShmPayload::Inline(bytes) => match handler(self, &info, &bytes) {
-                Recv::Done => {}
-                Recv::Into { region, offset, on_complete } => {
-                    region.write(offset, &bytes);
-                    on_complete(self);
+            ShmPayload::Inline(bytes) => {
+                let msg_len = bytes.len();
+                match handler(self, &info, &bytes) {
+                    Recv::Done => {}
+                    Recv::Into { region, offset, on_complete } => {
+                        region.write(offset, &bytes);
+                        on_complete(self);
+                    }
                 }
-            },
+                self.observe(|| ProtoEvent::EagerDelivered {
+                    dest: self.task,
+                    len: msg_len,
+                    ns: stamp.elapsed_ns(),
+                });
+            }
             ShmPayload::GlobalVa { addr, len, done } => {
                 // Resolve the peer's buffer through the CNK global virtual
                 // address table (the message-scoped mapping is withdrawn
@@ -818,6 +944,11 @@ impl Context {
                         if let Some(c) = done {
                             c.delivered(len.max(1) as u64);
                         }
+                        self.observe(|| ProtoEvent::RzvComplete {
+                            dest: self.task,
+                            len,
+                            ns: stamp.elapsed_ns(),
+                        });
                         on_complete(self);
                     }
                 }

@@ -182,6 +182,17 @@ impl Geometry {
         geometry
     }
 
+    /// Look up an already-created geometry by id. Registered collective
+    /// algorithm bodies receive `&Geometry` and use this to recover the
+    /// shared handle when they need to retain it past the call.
+    pub fn lookup(machine: &Arc<Machine>, id: u32) -> Option<Arc<Geometry>> {
+        let registry = machine.shared_state("pami.geometry.registry", || GeometryRegistry {
+            map: Mutex::new(HashMap::new()),
+        });
+        let map = registry.map.lock();
+        map.get(&id).cloned()
+    }
+
     fn build(machine: &Arc<Machine>, id: u32, topology: Topology) -> Geometry {
         let mut node_tasks: HashMap<u32, Vec<u32>> = HashMap::new();
         for task in topology.iter() {
@@ -319,6 +330,14 @@ impl Geometry {
         let r = self.machine.classroutes().allocate(rect, None)?;
         *route = Some(Arc::new(r));
         Ok(())
+    }
+
+    /// Query the collective algorithm list for this geometry — the
+    /// `PAMI_Geometry_algorithms_query` analogue. Every registered entry is
+    /// returned with its availability evaluated *now*, so the answer flips
+    /// live with [`Self::optimize`]/[`Self::deoptimize`].
+    pub fn algorithms_query(&self) -> Vec<crate::coll::AlgInfo> {
+        self.machine.coll_registry().query(self)
     }
 
     /// Release the classroute ("deoptimize") so another geometry can use

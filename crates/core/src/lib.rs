@@ -73,6 +73,7 @@ pub mod context;
 pub mod endpoint;
 pub mod geometry;
 pub mod machine;
+pub mod policy;
 pub mod proto;
 pub mod topology;
 
@@ -81,7 +82,11 @@ pub use commthread::{CommThreadPool, LockDiscipline};
 pub use context::{Context, IncomingMsg, Recv};
 pub use endpoint::Endpoint;
 pub use geometry::Geometry;
+pub use coll::{AlgInfo, CollKind, CollRegistry};
 pub use machine::{Machine, MachineBuilder, MemKey, TaskEnv};
+pub use policy::{
+    AdaptiveConfig, AdaptivePolicy, ProtoEvent, Protocol, ProtocolPolicy, StaticPolicy,
+};
 pub use proto::SendArgs;
 pub use topology::Topology;
 

@@ -25,6 +25,7 @@ use bgq_torus::{Rectangle, TorusShape};
 use bgq_upc::Upc;
 use parking_lot::{Mutex, RwLock};
 
+use crate::policy::{AdaptiveConfig, AdaptivePolicy, ProtocolPolicy, StaticPolicy};
 use crate::proto::ShmMailbox;
 
 /// Key identifying a registered memory window (one-sided put/get target) or
@@ -56,12 +57,25 @@ pub(crate) struct EndpointAddr {
     pub mailbox: Arc<ShmMailbox>,
 }
 
+/// Which protocol-selection policy a machine is built with.
+enum PolicyChoice {
+    /// Fixed eager/rendezvous crossover at the builder's `eager_limit` —
+    /// today's behaviour, bit for bit.
+    Static,
+    /// Telemetry-driven adaptive crossover seeded from `eager_limit`; the
+    /// optional config overrides the clamps/hysteresis.
+    Adaptive(Option<AdaptiveConfig>),
+    /// Caller-supplied policy object.
+    Custom(Arc<dyn ProtocolPolicy>),
+}
+
 /// Builds a [`Machine`].
 pub struct MachineBuilder {
     shape: TorusShape,
     ppn: usize,
     engine_mode: EngineMode,
     eager_limit: usize,
+    policy: PolicyChoice,
     inj_fifos_per_context: u16,
     inj_fifo_capacity: usize,
     rec_fifo_capacity: usize,
@@ -81,9 +95,34 @@ impl MachineBuilder {
         self
     }
 
-    /// Eager/rendezvous crossover in bytes (default 4096).
+    /// Eager/rendezvous crossover in bytes (default 4096). Under the
+    /// default static policy this is the fixed threshold; under
+    /// [`MachineBuilder::adaptive_policy`] it seeds the initial
+    /// per-destination crossover.
     pub fn eager_limit(mut self, bytes: usize) -> Self {
         self.eager_limit = bytes;
+        self
+    }
+
+    /// Select the telemetry-driven adaptive eager/rendezvous policy
+    /// (default is static). The crossover starts at `eager_limit` and is
+    /// tuned per destination from live `bgq-upc` readings, clamped and
+    /// damped so it can never diverge. With the `telemetry` feature off it
+    /// degenerates to the static policy.
+    pub fn adaptive_policy(mut self) -> Self {
+        self.policy = PolicyChoice::Adaptive(None);
+        self
+    }
+
+    /// Adaptive policy with explicit tuning parameters.
+    pub fn adaptive_policy_with(mut self, cfg: AdaptiveConfig) -> Self {
+        self.policy = PolicyChoice::Adaptive(Some(cfg));
+        self
+    }
+
+    /// Install a caller-supplied protocol policy object.
+    pub fn protocol_policy(mut self, policy: Arc<dyn ProtocolPolicy>) -> Self {
+        self.policy = PolicyChoice::Custom(policy);
         self
     }
 
@@ -109,6 +148,18 @@ impl MachineBuilder {
         let nodes = self.shape.num_nodes();
         let telemetry = Upc::new();
         let coll_probes = crate::coll::CollProbes::new(&telemetry);
+        let coll_registry = crate::coll::CollRegistry::with_builtins();
+        let policy: Arc<dyn ProtocolPolicy> = match self.policy {
+            PolicyChoice::Static => Arc::new(StaticPolicy::new(self.eager_limit)),
+            PolicyChoice::Adaptive(cfg) => {
+                let cfg = cfg.unwrap_or(AdaptiveConfig {
+                    initial: self.eager_limit,
+                    ..AdaptiveConfig::default()
+                });
+                Arc::new(AdaptivePolicy::new(cfg, &telemetry))
+            }
+            PolicyChoice::Custom(p) => p,
+        };
         let fabric = MuFabric::builder(self.shape)
             .engine_mode(self.engine_mode)
             .inj_fifo_capacity(self.inj_fifo_capacity)
@@ -122,9 +173,10 @@ impl MachineBuilder {
         Arc::new(Machine {
             telemetry,
             coll_probes,
+            coll_registry,
             shape: self.shape,
             ppn: self.ppn,
-            eager_limit: self.eager_limit,
+            policy,
             inj_fifos_per_context: self.inj_fifos_per_context,
             fabric,
             wakeups: (0..nodes).map(|_| WakeupUnit::new()).collect(),
@@ -155,9 +207,16 @@ pub struct Machine {
     /// Collective-operation probes (`coll.*`), registered once so repeated
     /// collectives don't grow the registry.
     coll_probes: crate::coll::CollProbes,
+    /// Per-geometry collective algorithm registry: every barrier/broadcast/
+    /// allreduce/… algorithm is a queryable entry with an availability
+    /// predicate and a cost hint; geometries select through it.
+    coll_registry: crate::coll::CollRegistry,
     shape: TorusShape,
     ppn: usize,
-    pub(crate) eager_limit: usize,
+    /// Point-to-point protocol selection: every `send` asks this policy
+    /// eager-vs-rendezvous and feeds completion outcomes back. The default
+    /// [`StaticPolicy`] reproduces the old bare `eager_limit` threshold.
+    policy: Arc<dyn ProtocolPolicy>,
     pub(crate) inj_fifos_per_context: u16,
     pub(crate) fabric: MuFabric,
     wakeups: Vec<WakeupUnit>,
@@ -199,6 +258,7 @@ impl Machine {
             ppn: 1,
             engine_mode: EngineMode::Inline,
             eager_limit: 4096,
+            policy: PolicyChoice::Static,
             inj_fifos_per_context: 4,
             inj_fifo_capacity: 128,
             rec_fifo_capacity: 512,
@@ -261,6 +321,20 @@ impl Machine {
     /// The machine's `coll.*` probes (shared by every geometry).
     pub(crate) fn coll_probes(&self) -> &crate::coll::CollProbes {
         &self.coll_probes
+    }
+
+    /// The point-to-point protocol-selection policy. `Context::send`
+    /// consults it per message and feeds delivery outcomes back through
+    /// [`ProtocolPolicy::observe`].
+    pub fn policy(&self) -> &Arc<dyn ProtocolPolicy> {
+        &self.policy
+    }
+
+    /// The per-geometry collective algorithm registry (the analogue of
+    /// `PAMI_Geometry_algorithms_query`). Layers above PAMI (MPI's rect
+    /// broadcast) register additional entries here.
+    pub fn coll_registry(&self) -> &crate::coll::CollRegistry {
+        &self.coll_registry
     }
 
     /// The wakeup unit of `node`.

@@ -1,0 +1,542 @@
+//! The protocol-selection layer: one object decides, per message, whether a
+//! send goes **eager** (payload travels with the message, delivered through
+//! the memory-FIFO or inline shared-memory path) or **rendezvous** (an RTS
+//! travels, the target pulls the payload with a remote get / global-VA
+//! single-copy read).
+//!
+//! Real PAMI picks the protocol per message inside the send call; our
+//! reproduction used to hard-code one machine-wide `eager_limit` read at two
+//! call sites. This module lifts the decision behind the [`ProtocolPolicy`]
+//! trait so the crossover can be *tuned at runtime* from live `bgq-upc`
+//! readings — the "telemetry-driven adaptive protocols" item of the roadmap,
+//! and the per-transport protocol selection that pMR-style transport layers
+//! show paying off.
+//!
+//! Two implementations ship:
+//!
+//! * [`StaticPolicy`] — today's behaviour, bit for bit: `len <= limit` goes
+//!   eager, everything else rendezvous. No state, no probes, no locks.
+//! * [`AdaptivePolicy`] — keeps per-destination crossover state and walks
+//!   the eager/rendezvous threshold toward whichever protocol live
+//!   telemetry says is cheaper near the crossover. Inputs: the measured
+//!   eager delivery time and rendezvous round-trip cost (stamped on the
+//!   wire envelope by the sender, observed by the receiver), plus periodic
+//!   `Upc` snapshot readings of `match.unexpected_depth` (a receiver
+//!   falling behind) and `mu.payload_copies` (eager staging pressure).
+//!   Movement is multiplicative with hysteresis, and the crossover is
+//!   clamped to `[min, max]`, so the policy can never diverge: above the
+//!   clamp it is *always* rendezvous, below the floor *always* eager.
+//!
+//! With the `telemetry` feature compiled out every wire stamp is zero, so
+//! measured costs tie, the strict-inequality movement rules never fire, and
+//! the adaptive policy degenerates to the static path (additionally guarded
+//! on [`bgq_upc::ENABLED`]).
+
+use std::collections::HashMap;
+
+use bgq_upc::{Histogram, Upc};
+use parking_lot::Mutex;
+
+/// Which wire protocol a send uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Payload travels with the message (memory-FIFO packets off-node,
+    /// inline mailbox copy on-node).
+    Eager,
+    /// An RTS travels; the target pulls the payload (remote get off-node,
+    /// global-VA single-copy read on-node).
+    Rendezvous,
+}
+
+/// A completed-transfer observation fed back into the policy by the
+/// receiving context. `ns` is the wire-to-delivery time measured against
+/// the stamp the sender put in the message envelope (0 with telemetry off).
+#[derive(Debug, Clone, Copy)]
+pub enum ProtoEvent {
+    /// An eager message was fully delivered at `dest`.
+    EagerDelivered {
+        /// The receiving task (the key the sender selected by).
+        dest: u32,
+        /// Payload length.
+        len: usize,
+        /// Send-stamp → delivery nanoseconds.
+        ns: u64,
+    },
+    /// A rendezvous transfer completed at `dest` (RTS flight + remote get +
+    /// direct put — the full round-trip cost of choosing rendezvous).
+    RzvComplete {
+        /// The receiving task.
+        dest: u32,
+        /// Payload length.
+        len: usize,
+        /// Send-stamp → completion nanoseconds.
+        ns: u64,
+    },
+}
+
+impl ProtoEvent {
+    fn parts(&self) -> (Protocol, u32, usize, u64) {
+        match *self {
+            ProtoEvent::EagerDelivered { dest, len, ns } => (Protocol::Eager, dest, len, ns),
+            ProtoEvent::RzvComplete { dest, len, ns } => (Protocol::Rendezvous, dest, len, ns),
+        }
+    }
+}
+
+/// A protocol-selection policy. Owned by the [`crate::machine::Machine`]
+/// (one per partition); consulted by [`crate::context::Context::send`] on
+/// every two-sided send and fed outcomes by the receiving context.
+///
+/// Implementations must be cheap and thread-safe: `select` runs on the
+/// sender's fast path, `observe` on the advancing thread.
+pub trait ProtocolPolicy: Send + Sync {
+    /// Pick the protocol for a `len`-byte send to task `dest`.
+    fn select(&self, dest: u32, len: usize) -> Protocol;
+
+    /// Feed back a completed-transfer observation (default: ignored).
+    fn observe(&self, ev: ProtoEvent) {
+        let _ = ev;
+    }
+
+    /// Whether this policy uses [`Self::observe`] feedback at all. When
+    /// `false` (the static default) the runtime skips the send-side clock
+    /// stamp and the delivery-side clock read entirely — the envelope
+    /// carries a zero stamp and `observe` is never called, keeping the
+    /// eager hot path free of per-message clock costs.
+    fn wants_feedback(&self) -> bool {
+        false
+    }
+
+    /// The current eager/rendezvous crossover for `dest`, in bytes
+    /// (diagnostics; adaptive policies report per-destination state).
+    fn crossover(&self, dest: u32) -> usize;
+
+    /// Short policy name for reports (`"static"` / `"adaptive"`).
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Static
+// ---------------------------------------------------------------------------
+
+/// Today's fixed-threshold behaviour, preserved bit for bit: `len <= limit`
+/// is eager, everything larger is rendezvous, for every destination.
+pub struct StaticPolicy {
+    limit: usize,
+}
+
+impl StaticPolicy {
+    /// A static policy with the given eager limit in bytes.
+    pub fn new(limit: usize) -> StaticPolicy {
+        StaticPolicy { limit }
+    }
+}
+
+impl ProtocolPolicy for StaticPolicy {
+    #[inline]
+    fn select(&self, _dest: u32, len: usize) -> Protocol {
+        if len <= self.limit {
+            Protocol::Eager
+        } else {
+            Protocol::Rendezvous
+        }
+    }
+
+    fn crossover(&self, _dest: u32) -> usize {
+        self.limit
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs of the [`AdaptivePolicy`]. The defaults are conservative:
+/// the crossover starts at the machine's static eager limit and can move by
+/// 25% steps within `[min, max]` only when one protocol beats the other by
+/// the hysteresis margin on live measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Starting crossover for every destination (defaults to the machine's
+    /// static eager limit).
+    pub initial: usize,
+    /// Hard floor: `len <= min` is always eager, and the crossover never
+    /// tunes below this.
+    pub min: usize,
+    /// Hard clamp: `len > max` is always rendezvous — the policy can never
+    /// pick eager above it — and the crossover never tunes past it.
+    pub max: usize,
+    /// Relative advantage one protocol must show before the crossover moves
+    /// (0.15 = 15% cheaper per byte).
+    pub hysteresis: f64,
+    /// Multiplicative step per movement (crossover ×/÷ `step`).
+    pub step: f64,
+    /// Every `explore_every`-th in-band selection per destination flips the
+    /// protocol so both cost estimates stay fresh.
+    pub explore_every: u32,
+    /// Minimum fresh samples of *each* protocol before a movement decision.
+    pub min_samples: u32,
+    /// Take a `Upc` snapshot (unexpected-queue depth, payload-copy
+    /// pressure) every this many in-band observations.
+    pub snapshot_every: u64,
+    /// `match.unexpected_depth` p50 at or above which the congestion nudge
+    /// pulls crossovers down (eager floods unexpected queues; rendezvous
+    /// throttles the sender).
+    pub depth_nudge_at: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            initial: 4096,
+            min: 512,
+            max: 128 * 1024,
+            hysteresis: 0.15,
+            step: 1.25,
+            explore_every: 8,
+            min_samples: 8,
+            snapshot_every: 256,
+            depth_nudge_at: 8,
+        }
+    }
+}
+
+/// Exponentially-weighted moving average with a fresh-sample count (the
+/// count resets on every crossover movement so decisions use post-movement
+/// evidence).
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    value: f64,
+    fresh: u32,
+}
+
+impl Ewma {
+    fn push(&mut self, v: f64) {
+        if self.fresh == 0 && self.value == 0.0 {
+            self.value = v;
+        } else {
+            self.value = 0.75 * self.value + 0.25 * v;
+        }
+        self.fresh = self.fresh.saturating_add(1);
+    }
+
+    fn reset_fresh(&mut self) {
+        self.fresh = 0;
+    }
+}
+
+/// Per-destination crossover state.
+#[derive(Debug, Clone, Copy)]
+struct DestState {
+    crossover: usize,
+    /// Per-byte eager delivery cost near the crossover.
+    eager_cost: Ewma,
+    /// Per-byte rendezvous round-trip cost near the crossover.
+    rzv_cost: Ewma,
+    selects: u32,
+}
+
+struct AdaptiveInner {
+    dests: HashMap<u32, DestState>,
+    observations: u64,
+    last_copies: u64,
+    last_depth_p50: u64,
+}
+
+/// `proto.*` probes: the selection layer's own telemetry.
+struct ProtoProbes {
+    eager_selected: bgq_upc::Counter,
+    rzv_selected: bgq_upc::Counter,
+    explorations: bgq_upc::Counter,
+    crossover_raised: bgq_upc::Counter,
+    crossover_lowered: bgq_upc::Counter,
+    congestion_nudges: bgq_upc::Counter,
+    /// Full rendezvous round-trip cost (send stamp → completion).
+    rzv_rtt_ns: Histogram,
+    /// Eager send stamp → delivery latency.
+    eager_delivery_ns: Histogram,
+}
+
+impl ProtoProbes {
+    fn new(upc: &Upc) -> ProtoProbes {
+        ProtoProbes {
+            eager_selected: upc.counter("proto.eager_selected"),
+            rzv_selected: upc.counter("proto.rzv_selected"),
+            explorations: upc.counter("proto.explorations"),
+            crossover_raised: upc.counter("proto.crossover_raised"),
+            crossover_lowered: upc.counter("proto.crossover_lowered"),
+            congestion_nudges: upc.counter("proto.congestion_nudges"),
+            rzv_rtt_ns: upc.histogram("proto.rzv_rtt_ns"),
+            eager_delivery_ns: upc.histogram("proto.eager_delivery_ns"),
+        }
+    }
+}
+
+/// Telemetry-driven adaptive eager/rendezvous selection with
+/// per-destination crossover state. See the module docs for the algorithm;
+/// the invariants are:
+///
+/// * the crossover is always inside `[cfg.min, cfg.max]`;
+/// * `select` never returns [`Protocol::Eager`] for `len > cfg.max` and
+///   never returns [`Protocol::Rendezvous`] for `len <= cfg.min`;
+/// * with zero-cost observations (telemetry off) the crossover never moves,
+///   so the policy behaves exactly like [`StaticPolicy`] at `initial`.
+pub struct AdaptivePolicy {
+    cfg: AdaptiveConfig,
+    upc: Upc,
+    probes: ProtoProbes,
+    inner: Mutex<AdaptiveInner>,
+}
+
+impl AdaptivePolicy {
+    /// An adaptive policy registering its `proto.*` probes on `upc` (the
+    /// machine's registry — also the registry its congestion readings come
+    /// from).
+    pub fn new(cfg: AdaptiveConfig, upc: &Upc) -> AdaptivePolicy {
+        assert!(cfg.min >= 1 && cfg.min <= cfg.max, "adaptive clamp must satisfy 1 <= min <= max");
+        assert!(cfg.step > 1.0, "adaptive step must be > 1");
+        assert!(cfg.hysteresis >= 0.0, "hysteresis must be non-negative");
+        AdaptivePolicy {
+            cfg,
+            upc: upc.clone(),
+            probes: ProtoProbes::new(upc),
+            inner: Mutex::new(AdaptiveInner {
+                dests: HashMap::new(),
+                observations: 0,
+                last_copies: 0,
+                last_depth_p50: 0,
+            }),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    fn dest_entry<'a>(
+        dests: &'a mut HashMap<u32, DestState>,
+        cfg: &AdaptiveConfig,
+        dest: u32,
+    ) -> &'a mut DestState {
+        dests.entry(dest).or_insert_with(|| DestState {
+            crossover: cfg.initial.clamp(cfg.min, cfg.max),
+            eager_cost: Ewma::default(),
+            rzv_cost: Ewma::default(),
+            selects: 0,
+        })
+    }
+
+    /// Whether `len` sits in the decision band around `crossover` — the
+    /// window `[crossover/2, crossover*2]` whose samples are comparable
+    /// enough to steer the threshold.
+    fn in_band(len: usize, crossover: usize) -> bool {
+        len >= crossover / 2 && len <= crossover.saturating_mul(2)
+    }
+
+    fn nudge_all_down(&self, inner: &mut AdaptiveInner) {
+        for st in inner.dests.values_mut() {
+            st.crossover = (((st.crossover as f64) * 0.8) as usize).clamp(self.cfg.min, self.cfg.max);
+            st.eager_cost.reset_fresh();
+            st.rzv_cost.reset_fresh();
+        }
+        self.probes.congestion_nudges.incr();
+    }
+
+    /// Periodic whole-stack reading: unexpected-queue depth growing past
+    /// the threshold, or eager staging pressure (payload copies far in
+    /// excess of the observed in-band traffic), pulls every destination's
+    /// crossover down 20%.
+    fn congestion_check(&self, inner: &mut AdaptiveInner) {
+        let snap = self.upc.snapshot();
+        let depth = snap.histogram("match.unexpected_depth").map(|s| s.p50).unwrap_or(0);
+        let copies = snap.counter("mu.payload_copies");
+        let copies_delta = copies.saturating_sub(inner.last_copies);
+        inner.last_copies = copies;
+        let depth_growing = depth >= self.cfg.depth_nudge_at && depth > inner.last_depth_p50;
+        inner.last_depth_p50 = depth;
+        // Copy pressure: more than 128 packet copies per in-band
+        // observation over the window means eager traffic is fragmenting
+        // and staging heavily relative to the completions we see.
+        let copy_pressure = copies_delta > self.cfg.snapshot_every * 128;
+        if depth_growing || copy_pressure {
+            self.nudge_all_down(inner);
+        }
+    }
+}
+
+impl ProtocolPolicy for AdaptivePolicy {
+    fn select(&self, dest: u32, len: usize) -> Protocol {
+        // Outside the clamp the answer is fixed and lock-free — the uniform
+        // small-message fast path never touches per-destination state.
+        if len <= self.cfg.min {
+            self.probes.eager_selected.incr();
+            return Protocol::Eager;
+        }
+        if len > self.cfg.max {
+            self.probes.rzv_selected.incr();
+            return Protocol::Rendezvous;
+        }
+        let mut inner = self.inner.lock();
+        let st = Self::dest_entry(&mut inner.dests, &self.cfg, dest);
+        st.selects = st.selects.wrapping_add(1);
+        let natural = if len <= st.crossover { Protocol::Eager } else { Protocol::Rendezvous };
+        // Deterministic exploration: with telemetry live, periodically send
+        // an in-band message over the other protocol so both cost EWMAs
+        // keep fresh samples. Both protocols are correct at any size here
+        // (len <= cfg.max), so this is purely a measurement flip.
+        let chosen = if bgq_upc::ENABLED
+            && Self::in_band(len, st.crossover)
+            && st.selects.is_multiple_of(self.cfg.explore_every)
+        {
+            self.probes.explorations.incr();
+            match natural {
+                Protocol::Eager => Protocol::Rendezvous,
+                Protocol::Rendezvous => Protocol::Eager,
+            }
+        } else {
+            natural
+        };
+        drop(inner);
+        match chosen {
+            Protocol::Eager => self.probes.eager_selected.incr(),
+            Protocol::Rendezvous => self.probes.rzv_selected.incr(),
+        }
+        chosen
+    }
+
+    fn observe(&self, ev: ProtoEvent) {
+        let (proto, dest, len, ns) = ev.parts();
+        match proto {
+            Protocol::Eager => self.probes.eager_delivery_ns.record(ns),
+            Protocol::Rendezvous => self.probes.rzv_rtt_ns.record(ns),
+        }
+        // Compiled-out telemetry stamps every observation 0ns: skip all
+        // adaptation so the policy is exactly the static path.
+        if !bgq_upc::ENABLED || ns == 0 {
+            return;
+        }
+        // Events far below any reachable band can never steer a crossover;
+        // skip the lock (this is every 8-byte flood message).
+        if len < self.cfg.min / 2 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.observations += 1;
+        if inner.observations.is_multiple_of(self.cfg.snapshot_every) {
+            self.congestion_check(&mut inner);
+        }
+        let cfg = self.cfg;
+        let st = Self::dest_entry(&mut inner.dests, &cfg, dest);
+        if !Self::in_band(len, st.crossover) {
+            return;
+        }
+        let per_byte = ns as f64 / len.max(1) as f64;
+        match proto {
+            Protocol::Eager => st.eager_cost.push(per_byte),
+            Protocol::Rendezvous => st.rzv_cost.push(per_byte),
+        }
+        if st.eager_cost.fresh < cfg.min_samples || st.rzv_cost.fresh < cfg.min_samples {
+            return;
+        }
+        let h = 1.0 + cfg.hysteresis;
+        if st.eager_cost.value * h < st.rzv_cost.value && st.crossover < cfg.max {
+            // Eager is decisively cheaper near the crossover: raise it.
+            st.crossover =
+                (((st.crossover as f64) * cfg.step) as usize).clamp(cfg.min, cfg.max);
+            st.eager_cost.reset_fresh();
+            st.rzv_cost.reset_fresh();
+            self.probes.crossover_raised.incr();
+        } else if st.rzv_cost.value * h < st.eager_cost.value && st.crossover > cfg.min {
+            st.crossover =
+                (((st.crossover as f64) / cfg.step) as usize).clamp(cfg.min, cfg.max);
+            st.eager_cost.reset_fresh();
+            st.rzv_cost.reset_fresh();
+            self.probes.crossover_lowered.incr();
+        }
+    }
+
+    fn crossover(&self, dest: u32) -> usize {
+        self.inner
+            .lock()
+            .dests
+            .get(&dest)
+            .map(|s| s.crossover)
+            .unwrap_or_else(|| self.cfg.initial.clamp(self.cfg.min, self.cfg.max))
+    }
+
+    /// The adaptive policy lives on observations — but only when the
+    /// telemetry clock is real. Compiled out, stamps are all zero and
+    /// feedback is pure overhead, so the runtime skips it.
+    fn wants_feedback(&self) -> bool {
+        bgq_upc::ENABLED
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_policy_matches_fixed_threshold() {
+        let p = StaticPolicy::new(4096);
+        assert_eq!(p.select(0, 0), Protocol::Eager);
+        assert_eq!(p.select(0, 4096), Protocol::Eager);
+        assert_eq!(p.select(0, 4097), Protocol::Rendezvous);
+        assert_eq!(p.crossover(9), 4096);
+        assert_eq!(p.name(), "static");
+    }
+
+    #[test]
+    fn adaptive_respects_hard_clamps() {
+        let upc = Upc::new();
+        let cfg = AdaptiveConfig::default();
+        let p = AdaptivePolicy::new(cfg, &upc);
+        for dest in 0..4 {
+            assert_eq!(p.select(dest, cfg.min), Protocol::Eager);
+            assert_eq!(p.select(dest, cfg.max + 1), Protocol::Rendezvous);
+        }
+        // Saturate with eager-favouring evidence: crossover may rise but
+        // never past max, and selection above max stays rendezvous.
+        for _ in 0..10_000 {
+            p.observe(ProtoEvent::EagerDelivered { dest: 1, len: cfg.max, ns: 10 });
+            p.observe(ProtoEvent::RzvComplete { dest: 1, len: cfg.max, ns: 1_000_000 });
+        }
+        assert!(p.crossover(1) <= cfg.max);
+        assert_eq!(p.select(1, cfg.max + 1), Protocol::Rendezvous);
+    }
+
+    #[test]
+    fn adaptive_without_measurements_is_static() {
+        let upc = Upc::new();
+        let cfg = AdaptiveConfig { initial: 4096, ..AdaptiveConfig::default() };
+        let p = AdaptivePolicy::new(cfg, &upc);
+        // ns == 0 observations (what a telemetry-off build produces) must
+        // never move the crossover.
+        for _ in 0..1000 {
+            p.observe(ProtoEvent::EagerDelivered { dest: 3, len: 4096, ns: 0 });
+            p.observe(ProtoEvent::RzvComplete { dest: 3, len: 4096, ns: 0 });
+        }
+        assert_eq!(p.crossover(3), 4096);
+    }
+
+    #[test]
+    fn ewma_tracks_pushes() {
+        let mut e = Ewma::default();
+        e.push(100.0);
+        assert_eq!(e.value, 100.0);
+        e.push(0.0);
+        assert!(e.value < 100.0 && e.value > 0.0);
+        assert_eq!(e.fresh, 2);
+        e.reset_fresh();
+        assert_eq!(e.fresh, 0);
+    }
+}

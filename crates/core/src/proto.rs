@@ -10,6 +10,7 @@
 
 use bgq_hw::{Counter, GlobalAddress, WakeupRegion, WorkQueue};
 use bgq_mu::PayloadSource;
+use bgq_upc::Stamp;
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::endpoint::Endpoint;
@@ -78,6 +79,9 @@ pub struct ShmMsg {
     pub dispatch: u16,
     /// User metadata (no envelope — shm messages carry the task natively).
     pub metadata: Bytes,
+    /// Send-side timestamp, fed back to the sender's protocol policy on
+    /// delivery. Zero-sized with telemetry off.
+    pub stamp: Stamp,
     /// Payload.
     pub payload: ShmPayload,
 }
@@ -109,19 +113,24 @@ impl ShmMailbox {
 pub(crate) mod wire {
     use super::*;
 
-    /// Prepend the source task to user metadata.
-    pub fn envelope(src_task: u32, user_metadata: &[u8]) -> Bytes {
-        let mut buf = BytesMut::with_capacity(4 + user_metadata.len());
+    /// Prepend the source task and the send-side timestamp to user
+    /// metadata. The stamp lets the receiver measure delivery latency on
+    /// the shared process clock and feed it back to the sender's protocol
+    /// policy; with telemetry off it serializes as zero.
+    pub fn envelope(src_task: u32, stamp: Stamp, user_metadata: &[u8]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(12 + user_metadata.len());
         buf.put_u32_le(src_task);
+        buf.put_u64_le(stamp.ns());
         buf.put_slice(user_metadata);
         buf.freeze()
     }
 
-    /// Split an envelope back into (source task, user metadata).
-    pub fn open_envelope(metadata: &Bytes) -> (u32, Bytes) {
-        assert!(metadata.len() >= 4, "malformed PAMI envelope");
+    /// Split an envelope back into (source task, send stamp, user metadata).
+    pub fn open_envelope(metadata: &Bytes) -> (u32, Stamp, Bytes) {
+        assert!(metadata.len() >= 12, "malformed PAMI envelope");
         let task = u32::from_le_bytes(metadata[..4].try_into().unwrap());
-        (task, metadata.slice(4..))
+        let ns = u64::from_le_bytes(metadata[4..12].try_into().unwrap());
+        (task, Stamp::from_ns(ns), metadata.slice(12..))
     }
 
     /// RTS body: real dispatch, payload length, rendezvous key, then the
@@ -151,16 +160,22 @@ mod tests {
 
     #[test]
     fn envelope_round_trips() {
-        let env = wire::envelope(0xDEAD, b"meta");
-        let (task, meta) = wire::open_envelope(&env);
+        let env = wire::envelope(0xDEAD, Stamp::from_ns(987_654), b"meta");
+        let (task, stamp, meta) = wire::open_envelope(&env);
         assert_eq!(task, 0xDEAD);
         assert_eq!(&meta[..], b"meta");
+        // With telemetry on the stamp survives the wire; off, it is zero.
+        if bgq_upc::ENABLED {
+            assert_eq!(stamp.ns(), 987_654);
+        } else {
+            assert_eq!(stamp.ns(), 0);
+        }
     }
 
     #[test]
     fn envelope_with_empty_metadata() {
-        let env = wire::envelope(7, b"");
-        let (task, meta) = wire::open_envelope(&env);
+        let env = wire::envelope(7, Stamp::now(), b"");
+        let (task, _stamp, meta) = wire::open_envelope(&env);
         assert_eq!(task, 7);
         assert!(meta.is_empty());
     }
@@ -178,7 +193,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "malformed")]
     fn truncated_envelope_panics() {
-        wire::open_envelope(&Bytes::from_static(b"ab"));
+        wire::open_envelope(&Bytes::from_static(b"abcdefgh"));
     }
 
     #[test]
@@ -190,6 +205,7 @@ mod tests {
             src: Endpoint::of_task(3),
             dispatch: 1,
             metadata: Bytes::new(),
+            stamp: Stamp::now(),
             payload: ShmPayload::Inline(Bytes::from_static(b"hi")),
         });
         assert_eq!(region.epoch(), 1);

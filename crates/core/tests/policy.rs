@@ -1,0 +1,225 @@
+//! Behavioural tests of the protocol-selection layer: convergence of the
+//! adaptive eager/rendezvous crossover, per-destination independence, the
+//! hard clamps, and end-to-end wiring through `Machine`/`Context`.
+//!
+//! The convergence tests drive [`AdaptivePolicy`] directly with synthetic
+//! [`ProtoEvent`] streams (nanosecond costs a real run would produce), so
+//! they are deterministic on any host. The wiring tests run real sends.
+
+#![cfg(feature = "telemetry")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bgq_upc::Upc;
+use pami::{
+    AdaptiveConfig, AdaptivePolicy, Client, Endpoint, Machine, MemRegion, PayloadSource,
+    ProtoEvent, Protocol, ProtocolPolicy, Recv, SendArgs,
+};
+
+fn cfg() -> AdaptiveConfig {
+    AdaptiveConfig::default() // initial 4096, clamp [512, 128K]
+}
+
+/// Feed `n` paired in-band observations at `len` with the given per-message
+/// costs, exercising the policy's own selection along the way (so the
+/// exploration path runs too).
+fn drive(p: &AdaptivePolicy, dest: u32, len: usize, eager_ns: u64, rzv_ns: u64, n: usize) {
+    for _ in 0..n {
+        let _ = p.select(dest, len);
+        p.observe(ProtoEvent::EagerDelivered { dest, len, ns: eager_ns });
+        p.observe(ProtoEvent::RzvComplete { dest, len, ns: rzv_ns });
+    }
+}
+
+#[test]
+fn adaptive_converges_up_when_eager_wins() {
+    let upc = Upc::new();
+    let cfg = cfg();
+    let p = AdaptivePolicy::new(cfg, &upc);
+    // Eager decisively cheaper at every size near the crossover: the
+    // threshold must walk up and stop exactly at the clamp, never past it.
+    let mut last = p.crossover(7);
+    for _round in 0..64 {
+        let len = p.crossover(7); // stay in-band as the crossover moves
+        drive(&p, 7, len, 1_000, 50_000, 8);
+        let now = p.crossover(7);
+        assert!(now >= last, "crossover only rises on eager-favouring evidence");
+        assert!(now <= cfg.max, "never tunes past the clamp");
+        last = now;
+    }
+    assert_eq!(last, cfg.max, "consistent evidence converges to the bound");
+    // Even now, selection above the clamp is still rendezvous.
+    assert_eq!(p.select(7, cfg.max + 1), Protocol::Rendezvous);
+}
+
+#[test]
+fn adaptive_converges_down_when_rendezvous_wins() {
+    let upc = Upc::new();
+    let cfg = cfg();
+    let p = AdaptivePolicy::new(cfg, &upc);
+    let mut last = p.crossover(9);
+    for _round in 0..64 {
+        let len = p.crossover(9);
+        drive(&p, 9, len, 50_000, 1_000, 8);
+        let now = p.crossover(9);
+        assert!(now <= last, "crossover only falls on rendezvous-favouring evidence");
+        assert!(now >= cfg.min, "never tunes below the floor");
+        last = now;
+    }
+    assert_eq!(last, cfg.min, "consistent evidence converges to the floor");
+    // At or below the floor eager is still mandatory.
+    assert_eq!(p.select(9, cfg.min), Protocol::Eager);
+}
+
+#[test]
+fn per_destination_crossovers_tune_independently() {
+    // Destination 1 behaves like a fast eager path (e.g. nearest neighbor);
+    // destination 2 like a slow receiver where rendezvous throttling wins.
+    // One policy object must hold both optima at once.
+    let upc = Upc::new();
+    let cfg = cfg();
+    let p = AdaptivePolicy::new(cfg, &upc);
+    for _round in 0..48 {
+        let l1 = p.crossover(1);
+        let l2 = p.crossover(2);
+        drive(&p, 1, l1, 1_000, 40_000, 8); // eager wins toward dest 1
+        drive(&p, 2, l2, 40_000, 1_000, 8); // rendezvous wins toward dest 2
+    }
+    let up = p.crossover(1);
+    let down = p.crossover(2);
+    assert!(
+        up > cfg.initial && down < cfg.initial,
+        "crossovers moved apart: dest1={up}, dest2={down}, initial={}",
+        cfg.initial
+    );
+    // A destination the policy never saw still answers with the initial.
+    assert_eq!(p.crossover(999), cfg.initial);
+    // And the protocols actually differ at a size between the two optima.
+    let mid = 4096;
+    assert_eq!(p.select(1, mid), Protocol::Eager);
+    assert_eq!(p.select(2, mid), Protocol::Rendezvous);
+}
+
+#[test]
+fn adaptive_never_eager_above_clamp() {
+    // Adversarial evidence claims eager is free at enormous sizes; the hard
+    // clamp must still force rendezvous above cfg.max for every destination.
+    let upc = Upc::new();
+    let cfg = cfg();
+    let p = AdaptivePolicy::new(cfg, &upc);
+    for _ in 0..5_000 {
+        p.observe(ProtoEvent::EagerDelivered { dest: 4, len: cfg.max, ns: 1 });
+        p.observe(ProtoEvent::RzvComplete { dest: 4, len: cfg.max, ns: u64::MAX / 2 });
+    }
+    assert!(p.crossover(4) <= cfg.max);
+    for len in [cfg.max + 1, 2 * cfg.max, 64 * cfg.max] {
+        assert_eq!(p.select(4, len), Protocol::Rendezvous, "len={len}");
+    }
+    // Mirror image: rendezvous-favouring floods never push below the floor.
+    for _ in 0..5_000 {
+        p.observe(ProtoEvent::EagerDelivered { dest: 4, len: cfg.min, ns: u64::MAX / 2 });
+        p.observe(ProtoEvent::RzvComplete { dest: 4, len: cfg.min, ns: 1 });
+    }
+    assert!(p.crossover(4) >= cfg.min);
+    assert_eq!(p.select(4, cfg.min), Protocol::Eager);
+    assert_eq!(p.select(4, cfg.min / 2), Protocol::Eager);
+}
+
+#[test]
+fn hysteresis_holds_crossover_on_noisy_ties() {
+    // Costs within the hysteresis band (15%) must not move the threshold,
+    // no matter how many samples accumulate.
+    let upc = Upc::new();
+    let cfg = cfg();
+    let p = AdaptivePolicy::new(cfg, &upc);
+    drive(&p, 5, cfg.initial, 10_000, 10_500, 500); // 5% apart: inside the band
+    assert_eq!(p.crossover(5), cfg.initial, "tie evidence leaves the crossover alone");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end wiring through Machine/Context
+// ---------------------------------------------------------------------------
+
+/// Two functional ranks exchanging real messages under the adaptive policy:
+/// the machine-owned policy sees live observations (its `proto.*` probes
+/// move) and the traffic is delivered intact over whichever protocol it
+/// picks.
+#[test]
+fn machine_wired_adaptive_policy_observes_real_traffic() {
+    let machine = Machine::with_nodes(2).eager_limit(4096).adaptive_policy().build();
+    assert_eq!(machine.policy().name(), "adaptive");
+    let sender = Client::create(&machine, 0, "pol", 1);
+    let receiver = Client::create(&machine, 1, "pol", 1);
+    let got = Arc::new(AtomicU64::new(0));
+    let sink = MemRegion::zeroed(64 * 1024);
+    {
+        let got = Arc::clone(&got);
+        let sink = sink.clone();
+        receiver.context(0).set_dispatch(
+            1,
+            Arc::new(move |_ctx: &pami::Context, _msg: &pami::IncomingMsg, _first: &[u8]| {
+                let got = Arc::clone(&got);
+                Recv::Into {
+                    region: sink.clone(),
+                    offset: 0,
+                    on_complete: Box::new(move |_| {
+                        got.fetch_add(1, Ordering::Relaxed);
+                    }),
+                }
+            }),
+        );
+    }
+    // A mixed-size stream straddling the initial crossover: 2 KiB (eager
+    // band) and 8 KiB (in the decision band above 4096).
+    let total = 256u64;
+    for i in 0..total {
+        let len = if i % 2 == 0 { 2 * 1024 } else { 8 * 1024 };
+        sender.context(0).send(SendArgs {
+            dest: Endpoint::of_task(1),
+            dispatch: 1,
+            metadata: Vec::new(),
+            payload: PayloadSource::Region {
+                region: MemRegion::from_vec(vec![i as u8; len]),
+                offset: 0,
+                len,
+            },
+            local_done: None,
+        });
+        while got.load(Ordering::Relaxed) < i + 1 {
+            sender.context(0).advance();
+            receiver.context(0).advance();
+        }
+    }
+    assert_eq!(got.load(Ordering::Relaxed), total);
+    let snap = machine.telemetry().snapshot();
+    assert!(
+        snap.counter("proto.eager_selected") > 0,
+        "small messages went eager"
+    );
+    assert!(
+        snap.counter("proto.rzv_selected") > 0,
+        "large messages went rendezvous (or exploration flipped some)"
+    );
+    assert!(
+        snap.histogram("proto.eager_delivery_ns").map(|h| h.count).unwrap_or(0) > 0,
+        "receiver fed eager completions back into the policy"
+    );
+    // The crossover is live state within the clamp.
+    let x = machine.policy().crossover(1);
+    assert!((512..=128 * 1024).contains(&x), "crossover {x} inside clamp");
+}
+
+/// The static default stays bit-for-bit: `eager_limit` is the crossover for
+/// every destination and observations never move it.
+#[test]
+fn machine_default_policy_is_static() {
+    let machine = Machine::with_nodes(2).eager_limit(2048).build();
+    let p = machine.policy();
+    assert_eq!(p.name(), "static");
+    assert_eq!(p.crossover(0), 2048);
+    assert_eq!(p.select(1, 2048), Protocol::Eager);
+    assert_eq!(p.select(1, 2049), Protocol::Rendezvous);
+    p.observe(ProtoEvent::RzvComplete { dest: 1, len: 2048, ns: 1_000_000 });
+    assert_eq!(p.crossover(1), 2048, "static policy ignores observations");
+}

@@ -593,6 +593,79 @@ fn optimize_and_deoptimize_rotate_classroutes() {
 }
 
 #[test]
+fn registry_query_matches_use_hw_decision() {
+    // The CollRegistry's availability/cost view must reproduce the old
+    // `use_hw` logic exactly: hardware entries (cost 10–20) appear only
+    // while a classroute is attached, software fallbacks (cost 100) always,
+    // and auto-selection therefore flips hw↔sw on optimize()/deoptimize().
+    use pami::coll::{names, CollKind};
+    let machine = Machine::with_nodes(2).build();
+    machine.run(|env| {
+        let client = Client::create(&env.machine, env.task, "reg", 1);
+        env.machine.task_barrier();
+        let ctx = client.context(0);
+        let geom = world_geometry(ctx);
+        let reg = env.machine.coll_registry();
+
+        let avail = |name: &str| {
+            geom.algorithms_query()
+                .into_iter()
+                .find(|i| i.name == name)
+                .map(|i| i.available)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+
+        // Unoptimized: software everywhere, hardware unavailable — the old
+        // `use_hw == false` branch.
+        assert!(!avail(names::HW_BCAST));
+        assert!(!avail(names::HW_ALLREDUCE));
+        assert!(!avail(names::COLLNET_BARRIER));
+        assert!(avail(names::SW_BCAST));
+        assert!(avail(names::SW_ALLREDUCE));
+        assert!(avail(names::GI_BARRIER));
+        assert_eq!(reg.select(CollKind::Broadcast, &geom).name, names::SW_BCAST);
+        assert_eq!(reg.select(CollKind::Allreduce, &geom).name, names::SW_ALLREDUCE);
+        assert_eq!(reg.select(CollKind::Barrier, &geom).name, names::GI_BARRIER);
+
+        coll::barrier(&geom, ctx);
+        geom.optimize().expect("world is rectangular");
+
+        // Optimized: the hardware entries become available and win on cost
+        // — the old `use_hw == true` branch.
+        assert!(avail(names::HW_BCAST));
+        assert!(avail(names::HW_ALLREDUCE));
+        assert!(avail(names::COLLNET_BARRIER));
+        assert_eq!(reg.select(CollKind::Broadcast, &geom).name, names::HW_BCAST);
+        assert_eq!(reg.select(CollKind::Allreduce, &geom).name, names::HW_ALLREDUCE);
+        // GI barrier stays cheapest even when the collective network is up,
+        // exactly like the pre-registry dispatcher.
+        assert_eq!(reg.select(CollKind::Barrier, &geom).name, names::GI_BARRIER);
+
+        // Software-only kinds never grow a hardware entry.
+        for kind in [
+            CollKind::Reduce,
+            CollKind::Gather,
+            CollKind::Scatter,
+            CollKind::Allgather,
+            CollKind::Alltoall,
+        ] {
+            assert!(
+                reg.select(kind, &geom).cost >= 100,
+                "{kind:?} has no hardware path"
+            );
+        }
+
+        coll::barrier(&geom, ctx);
+        if env.task == 0 {
+            geom.deoptimize();
+        }
+        coll::barrier(&geom, ctx);
+        assert!(!avail(names::HW_BCAST));
+        assert_eq!(reg.select(CollKind::Broadcast, &geom).name, names::SW_BCAST);
+    });
+}
+
+#[test]
 fn sub_geometry_collectives() {
     // Odd tasks only: a non-rectangular (strided) geometry → software path.
     let machine = Machine::with_nodes(4).ppn(1).build();

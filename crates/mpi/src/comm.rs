@@ -78,6 +78,14 @@ impl Comm {
         self.geometry.route().is_some()
     }
 
+    /// `MPIX_Comm_algorithms_query`: every collective algorithm the stack
+    /// knows, with availability evaluated against this communicator right
+    /// now — [`Self::optimize`]/[`Self::deoptimize`] flip the hardware
+    /// entries (and the rectangle broadcast) live.
+    pub fn algorithms_query(&self) -> Vec<pami::coll::AlgInfo> {
+        self.geometry.algorithms_query()
+    }
+
     // ---- collectives (context-explicit, used internally) -------------------
 
     pub(crate) fn barrier_ctx(&self, ctx: &Arc<Context>) {

@@ -329,6 +329,56 @@ fn rectangle_broadcast_nonzero_root() {
 }
 
 #[test]
+fn algorithms_query_tracks_optimize_state() {
+    // `MPIX_Comm_algorithms_query` through the registry must reproduce the
+    // old `use_hw` decision live: hardware entries flip with
+    // optimize()/deoptimize(), the software fallbacks never disappear, and
+    // the MPI-layer rectangle broadcast is listed with its own availability
+    // (multi-node rectangular communicator, route or not).
+    run_mpi(4, 1, MpiConfig::default(), |mpi| {
+        let world = mpi.world().clone();
+        let find = |name: &str| {
+            world
+                .algorithms_query()
+                .into_iter()
+                .find(|i| i.name == name)
+                .unwrap_or_else(|| panic!("{name} not in algorithms_query"))
+        };
+        assert!(!find("hw-collnet-bcast").available);
+        assert!(!find("hw-collnet-allreduce").available);
+        assert!(find("sw-binomial-bcast").available);
+        assert!(find("sw-binomial-allreduce").available);
+        assert!(find("gi-barrier").available);
+        assert!(
+            find("rect-bcast").available,
+            "rectangle broadcast only needs a rectangular node set, not a classroute"
+        );
+        assert!(
+            find("rect-bcast").cost > find("sw-binomial-bcast").cost,
+            "layered specialist never wins auto-selection"
+        );
+
+        mpi.barrier(&world);
+        world.optimize().expect("world nodes are rectangular");
+        assert!(find("hw-collnet-bcast").available);
+        assert!(find("hw-collnet-allreduce").available);
+        assert!(find("collnet-barrier").available);
+        assert!(
+            find("hw-collnet-bcast").cost < find("sw-binomial-bcast").cost,
+            "hardware wins auto-selection while the route is attached"
+        );
+
+        mpi.barrier(&world);
+        if world.rank() == 0 {
+            world.deoptimize();
+        }
+        mpi.barrier(&world);
+        assert!(!find("hw-collnet-bcast").available);
+        assert!(find("sw-binomial-bcast").available);
+    });
+}
+
+#[test]
 fn comm_split_colors_and_collectives() {
     run_mpi(4, 1, MpiConfig::default(), |mpi| {
         let world = mpi.world().clone();

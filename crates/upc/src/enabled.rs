@@ -60,6 +60,15 @@ impl Stamp {
         self.ns
     }
 
+    /// Rehydrate a stamp from a raw nanosecond reading previously obtained
+    /// with [`Stamp::ns`] — used to carry timestamps across a wire format
+    /// (the PAMI envelope stamps sends so receivers can measure delivery
+    /// latency on the shared process clock).
+    #[inline]
+    pub fn from_ns(ns: u64) -> Self {
+        Stamp { ns }
+    }
+
     /// Nanoseconds elapsed since this stamp was taken.
     #[inline]
     pub fn elapsed_ns(&self) -> u64 {
@@ -271,6 +280,10 @@ struct TraceRing {
     tid: u64,
     cap: usize,
     cursor: AtomicU64,
+    /// Events overwritten before any reader saw them (cursor laps). The
+    /// sum over all rings surfaces as the `upc.trace_dropped` counter so a
+    /// truncated trace is detectable from the report alone.
+    dropped: AtomicU64,
     slots: Box<[TraceSlot]>,
 }
 
@@ -280,6 +293,7 @@ impl TraceRing {
             tid,
             cap,
             cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             slots: (0..cap)
                 .map(|_| TraceSlot {
                     seq: AtomicU64::new(0),
@@ -294,6 +308,11 @@ impl TraceRing {
     /// seq stores.
     fn push(&self, words: [u64; 4]) {
         let idx = self.cursor.load(Ordering::Relaxed);
+        if idx >= self.cap as u64 {
+            // Lapping: the slot we are about to claim still holds the
+            // oldest unread event — count it as dropped.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         let slot = &self.slots[(idx as usize) & (self.cap - 1)];
         slot.seq.store(2 * idx + 1, Ordering::SeqCst);
         for (w, v) in slot.words.iter().zip(words) {
@@ -326,6 +345,11 @@ impl TraceRing {
 thread_local! {
     /// Registry-id → ring map for the current thread (tiny, linear scan).
     static THREAD_RINGS: RefCell<Vec<(u64, Arc<TraceRing>)>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread trace-ring capacity override (see
+    /// [`Upc::set_thread_trace_capacity`]). Consulted once, when the thread
+    /// lazily creates its ring.
+    static THREAD_TRACE_CAP: RefCell<Option<usize>> = const { RefCell::new(None) };
 }
 
 // -- registry ---------------------------------------------------------------
@@ -415,6 +439,16 @@ impl Upc {
         }
     }
 
+    /// Override the trace-ring capacity for the *calling thread* (rounded
+    /// up to a power of two, min 8). Takes effect when the thread lazily
+    /// creates its ring — i.e. call it before the thread's first
+    /// `trace_instant`/`trace_span`; an existing ring keeps its size. Lets
+    /// a chatty commthread carry a deep ring while worker threads stay
+    /// small. `None` reverts to the registry default for future rings.
+    pub fn set_thread_trace_capacity(&self, cap: Option<usize>) {
+        THREAD_TRACE_CAP.with(|c| *c.borrow_mut() = cap.map(|n| n.max(8).next_power_of_two()));
+    }
+
     fn ring(&self) -> Arc<TraceRing> {
         let id = self.inner.id;
         THREAD_RINGS.with(|rings| {
@@ -422,7 +456,10 @@ impl Upc {
             if let Some((_, r)) = rings.iter().find(|(rid, _)| *rid == id) {
                 return r.clone();
             }
-            let r = Arc::new(TraceRing::new(thread_slot() as u64, self.inner.trace_cap));
+            let cap = THREAD_TRACE_CAP
+                .with(|c| *c.borrow())
+                .unwrap_or(self.inner.trace_cap);
+            let r = Arc::new(TraceRing::new(thread_slot() as u64, cap));
             self.inner.rings.lock().unwrap().push(r.clone());
             rings.push((id, r.clone()));
             r
@@ -460,6 +497,17 @@ impl Upc {
         for (name, cell) in self.inner.counters.lock().unwrap().iter() {
             *counters.entry((*name).to_owned()).or_insert(0) += cell.sum();
         }
+        // Trace overflow is accounted per-ring; surface the sum so a
+        // truncated trace export is detectable from the report alone.
+        let dropped: u64 = self
+            .inner
+            .rings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.dropped.load(Ordering::Relaxed))
+            .sum();
+        *counters.entry("upc.trace_dropped".to_owned()).or_insert(0) += dropped;
         let mut hists: BTreeMap<String, RawHist> = BTreeMap::new();
         for (name, cell) in self.inner.histograms.lock().unwrap().iter() {
             hists

@@ -24,6 +24,11 @@ impl Stamp {
     pub fn elapsed_ns(&self) -> u64 {
         0
     }
+
+    #[inline(always)]
+    pub fn from_ns(_ns: u64) -> Self {
+        Stamp
+    }
 }
 
 /// Zero-sized no-op counter.
@@ -119,6 +124,9 @@ impl Upc {
     pub fn now_ns(&self) -> u64 {
         0
     }
+
+    #[inline(always)]
+    pub fn set_thread_trace_capacity(&self, _cap: Option<usize>) {}
 
     #[inline(always)]
     pub fn trace_instant(&self, _name: &'static str, _arg: u64) {}

@@ -184,6 +184,55 @@ fn trace_merge_across_threads_is_monotonic() {
     assert!(json.contains("\"ph\":\"X\""));
 }
 
+/// Ring overflow is observable from the report alone: every lapped event
+/// increments the aggregate `upc.trace_dropped` counter, and the counter
+/// appears in `report_json()` (the `telemetry.json` body) even when zero.
+#[test]
+fn trace_dropped_surfaces_in_report() {
+    let cap = 8usize;
+    let upc = Upc::with_trace_capacity(cap);
+    let total = 4 * cap as u64;
+    for i in 0..total {
+        upc.trace_instant("drop", i);
+    }
+    let snap = upc.snapshot();
+    let expect = total - cap as u64;
+    assert_eq!(
+        snap.counter("upc.trace_dropped"),
+        expect,
+        "every lapped slot counts as one dropped event"
+    );
+    let json = snap.report_json();
+    assert!(
+        json.contains(&format!("\"upc.trace_dropped\": {expect}")),
+        "drop counter is in the report JSON: {json}"
+    );
+
+    // A thread that raises its own ring capacity above the registry default
+    // keeps all its events — the aggregate drop count does not move.
+    let upc2 = upc.clone();
+    std::thread::spawn(move || {
+        upc2.set_thread_trace_capacity(Some(4 * 32));
+        for i in 0..32u64 {
+            upc2.trace_instant("keep", i);
+        }
+    })
+    .join()
+    .unwrap();
+    let snap2 = upc.snapshot();
+    assert_eq!(
+        snap2.counter("upc.trace_dropped"),
+        expect,
+        "per-thread capacity override prevents drops on that thread"
+    );
+
+    // And a fresh registry that never overflows still reports the counter,
+    // pinned at zero, so dashboards can rely on its presence.
+    let quiet = Upc::with_trace_capacity(64);
+    quiet.trace_instant("once", 1);
+    assert!(quiet.report_json().contains("\"upc.trace_dropped\": 0"));
+}
+
 /// The report JSON carries every registered name with aggregated values.
 #[test]
 fn report_json_round_trip_shape() {
