@@ -1,0 +1,89 @@
+//! Chaos regression harness for the reliability layer.
+//!
+//! Emits `BENCH_chaos.json` in the repo root and enforces the fair-weather
+//! budget: with a clean fault plan installed (0% drop/corrupt — every
+//! packet still pays CRC-32C stamping, link sequence numbers and
+//! ack-window bookkeeping), the single-context eager message rate must stay
+//! within **5%** of the bare fast path. The process exits non-zero when the
+//! gate fails, so CI can run it directly.
+//!
+//! The JSON also records one genuinely hostile run (1% drop + 1% corrupt,
+//! fixed seed) with its RAS history — retransmits, CRC errors, injector
+//! drops — as a committed record of what the retransmit protocol costs
+//! when the fabric actually misbehaves.
+
+use pami::{FaultPlan, RetryConfig};
+use pami_bench::{measure_chaos_rate, ChaosStats};
+
+/// Fair-weather budget: CRC + sequence numbers + acks at 0% faults may
+/// cost at most this fraction of the bare message rate.
+const GATE_PCT: f64 = 5.0;
+
+fn main() {
+    let msgs = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60_000usize);
+    const ROUNDS: usize = 5;
+
+    // Warm-up so allocator effects do not skew the first round.
+    let _ = measure_chaos_rate(None, msgs / 10);
+    let _ = measure_chaos_rate(Some(FaultPlan::new().seed(7)), msgs / 10);
+
+    // Interleave the arms round-robin and let each arm keep its best
+    // round: transient host noise (this is a functional simulation on a
+    // shared host, not isolated silicon) must hit *both* best-of series
+    // to move the ratio.
+    let mut baseline: Option<ChaosStats> = None;
+    let mut clean: Option<ChaosStats> = None;
+    for _ in 0..ROUNDS {
+        let base_run = measure_chaos_rate(None, msgs);
+        if baseline.as_ref().is_none_or(|b| b.rate < base_run.rate) {
+            baseline = Some(base_run);
+        }
+        let clean_run = measure_chaos_rate(Some(FaultPlan::new().seed(7)), msgs);
+        if clean.as_ref().is_none_or(|c| c.rate < clean_run.rate) {
+            clean = Some(clean_run);
+        }
+    }
+    let (baseline, clean) = (baseline.unwrap(), clean.unwrap());
+    let overhead_pct = (baseline.rate - clean.rate) / baseline.rate * 100.0;
+
+    // One hostile run: 1% drop + 1% corrupt, deterministic seed. Not gated
+    // on rate (retransmission is allowed to cost); gated on correctness by
+    // `measure_chaos_rate` itself (it loops until every message arrives).
+    let hostile = measure_chaos_rate(
+        Some(
+            FaultPlan::new()
+                .seed(4242)
+                .drop_rate(0.01)
+                .corrupt_rate(0.01)
+                .retry(RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 8, retry_budget: 64 }),
+        ),
+        msgs,
+    );
+
+    let gate_ok = overhead_pct < GATE_PCT;
+    let json = format!(
+        "{{\n  \"bench\": \"chaos\",\n  \"msgs\": {msgs},\n  \"baseline_rate\": {base:.1},\n  \"crcseq_rate\": {clean_rate:.1},\n  \"crcseq_overhead_pct\": {overhead_pct:.3},\n  \"gate_pct\": {GATE_PCT},\n  \"gate_ok\": {gate_ok},\n  \"hostile_drop_rate\": 0.01,\n  \"hostile_corrupt_rate\": 0.01,\n  \"hostile_seed\": 4242,\n  \"hostile_rate\": {hostile_rate:.1},\n  \"hostile_slowdown_pct\": {hostile_slowdown:.3},\n  \"hostile_retransmits\": {retransmits},\n  \"hostile_crc_errors\": {crc_errors},\n  \"hostile_packets_dropped\": {dropped},\n  \"telemetry_enabled\": {telemetry}\n}}\n",
+        base = baseline.rate,
+        clean_rate = clean.rate,
+        hostile_rate = hostile.rate,
+        hostile_slowdown = (baseline.rate - hostile.rate) / baseline.rate * 100.0,
+        retransmits = hostile.retransmits,
+        crc_errors = hostile.crc_errors,
+        dropped = hostile.packets_dropped,
+        telemetry = bgq_upc::ENABLED,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_chaos.json", json).expect("write BENCH_chaos.json");
+
+    if !gate_ok {
+        eprintln!(
+            "chaos gate FAILED: CRC+seq at 0% faults costs {overhead_pct:.2}% \
+             (budget {GATE_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+    println!("chaos gate OK: CRC+seq at 0% faults costs {overhead_pct:.2}% (< {GATE_PCT}%)");
+}

@@ -62,7 +62,7 @@ fn measure_eager_copies() -> u64 {
                 Recv::Into {
                     region: sink.clone(),
                     offset: 0,
-                    on_complete: Box::new(move |_| {
+                    on_complete: Box::new(move |_, _result| {
                         got.fetch_add(1, Ordering::Relaxed);
                     }),
                 }
@@ -79,7 +79,7 @@ fn measure_eager_copies() -> u64 {
             len: 256,
         },
         local_done: None,
-    });
+    }).unwrap();
     while got.load(Ordering::Relaxed) < 1 {
         sender.context(0).advance();
         receiver.context(0).advance();

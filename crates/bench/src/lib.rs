@@ -71,7 +71,7 @@ pub fn measure_pami_half_rtt(immediate: bool, payload: usize, iters: u32) -> Dur
                 metadata: Vec::new(),
                 payload: PayloadSource::Immediate(bytes::Bytes::copy_from_slice(&data)),
                 local_done: None,
-            });
+            }).unwrap();
         }
     };
 
@@ -227,7 +227,7 @@ pub fn measure_message_rate(series: MeasuredRateSeries, ppn: usize, msgs: usize)
                         metadata: Vec::new(),
                         payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[0u8; 8])),
                         local_done: None,
-                    });
+                    }).unwrap();
                 }
                 if i % 16 == 0 {
                     for c in &clients {
@@ -332,7 +332,7 @@ pub fn measure_message_rate_multi(contexts: usize, msgs: usize) -> f64 {
                         metadata: Vec::new(),
                         payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[0u8; 8])),
                         local_done: None,
-                    });
+                    }).unwrap();
                     if k % 16 == 0 {
                         stx.advance();
                         rtx.advance();
@@ -394,7 +394,7 @@ pub fn measure_policy_ab(adaptive: bool, msgs: usize) -> f64 {
                 Recv::Into {
                     region: sink.clone(),
                     offset: 0,
-                    on_complete: Box::new(move |_| {
+                    on_complete: Box::new(move |_, _result| {
                         got.fetch_add(1, Ordering::Relaxed);
                     }),
                 }
@@ -420,7 +420,7 @@ pub fn measure_policy_ab(adaptive: bool, msgs: usize) -> f64 {
                 metadata: Vec::new(),
                 payload: PayloadSource::Region { region: region.clone(), offset: 0, len },
                 local_done: None,
-            });
+            }).unwrap();
             while got.load(Ordering::Relaxed) == before {
                 advance_all(&sender, &recvs);
             }
@@ -849,4 +849,79 @@ pub fn measure_barrier_alg(
     });
     let out = *result.lock();
     out
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness: message rate over a fault-injected (or clean-but-reliable)
+// fabric, plus the RAS history the run produced.
+
+/// What one chaos-rate run measured.
+pub struct ChaosStats {
+    /// Messages per second of wall time.
+    pub rate: f64,
+    /// `ras.retransmits` after the run (0 when telemetry is compiled out).
+    pub retransmits: u64,
+    /// `ras.crc_errors` after the run.
+    pub crc_errors: u64,
+    /// `mu.packets_dropped` summed over both nodes.
+    pub packets_dropped: u64,
+}
+
+/// Single-context eager flood 0 → 1 (8-byte messages, receives handled by
+/// a counting dispatch) over a machine with an optional [`pami::FaultPlan`]
+/// installed. With `None` the fabric runs the bare fast path; with a clean
+/// plan (`FaultPlan::new()`, all rates zero) every packet still pays CRC
+/// stamping, sequence numbers and ack bookkeeping — the delta between those
+/// two is the reliability layer's fair-weather cost. With non-zero rates
+/// the run additionally exercises retransmission, and the returned RAS
+/// counters record how hostile the plan actually was.
+pub fn measure_chaos_rate(plan: Option<pami::FaultPlan>, msgs: usize) -> ChaosStats {
+    let mut builder = Machine::with_nodes(2);
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let machine = builder.build();
+    let sender = Client::create(&machine, 0, "chaos", 1);
+    let receiver = Client::create(&machine, 1, "chaos", 1);
+    let got = Arc::new(AtomicU64::new(0));
+    {
+        let got = Arc::clone(&got);
+        receiver.context(0).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                got.fetch_add(1, Ordering::Relaxed);
+                Recv::Done
+            }),
+        );
+    }
+    let start = Instant::now();
+    for i in 0..msgs {
+        sender
+            .context(0)
+            .send(SendArgs {
+                dest: Endpoint::of_task(1),
+                dispatch: 1,
+                metadata: Vec::new(),
+                payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[0u8; 8])),
+                local_done: None,
+            })
+            .unwrap();
+        if i % 16 == 0 {
+            sender.context(0).advance();
+            receiver.context(0).advance();
+        }
+    }
+    while got.load(Ordering::Relaxed) < msgs as u64 {
+        sender.context(0).advance();
+        receiver.context(0).advance();
+    }
+    let rate = msgs as f64 / start.elapsed().as_secs_f64();
+    let ras = machine.fabric().ras_counters();
+    ChaosStats {
+        rate,
+        retransmits: ras.retransmits.value(),
+        crc_errors: ras.crc_errors.value(),
+        packets_dropped: machine.fabric().counters(0).packets_dropped.value()
+            + machine.fabric().counters(1).packets_dropped.value(),
+    }
 }

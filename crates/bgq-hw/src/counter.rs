@@ -6,15 +6,53 @@
 //! Progress loops poll the counter (or park on a wakeup region covering it)
 //! instead of inspecting packets — this is the only completion signal the
 //! dynamically-routed direct-put path has.
+//!
+//! With the RAS reliability layer a counter can also *fail*: when the
+//! link-level retry protocol exhausts its budget the transfer will never
+//! complete, and polling loops must not hang. A failed counter reports
+//! [`Counter::is_complete`] = `true` (so `advance`-until-complete loops
+//! terminate) and carries the [`DeliveryFault`] for the completion callback
+//! to translate into a typed error.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::l2::L2Counter;
+
+/// Why a transfer tracked by a [`Counter`] will never complete. The MU
+/// analogue of a RAS fatal-event code attached to a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DeliveryFault {
+    /// Link-level retry budget exhausted (persistent drop/corruption).
+    Timeout = 1,
+    /// No healthy route to the destination (link(s) killed).
+    Unreachable = 2,
+    /// Payload failed its CRC check and could not be recovered.
+    Corrupt = 3,
+    /// The transfer was abandoned for another reason (e.g. teardown).
+    Aborted = 4,
+}
+
+impl DeliveryFault {
+    fn from_u8(v: u8) -> Option<DeliveryFault> {
+        match v {
+            1 => Some(DeliveryFault::Timeout),
+            2 => Some(DeliveryFault::Unreachable),
+            3 => Some(DeliveryFault::Corrupt),
+            4 => Some(DeliveryFault::Aborted),
+            _ => None,
+        }
+    }
+}
 
 /// A shareable completion counter ("hardware" decrements, software polls).
 #[derive(Clone, Debug)]
 pub struct Counter {
     word: Arc<L2Counter>,
+    /// 0 = healthy; otherwise a `DeliveryFault` discriminant. First failure
+    /// wins — later deliveries/failures cannot clear it.
+    fault: Arc<AtomicU8>,
 }
 
 impl Default for Counter {
@@ -26,7 +64,7 @@ impl Default for Counter {
 impl Counter {
     /// A counter armed at zero (already complete).
     pub fn new() -> Self {
-        Counter { word: Arc::new(L2Counter::new(0)) }
+        Counter { word: Arc::new(L2Counter::new(0)), fault: Arc::new(AtomicU8::new(0)) }
     }
 
     /// Arm the counter with `bytes` outstanding. Adding (rather than
@@ -46,9 +84,28 @@ impl Counter {
         self.word.load()
     }
 
-    /// Whether every armed byte has been delivered.
+    /// RAS side: mark the transfer as permanently failed. First fault wins;
+    /// returns `true` if this call recorded the fault.
+    pub fn fail(&self, fault: DeliveryFault) -> bool {
+        self.fault
+            .compare_exchange(0, fault as u8, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The recorded delivery fault, if the transfer failed.
+    pub fn fault(&self) -> Option<DeliveryFault> {
+        DeliveryFault::from_u8(self.fault.load(Ordering::Acquire))
+    }
+
+    /// Whether polling should stop: every armed byte delivered, *or* the
+    /// transfer failed and will never finish.
     pub fn is_complete(&self) -> bool {
-        self.outstanding() == 0
+        self.outstanding() == 0 || self.fault().is_some()
+    }
+
+    /// Completed successfully: all bytes delivered and no fault recorded.
+    pub fn is_ok(&self) -> bool {
+        self.outstanding() == 0 && self.fault().is_none()
     }
 
     /// Spin until complete (test helper; production code advances contexts
@@ -74,6 +131,7 @@ mod tests {
         c.delivered(60);
         c.delivered(40);
         assert!(c.is_complete());
+        assert!(c.is_ok());
     }
 
     #[test]
@@ -94,5 +152,28 @@ mod tests {
         assert_eq!(c.outstanding(), 5);
         c.delivered(5);
         assert!(c.is_complete());
+    }
+
+    #[test]
+    fn failure_completes_without_delivery() {
+        let c = Counter::new();
+        c.add_expected(4096);
+        assert!(!c.is_complete());
+        assert!(c.fail(DeliveryFault::Timeout));
+        assert!(c.is_complete(), "failed counter must not hang pollers");
+        assert!(!c.is_ok());
+        assert_eq!(c.fault(), Some(DeliveryFault::Timeout));
+        assert_eq!(c.outstanding(), 4096, "bytes stay outstanding");
+    }
+
+    #[test]
+    fn first_fault_wins() {
+        let c = Counter::new();
+        c.add_expected(1);
+        assert!(c.fail(DeliveryFault::Unreachable));
+        assert!(!c.fail(DeliveryFault::Timeout));
+        assert_eq!(c.fault(), Some(DeliveryFault::Unreachable));
+        let c2 = c.clone();
+        assert_eq!(c2.fault(), Some(DeliveryFault::Unreachable), "clones share fault");
     }
 }

@@ -32,7 +32,7 @@ pub mod queue;
 pub mod wakeup;
 
 pub use cnk::{CommThreadPriority, GlobalAddress, GlobalVa};
-pub use counter::Counter;
+pub use counter::{Counter, DeliveryFault};
 pub use l2::{BoundedCounter, L2Counter};
 pub use memory::MemRegion;
 pub use mutex::L2TicketMutex;

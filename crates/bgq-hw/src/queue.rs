@@ -214,6 +214,14 @@ impl<T> WorkQueue<T> {
         }
         if self.overflow_active.load(Ordering::Acquire) {
             let mut ovf = self.overflow.lock();
+            if self.tail.value() > head {
+                // Re-check under the lock: a producer claims its batch's
+                // ring prefix *before* pushing the overflow suffix (and
+                // before taking this lock), so holding the lock makes that
+                // claim visible. Ring items precede overflow items in
+                // per-producer order — drain the ring first, come back.
+                return None;
+            }
             let item = ovf.pop_front();
             if ovf.is_empty() {
                 self.overflow_active.store(false, Ordering::Release);
@@ -255,6 +263,13 @@ impl<T> WorkQueue<T> {
             }
             if self.overflow_active.load(Ordering::Acquire) {
                 let mut ovf = self.overflow.lock();
+                if self.tail.value() > head + k {
+                    // Same re-check as `pop`: a claim made before the
+                    // overflow push would make draining the overflow here
+                    // reorder one producer's batch (ring prefix after
+                    // overflow suffix). Prefer the ring; retry next call.
+                    return popped;
+                }
                 while popped < max {
                     match ovf.pop_front() {
                         Some(item) => {

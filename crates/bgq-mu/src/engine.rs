@@ -42,9 +42,11 @@ const ENGINE_PARK: Duration = Duration::from_millis(2);
 /// Returns descriptors executed.
 fn pump_share(fabric: &MuFabric, node: u32, engine_idx: usize, engines: usize) -> usize {
     let mut done = 0;
-    // Engine 0 services the system FIFO (remote gets).
+    // Engine 0 services the system FIFO (remote gets) and, under a fault
+    // plan, the node's link channels (retransmit timers, delayed frames).
     if engine_idx == 0 {
         done += fabric.pump_sys(node, 64);
+        done += fabric.pump_links(node, 64);
     }
     // Lock-free high-water-mark read of the node's allocated FIFO count.
     let fifo_count = fabric.inner.nodes[node as usize].inj.allocated();

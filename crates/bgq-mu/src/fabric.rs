@@ -5,25 +5,43 @@
 //! the fabric executes descriptors — fragmenting payload into ≤512-byte
 //! packets for memory-FIFO traffic, copying directly into destination
 //! regions for puts, and bouncing remote-gets to the destination's system
-//! FIFO. Delivery is immediate and reliable (the torus is lossless); *who*
-//! executes a descriptor and in what order is exactly what the engine modes
-//! control, because that is what the paper's concurrency story is about.
+//! FIFO. Without a fault plan, delivery is immediate and reliable (the
+//! torus is lossless); *who* executes a descriptor and in what order is
+//! exactly what the engine modes control, because that is what the paper's
+//! concurrency story is about.
+//!
+//! With a [`FaultPlan`] installed ([`MuFabricBuilder::fault_plan`]), inter-
+//! node traffic instead moves as link-level frames through per-(src, dst)
+//! reliable channels (see [`crate::link`]): the fault injector drops,
+//! corrupts, delays, or kills links; lost frames retransmit with
+//! exponential backoff under [`MuFabric::pump_links`]; killed links force
+//! torus reroutes; and exhausted retry budgets fail completion counters
+//! with a typed [`bgq_hw::DeliveryFault`] instead of hanging pollers.
+//! Every packet additionally carries a link sequence number and a CRC-32C
+//! stamp (on by default even fault-free — the measurable cost of integrity
+//! checking; [`MuFabricBuilder::crc`]`(false)` turns the stamp off).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use bgq_hw::{WakeupRegion, WakeupUnit};
+use bgq_hw::{DeliveryFault, WakeupRegion, WakeupUnit};
 use bgq_torus::packet::MAX_PAYLOAD_BYTES;
-use bgq_torus::TorusShape;
+use bgq_torus::{healthy_route, Dir, LinkHealth, TorusShape};
 use bgq_upc::{Counter, Upc};
+use parking_lot::MutexGuard;
 
 use crate::descriptor::{Descriptor, PayloadSource, XferKind};
 use crate::engine::{self, EngineMode};
+use crate::faults::{link_id, Fate, FaultInjector, FaultPlan};
 use crate::fifo::{
     FifoAllocator, FifoTable, InjFifo, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE,
     REC_FIFOS_PER_NODE,
 };
-use crate::packet::{MuPacket, PacketPayload};
+use crate::link::{
+    fail_body, Channel, Frame, FrameBody, FramePayload, FrameState, RasCounters, RasEvent,
+    RasEventKind, RasRing, Reliability, TxState,
+};
+use crate::packet::{packet_crc, MuPacket, PacketPayload};
 
 /// Message sequence numbers occupy the low 40 bits of a message id; the
 /// source node index occupies the bits above. Masking keeps a long-running
@@ -44,9 +62,10 @@ pub struct MuCounters {
     pub packets_injected: Counter,
     /// Memory-FIFO packets delivered *to* this node.
     pub packets_received: Counter,
-    /// Packets dropped in the fabric. The simulated torus is lossless, so
-    /// this stays zero by construction — it exists so the report schema
-    /// matches real MU hardware, where it is the first thing to check.
+    /// Packets (frames) dropped in the fabric. Zero on a lossless run;
+    /// incremented by the fault injector's `Drop` fate under a
+    /// [`FaultPlan`] — the first thing to check on real MU hardware, and
+    /// now the first thing to check in a chaos run.
     pub packets_dropped: Counter,
     /// Direct-put bytes written into this node's memory.
     pub put_bytes_in: Counter,
@@ -89,6 +108,9 @@ pub(crate) struct NodeMu {
     /// Wakes this node's engine threads (threaded mode).
     pub engine_wakeup: WakeupRegion,
     pub msg_seq: AtomicU64,
+    /// Per-node link sequence counter — stamps packets on the fault-free
+    /// fast path (channels stamp their own under a fault plan).
+    pub link_seq: AtomicU64,
     /// `mu.*` telemetry probes for this node.
     pub counters: MuCounters,
 }
@@ -100,6 +122,15 @@ pub(crate) struct FabricInner {
     pub rec_fifo_capacity: usize,
     pub mode: EngineMode,
     pub shutdown: Arc<AtomicBool>,
+    /// Whether packets carry a computed CRC-32C stamp.
+    pub crc: bool,
+    /// `ras.*` probes — registered even without a fault plan so the report
+    /// schema is stable (they just stay zero).
+    pub ras: Arc<RasCounters>,
+    /// RAS event ring.
+    pub ring: Arc<RasRing>,
+    /// The reliability layer; present iff a fault plan was installed.
+    pub reliability: Option<Reliability>,
 }
 
 /// Configures and builds a [`MuFabric`].
@@ -109,6 +140,9 @@ pub struct MuFabricBuilder {
     rec_fifo_capacity: usize,
     mode: EngineMode,
     telemetry: Upc,
+    crc: bool,
+    fault_plan: Option<FaultPlan>,
+    ras_ring_capacity: usize,
 }
 
 impl MuFabricBuilder {
@@ -138,10 +172,32 @@ impl MuFabricBuilder {
         self
     }
 
+    /// Whether packets carry a computed CRC-32C stamp (default `true`; the
+    /// chaos bench turns it off to isolate the integrity-check cost).
+    pub fn crc(mut self, on: bool) -> Self {
+        self.crc = on;
+        self
+    }
+
+    /// Install a fault plan: inter-node traffic moves through reliable
+    /// link-level channels and the plan's drops/corruption/kills apply.
+    /// Panics on an invalid plan ([`FaultPlan::validate`]) — builder
+    /// misuse, not a runtime condition.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Capacity of the RAS event ring (default 1024; oldest events drop).
+    pub fn ras_ring_capacity(mut self, cap: usize) -> Self {
+        self.ras_ring_capacity = cap;
+        self
+    }
+
     /// Build the fabric (and spawn engine threads in threaded mode).
     pub fn build(self) -> MuFabric {
         let wakeups = WakeupUnit::new();
-        let nodes = (0..self.shape.num_nodes())
+        let nodes: Vec<NodeMu> = (0..self.shape.num_nodes())
             .map(|_| NodeMu {
                 inj: FifoTable::new(INJ_FIFOS_PER_NODE),
                 rec: FifoTable::new(REC_FIFOS_PER_NODE),
@@ -150,9 +206,22 @@ impl MuFabricBuilder {
                 sys_wakeup: OnceLock::new(),
                 engine_wakeup: wakeups.region(),
                 msg_seq: AtomicU64::new(0),
+                link_seq: AtomicU64::new(0),
                 counters: MuCounters::new(&self.telemetry),
             })
             .collect();
+        let ras = Arc::new(RasCounters::new(&self.telemetry));
+        let ring = Arc::new(RasRing::new(self.ras_ring_capacity));
+        let reliability = self.fault_plan.map(|plan| {
+            plan.validate().expect("invalid fault plan");
+            Reliability::new(
+                FaultInjector::new(plan, self.shape),
+                LinkHealth::new(self.shape),
+                Arc::clone(&ras),
+                Arc::clone(&ring),
+                nodes.len(),
+            )
+        });
         let inner = Arc::new(FabricInner {
             shape: self.shape,
             nodes,
@@ -160,6 +229,10 @@ impl MuFabricBuilder {
             rec_fifo_capacity: self.rec_fifo_capacity,
             mode: self.mode,
             shutdown: Arc::new(AtomicBool::new(false)),
+            crc: self.crc,
+            ras,
+            ring,
+            reliability,
         });
         let fabric = MuFabric { inner };
         if let EngineMode::Threaded(n) = self.mode {
@@ -184,6 +257,9 @@ impl MuFabric {
             rec_fifo_capacity: 512,
             mode: EngineMode::Inline,
             telemetry: Upc::new(),
+            crc: true,
+            fault_plan: None,
+            ras_ring_capacity: 1024,
         }
     }
 
@@ -338,8 +414,22 @@ impl MuFabric {
 
     /// Execute one descriptor on behalf of `src_node`. This is "the MU
     /// hardware": it performs the data movement the descriptor asks for.
+    /// With a fault plan installed, inter-node descriptors are decomposed
+    /// into link-level frames on the reliable channel instead (self-sends
+    /// cross no torus link and keep the direct path).
     pub(crate) fn execute(&self, src_node: u32, desc: Descriptor) {
         self.node(src_node).counters.descriptors_executed.incr();
+        if let Some(rel) = &self.inner.reliability {
+            if desc.dst_node != src_node {
+                self.execute_reliable(rel, src_node, desc);
+                return;
+            }
+        }
+        self.execute_direct(src_node, desc);
+    }
+
+    /// The lossless path: immediate, synchronous delivery.
+    fn execute_direct(&self, src_node: u32, desc: Descriptor) {
         let credit = desc.completion_credit();
         let Descriptor {
             dst_node,
@@ -356,99 +446,18 @@ impl MuFabric {
         let _ = routing;
         match kind {
             XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
-                let msg_len = payload.len();
                 let src = self.node(src_node);
-                let msg_id = (src.msg_seq.fetch_add(1, Ordering::Relaxed) & MSG_SEQ_MASK)
-                    | ((src_node as u64) << 40);
-                src.counters.fifo_messages.incr();
-                let dst = self.node(dst_node);
-                let fifo = dst.rec.get(rec_fifo.0);
-                let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
-                src.counters.packets_injected.add(npackets);
-                let header = |i: u64| {
-                    let off = i as usize * MAX_PAYLOAD_BYTES;
-                    let chunk = (msg_len - off).min(MAX_PAYLOAD_BYTES);
-                    (off, chunk)
-                };
-                match payload {
-                    PayloadSource::Immediate(data) => {
-                        // Send-immediate already staged the payload in the
-                        // descriptor; packets carry refcounted slices of it
-                        // and the injection counter fires now — the source
-                        // buffer is no longer referenced.
-                        fifo.deliver_batch(npackets, |i| {
-                            let (off, chunk) = header(i);
-                            MuPacket {
-                                src_node,
-                                src_context,
-                                dispatch,
-                                metadata: bytes::Bytes::clone(&metadata),
-                                msg_id,
-                                msg_len: msg_len as u32,
-                                offset: off as u32,
-                                payload: PacketPayload::Inline(data.slice(off..off + chunk)),
-                            }
-                        });
-                    }
-                    PayloadSource::Region { region, offset: base, len } => {
-                        // No whole-message staging buffer in either case:
-                        // the message fragments directly from the source
-                        // region into per-packet payloads.
-                        debug_assert_eq!(len, msg_len);
-                        if inj_counter.is_some() {
-                            // The sender asked for a completion signal, and
-                            // the MU's contract is that the counter hits
-                            // zero only once the source buffer has been
-                            // read — so model the DMA read now, one packet
-                            // slice at a time (counted as per-packet copies
-                            // on the *source* node). The counter fires at
-                            // the tail of this function and the buffer is
-                            // genuinely reusable.
-                            src.counters.payload_copies.add(npackets);
-                            fifo.deliver_batch(npackets, |i| {
-                                let (off, chunk) = header(i);
-                                let mut staged = vec![0u8; chunk];
-                                region.read(base + off, &mut staged);
-                                MuPacket {
-                                    src_node,
-                                    src_context,
-                                    dispatch,
-                                    metadata: bytes::Bytes::clone(&metadata),
-                                    msg_id,
-                                    msg_len: msg_len as u32,
-                                    offset: off as u32,
-                                    payload: PacketPayload::Inline(bytes::Bytes::from(staged)),
-                                }
-                            });
-                        } else {
-                            // No completion counter exists, so no correct
-                            // program can observe *when* the MU reads the
-                            // buffer (there is no synchronization edge to
-                            // race with): defer the read all the way to the
-                            // receiver's deposit. Packets carry zero-copy
-                            // windows into the source region; the one
-                            // payload copy happens on the destination node.
-                            fifo.deliver_batch(npackets, |i| {
-                                let (off, chunk) = header(i);
-                                MuPacket {
-                                    src_node,
-                                    src_context,
-                                    dispatch,
-                                    metadata: bytes::Bytes::clone(&metadata),
-                                    msg_id,
-                                    msg_len: msg_len as u32,
-                                    offset: off as u32,
-                                    payload: PacketPayload::Region {
-                                        region: region.clone(),
-                                        offset: base + off,
-                                        len: chunk,
-                                    },
-                                }
-                            });
-                        }
-                    }
-                }
-                dst.counters.packets_received.add(npackets);
+                self.deliver_fifo_sync(
+                    src_node,
+                    dst_node,
+                    src_context,
+                    rec_fifo,
+                    dispatch,
+                    metadata,
+                    payload,
+                    &src.link_seq,
+                    inj_counter.is_some(),
+                );
                 let _ = dst_context;
             }
             XferKind::DirectPut { dst_region, dst_offset, rec_counter } => {
@@ -468,6 +477,737 @@ impl MuFabric {
             XferKind::RemoteGet { payload: get_desc } => {
                 let dst = self.node(dst_node);
                 dst.sys_inj.queue.push(*get_desc);
+                if let Some(w) = dst.sys_wakeup.get() {
+                    w.touch();
+                }
+                if matches!(self.inner.mode, EngineMode::Threaded(_)) {
+                    dst.engine_wakeup.touch();
+                }
+            }
+        }
+        if let Some(c) = inj_counter {
+            c.delivered(credit);
+        }
+    }
+
+    /// Fragment a MemoryFifo message into packets and deliver them
+    /// synchronously. Shared by the lossless path and the reliable
+    /// fair-weather fast path — the two differ only in where the link
+    /// sequence counter lives (per-node on the lossless fabric, per-channel
+    /// under a fault plan) and in who fires the injection counter, so both
+    /// pay an identical per-packet cost: CRC stamp + sequence number +
+    /// fifo deposit.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_fifo_sync(
+        &self,
+        src_node: u32,
+        dst_node: u32,
+        src_context: u16,
+        rec_fifo: RecFifoId,
+        dispatch: u16,
+        metadata: bytes::Bytes,
+        payload: PayloadSource,
+        seq_src: &AtomicU64,
+        stage: bool,
+    ) {
+        let msg_len = payload.len();
+        let src = self.node(src_node);
+        let msg_id = (src.msg_seq.fetch_add(1, Ordering::Relaxed) & MSG_SEQ_MASK)
+            | ((src_node as u64) << 40);
+        src.counters.fifo_messages.incr();
+        let dst = self.node(dst_node);
+        let fifo = dst.rec.get(rec_fifo.0);
+        let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
+        src.counters.packets_injected.add(npackets);
+        let base_seq = seq_src.fetch_add(npackets, Ordering::Relaxed);
+        let crc_on = self.inner.crc;
+        let header = |i: u64| {
+            let off = i as usize * MAX_PAYLOAD_BYTES;
+            let chunk = (msg_len - off).min(MAX_PAYLOAD_BYTES);
+            (off, chunk)
+        };
+        let stamp = |off: usize, link_seq: u64, staged: &[u8]| {
+            if crc_on {
+                packet_crc(
+                    src_node,
+                    src_context,
+                    dispatch,
+                    msg_id,
+                    msg_len as u32,
+                    off as u32,
+                    link_seq,
+                    &metadata,
+                    staged,
+                )
+            } else {
+                0
+            }
+        };
+        match payload {
+            PayloadSource::Immediate(data) => {
+                // Send-immediate already staged the payload in the
+                // descriptor; packets carry refcounted slices of it
+                // and the injection counter fires now — the source
+                // buffer is no longer referenced.
+                fifo.deliver_batch(npackets, |i| {
+                    let (off, chunk) = header(i);
+                    let seq = base_seq + i;
+                    MuPacket {
+                        src_node,
+                        src_context,
+                        dispatch,
+                        metadata: bytes::Bytes::clone(&metadata),
+                        msg_id,
+                        msg_len: msg_len as u32,
+                        offset: off as u32,
+                        link_seq: seq,
+                        crc: stamp(off, seq, &data[off..off + chunk]),
+                        payload: PacketPayload::Inline(data.slice(off..off + chunk)),
+                    }
+                });
+            }
+            PayloadSource::Region { region, offset: base, len } => {
+                // No whole-message staging buffer in either case:
+                // the message fragments directly from the source
+                // region into per-packet payloads.
+                debug_assert_eq!(len, msg_len);
+                if stage {
+                    // The sender asked for a completion signal, and
+                    // the MU's contract is that the counter hits
+                    // zero only once the source buffer has been
+                    // read — so model the DMA read now, one packet
+                    // slice at a time (counted as per-packet copies
+                    // on the *source* node). The counter fires at
+                    // the tail of this function and the buffer is
+                    // genuinely reusable.
+                    src.counters.payload_copies.add(npackets);
+                    fifo.deliver_batch(npackets, |i| {
+                        let (off, chunk) = header(i);
+                        let mut staged = vec![0u8; chunk];
+                        region.read(base + off, &mut staged);
+                        let seq = base_seq + i;
+                        MuPacket {
+                            src_node,
+                            src_context,
+                            dispatch,
+                            metadata: bytes::Bytes::clone(&metadata),
+                            msg_id,
+                            msg_len: msg_len as u32,
+                            offset: off as u32,
+                            link_seq: seq,
+                            crc: stamp(off, seq, &staged),
+                            payload: PacketPayload::Inline(bytes::Bytes::from(staged)),
+                        }
+                    });
+                } else {
+                    // No completion counter exists, so no correct
+                    // program can observe *when* the MU reads the
+                    // buffer (there is no synchronization edge to
+                    // race with): defer the read all the way to the
+                    // receiver's deposit. Packets carry zero-copy
+                    // windows into the source region; the one
+                    // payload copy happens on the destination node.
+                    fifo.deliver_batch(npackets, |i| {
+                        let (off, chunk) = header(i);
+                        let seq = base_seq + i;
+                        MuPacket {
+                            src_node,
+                            src_context,
+                            dispatch,
+                            metadata: bytes::Bytes::clone(&metadata),
+                            msg_id,
+                            msg_len: msg_len as u32,
+                            offset: off as u32,
+                            link_seq: seq,
+                            crc: stamp(off, seq, &[]),
+                            payload: PacketPayload::Region {
+                                region: region.clone(),
+                                offset: base + off,
+                                len: chunk,
+                            },
+                        }
+                    });
+                }
+            }
+        }
+        dst.counters.packets_received.add(npackets);
+    }
+
+    // ---- reliability layer (active iff a fault plan is installed) ------
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.inner.reliability.as_ref().map(|r| r.injector.plan())
+    }
+
+    /// Whether the reliability layer is active.
+    pub fn reliable(&self) -> bool {
+        self.inner.reliability.is_some()
+    }
+
+    /// The link-health table (present iff a fault plan is installed).
+    pub fn link_health(&self) -> Option<&LinkHealth> {
+        self.inner.reliability.as_ref().map(|r| &r.health)
+    }
+
+    /// The `ras.*` probes. Always present so the report schema is stable;
+    /// all zero without a fault plan.
+    pub fn ras_counters(&self) -> &RasCounters {
+        &self.inner.ras
+    }
+
+    /// Snapshot of the RAS event ring (oldest first) and how many events
+    /// overflowed out of it.
+    pub fn ras_events(&self) -> (Vec<RasEvent>, u64) {
+        self.inner.ring.snapshot()
+    }
+
+    /// Administratively kill the physical link out of `node` in direction
+    /// `dir` (both directions go down) — the RAS analogue of pulling an
+    /// optical module. Requires a fault plan (programmer contract: the
+    /// lossless fabric has no health table). Returns `false` if the link
+    /// was already down.
+    pub fn kill_link(&self, node: u32, dir: Dir) -> bool {
+        let rel = self
+            .inner
+            .reliability
+            .as_ref()
+            .expect("kill_link requires a fault plan (MuFabricBuilder::fault_plan)");
+        let at = self.inner.shape.coords_of(node as usize);
+        let peer = self.inner.shape.node_index(self.inner.shape.neighbor(at, dir)) as u32;
+        let newly = rel.health.kill(at, dir);
+        if newly {
+            rel.ras.link_down.add(2);
+            rel.ring.record(RasEvent {
+                tick: rel.tick(node),
+                kind: RasEventKind::LinkDown,
+                src_node: node,
+                dst_node: peer,
+                detail: link_id(node, dir),
+            });
+        }
+        newly
+    }
+
+    /// Whether `node` has no frames queued or awaiting retry in its
+    /// reliable channels (lock-free; contexts use it in their idle check).
+    pub fn links_idle(&self, node: u32) -> bool {
+        self.inner.reliability.as_ref().is_none_or(|r| r.idle(node))
+    }
+
+    /// Pump `node`'s reliable channels: transmit queued frames, fire RTO
+    /// retransmissions, release delayed frames. Each call advances the
+    /// node's link-pump tick (the retry protocol's clock). Returns frames
+    /// delivered. No-op without a fault plan.
+    pub fn pump_links(&self, node: u32, budget: usize) -> usize {
+        let Some(rel) = &self.inner.reliability else { return 0 };
+        if rel.idle(node) {
+            return 0;
+        }
+        let now = rel.bump_tick(node);
+        let mut done = 0;
+        for ch in rel.channels_of(node) {
+            if done >= budget {
+                break;
+            }
+            let mut guard = ch.tx.lock();
+            done += self.pump_channel_locked(rel, ch, &mut guard, now, budget - done);
+        }
+        done
+    }
+
+    /// Decompose a descriptor into link-level frames, queue them on the
+    /// (src, dst) channel, and attempt immediate transmission (fault-free
+    /// frames deliver synchronously, matching the lossless path's
+    /// observable behavior; lost frames wait for [`MuFabric::pump_links`]).
+    fn execute_reliable(&self, rel: &Reliability, src_node: u32, desc: Descriptor) {
+        let total_credit = desc.completion_credit();
+        let Descriptor {
+            dst_node,
+            dst_context: _,
+            src_context,
+            routing: _,
+            payload,
+            kind,
+            inj_counter,
+        } = desc;
+        let ch = rel.channel(src_node, dst_node);
+        // Fair-weather fast path: with a clean plan and every link up a
+        // frame cannot be touched in flight, so it is delivered (and
+        // thereby acked) synchronously without taking the channel lock or
+        // entering the queue — the reliable path's cost at 0% faults is
+        // CRC + sequence numbers + ack bookkeeping, not locks and queue
+        // churn. Sequence numbers come from the channel's atomic, so the
+        // lock exists only for the retransmit queue.
+        let fast = rel.clean && !rel.health.any_down() && ch.seems_alive();
+        let kind = match kind {
+            XferKind::MemoryFifo { rec_fifo, dispatch, metadata } if fast => {
+                // Specialized fair-weather fifo path: fragment straight
+                // into `MuPacket`s (no link-frame intermediate) exactly as
+                // the lossless fabric does, drawing sequence numbers from
+                // the channel's atomic so a later fault or kill continues
+                // the same sequence space. Synchronous delivery doubles as
+                // the ack, so the injection counter fires here.
+                self.deliver_fifo_sync(
+                    src_node,
+                    dst_node,
+                    src_context,
+                    rec_fifo,
+                    dispatch,
+                    metadata,
+                    payload,
+                    &ch.next_seq,
+                    inj_counter.is_some(),
+                );
+                if let Some(c) = inj_counter {
+                    c.delivered(total_credit);
+                }
+                return;
+            }
+            // Put/Get on a clean fabric still use the generic lock-free
+            // frame emit below (not message-rate critical).
+            other => other,
+        };
+        let mut guard = if fast { None } else { Some(ch.tx.lock()) };
+        let dead = guard.as_ref().and_then(|g| g.dead);
+        let mut queued = 0usize;
+        let mut failed = 0u64;
+        {
+        let guard_ref = &mut guard;
+        let mut emit = |credit: u64, body: FrameBody| {
+            if let Some(fault) = dead {
+                // The channel already failed: surface the same fault to
+                // this transfer's counters instead of queueing into a
+                // black hole.
+                failed += fail_body(&body, fault);
+                return;
+            }
+            let seq = ch.next_seq.fetch_add(1, Ordering::Relaxed);
+            let frame = Frame {
+                seq,
+                attempt: 0,
+                state: FrameState::Queued,
+                credit,
+                inj_counter: inj_counter.clone(),
+                body,
+            };
+            match guard_ref.as_mut() {
+                None => self.deliver_frame(rel, ch, frame),
+                Some(tx) => {
+                    tx.queue.push_back(frame);
+                    queued += 1;
+                }
+            }
+        };
+        match kind {
+            XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
+                let msg_len = payload.len();
+                let src = self.node(src_node);
+                let msg_id = (src.msg_seq.fetch_add(1, Ordering::Relaxed) & MSG_SEQ_MASK)
+                    | ((src_node as u64) << 40);
+                src.counters.fifo_messages.incr();
+                let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
+                src.counters.packets_injected.add(npackets);
+                // With a completion counter the DMA read is modeled at
+                // frame creation (as on the direct path) — but the counter
+                // itself fires on link-level ack, so a dead channel can
+                // fail it instead of completing a lost message.
+                let stage = inj_counter.is_some()
+                    && matches!(payload, PayloadSource::Region { .. });
+                if stage {
+                    src.counters.payload_copies.add(npackets);
+                }
+                for i in 0..npackets {
+                    let off = i as usize * MAX_PAYLOAD_BYTES;
+                    let chunk = (msg_len - off).min(MAX_PAYLOAD_BYTES);
+                    let fp = match &payload {
+                        PayloadSource::Immediate(data) => {
+                            FramePayload::Inline(data.slice(off..off + chunk))
+                        }
+                        PayloadSource::Region { region, offset: base, len } => {
+                            debug_assert_eq!(*len, msg_len);
+                            if stage {
+                                let mut staged = vec![0u8; chunk];
+                                region.read(base + off, &mut staged);
+                                FramePayload::Inline(bytes::Bytes::from(staged))
+                            } else {
+                                FramePayload::Region {
+                                    region: region.clone(),
+                                    offset: base + off,
+                                    len: chunk,
+                                }
+                            }
+                        }
+                    };
+                    let credit = if msg_len == 0 { total_credit } else { chunk as u64 };
+                    emit(
+                        credit,
+                        FrameBody::Packet {
+                            rec_fifo,
+                            src_context,
+                            dispatch,
+                            metadata: bytes::Bytes::clone(&metadata),
+                            msg_id,
+                            msg_len: msg_len as u32,
+                            offset: off as u32,
+                            payload: fp,
+                        },
+                    );
+                }
+            }
+            XferKind::DirectPut { dst_region, dst_offset, rec_counter } => {
+                let len = payload.len();
+                if len == 0 {
+                    emit(
+                        total_credit,
+                        FrameBody::Put {
+                            dst_region,
+                            dst_offset,
+                            payload: FramePayload::Inline(bytes::Bytes::new()),
+                            rec_counter,
+                        },
+                    );
+                } else {
+                    let nchunks = bgq_torus::packet::packets_for(len) as u64;
+                    for i in 0..nchunks {
+                        let off = i as usize * MAX_PAYLOAD_BYTES;
+                        let chunk = (len - off).min(MAX_PAYLOAD_BYTES);
+                        let fp = match &payload {
+                            PayloadSource::Immediate(data) => {
+                                FramePayload::Inline(data.slice(off..off + chunk))
+                            }
+                            PayloadSource::Region { region, offset: base, .. } => {
+                                FramePayload::Region {
+                                    region: region.clone(),
+                                    offset: base + off,
+                                    len: chunk,
+                                }
+                            }
+                        };
+                        emit(
+                            chunk as u64,
+                            FrameBody::Put {
+                                dst_region: dst_region.clone(),
+                                dst_offset: dst_offset + off,
+                                payload: fp,
+                                rec_counter: rec_counter.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            XferKind::RemoteGet { payload: get_desc } => {
+                emit(total_credit, FrameBody::Get { desc: get_desc });
+            }
+        }
+        }
+        if let Some(fault) = dead {
+            if let Some(c) = &inj_counter {
+                failed += c.fail(fault) as u64;
+            }
+            rel.ras.delivery_failures.add(failed);
+            rel.ring.record(RasEvent {
+                tick: rel.tick(src_node),
+                kind: RasEventKind::DeliveryFailure,
+                src_node,
+                dst_node,
+                detail: fault as u64,
+            });
+            return;
+        }
+        if queued > 0 {
+            rel.add_pending(src_node, queued);
+            let now = rel.tick(src_node);
+            let guard = guard.as_mut().expect("slow path holds the channel lock");
+            self.pump_channel_locked(rel, ch, guard, now, usize::MAX);
+        }
+    }
+
+    /// The channel state machine: go-back-N over the front frame. `now` is
+    /// the node's link-pump tick; `budget` caps deliveries. Holding the
+    /// channel lock across delivery is safe — delivery never takes another
+    /// channel's lock.
+    fn pump_channel_locked(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        guard: &mut MutexGuard<'_, TxState>,
+        now: u64,
+        budget: usize,
+    ) -> usize {
+        let tx: &mut TxState = guard;
+        if tx.dead.is_some() {
+            return 0;
+        }
+        let retry = rel.injector.retry();
+        let mut done = 0;
+        // `sent` counts transmissions this visit; the retry window bounds
+        // it (acks are immediate in-process, so the window is a per-tick
+        // transmission bound rather than an in-flight bound — see
+        // `crate::link` docs).
+        let mut sent = 0usize;
+        while done < budget && sent < retry.window {
+            let Some(front) = tx.queue.front() else { break };
+            let (state, seq, attempt) = (front.state, front.seq, front.attempt);
+            match state {
+                FrameState::Delayed { until } => {
+                    if now < until {
+                        break;
+                    }
+                    let frame = tx.queue.pop_front().expect("front exists");
+                    self.deliver_frame(rel, ch, frame);
+                    rel.sub_pending(ch.src, 1);
+                    tx.retries = 0;
+                    tx.rto = retry.rto_ticks;
+                    done += 1;
+                }
+                FrameState::Lost { since } => {
+                    if now.saturating_sub(since) < tx.rto {
+                        break;
+                    }
+                    tx.retries += 1;
+                    if tx.retries > retry.retry_budget {
+                        self.kill_channel(rel, ch, tx, DeliveryFault::Timeout, now);
+                        return done;
+                    }
+                    rel.ras.retransmits.incr();
+                    rel.ring.record(RasEvent {
+                        tick: now,
+                        kind: RasEventKind::Retransmit,
+                        src_node: ch.src,
+                        dst_node: ch.dst,
+                        detail: seq,
+                    });
+                    tx.rto = tx.rto.saturating_mul(2).min(retry.rto_max_ticks);
+                    let front = tx.queue.front_mut().expect("front exists");
+                    front.attempt += 1;
+                    front.state = FrameState::Queued;
+                    sent += 1;
+                }
+                FrameState::Queued => {
+                    // Fast path: a clean plan with all links up cannot
+                    // touch this frame.
+                    if rel.clean && !rel.health.any_down() {
+                        let frame = tx.queue.pop_front().expect("front exists");
+                        self.deliver_frame(rel, ch, frame);
+                        rel.sub_pending(ch.src, 1);
+                        done += 1;
+                        sent += 1;
+                        continue;
+                    }
+                    // (Re)compute the route at the current health epoch.
+                    let epoch = rel.health.epoch();
+                    if tx.route.is_none() || tx.route_epoch != epoch {
+                        let src_c = self.inner.shape.coords_of(ch.src as usize);
+                        let dst_c = self.inner.shape.coords_of(ch.dst as usize);
+                        match healthy_route(self.inner.shape, src_c, dst_c, &rel.health) {
+                            Some(route) => {
+                                if rel.health.any_down()
+                                    && route != bgq_torus::det_route(self.inner.shape, src_c, dst_c)
+                                {
+                                    rel.ras.reroutes.incr();
+                                    rel.ring.record(RasEvent {
+                                        tick: now,
+                                        kind: RasEventKind::Reroute,
+                                        src_node: ch.src,
+                                        dst_node: ch.dst,
+                                        detail: route.len() as u64,
+                                    });
+                                }
+                                tx.route = Some(route);
+                                tx.route_epoch = epoch;
+                            }
+                            None => {
+                                self.kill_channel(
+                                    rel,
+                                    ch,
+                                    tx,
+                                    DeliveryFault::Unreachable,
+                                    now,
+                                );
+                                return done;
+                            }
+                        }
+                    }
+                    // Transmit: walk the route's links; kill schedules and
+                    // per-link fates apply, first bad link wins.
+                    let route = tx.route.clone().expect("route just ensured");
+                    let mut at = self.inner.shape.coords_of(ch.src as usize);
+                    let mut fate = Fate::Pass;
+                    let mut link_died = false;
+                    for &dir in &route {
+                        let lid = link_id(self.inner.shape.node_index(at) as u32, dir);
+                        if rel.injector.note_crossing(lid) {
+                            if rel.health.kill(at, dir) {
+                                rel.ras.link_down.add(2);
+                                rel.ring.record(RasEvent {
+                                    tick: now,
+                                    kind: RasEventKind::LinkDown,
+                                    src_node: ch.src,
+                                    dst_node: ch.dst,
+                                    detail: lid,
+                                });
+                            }
+                            link_died = true;
+                            fate = Fate::Drop;
+                            break;
+                        }
+                        match rel.injector.decide(lid, seq, attempt) {
+                            Fate::Pass => {}
+                            f => {
+                                fate = f;
+                                break;
+                            }
+                        }
+                        at = self.inner.shape.neighbor(at, dir);
+                    }
+                    match fate {
+                        Fate::Pass => {
+                            let frame = tx.queue.pop_front().expect("front exists");
+                            self.deliver_frame(rel, ch, frame);
+                            rel.sub_pending(ch.src, 1);
+                            tx.retries = 0;
+                            tx.rto = retry.rto_ticks;
+                            done += 1;
+                            sent += 1;
+                        }
+                        Fate::Drop => {
+                            self.node(ch.src).counters.packets_dropped.incr();
+                            rel.ring.record(RasEvent {
+                                tick: now,
+                                kind: RasEventKind::PacketDropped,
+                                src_node: ch.src,
+                                dst_node: ch.dst,
+                                detail: seq,
+                            });
+                            if link_died {
+                                tx.route = None;
+                            }
+                            tx.queue.front_mut().expect("front exists").state =
+                                FrameState::Lost { since: now };
+                            break;
+                        }
+                        Fate::Corrupt => {
+                            rel.ras.crc_errors.incr();
+                            rel.ring.record(RasEvent {
+                                tick: now,
+                                kind: RasEventKind::CrcError,
+                                src_node: ch.src,
+                                dst_node: ch.dst,
+                                detail: seq,
+                            });
+                            tx.queue.front_mut().expect("front exists").state =
+                                FrameState::Lost { since: now };
+                            break;
+                        }
+                        Fate::Delay(n) => {
+                            tx.queue.front_mut().expect("front exists").state =
+                                FrameState::Delayed { until: now + n as u64 };
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    /// Permanently fail a channel: mark it dead, fail every queued frame's
+    /// completion counters with `fault`, and record the RAS event. Pollers
+    /// of those counters observe completion-with-fault, never a hang.
+    fn kill_channel(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        tx: &mut TxState,
+        fault: DeliveryFault,
+        now: u64,
+    ) {
+        tx.dead = Some(fault);
+        ch.publish_dead();
+        let n = tx.queue.len();
+        let mut failed = 0;
+        for f in &tx.queue {
+            failed += f.fail(fault);
+        }
+        tx.queue.clear();
+        if n > 0 {
+            rel.sub_pending(ch.src, n);
+        }
+        rel.ras.delivery_failures.add(failed);
+        rel.ring.record(RasEvent {
+            tick: now,
+            kind: RasEventKind::DeliveryFailure,
+            src_node: ch.src,
+            dst_node: ch.dst,
+            detail: fault as u64,
+        });
+    }
+
+    /// Deliver one frame to its destination (the frame "crossed the wire"
+    /// intact) and acknowledge it: credit the source completion counter.
+    fn deliver_frame(&self, rel: &Reliability, ch: &Channel, frame: Frame) {
+        let _ = rel;
+        let Frame { seq, credit, inj_counter, body, .. } = frame;
+        match body {
+            FrameBody::Packet {
+                rec_fifo,
+                src_context,
+                dispatch,
+                metadata,
+                msg_id,
+                msg_len,
+                offset,
+                payload,
+            } => {
+                let staged: &[u8] = match &payload {
+                    FramePayload::Inline(b) => b,
+                    FramePayload::Region { .. } => &[],
+                };
+                let crc = if self.inner.crc {
+                    packet_crc(
+                        ch.src, src_context, dispatch, msg_id, msg_len, offset, seq, &metadata,
+                        staged,
+                    )
+                } else {
+                    0
+                };
+                let pkt_payload = match payload {
+                    FramePayload::Inline(b) => PacketPayload::Inline(b),
+                    FramePayload::Region { region, offset, len } => {
+                        PacketPayload::Region { region, offset, len }
+                    }
+                };
+                let dst = self.node(ch.dst);
+                dst.rec.get(rec_fifo.0).deliver(MuPacket {
+                    src_node: ch.src,
+                    src_context,
+                    dispatch,
+                    metadata,
+                    msg_id,
+                    msg_len,
+                    offset,
+                    link_seq: seq,
+                    crc,
+                    payload: pkt_payload,
+                });
+                dst.counters.packets_received.incr();
+            }
+            FrameBody::Put { dst_region, dst_offset, payload, rec_counter } => {
+                match &payload {
+                    FramePayload::Inline(b) => dst_region.write(dst_offset, b),
+                    FramePayload::Region { region, offset, len } => {
+                        dst_region.copy_from(dst_offset, region, *offset, *len);
+                    }
+                }
+                self.node(ch.dst).counters.put_bytes_in.add(payload.len() as u64);
+                if let Some(c) = rec_counter {
+                    c.delivered(credit);
+                }
+            }
+            FrameBody::Get { desc } => {
+                let dst = self.node(ch.dst);
+                dst.sys_inj.queue.push(*desc);
                 if let Some(w) = dst.sys_wakeup.get() {
                     w.touch();
                 }
@@ -776,5 +1516,396 @@ mod tests {
         let p = fabric.poll_rec(0, rec).unwrap();
         assert_eq!(p.payload.view(), b"self");
         assert_eq!(p.src_node, 0);
+    }
+
+    // ---- reliability-layer tests ---------------------------------------
+
+    use crate::faults::RetryConfig;
+    use bgq_hw::DeliveryFault;
+
+    fn reliable_fabric(plan: FaultPlan) -> MuFabric {
+        MuFabric::builder(TorusShape::new([2, 2, 1, 1, 1])).fault_plan(plan).build()
+    }
+
+    /// Pump node 0's links until `done` completes (success or fault).
+    fn pump_until_complete(fabric: &MuFabric, done: &Counter) {
+        for _ in 0..10_000 {
+            if done.is_complete() {
+                return;
+            }
+            fabric.pump_links(0, usize::MAX);
+        }
+        panic!("counter never completed: retry protocol stalled");
+    }
+
+    #[test]
+    fn clean_fault_plan_stays_synchronous_and_stamps_crc() {
+        let fabric = reliable_fabric(FaultPlan::new().seed(7));
+        assert!(fabric.reliable());
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        fabric.execute_now(
+            0,
+            memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from_static(b"hello"))),
+        );
+        // No pump_links needed: a fault-free frame delivers synchronously,
+        // exactly like the lossless path.
+        let p = fabric.poll_rec(1, rec).expect("synchronous delivery");
+        assert_eq!(p.payload.view(), b"hello");
+        assert_ne!(p.crc, 0, "CRC stamped");
+        assert!(p.verify_crc());
+        assert!(fabric.links_idle(0));
+        let ras = fabric.ras_counters();
+        assert_eq!(ras.retransmits.value(), 0);
+        assert_eq!(ras.crc_errors.value(), 0);
+    }
+
+    #[test]
+    fn drops_recover_via_retransmit_exactly_once() {
+        let fabric = reliable_fabric(
+            FaultPlan::new()
+                .seed(42)
+                .drop_rate(0.25)
+                .retry(RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 4, retry_budget: 64 }),
+        );
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let data: Vec<u8> = (0..4096).map(|i| (i % 239) as u8).collect();
+        let done = Counter::new();
+        done.add_expected(4096);
+        let mut desc = memfifo_desc(
+            1,
+            rec,
+            PayloadSource::Region {
+                region: MemRegion::from_vec(data.clone()),
+                offset: 0,
+                len: 4096,
+            },
+        );
+        desc.inj_counter = Some(done.clone());
+        fabric.execute_now(0, desc);
+        pump_until_complete(&fabric, &done);
+        assert!(done.is_ok(), "all frames eventually acked");
+        // Exactly-once: every packet arrives once, reassembly is complete.
+        let out = MemRegion::zeroed(4096);
+        let mut count = 0;
+        while let Some(mut p) = fabric.poll_rec(1, rec) {
+            assert!(p.verify_crc());
+            let off = p.offset as usize;
+            p.payload.deposit(&out, off);
+            count += 1;
+        }
+        assert_eq!(count, 8, "8 packets, no duplicates");
+        assert_eq!(out.to_vec(), data);
+        if cfg!(feature = "telemetry") {
+            let ras = fabric.ras_counters();
+            assert!(ras.retransmits.value() > 0, "a 25% drop rate must cost retransmits");
+            assert!(
+                fabric.counters(0).packets_dropped.value() > 0,
+                "mu.packets_dropped is live under an injector"
+            );
+        }
+        let (events, _) = fabric.ras_events();
+        assert!(events.iter().any(|e| e.kind == RasEventKind::PacketDropped));
+        assert!(events.iter().any(|e| e.kind == RasEventKind::Retransmit));
+    }
+
+    #[test]
+    fn corruption_counts_crc_errors_and_recovers() {
+        let fabric = reliable_fabric(
+            FaultPlan::new()
+                .seed(3)
+                .corrupt_rate(0.3)
+                .retry(RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 4, retry_budget: 64 }),
+        );
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let done = Counter::new();
+        done.add_expected(2048);
+        let mut desc =
+            memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![5u8; 2048])));
+        desc.inj_counter = Some(done.clone());
+        fabric.execute_now(0, desc);
+        pump_until_complete(&fabric, &done);
+        assert!(done.is_ok());
+        let mut count = 0;
+        while fabric.poll_rec(1, rec).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4);
+        if cfg!(feature = "telemetry") {
+            assert!(fabric.ras_counters().crc_errors.value() > 0);
+        }
+        // The event ring is functional regardless of the telemetry feature.
+        let (events, _) = fabric.ras_events();
+        assert!(events.iter().any(|e| e.kind == RasEventKind::CrcError));
+    }
+
+    #[test]
+    fn delayed_frames_release_after_their_ticks() {
+        let fabric = reliable_fabric(FaultPlan::new().seed(11).delay_rate(1.0, 2));
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let done = Counter::new();
+        done.add_expected(16);
+        let mut desc = memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![1u8; 16])));
+        desc.inj_counter = Some(done.clone());
+        fabric.execute_now(0, desc);
+        assert!(!done.is_complete(), "frame held back by the delay fault");
+        assert!(!fabric.links_idle(0));
+        pump_until_complete(&fabric, &done);
+        assert!(done.is_ok());
+        assert!(fabric.poll_rec(1, rec).is_some());
+        assert!(fabric.links_idle(0));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_with_timeout_not_a_hang() {
+        // Every link drops every frame: the channel must die after the
+        // budget, failing the counter with Timeout instead of spinning.
+        let fabric = reliable_fabric(
+            FaultPlan::new()
+                .seed(1)
+                .drop_rate(1.0)
+                .retry(RetryConfig { window: 4, rto_ticks: 1, rto_max_ticks: 2, retry_budget: 3 }),
+        );
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let done = Counter::new();
+        done.add_expected(100);
+        let mut desc = memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![9u8; 100])));
+        desc.inj_counter = Some(done.clone());
+        fabric.execute_now(0, desc);
+        pump_until_complete(&fabric, &done);
+        assert_eq!(done.fault(), Some(DeliveryFault::Timeout));
+        assert!(done.is_complete(), "failed counters still read complete");
+        assert!(fabric.poll_rec(1, rec).is_none(), "nothing was delivered");
+        assert!(fabric.links_idle(0), "dead channel holds no pending frames");
+        if cfg!(feature = "telemetry") {
+            assert!(fabric.ras_counters().delivery_failures.value() > 0);
+        }
+        let (events, _) = fabric.ras_events();
+        assert!(events.iter().any(|e| e.kind == RasEventKind::DeliveryFailure));
+        // A later transfer on the dead channel fails immediately.
+        let late = Counter::new();
+        late.add_expected(4);
+        let mut desc2 = memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![0u8; 4])));
+        desc2.inj_counter = Some(late.clone());
+        fabric.execute_now(0, desc2);
+        assert_eq!(late.fault(), Some(DeliveryFault::Timeout));
+    }
+
+    #[test]
+    fn killed_link_reroutes_and_still_delivers() {
+        let fabric = reliable_fabric(FaultPlan::new().seed(5));
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        // Kill the link det_route would use for 0 -> 1.
+        let shape = TorusShape::new([2, 2, 1, 1, 1]);
+        let hops = bgq_torus::det_route(shape, shape.coords_of(0), shape.coords_of(1));
+        assert_eq!(hops.len(), 1, "nodes 0 and 1 are torus neighbors");
+        assert!(fabric.kill_link(0, hops[0]));
+        assert!(!fabric.kill_link(0, hops[0]), "second kill is a no-op");
+        if cfg!(feature = "telemetry") {
+            assert_eq!(fabric.ras_counters().link_down.value(), 2, "both directions down");
+        }
+        let done = Counter::new();
+        done.add_expected(64);
+        let mut desc = memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![3u8; 64])));
+        desc.inj_counter = Some(done.clone());
+        fabric.execute_now(0, desc);
+        pump_until_complete(&fabric, &done);
+        assert!(done.is_ok(), "delivered via the detour");
+        let p = fabric.poll_rec(1, rec).expect("rerouted packet");
+        assert_eq!(p.payload.view(), &[3u8; 64][..]);
+        if cfg!(feature = "telemetry") {
+            assert!(fabric.ras_counters().reroutes.value() >= 1);
+        }
+        let (events, _) = fabric.ras_events();
+        assert!(events.iter().any(|e| e.kind == RasEventKind::Reroute));
+    }
+
+    #[test]
+    fn kill_schedule_fires_on_nth_crossing() {
+        let shape = TorusShape::new([2, 2, 1, 1, 1]);
+        let first = bgq_torus::det_route(shape, shape.coords_of(0), shape.coords_of(1))[0];
+        // The 2nd frame over the link takes it down; the frame is lost and
+        // must be retransmitted over the detour.
+        let fabric = reliable_fabric(
+            FaultPlan::new()
+                .seed(9)
+                .kill_link_at(0, first, 2)
+                .retry(RetryConfig { window: 4, rto_ticks: 1, rto_max_ticks: 2, retry_budget: 8 }),
+        );
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let done = Counter::new();
+        done.add_expected(1024);
+        let mut desc =
+            memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![8u8; 1024])));
+        desc.inj_counter = Some(done.clone());
+        fabric.execute_now(0, desc);
+        pump_until_complete(&fabric, &done);
+        assert!(done.is_ok());
+        let mut count = 0;
+        while let Some(p) = fabric.poll_rec(1, rec) {
+            assert!(p.verify_crc());
+            count += 1;
+        }
+        assert_eq!(count, 2, "both packets delivered exactly once");
+        if cfg!(feature = "telemetry") {
+            let ras = fabric.ras_counters();
+            assert_eq!(ras.link_down.value(), 2);
+            assert!(ras.reroutes.value() >= 1);
+        }
+        let (events, _) = fabric.ras_events();
+        assert!(events.iter().any(|e| e.kind == RasEventKind::LinkDown));
+        assert!(events.iter().any(|e| e.kind == RasEventKind::Reroute));
+    }
+
+    #[test]
+    fn unreachable_destination_fails_with_unreachable() {
+        let fabric = reliable_fabric(FaultPlan::new().seed(2));
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        // Sever every usable link out of node 0 (dims C/D/E have size 1).
+        for dir in bgq_torus::ALL_DIMS.iter().flat_map(|&d| {
+            [bgq_torus::Dir { dim: d, plus: true }, bgq_torus::Dir { dim: d, plus: false }]
+        }) {
+            fabric.kill_link(0, dir);
+        }
+        let done = Counter::new();
+        done.add_expected(8);
+        let mut desc = memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from(vec![0u8; 8])));
+        desc.inj_counter = Some(done.clone());
+        fabric.execute_now(0, desc);
+        pump_until_complete(&fabric, &done);
+        assert_eq!(done.fault(), Some(DeliveryFault::Unreachable));
+    }
+
+    #[test]
+    fn direct_put_and_remote_get_survive_drops() {
+        let fabric = reliable_fabric(
+            FaultPlan::new()
+                .seed(13)
+                .drop_rate(0.3)
+                .retry(RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 4, retry_budget: 64 }),
+        );
+        let src = MemRegion::from_vec((0..200).map(|i| (i % 97) as u8).collect());
+        let dst = MemRegion::zeroed(200);
+        let recd = Counter::new();
+        recd.add_expected(200);
+        fabric.execute_now(
+            0,
+            Descriptor {
+                dst_node: 1,
+                dst_context: 0,
+                src_context: 0,
+                routing: bgq_torus::Routing::Dynamic,
+                payload: PayloadSource::Region { region: src.clone(), offset: 0, len: 200 },
+                kind: XferKind::DirectPut {
+                    dst_region: dst.clone(),
+                    dst_offset: 0,
+                    rec_counter: Some(recd.clone()),
+                },
+                inj_counter: None,
+            },
+        );
+        pump_until_complete(&fabric, &recd);
+        assert!(recd.is_ok());
+        assert_eq!(dst.to_vec(), src.to_vec());
+        // Remote get: node 0 pulls from node 1 over the same lossy fabric.
+        let remote = MemRegion::from_vec(vec![4u8; 64]);
+        let local = MemRegion::zeroed(64);
+        let got = Counter::new();
+        got.add_expected(64);
+        fabric.execute_now(
+            0,
+            Descriptor {
+                dst_node: 1,
+                dst_context: 0,
+                src_context: 0,
+                routing: bgq_torus::Routing::Deterministic,
+                payload: PayloadSource::Immediate(Bytes::new()),
+                kind: XferKind::RemoteGet {
+                    payload: Box::new(Descriptor {
+                        dst_node: 0,
+                        dst_context: 0,
+                        src_context: 0,
+                        routing: bgq_torus::Routing::Dynamic,
+                        payload: PayloadSource::Region { region: remote, offset: 0, len: 64 },
+                        kind: XferKind::DirectPut {
+                            dst_region: local.clone(),
+                            dst_offset: 0,
+                            rec_counter: Some(got.clone()),
+                        },
+                        inj_counter: None,
+                    }),
+                },
+                inj_counter: None,
+            },
+        );
+        for _ in 0..10_000 {
+            if got.is_complete() {
+                break;
+            }
+            fabric.pump_links(0, usize::MAX);
+            fabric.pump_sys(1, 16);
+            fabric.pump_links(1, usize::MAX);
+        }
+        assert!(got.is_ok(), "remote get completed under loss");
+        assert_eq!(local.to_vec(), vec![4u8; 64]);
+    }
+
+    #[test]
+    fn chaos_runs_replay_deterministically_per_seed() {
+        type RunSig = ((u64, u64, u64), Vec<(RasEventKind, u32, u32)>);
+        let run = |seed: u64| -> RunSig {
+            let fabric = reliable_fabric(
+                FaultPlan::new().seed(seed).drop_rate(0.2).corrupt_rate(0.1).retry(
+                    RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 4, retry_budget: 64 },
+                ),
+            );
+            let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+            for i in 0..5u8 {
+                let done = Counter::new();
+                done.add_expected(1024);
+                let mut desc = memfifo_desc(
+                    1,
+                    rec,
+                    PayloadSource::Immediate(Bytes::from(vec![i; 1024])),
+                );
+                desc.inj_counter = Some(done.clone());
+                fabric.execute_now(0, desc);
+                pump_until_complete(&fabric, &done);
+                assert!(done.is_ok());
+            }
+            let ras = fabric.ras_counters();
+            let counters = (
+                ras.retransmits.value(),
+                ras.crc_errors.value(),
+                fabric.counters(0).packets_dropped.value(),
+            );
+            // The event ring is functional with telemetry compiled out, so
+            // the replay assertion stays meaningful in every build mode.
+            let (events, _) = fabric.ras_events();
+            let sig = events.iter().map(|e| (e.kind, e.src_node, e.dst_node)).collect();
+            (counters, sig)
+        };
+        let a = run(1234);
+        let b = run(1234);
+        assert_eq!(a, b, "same seed, same fault history");
+        assert!(
+            a.1.iter().any(|&(k, _, _)| k == RasEventKind::Retransmit),
+            "the scenario actually exercised retransmits"
+        );
+        if cfg!(feature = "telemetry") {
+            assert!(a.0 .0 > 0, "retransmit counter moved");
+        }
+    }
+
+    #[test]
+    fn self_sends_bypass_the_reliability_layer() {
+        let fabric = reliable_fabric(FaultPlan::new().seed(6).drop_rate(1.0));
+        let rec = fabric.alloc_rec_fifos(0, 1).unwrap()[0];
+        fabric.execute_now(
+            0,
+            memfifo_desc(0, rec, PayloadSource::Immediate(Bytes::from_static(b"loop"))),
+        );
+        let p = fabric.poll_rec(0, rec).expect("self-sends never traverse links");
+        assert_eq!(p.payload.view(), b"loop");
+        assert!(fabric.links_idle(0));
     }
 }

@@ -1,0 +1,646 @@
+//! Deterministic fault injection for the simulated torus fabric.
+//!
+//! Real BG/Q links see bit flips and (rarely) outright failures; the
+//! network hardware answers with link-level CRC + retransmit and a RAS
+//! event stream. To exercise that machinery here, a [`FaultPlan`] describes
+//! *what* goes wrong — per-link drop/corrupt/delay probabilities and
+//! kill-at-packet-N schedules — and a [`FaultInjector`] compiled from the
+//! plan decides the fate of every frame crossing a link.
+//!
+//! Determinism is the whole point: the injector's verdict is a pure hash of
+//! `(seed, link, frame sequence number, attempt)`, so a chaos run replays
+//! identically for the same seed regardless of thread interleaving, and a
+//! retransmitted frame (higher `attempt`) re-rolls the dice instead of
+//! being doomed forever. Plans serialize to/from a small JSON dialect
+//! (hand-rolled — no serde in this workspace) so chaos configurations live
+//! in files and `PAMI_FAULT_PLAN`, not code edits.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bgq_torus::{Dir, TorusShape};
+
+use crate::json::{self, Json};
+
+/// Directed-link identifier: `node_index * 10 + Dir::index()`.
+pub type LinkId = u64;
+
+/// Compute a [`LinkId`] from a node index and outgoing direction.
+pub fn link_id(node: u32, dir: Dir) -> LinkId {
+    node as u64 * 10 + dir.index() as u64
+}
+
+/// Split a [`LinkId`] back into (node index, direction).
+pub fn link_parts(id: LinkId) -> (u32, Dir) {
+    ((id / 10) as u32, Dir::all()[(id % 10) as usize])
+}
+
+/// Per-link fault probabilities. All rates are in `[0, 1]` and are applied
+/// in priority order drop → corrupt → delay on a single uniform draw.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRates {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a frame arrives with a failing CRC.
+    pub corrupt: f64,
+    /// Probability a frame is held back for [`FaultRates::delay_ticks`].
+    pub delay: f64,
+    /// How many link-pump ticks a delayed frame waits.
+    pub delay_ticks: u32,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates { drop: 0.0, corrupt: 0.0, delay: 0.0, delay_ticks: 2 }
+    }
+}
+
+impl FaultRates {
+    fn is_clean(&self) -> bool {
+        self.drop == 0.0 && self.corrupt == 0.0 && self.delay == 0.0
+    }
+}
+
+/// Link-level retry protocol constants (the BG/Q link-retry analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Sliding-window size in frames per (source, destination) channel.
+    pub window: usize,
+    /// Initial retransmit timeout, in link-pump ticks.
+    pub rto_ticks: u64,
+    /// Ceiling for the exponentially backed-off timeout.
+    pub rto_max_ticks: u64,
+    /// Retransmit attempts per frame before the channel is declared dead
+    /// and outstanding transfers fail with a timeout.
+    pub retry_budget: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { window: 64, rto_ticks: 4, rto_max_ticks: 64, retry_budget: 10 }
+    }
+}
+
+/// A per-link override in a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Node index of the link's source endpoint.
+    pub node: u32,
+    /// Outgoing direction.
+    pub dir: Dir,
+    /// Rates for this link (overrides the plan default when set).
+    pub rates: Option<FaultRates>,
+    /// Kill the physical link when the N-th frame crosses it (1-based).
+    /// The frame itself is lost; both directions go down.
+    pub kill_at: Option<u64>,
+}
+
+/// Declarative description of everything that goes wrong in a chaos run:
+/// a seed, machine-wide default rates, per-link overrides and kill
+/// schedules, and the retry-protocol constants. Build one with the fluent
+/// methods, or load it from JSON ([`FaultPlan::from_json`]) or the
+/// `PAMI_FAULT_PLAN` environment variable ([`FaultPlan::from_env`]).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the deterministic fate hash.
+    pub seed: u64,
+    /// Default rates for every link without an override.
+    pub default_rates: FaultRates,
+    /// Per-link overrides.
+    pub links: Vec<LinkFault>,
+    /// Retry-protocol constants.
+    pub retry: RetryConfig,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, default retry constants. Installing an
+    /// empty plan still routes traffic through the reliable channel path
+    /// (useful for measuring protocol overhead).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Machine-wide drop probability.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.default_rates.drop = rate;
+        self
+    }
+
+    /// Machine-wide corruption probability.
+    pub fn corrupt_rate(mut self, rate: f64) -> Self {
+        self.default_rates.corrupt = rate;
+        self
+    }
+
+    /// Machine-wide delay probability and per-delay duration in ticks.
+    pub fn delay_rate(mut self, rate: f64, ticks: u32) -> Self {
+        self.default_rates.delay = rate;
+        self.default_rates.delay_ticks = ticks;
+        self
+    }
+
+    /// Override the rates of one directed link.
+    pub fn link_rates(mut self, node: u32, dir: Dir, rates: FaultRates) -> Self {
+        self.link_entry(node, dir).rates = Some(rates);
+        self
+    }
+
+    /// Kill the physical link out of `node` in `dir` when its `nth` frame
+    /// crosses (1-based; the frame is lost).
+    pub fn kill_link_at(mut self, node: u32, dir: Dir, nth: u64) -> Self {
+        assert!(nth > 0, "kill_at is 1-based");
+        self.link_entry(node, dir).kill_at = Some(nth);
+        self
+    }
+
+    /// Set the retry-protocol constants.
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    fn link_entry(&mut self, node: u32, dir: Dir) -> &mut LinkFault {
+        if let Some(i) = self.links.iter().position(|l| l.node == node && l.dir == dir) {
+            &mut self.links[i]
+        } else {
+            self.links.push(LinkFault { node, dir, rates: None, kill_at: None });
+            self.links.last_mut().unwrap()
+        }
+    }
+
+    /// Whether the plan injects any fault at all (an all-clean plan still
+    /// exercises the reliable-channel protocol, just without retries).
+    pub fn is_clean(&self) -> bool {
+        self.default_rates.is_clean()
+            && self.links.iter().all(|l| {
+                l.kill_at.is_none() && l.rates.is_none_or(|r| r.is_clean())
+            })
+    }
+
+    /// Serialize to the JSON dialect accepted by [`FaultPlan::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"seed\": {}", self.seed));
+        let d = &self.default_rates;
+        out.push_str(&format!(
+            ", \"drop\": {}, \"corrupt\": {}, \"delay\": {}, \"delay_ticks\": {}",
+            d.drop, d.corrupt, d.delay, d.delay_ticks
+        ));
+        let r = &self.retry;
+        out.push_str(&format!(
+            ", \"retry\": {{\"window\": {}, \"rto_ticks\": {}, \"rto_max_ticks\": {}, \"retry_budget\": {}}}",
+            r.window, r.rto_ticks, r.rto_max_ticks, r.retry_budget
+        ));
+        out.push_str(", \"links\": [");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"node\": {}, \"dir\": {}", l.node, l.dir.index()));
+            if let Some(rates) = l.rates {
+                out.push_str(&format!(
+                    ", \"drop\": {}, \"corrupt\": {}, \"delay\": {}, \"delay_ticks\": {}",
+                    rates.drop, rates.corrupt, rates.delay, rates.delay_ticks
+                ));
+            }
+            if let Some(k) = l.kill_at {
+                out.push_str(&format!(", \"kill_at\": {k}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a plan from JSON. Unknown keys are ignored; missing keys take
+    /// their defaults, so `{}` is the empty plan.
+    pub fn from_json(text: &str) -> Result<FaultPlan, FaultPlanError> {
+        let v = json::parse(text).map_err(FaultPlanError::Parse)?;
+        let obj = v.as_obj().ok_or(FaultPlanError::Shape("top level must be an object"))?;
+        let mut plan = FaultPlan::new();
+        if let Some(s) = obj.get("seed") {
+            plan.seed = s.as_u64().ok_or(FaultPlanError::Shape("seed must be an integer"))?;
+        }
+        plan.default_rates = rates_from(obj, FaultRates::default())?;
+        if let Some(r) = obj.get("retry") {
+            let r = r.as_obj().ok_or(FaultPlanError::Shape("retry must be an object"))?;
+            let mut retry = RetryConfig::default();
+            if let Some(w) = r.get("window") {
+                retry.window = w
+                    .as_u64()
+                    .ok_or(FaultPlanError::Shape("retry.window must be an integer"))?
+                    as usize;
+            }
+            if let Some(t) = r.get("rto_ticks") {
+                retry.rto_ticks =
+                    t.as_u64().ok_or(FaultPlanError::Shape("retry.rto_ticks must be an integer"))?;
+            }
+            if let Some(t) = r.get("rto_max_ticks") {
+                retry.rto_max_ticks = t
+                    .as_u64()
+                    .ok_or(FaultPlanError::Shape("retry.rto_max_ticks must be an integer"))?;
+            }
+            if let Some(b) = r.get("retry_budget") {
+                retry.retry_budget = b
+                    .as_u64()
+                    .ok_or(FaultPlanError::Shape("retry.retry_budget must be an integer"))?
+                    as u32;
+            }
+            plan.retry = retry;
+        }
+        if let Some(links) = obj.get("links") {
+            let links =
+                links.as_arr().ok_or(FaultPlanError::Shape("links must be an array"))?;
+            for l in links {
+                let l = l.as_obj().ok_or(FaultPlanError::Shape("link must be an object"))?;
+                let node = l
+                    .get("node")
+                    .and_then(Json::as_u64)
+                    .ok_or(FaultPlanError::Shape("link.node must be an integer"))?
+                    as u32;
+                let dir_idx = l
+                    .get("dir")
+                    .and_then(Json::as_u64)
+                    .ok_or(FaultPlanError::Shape("link.dir must be an integer 0..10"))?;
+                if dir_idx >= 10 {
+                    return Err(FaultPlanError::Shape("link.dir must be an integer 0..10"));
+                }
+                let dir = Dir::all()[dir_idx as usize];
+                let has_rates = ["drop", "corrupt", "delay", "delay_ticks"]
+                    .iter()
+                    .any(|k| l.get(k).is_some());
+                let rates = if has_rates {
+                    Some(rates_from(l, plan.default_rates)?)
+                } else {
+                    None
+                };
+                let kill_at = match l.get("kill_at") {
+                    Some(k) => Some(
+                        k.as_u64()
+                            .filter(|&k| k > 0)
+                            .ok_or(FaultPlanError::Shape("link.kill_at must be a positive integer"))?,
+                    ),
+                    None => None,
+                };
+                plan.links.push(LinkFault { node, dir, rates, kill_at });
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Load a plan from the `PAMI_FAULT_PLAN` environment variable: inline
+    /// JSON when the value starts with `{`, otherwise a path to a JSON
+    /// file. Returns `Ok(None)` when the variable is unset or empty.
+    pub fn from_env() -> Result<Option<FaultPlan>, FaultPlanError> {
+        let Ok(val) = std::env::var("PAMI_FAULT_PLAN") else { return Ok(None) };
+        let val = val.trim().to_string();
+        if val.is_empty() {
+            return Ok(None);
+        }
+        let text = if val.starts_with('{') {
+            val
+        } else {
+            std::fs::read_to_string(&val).map_err(|e| FaultPlanError::Io(val, e.to_string()))?
+        };
+        FaultPlan::from_json(&text).map(Some)
+    }
+
+    /// Sanity-check rates and retry constants.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let check = |r: &FaultRates| -> Result<(), FaultPlanError> {
+            for (name, v) in
+                [("drop", r.drop), ("corrupt", r.corrupt), ("delay", r.delay)]
+            {
+                if !(0.0..=1.0).contains(&v) {
+                    let _ = name;
+                    return Err(FaultPlanError::Shape("rates must be within [0, 1]"));
+                }
+            }
+            Ok(())
+        };
+        check(&self.default_rates)?;
+        for l in &self.links {
+            if let Some(r) = &l.rates {
+                check(r)?;
+            }
+        }
+        if self.retry.window == 0 {
+            return Err(FaultPlanError::Shape("retry.window must be positive"));
+        }
+        if self.retry.rto_ticks == 0 || self.retry.rto_max_ticks < self.retry.rto_ticks {
+            return Err(FaultPlanError::Shape(
+                "retry timeouts must satisfy 0 < rto_ticks <= rto_max_ticks",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultPlan`] could not be loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// JSON syntax error.
+    Parse(json::JsonError),
+    /// Structurally valid JSON that doesn't describe a plan.
+    Shape(&'static str),
+    /// The `PAMI_FAULT_PLAN` file could not be read.
+    Io(String, String),
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::Parse(e) => write!(f, "fault plan JSON: {e}"),
+            FaultPlanError::Shape(s) => write!(f, "fault plan: {s}"),
+            FaultPlanError::Io(path, e) => write!(f, "fault plan file {path}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn rates_from(
+    obj: &json::Obj,
+    base: FaultRates,
+) -> Result<FaultRates, FaultPlanError> {
+    let mut rates = base;
+    if let Some(v) = obj.get("drop") {
+        rates.drop = v.as_f64().ok_or(FaultPlanError::Shape("drop must be a number"))?;
+    }
+    if let Some(v) = obj.get("corrupt") {
+        rates.corrupt = v.as_f64().ok_or(FaultPlanError::Shape("corrupt must be a number"))?;
+    }
+    if let Some(v) = obj.get("delay") {
+        rates.delay = v.as_f64().ok_or(FaultPlanError::Shape("delay must be a number"))?;
+    }
+    if let Some(v) = obj.get("delay_ticks") {
+        rates.delay_ticks =
+            v.as_u64().ok_or(FaultPlanError::Shape("delay_ticks must be an integer"))? as u32;
+    }
+    Ok(rates)
+}
+
+/// The fate of one frame crossing one link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered intact.
+    Pass,
+    /// Silently lost.
+    Drop,
+    /// Delivered with a failing CRC (receiver discards it).
+    Corrupt,
+    /// Held for this many link-pump ticks, then delivered intact.
+    Delay(u32),
+}
+
+/// Runtime form of a [`FaultPlan`]: per-link compiled rates, kill-schedule
+/// crossing counters, and the deterministic fate hash.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Links with overridden rates.
+    overrides: HashMap<LinkId, FaultRates>,
+    /// Links with a kill schedule: kill threshold and crossing counter.
+    kills: HashMap<LinkId, (u64, AtomicU64)>,
+}
+
+impl FaultInjector {
+    /// Compile a plan. `shape` bounds-checks link node indices.
+    pub fn new(plan: FaultPlan, shape: TorusShape) -> Self {
+        let mut overrides = HashMap::new();
+        let mut kills = HashMap::new();
+        for l in &plan.links {
+            assert!(
+                (l.node as usize) < shape.num_nodes(),
+                "fault plan names node {} outside the {}-node machine",
+                l.node,
+                shape.num_nodes()
+            );
+            let id = link_id(l.node, l.dir);
+            if let Some(r) = l.rates {
+                overrides.insert(id, r);
+            }
+            if let Some(k) = l.kill_at {
+                kills.insert(id, (k, AtomicU64::new(0)));
+            }
+        }
+        FaultInjector { plan, overrides, kills }
+    }
+
+    /// The plan this injector was compiled from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Retry-protocol constants.
+    pub fn retry(&self) -> RetryConfig {
+        self.plan.retry
+    }
+
+    /// Decide the fate of frame `seq` crossing `link` on transmission
+    /// `attempt` (0 = first try). Pure in its arguments and the seed.
+    pub fn decide(&self, link: LinkId, seq: u64, attempt: u32) -> Fate {
+        let rates = self.overrides.get(&link).copied().unwrap_or(self.plan.default_rates);
+        if rates.is_clean() {
+            return Fate::Pass;
+        }
+        let h = splitmix64(
+            self.plan
+                .seed
+                .wrapping_add(mix(link ^ 0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(mix(seq ^ 0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(mix(attempt as u64 ^ 0x94D0_49BB_1331_11EB)),
+        );
+        // Map to a uniform draw in [0, 1).
+        let draw = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw < rates.drop {
+            Fate::Drop
+        } else if draw < rates.drop + rates.corrupt {
+            Fate::Corrupt
+        } else if draw < rates.drop + rates.corrupt + rates.delay {
+            Fate::Delay(rates.delay_ticks.max(1))
+        } else {
+            Fate::Pass
+        }
+    }
+
+    /// Record a frame crossing `link`; returns `true` exactly once, when
+    /// the crossing count reaches the link's kill threshold.
+    pub fn note_crossing(&self, link: LinkId) -> bool {
+        match self.kills.get(&link) {
+            None => false,
+            Some((kill_at, count)) => {
+                count.fetch_add(1, Ordering::Relaxed) + 1 == *kill_at
+            }
+        }
+    }
+
+    /// Whether any link carries a kill schedule (cheap pre-check).
+    pub fn has_kills(&self) -> bool {
+        !self.kills.is_empty()
+    }
+}
+
+#[inline]
+fn mix(x: u64) -> u64 {
+    splitmix64(x)
+}
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> TorusShape {
+        TorusShape::new([2, 2, 2, 1, 1])
+    }
+
+    #[test]
+    fn empty_plan_passes_everything() {
+        let inj = FaultInjector::new(FaultPlan::new(), shape());
+        for link in 0..80 {
+            for seq in 0..100 {
+                assert_eq!(inj.decide(link, seq, 0), Fate::Pass);
+            }
+        }
+        assert!(inj.plan().is_clean());
+    }
+
+    #[test]
+    fn fate_is_deterministic_and_seed_sensitive() {
+        let a = FaultInjector::new(FaultPlan::new().seed(7).drop_rate(0.3), shape());
+        let b = FaultInjector::new(FaultPlan::new().seed(7).drop_rate(0.3), shape());
+        let c = FaultInjector::new(FaultPlan::new().seed(8).drop_rate(0.3), shape());
+        let fates_a: Vec<Fate> = (0..400).map(|s| a.decide(3, s, 0)).collect();
+        let fates_b: Vec<Fate> = (0..400).map(|s| b.decide(3, s, 0)).collect();
+        let fates_c: Vec<Fate> = (0..400).map(|s| c.decide(3, s, 0)).collect();
+        assert_eq!(fates_a, fates_b, "same seed ⇒ same fates");
+        assert_ne!(fates_a, fates_c, "different seed ⇒ different fates");
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().seed(42).drop_rate(0.2).corrupt_rate(0.1),
+            shape(),
+        );
+        let n = 20_000;
+        let mut drops = 0;
+        let mut corrupts = 0;
+        for seq in 0..n {
+            match inj.decide(11, seq, 0) {
+                Fate::Drop => drops += 1,
+                Fate::Corrupt => corrupts += 1,
+                _ => {}
+            }
+        }
+        let drop_rate = drops as f64 / n as f64;
+        let corrupt_rate = corrupts as f64 / n as f64;
+        assert!((0.18..0.22).contains(&drop_rate), "drop rate {drop_rate}");
+        assert!((0.085..0.115).contains(&corrupt_rate), "corrupt rate {corrupt_rate}");
+    }
+
+    #[test]
+    fn attempt_rerolls_the_dice() {
+        let inj = FaultInjector::new(FaultPlan::new().seed(1).drop_rate(0.5), shape());
+        // Any dropped frame must eventually pass on a retransmit attempt.
+        for seq in 0..50 {
+            if inj.decide(5, seq, 0) != Fate::Drop {
+                continue;
+            }
+            let passed = (1..64).any(|a| inj.decide(5, seq, a) == Fate::Pass);
+            assert!(passed, "seq {seq} never passed across 64 attempts");
+        }
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let dir = Dir::all()[0];
+        let plan = FaultPlan::new().seed(3).link_rates(
+            1,
+            dir,
+            FaultRates { drop: 1.0, ..FaultRates::default() },
+        );
+        let inj = FaultInjector::new(plan, shape());
+        assert_eq!(inj.decide(link_id(1, dir), 0, 0), Fate::Drop);
+        assert_eq!(inj.decide(link_id(0, dir), 0, 0), Fate::Pass, "other links clean");
+    }
+
+    #[test]
+    fn kill_schedule_fires_exactly_once() {
+        let dir = Dir::all()[2];
+        let plan = FaultPlan::new().kill_link_at(0, dir, 3);
+        let inj = FaultInjector::new(plan, shape());
+        let id = link_id(0, dir);
+        assert!(inj.has_kills());
+        assert!(!inj.note_crossing(id));
+        assert!(!inj.note_crossing(id));
+        assert!(inj.note_crossing(id), "third crossing kills");
+        assert!(!inj.note_crossing(id), "fires once");
+        assert!(!inj.note_crossing(link_id(1, dir)), "other links unaffected");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = Dir::all()[4];
+        let plan = FaultPlan::new()
+            .seed(99)
+            .drop_rate(0.05)
+            .corrupt_rate(0.01)
+            .delay_rate(0.02, 3)
+            .link_rates(2, dir, FaultRates { drop: 0.5, corrupt: 0.0, delay: 0.0, delay_ticks: 2 })
+            .kill_link_at(3, dir, 128)
+            .retry(RetryConfig { window: 32, rto_ticks: 2, rto_max_ticks: 16, retry_budget: 5 });
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).expect("round trip parses");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn from_json_defaults_and_rejects() {
+        let empty = FaultPlan::from_json("{}").expect("empty object is the empty plan");
+        assert_eq!(empty, FaultPlan::new());
+        assert!(FaultPlan::from_json("[1,2]").is_err(), "top-level array rejected");
+        assert!(FaultPlan::from_json("{\"drop\": 1.5}").is_err(), "rate > 1 rejected");
+        assert!(
+            FaultPlan::from_json("{\"retry\": {\"window\": 0}}").is_err(),
+            "zero window rejected"
+        );
+        assert!(
+            FaultPlan::from_json("{\"links\": [{\"node\": 0, \"dir\": 10}]}").is_err(),
+            "dir out of range rejected"
+        );
+    }
+
+    #[test]
+    fn link_id_round_trips() {
+        for node in 0..8u32 {
+            for dir in Dir::all() {
+                let id = link_id(node, dir);
+                assert_eq!(link_parts(id), (node, dir));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn injector_rejects_out_of_shape_links() {
+        let plan = FaultPlan::new().kill_link_at(999, Dir::all()[0], 1);
+        FaultInjector::new(plan, shape());
+    }
+}

@@ -272,6 +272,8 @@ mod tests {
             msg_id: 1,
             msg_len: 0,
             offset: 0,
+            link_seq: 0,
+            crc: 0,
             payload: crate::packet::PacketPayload::Inline(Bytes::new()),
         });
         assert_eq!(region.epoch(), 1);
@@ -293,6 +295,8 @@ mod tests {
             msg_id: 9,
             msg_len: 1300,
             offset: i as u32 * 512,
+            link_seq: i,
+            crc: 0,
             payload: crate::packet::PacketPayload::Inline(Bytes::new()),
         });
         assert_eq!(region.epoch(), 1, "one wakeup for the whole message");

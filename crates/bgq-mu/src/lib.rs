@@ -34,16 +34,23 @@
 //! dynamically-routed path and completes out of order; completion is
 //! observed only through reception counters, never packet order.
 
+pub mod crc;
 pub mod descriptor;
 pub mod engine;
 pub mod fabric;
+pub mod faults;
 pub mod fifo;
+pub mod json;
+pub mod link;
 pub mod packet;
 
-pub use bgq_hw::Counter;
+pub use bgq_hw::{Counter, DeliveryFault};
 pub use descriptor::{Descriptor, PayloadSource, XferKind};
 pub use engine::EngineMode;
 pub use fabric::{MuCounters, MuFabric, MuFabricBuilder};
+pub use faults::{Fate, FaultInjector, FaultPlan, FaultPlanError, FaultRates, LinkFault, RetryConfig};
+pub use link::{RasCounters, RasEvent, RasEventKind, RasRing};
+pub use packet::packet_crc;
 pub use fifo::{
     FifoAllocator, FifoTable, InjFifo, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE,
     REC_FIFOS_PER_NODE,

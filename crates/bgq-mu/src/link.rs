@@ -1,0 +1,549 @@
+//! Link-level reliability: per-(source, destination) retransmit channels,
+//! the `ras.*` counter family, and the RAS event ring.
+//!
+//! BG/Q's serdes links run a hardware link-level protocol — CRC per packet,
+//! sliding-window retransmit on CRC failure, and a RAS event when a link
+//! retries persistently or dies. This module is the software model of that
+//! layer for the simulated fabric: when a [`crate::faults::FaultPlan`] is
+//! installed, traffic between distinct nodes moves as [`Frame`]s through a
+//! per-(src, dst) [`Channel`] that delivers in order, retransmits lost or
+//! corrupted frames with exponential backoff, reroutes around killed links,
+//! and — when the retry budget runs out — fails the outstanding transfers'
+//! completion counters with a typed [`DeliveryFault`] instead of hanging
+//! whoever is polling them.
+//!
+//! Two deliberate simplifications, documented here because they bound what
+//! the model can show:
+//!
+//! * **Acks are lossless and immediate.** The simulation's "wire" is a
+//!   function call, so a delivered frame is acknowledged on the spot
+//!   (cumulative ack ≡ frame pop). The retry window therefore bounds
+//!   *transmissions per link-pump tick* rather than unacked frames in
+//!   flight; drops, corruption and delay all act on the data frames.
+//! * **Faults fire on the links of the route.** A frame's fate is decided
+//!   per crossed link (first bad link wins), so longer routes really are
+//!   more exposed, but there is no per-hop buffering — a frame is either
+//!   delivered whole or lost whole.
+//!
+//! The channel state machine itself is driven by
+//! [`crate::fabric::MuFabric::pump_links`]; this module owns the data
+//! structures and the bookkeeping.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use bgq_hw::{Counter as HwCounter, DeliveryFault, MemRegion};
+use bgq_torus::{Dir, LinkHealth};
+use bgq_upc::{Counter, Upc};
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::descriptor::Descriptor;
+use crate::faults::{FaultInjector, RetryConfig};
+use crate::fifo::RecFifoId;
+
+/// `ras.*` telemetry probes — the reliability layer's RAS event counters,
+/// registered on the fabric's shared [`Upc`] so `pamistat` exports them
+/// alongside `mu.*`. All no-ops with the `telemetry` feature off.
+pub struct RasCounters {
+    /// Frames that arrived with a failing CRC and were discarded.
+    pub crc_errors: Counter,
+    /// Frame retransmissions (every attempt beyond the first).
+    pub retransmits: Counter,
+    /// Directed links declared dead by kill schedules or
+    /// [`crate::fabric::MuFabric::kill_link`] (both directions of a
+    /// physical link count).
+    pub link_down: Counter,
+    /// Channels that switched to a non-deterministic route around dead
+    /// links.
+    pub reroutes: Counter,
+    /// Transfers whose completion counters were failed with a
+    /// [`DeliveryFault`] (retry budget exhausted or destination
+    /// unreachable).
+    pub delivery_failures: Counter,
+}
+
+impl RasCounters {
+    pub(crate) fn new(upc: &Upc) -> Self {
+        RasCounters {
+            crc_errors: upc.counter("ras.crc_errors"),
+            retransmits: upc.counter("ras.retransmits"),
+            link_down: upc.counter("ras.link_down"),
+            reroutes: upc.counter("ras.reroutes"),
+            delivery_failures: upc.counter("ras.delivery_failures"),
+        }
+    }
+}
+
+/// What a [`RasEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RasEventKind {
+    /// A frame was silently dropped by the fabric.
+    PacketDropped,
+    /// A frame arrived corrupted and was discarded.
+    CrcError,
+    /// A frame was retransmitted.
+    Retransmit,
+    /// A directed link went down (`detail` = link id).
+    LinkDown,
+    /// A channel rerouted around dead links (`detail` = new hop count).
+    Reroute,
+    /// A transfer failed permanently (`detail` = fault discriminant).
+    DeliveryFailure,
+}
+
+impl RasEventKind {
+    /// Stable lower-case name (used by `pamistat` and the chaos bench).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RasEventKind::PacketDropped => "packet_dropped",
+            RasEventKind::CrcError => "crc_error",
+            RasEventKind::Retransmit => "retransmit",
+            RasEventKind::LinkDown => "link_down",
+            RasEventKind::Reroute => "reroute",
+            RasEventKind::DeliveryFailure => "delivery_failure",
+        }
+    }
+}
+
+/// One entry in the RAS event ring.
+#[derive(Clone, Debug)]
+pub struct RasEvent {
+    /// Source-node link-pump tick when the event fired.
+    pub tick: u64,
+    /// What happened.
+    pub kind: RasEventKind,
+    /// Source node of the affected channel.
+    pub src_node: u32,
+    /// Destination node of the affected channel.
+    pub dst_node: u32,
+    /// Kind-specific detail (frame sequence, link id, hop count, …).
+    pub detail: u64,
+}
+
+/// Bounded RAS event ring: newest events win, the drop count is kept so an
+/// operator can tell the ring overflowed. The control plane (RAS) is off
+/// the data path, so a mutex is fine here.
+pub struct RasRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+struct RingInner {
+    events: VecDeque<RasEvent>,
+    dropped: u64,
+}
+
+impl RasRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        RasRing {
+            inner: Mutex::new(RingInner { events: VecDeque::new(), dropped: 0 }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append an event, evicting the oldest past capacity.
+    pub fn record(&self, ev: RasEvent) {
+        let mut g = self.inner.lock();
+        if g.events.len() == self.capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(ev);
+    }
+
+    /// Copy out the ring (oldest first) and the overflow drop count.
+    pub fn snapshot(&self) -> (Vec<RasEvent>, u64) {
+        let g = self.inner.lock();
+        (g.events.iter().cloned().collect(), g.dropped)
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether no event has been recorded (and none dropped).
+    pub fn is_empty(&self) -> bool {
+        let g = self.inner.lock();
+        g.events.is_empty() && g.dropped == 0
+    }
+}
+
+/// A frame's payload: clone-cheap ingredients for rebuilding the delivery
+/// on a retransmit attempt.
+#[derive(Clone)]
+pub(crate) enum FramePayload {
+    /// Bytes staged in the frame.
+    Inline(Bytes),
+    /// Zero-copy window into the source region.
+    Region { region: MemRegion, offset: usize, len: usize },
+}
+
+impl FramePayload {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            FramePayload::Inline(b) => b.len(),
+            FramePayload::Region { len, .. } => *len,
+        }
+    }
+}
+
+/// What delivering a frame does at the destination.
+pub(crate) enum FrameBody {
+    /// One memory-FIFO packet.
+    Packet {
+        rec_fifo: RecFifoId,
+        src_context: u16,
+        dispatch: u16,
+        metadata: Bytes,
+        msg_id: u64,
+        msg_len: u32,
+        offset: u32,
+        payload: FramePayload,
+    },
+    /// One ≤512-byte window of a direct put.
+    Put {
+        dst_region: MemRegion,
+        dst_offset: usize,
+        payload: FramePayload,
+        rec_counter: Option<HwCounter>,
+    },
+    /// A remote-get request carrying the payload descriptor the
+    /// destination injects on our behalf.
+    Get { desc: Box<Descriptor> },
+}
+
+/// Transmission state of the channel's front frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FrameState {
+    /// Not yet transmitted at the current attempt.
+    Queued,
+    /// Transmitted and lost (dropped or corrupted); waiting out the RTO
+    /// that started at this tick.
+    Lost { since: u64 },
+    /// In flight but delayed; deliverable at this tick.
+    Delayed { until: u64 },
+}
+
+/// One frame in a channel: a unit of link-level (re)transmission.
+pub(crate) struct Frame {
+    /// Channel-local sequence number (fate-hash input, receiver tracking).
+    pub seq: u64,
+    /// Transmission attempt, 0-based.
+    pub attempt: u32,
+    /// Where the frame is in the transmit state machine.
+    pub state: FrameState,
+    /// Bytes credited to `inj_counter` when the frame is acknowledged.
+    pub credit: u64,
+    /// Source-side completion counter share.
+    pub inj_counter: Option<HwCounter>,
+    /// The delivery action.
+    pub body: FrameBody,
+}
+
+impl Frame {
+    /// Fail every completion counter this frame carries (including the
+    /// counters buried in a remote-get's payload descriptor) — called when
+    /// the channel dies so pollers see completion-with-fault instead of a
+    /// hang. Returns how many counters were newly failed.
+    pub(crate) fn fail(&self, fault: DeliveryFault) -> u64 {
+        let mut failed = 0;
+        if let Some(c) = &self.inj_counter {
+            failed += c.fail(fault) as u64;
+        }
+        failed + fail_body(&self.body, fault)
+    }
+}
+
+/// Fail the destination-side counters a frame body carries.
+pub(crate) fn fail_body(body: &FrameBody, fault: DeliveryFault) -> u64 {
+    match body {
+        FrameBody::Put { rec_counter: Some(c), .. } => c.fail(fault) as u64,
+        FrameBody::Get { desc } => fail_descriptor(desc, fault),
+        _ => 0,
+    }
+}
+
+/// Recursively fail the counters a descriptor carries.
+pub(crate) fn fail_descriptor(desc: &Descriptor, fault: DeliveryFault) -> u64 {
+    let mut failed = 0;
+    if let Some(c) = &desc.inj_counter {
+        failed += c.fail(fault) as u64;
+    }
+    match &desc.kind {
+        crate::descriptor::XferKind::DirectPut { rec_counter: Some(c), .. } => {
+            failed += c.fail(fault) as u64;
+        }
+        crate::descriptor::XferKind::RemoteGet { payload } => {
+            failed += fail_descriptor(payload, fault);
+        }
+        _ => {}
+    }
+    failed
+}
+
+/// Mutable half of a channel, guarded by the channel mutex.
+pub(crate) struct TxState {
+    /// Frames awaiting transmission/ack, in order. The front frame is the
+    /// one the go-back-N state machine is working on.
+    pub queue: VecDeque<Frame>,
+    /// Current retransmit timeout in ticks (exponential backoff).
+    pub rto: u64,
+    /// Retransmissions consumed by the *front* frame.
+    pub retries: u32,
+    /// Cached healthy route; `None` = recompute before next transmission.
+    pub route: Option<Vec<Dir>>,
+    /// [`LinkHealth::epoch`] the cached route was computed at; a newer
+    /// epoch invalidates the cache.
+    pub route_epoch: usize,
+    /// Set when the channel failed permanently; new frames fail on push.
+    pub dead: Option<DeliveryFault>,
+}
+
+/// A reliable link-level channel for one (source node, destination node)
+/// pair — the analogue of the BG/Q send unit's per-link retransmission
+/// FIFO, lifted to route granularity.
+pub(crate) struct Channel {
+    pub src: u32,
+    pub dst: u32,
+    /// Next frame sequence number to assign. Atomic (not under `tx`) so
+    /// the fair-weather path can stamp sequence numbers without taking
+    /// the channel lock; queued (slow-path) assignment happens under the
+    /// lock and therefore stays in queue order.
+    pub next_seq: AtomicU64,
+    /// Lock-free mirror of [`TxState::dead`] (the authoritative flag,
+    /// written under the lock). Lets the fast path skip dead channels
+    /// without acquiring the mutex; a racing kill at worst lets one
+    /// in-flight frame deliver, which is indistinguishable from the frame
+    /// having crossed just before the kill.
+    dead_hint: std::sync::atomic::AtomicBool,
+    pub tx: Mutex<TxState>,
+}
+
+impl Channel {
+    fn new(src: u32, dst: u32, retry: &RetryConfig) -> Self {
+        Channel {
+            src,
+            dst,
+            next_seq: AtomicU64::new(0),
+            dead_hint: std::sync::atomic::AtomicBool::new(false),
+            tx: Mutex::new(TxState {
+                queue: VecDeque::new(),
+                rto: retry.rto_ticks,
+                retries: 0,
+                route: None,
+                route_epoch: 0,
+                dead: None,
+            }),
+        }
+    }
+
+    /// Lock-free liveness probe (see `dead_hint`).
+    pub(crate) fn seems_alive(&self) -> bool {
+        !self.dead_hint.load(Ordering::Acquire)
+    }
+
+    /// Publish the lock-free dead hint; called with the lock held, right
+    /// after [`TxState::dead`] is set.
+    pub(crate) fn publish_dead(&self) {
+        self.dead_hint.store(true, Ordering::Release);
+    }
+}
+
+/// Everything the reliability layer owns, hung off the fabric when a fault
+/// plan is installed.
+pub(crate) struct Reliability {
+    /// Compiled fault plan.
+    pub injector: FaultInjector,
+    /// Which links are alive (shared with the torus router).
+    pub health: LinkHealth,
+    /// `ras.*` probes (shared with the fabric's registry).
+    pub ras: Arc<RasCounters>,
+    /// RAS event ring.
+    pub ring: Arc<RasRing>,
+    /// `true` when the plan injects nothing — the channel pump takes a
+    /// straight-through path (still counting frames, so the fault-free
+    /// protocol overhead is real and measurable).
+    pub clean: bool,
+    /// Per-source-node channel rows, indexed by destination node. The row
+    /// is allocated on a source's first channel; each slot initializes
+    /// once. Lookup on the fair-weather send path is two lock-free reads,
+    /// no hashing, no reference-count traffic.
+    channels: Vec<OnceLock<Box<[OnceLock<Channel>]>>>,
+    /// Number of nodes (row width).
+    num_nodes: usize,
+    /// Per-source-node link-pump tick.
+    ticks: Vec<AtomicU64>,
+    /// Per-source-node count of frames queued across its channels (lock
+    /// free idle check for `advance`).
+    pending: Vec<AtomicUsize>,
+}
+
+impl Reliability {
+    pub(crate) fn new(
+        injector: FaultInjector,
+        health: LinkHealth,
+        ras: Arc<RasCounters>,
+        ring: Arc<RasRing>,
+        num_nodes: usize,
+    ) -> Self {
+        let clean = injector.plan().is_clean();
+        Reliability {
+            injector,
+            health,
+            ras,
+            ring,
+            clean,
+            channels: (0..num_nodes).map(|_| OnceLock::new()).collect(),
+            num_nodes,
+            ticks: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            pending: (0..num_nodes).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// The channel from `src` to `dst`, created on first use.
+    pub(crate) fn channel(&self, src: u32, dst: u32) -> &Channel {
+        let row = self.channels[src as usize]
+            .get_or_init(|| (0..self.num_nodes).map(|_| OnceLock::new()).collect());
+        row[dst as usize].get_or_init(|| Channel::new(src, dst, &self.injector.retry()))
+    }
+
+    /// All channels sourced at `node` (pump order: destination index).
+    pub(crate) fn channels_of(&self, node: u32) -> impl Iterator<Item = &Channel> {
+        self.channels[node as usize]
+            .get()
+            .into_iter()
+            .flat_map(|row| row.iter().filter_map(OnceLock::get))
+    }
+
+    /// Advance and read `node`'s link-pump tick.
+    pub(crate) fn bump_tick(&self, node: u32) -> u64 {
+        self.ticks[node as usize].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current tick without advancing.
+    pub(crate) fn tick(&self, node: u32) -> u64 {
+        self.ticks[node as usize].load(Ordering::Relaxed)
+    }
+
+    /// Frame-queued accounting.
+    pub(crate) fn add_pending(&self, node: u32, n: usize) {
+        self.pending[node as usize].fetch_add(n, Ordering::Release);
+    }
+
+    /// Frame-retired accounting.
+    pub(crate) fn sub_pending(&self, node: u32, n: usize) {
+        self.pending[node as usize].fetch_sub(n, Ordering::Release);
+    }
+
+    /// Whether `node` has no frames awaiting transmission or retry.
+    pub(crate) fn idle(&self, node: u32) -> bool {
+        self.pending[node as usize].load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ras_ring_caps_and_counts_drops() {
+        let ring = RasRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.record(RasEvent {
+                tick: i,
+                kind: RasEventKind::Retransmit,
+                src_node: 0,
+                dst_node: 1,
+                detail: i,
+            });
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(dropped, 2);
+        assert_eq!(events[0].detail, 2, "oldest surviving event");
+        assert_eq!(events[2].detail, 4, "newest event");
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn event_kind_names_are_stable() {
+        assert_eq!(RasEventKind::CrcError.as_str(), "crc_error");
+        assert_eq!(RasEventKind::LinkDown.as_str(), "link_down");
+        assert_eq!(RasEventKind::Reroute.as_str(), "reroute");
+        assert_eq!(RasEventKind::Retransmit.as_str(), "retransmit");
+        assert_eq!(RasEventKind::PacketDropped.as_str(), "packet_dropped");
+        assert_eq!(RasEventKind::DeliveryFailure.as_str(), "delivery_failure");
+    }
+
+    #[test]
+    fn frame_fail_fails_nested_counters() {
+        use crate::descriptor::{PayloadSource, XferKind};
+        let inj = HwCounter::new();
+        let rec = HwCounter::new();
+        inj.add_expected(8);
+        rec.add_expected(8);
+        let frame = Frame {
+            seq: 0,
+            attempt: 0,
+            state: FrameState::Queued,
+            credit: 8,
+            inj_counter: Some(inj.clone()),
+            body: FrameBody::Get {
+                desc: Box::new(Descriptor {
+                    dst_node: 0,
+                    dst_context: 0,
+                    src_context: 0,
+                    routing: bgq_torus::Routing::Dynamic,
+                    payload: PayloadSource::Immediate(Bytes::new()),
+                    kind: XferKind::DirectPut {
+                        dst_region: MemRegion::zeroed(8),
+                        dst_offset: 0,
+                        rec_counter: Some(rec.clone()),
+                    },
+                    inj_counter: None,
+                }),
+            },
+        };
+        assert_eq!(frame.fail(DeliveryFault::Timeout), 2);
+        assert_eq!(inj.fault(), Some(DeliveryFault::Timeout));
+        assert_eq!(rec.fault(), Some(DeliveryFault::Timeout));
+        assert!(inj.is_complete() && rec.is_complete());
+        // Idempotent: already-failed counters don't double count.
+        assert_eq!(frame.fail(DeliveryFault::Aborted), 0);
+    }
+
+    #[test]
+    fn reliability_pending_accounting() {
+        use crate::faults::FaultPlan;
+        use bgq_torus::TorusShape;
+        let shape = TorusShape::new([2, 1, 1, 1, 1]);
+        let upc = Upc::new();
+        let r = Reliability::new(
+            FaultInjector::new(FaultPlan::new(), shape),
+            LinkHealth::new(shape),
+            Arc::new(RasCounters::new(&upc)),
+            Arc::new(RasRing::new(16)),
+            2,
+        );
+        assert!(r.idle(0));
+        r.add_pending(0, 3);
+        assert!(!r.idle(0));
+        assert!(r.idle(1), "per-node accounting");
+        r.sub_pending(0, 3);
+        assert!(r.idle(0));
+        let a = r.channel(0, 1);
+        let b = r.channel(0, 1);
+        assert!(std::ptr::eq(a, b), "channel is created once");
+        assert_eq!(r.channels_of(0).count(), 1);
+        assert_eq!(r.channels_of(1).count(), 0);
+        assert_eq!(r.bump_tick(0), 1);
+        assert_eq!(r.bump_tick(0), 2);
+        assert_eq!(r.tick(0), 2);
+        assert_eq!(r.tick(1), 0);
+    }
+}

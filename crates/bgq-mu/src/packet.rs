@@ -106,8 +106,46 @@ pub struct MuPacket {
     pub msg_len: u32,
     /// Offset of this packet's payload within the message.
     pub offset: u32,
+    /// Link-level sequence number: per-node monotonic on the fault-free
+    /// fast path, per-channel under a fault plan. The retransmit protocol
+    /// tracks frames by it.
+    pub link_seq: u64,
+    /// CRC-32C over the header fields, metadata, and staged payload bytes
+    /// (zero when the fabric is built with CRC disabled). See
+    /// [`MuPacket::verify_crc`].
+    pub crc: u32,
     /// This packet's payload (≤ 512 bytes, possibly a zero-copy window).
     pub payload: PacketPayload,
+}
+
+/// CRC-32C over a packet's header fields, metadata, and *staged* payload —
+/// [`PacketPayload::Region`] windows contribute only through `msg_len` /
+/// `offset`, since their bytes never leave source memory in the simulation
+/// (real hardware checksums them on the wire; here the in-process copy is
+/// the wire).
+#[allow(clippy::too_many_arguments)]
+pub fn packet_crc(
+    src_node: u32,
+    src_context: u16,
+    dispatch: u16,
+    msg_id: u64,
+    msg_len: u32,
+    offset: u32,
+    link_seq: u64,
+    metadata: &[u8],
+    staged_payload: &[u8],
+) -> u32 {
+    let mut c = crate::crc::Crc32c::new();
+    c.update(&src_node.to_le_bytes());
+    c.update(&src_context.to_le_bytes());
+    c.update(&dispatch.to_le_bytes());
+    c.update_u64(msg_id);
+    c.update(&msg_len.to_le_bytes());
+    c.update(&offset.to_le_bytes());
+    c.update_u64(link_seq);
+    c.update(metadata);
+    c.update(staged_payload);
+    c.finish()
 }
 
 impl MuPacket {
@@ -125,6 +163,29 @@ impl MuPacket {
     pub fn packets_in_message(&self) -> usize {
         bgq_torus::packet::packets_for(self.msg_len as usize)
     }
+
+    /// Recompute this packet's CRC from its contents.
+    pub fn compute_crc(&self) -> u32 {
+        packet_crc(
+            self.src_node,
+            self.src_context,
+            self.dispatch,
+            self.msg_id,
+            self.msg_len,
+            self.offset,
+            self.link_seq,
+            &self.metadata,
+            self.payload.view(),
+        )
+    }
+
+    /// Receive-side integrity check: does the carried CRC match the packet
+    /// contents? Always `true` for packets from a fabric built with
+    /// [`crate::fabric::MuFabricBuilder::crc`]`(false)` (stamp is zero and
+    /// verification is skipped).
+    pub fn verify_crc(&self) -> bool {
+        self.crc == 0 || self.crc == self.compute_crc()
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +193,7 @@ mod tests {
     use super::*;
 
     fn pkt(offset: u32, len: usize, total: u32) -> MuPacket {
+        let payload = Bytes::from(vec![0u8; len]);
         MuPacket {
             src_node: 0,
             src_context: 0,
@@ -140,7 +202,9 @@ mod tests {
             msg_id: 1,
             msg_len: total,
             offset,
-            payload: PacketPayload::Inline(Bytes::from(vec![0u8; len])),
+            link_seq: 9,
+            crc: packet_crc(0, 0, 0, 1, total, offset, 9, &[], &payload),
+            payload: PacketPayload::Inline(payload),
         }
     }
 
@@ -178,6 +242,18 @@ mod tests {
         let mut p = PacketPayload::Region { region: src, offset: 4, len: 8 };
         p.deposit(&dst, 16);
         assert_eq!(&dst.to_vec()[16..24], &(4..12).collect::<Vec<u8>>()[..]);
+    }
+
+    #[test]
+    fn crc_round_trips_and_catches_mutation() {
+        let mut p = pkt(0, 64, 64);
+        assert!(p.verify_crc());
+        p.dispatch = 5;
+        assert!(!p.verify_crc(), "header mutation breaks the CRC");
+        p.dispatch = 0;
+        assert!(p.verify_crc());
+        p.crc = 0;
+        assert!(p.verify_crc(), "zero stamp means CRC disabled");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use crate::endpoint::Endpoint;
+use crate::error::{PamiError, PamiResult};
 use crate::machine::Machine;
 use crate::policy::{ProtoEvent, Protocol};
 use crate::proto::{wire, SendArgs, ShmMailbox, ShmMsg, ShmPayload, DISPATCH_INTERNAL_BASE, DISPATCH_RZV_RTS};
@@ -51,8 +52,11 @@ fn on_commthread() -> bool {
     IS_COMMTHREAD.with(|c| c.get())
 }
 
-/// Completion callback invoked on the advancing thread.
-pub type CompletionFn = Box<dyn FnOnce(&Context) + Send>;
+/// Completion callback invoked on the advancing thread. The result is the
+/// transfer's delivery outcome — `Ok(())` on success, `Err` when the
+/// reliability layer failed the transfer (retry budget exhausted,
+/// destination unreachable); the PAMI `pami_event_function` contract.
+pub type CompletionFn = Box<dyn FnOnce(&Context, PamiResult<()>) + Send>;
 
 /// Work item accepted by [`Context::post`].
 pub type WorkFn = Box<dyn FnOnce(&Context) + Send>;
@@ -361,19 +365,26 @@ impl Context {
     /// returning.
     ///
     /// # Errors
-    /// Returns the untouched arguments if `payload` exceeds one packet
-    /// (512 bytes) — callers fall back to [`Context::send`].
+    /// [`PamiError::TooLong`] if `payload` exceeds one packet (512 bytes) —
+    /// callers fall back to [`Context::send`]. [`PamiError::Invalid`] for a
+    /// reserved dispatch id, [`PamiError::UnknownEndpoint`] when `dest` was
+    /// never created.
     pub fn send_immediate(
         &self,
         dest: Endpoint,
         dispatch: u16,
         metadata: &[u8],
         payload: &[u8],
-    ) -> Result<(), &'static str> {
+    ) -> PamiResult<()> {
         if payload.len() > bgq_torus::packet::MAX_PAYLOAD_BYTES {
-            return Err("send_immediate payload exceeds one packet");
+            return Err(PamiError::TooLong {
+                len: payload.len(),
+                max: bgq_torus::packet::MAX_PAYLOAD_BYTES,
+            });
         }
-        assert!(dispatch < DISPATCH_INTERNAL_BASE, "dispatch id reserved");
+        if dispatch >= DISPATCH_INTERNAL_BASE {
+            return Err(PamiError::Invalid("dispatch id in the reserved range"));
+        }
         self.probes.sends_immediate.incr();
         // One-packet immediates are eager by construction: a packet fits
         // under every policy's minimum clamp, so consulting the policy
@@ -383,7 +394,7 @@ impl Context {
         let stamp = self.send_stamp();
         let dest_node = self.machine.task_node(dest.task);
         if dest_node == self.node {
-            let addr = self.machine.endpoint_addr(self.client, dest.task, dest.context);
+            let addr = self.addr_of(dest)?;
             addr.mailbox.deliver(ShmMsg {
                 src: self.endpoint(),
                 dispatch,
@@ -393,7 +404,7 @@ impl Context {
             });
             return Ok(());
         }
-        let addr = self.machine.endpoint_addr(self.client, dest.task, dest.context);
+        let addr = self.addr_of(dest)?;
         self.machine.fabric().execute_now(
             self.node,
             Descriptor {
@@ -417,15 +428,25 @@ impl Context {
     /// path (or the shared-memory inline path on-node); messages above the
     /// eager limit use the rendezvous remote-get protocol (or the
     /// global-VA single-copy path on-node). `args.local_done` fires once
-    /// the payload has left the source buffer.
-    pub fn send(&self, args: SendArgs) {
-        assert!(args.dispatch < DISPATCH_INTERNAL_BASE, "dispatch id reserved");
+    /// the payload has left the source buffer; under a fault plan it can
+    /// instead *fail* with a [`bgq_hw::DeliveryFault`] when the reliability
+    /// layer gives up on the destination.
+    ///
+    /// # Errors
+    /// [`PamiError::Invalid`] for a reserved dispatch id,
+    /// [`PamiError::UnknownEndpoint`] when the destination was never
+    /// created. Delivery failures are reported asynchronously through
+    /// `args.local_done`, never from this call.
+    pub fn send(&self, args: SendArgs) -> PamiResult<()> {
+        if args.dispatch >= DISPATCH_INTERNAL_BASE {
+            return Err(PamiError::Invalid("dispatch id in the reserved range"));
+        }
         let dest_node = self.machine.task_node(args.dest.task);
         if dest_node == self.node {
             self.probes.sends_shm.incr();
             return self.send_shm(args);
         }
-        let addr = self.machine.endpoint_addr(self.client, args.dest.task, args.dest.context);
+        let addr = self.addr_of(args.dest)?;
         let len = args.payload.len();
         let stamp = self.send_stamp();
         match self.machine.policy().select(args.dest.task, len) {
@@ -468,11 +489,15 @@ impl Context {
                 self.inject_to(args.dest.task, desc);
             }
         }
+        Ok(())
     }
 
     /// One-sided put into a registered window on `dest_task`'s node.
     /// `local_done` fires when the source bytes have been read; the
     /// window's own counter fires on the target as bytes land.
+    ///
+    /// # Errors
+    /// [`PamiError::UnknownWindow`] when `window` does not resolve.
     pub fn put(
         &self,
         dest_task: u32,
@@ -480,12 +505,9 @@ impl Context {
         window: crate::machine::MemKey,
         window_offset: usize,
         local_done: Option<Counter>,
-    ) {
+    ) -> PamiResult<()> {
         self.probes.puts.incr();
-        let win = self
-            .machine
-            .window(window)
-            .unwrap_or_else(|| panic!("put targets unknown window {window:?}"));
+        let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
         let desc = Descriptor {
             dst_node: self.machine.task_node(dest_task),
             dst_context: 0,
@@ -500,11 +522,15 @@ impl Context {
             inj_counter: local_done,
         };
         self.inject_to(dest_task, desc);
+        Ok(())
     }
 
     /// One-sided get from a registered window on `dest_task`'s node into
     /// `dst`. `done` fires (by `len`, or 1 for empty) when the data has
     /// landed locally.
+    ///
+    /// # Errors
+    /// [`PamiError::UnknownWindow`] when `window` does not resolve.
     pub fn get(
         &self,
         dest_task: u32,
@@ -513,12 +539,9 @@ impl Context {
         dst: (MemRegion, usize),
         len: usize,
         done: Option<Counter>,
-    ) {
+    ) -> PamiResult<()> {
         self.probes.gets.incr();
-        let win = self
-            .machine
-            .window(window)
-            .unwrap_or_else(|| panic!("get targets unknown window {window:?}"));
+        let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
         let put_back = Descriptor {
             dst_node: self.node,
             dst_context: self.offset,
@@ -542,6 +565,7 @@ impl Context {
             inj_counter: None,
         };
         self.inject_to(dest_task, desc);
+        Ok(())
     }
 
     /// Injection-FIFO pinning: every message to `dest_task` from this
@@ -553,8 +577,15 @@ impl Context {
         self.machine.fabric().inject_handle(self.node, fifo, desc);
     }
 
-    fn send_shm(&self, args: SendArgs) {
-        let addr = self.machine.endpoint_addr(self.client, args.dest.task, args.dest.context);
+    /// Resolve `dest` to its physical address, typed-error on miss.
+    fn addr_of(&self, dest: Endpoint) -> PamiResult<crate::machine::EndpointAddr> {
+        self.machine
+            .endpoint_addr(self.client, dest.task, dest.context)
+            .ok_or(PamiError::UnknownEndpoint { task: dest.task, context: dest.context })
+    }
+
+    fn send_shm(&self, args: SendArgs) -> PamiResult<()> {
+        let addr = self.addr_of(args.dest)?;
         let len = args.payload.len();
         let stamp = self.send_stamp();
         let eager = matches!(
@@ -596,6 +627,7 @@ impl Context {
             stamp,
             payload,
         });
+        Ok(())
     }
 
     // ---- progress ---------------------------------------------------------
@@ -632,7 +664,8 @@ impl Context {
             && self.pending_internal.load(Ordering::Acquire) == 0
             && (!self.inline_engine
                 || (self.inj_fifos.iter().all(|f| f.queue.is_empty())
-                    && self.sys_fifo.queue.is_empty()))
+                    && self.sys_fifo.queue.is_empty()
+                    && self.machine.fabric().links_idle(self.node)))
     }
 
     /// Keep advancing (yielding the CPU in between) until `cond` is true.
@@ -653,6 +686,7 @@ impl Context {
             && self.rec_fifo.is_empty()
             && self.mailbox.queue.is_empty()
             && self.pending_internal.load(Ordering::Acquire) == 0
+            && self.machine.fabric().links_idle(self.node)
     }
 
     fn advance_locked(&self, st: &mut AdvanceState) -> usize {
@@ -683,9 +717,12 @@ impl Context {
                 events += self.machine.fabric().pump_inj_handle(self.node, fifo, INJ_BUDGET);
             }
             // 3. Service the node's system FIFO (remote gets targeting any
-            //    context on this node); one context at a time.
+            //    context on this node) and, under a fault plan, the node's
+            //    link channels (retransmit timers, delayed frames); one
+            //    context at a time.
             if let Some(_guard) = self.machine.sys_pump[self.node as usize].try_lock() {
                 events += self.machine.fabric().pump_sys(self.node, SYS_BUDGET);
+                events += self.machine.fabric().pump_links(self.node, SYS_BUDGET);
             }
         }
 
@@ -718,13 +755,23 @@ impl Context {
                 if st.rzv_pending[i].done.is_complete() {
                     let pending = st.rzv_pending.swap_remove(i);
                     self.pending_internal.fetch_sub(1, Ordering::AcqRel);
-                    self.observe(|| ProtoEvent::RzvComplete {
-                        dest: self.task,
-                        len: pending.len,
-                        ns: pending.stamp.elapsed_ns(),
-                    });
+                    // A failed counter still reads complete — that is what
+                    // keeps this poll (and advance) from hanging when the
+                    // reliability layer gives up on the pull. The fault
+                    // becomes the callback's typed result.
+                    let result = match pending.done.fault() {
+                        None => Ok(()),
+                        Some(fault) => Err(PamiError::from(fault)),
+                    };
+                    if result.is_ok() {
+                        self.observe(|| ProtoEvent::RzvComplete {
+                            dest: self.task,
+                            len: pending.len,
+                            ns: pending.stamp.elapsed_ns(),
+                        });
+                    }
                     if let Some(cb) = pending.on_complete {
-                        cb(self);
+                        cb(self, result);
                     }
                     events += 1;
                 } else {
@@ -807,7 +854,7 @@ impl Context {
                             len: pkt.msg_len as usize,
                             ns: stamp.elapsed_ns(),
                         });
-                        on_complete(self);
+                        on_complete(self, Ok(()));
                     } else {
                         st.reassembly.insert(
                             (pkt.src_node, pkt.msg_id),
@@ -844,7 +891,7 @@ impl Context {
                     ns: entry.stamp.elapsed_ns(),
                 });
                 if let Some(cb) = entry.on_complete.take() {
-                    cb(self);
+                    cb(self, Ok(()));
                 }
             }
         }
@@ -913,7 +960,7 @@ impl Context {
                     Recv::Done => {}
                     Recv::Into { region, offset, on_complete } => {
                         region.write(offset, &bytes);
-                        on_complete(self);
+                        on_complete(self, Ok(()));
                     }
                 }
                 self.observe(|| ProtoEvent::EagerDelivered {
@@ -949,7 +996,7 @@ impl Context {
                             len,
                             ns: stamp.elapsed_ns(),
                         });
-                        on_complete(self);
+                        on_complete(self, Ok(()));
                     }
                 }
                 va.unpublish(addr.local_rank, addr.region);

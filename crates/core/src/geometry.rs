@@ -255,7 +255,8 @@ impl Geometry {
                 Recv::Into {
                     region,
                     offset: 0,
-                    on_complete: Box::new(move |ctx2: &Context| {
+                    on_complete: Box::new(move |ctx2: &Context, result| {
+                        result.expect("geometry control message failed delivery");
                         geometry
                             .sw_store
                             .lock()
@@ -378,7 +379,8 @@ impl Geometry {
             metadata: wire_make(self.id, tag),
             payload,
             local_done,
-        });
+        })
+        .expect("software-collective send to a geometry member");
     }
 
     /// Receive the message tagged `tag` from geometry member `src_rank`,

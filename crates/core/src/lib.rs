@@ -71,6 +71,7 @@ pub mod coll;
 pub mod commthread;
 pub mod context;
 pub mod endpoint;
+pub mod error;
 pub mod geometry;
 pub mod machine;
 pub mod policy;
@@ -81,6 +82,7 @@ pub use client::Client;
 pub use commthread::{CommThreadPool, LockDiscipline};
 pub use context::{Context, IncomingMsg, Recv};
 pub use endpoint::Endpoint;
+pub use error::{PamiError, PamiResult};
 pub use geometry::Geometry;
 pub use coll::{AlgInfo, CollKind, CollRegistry};
 pub use machine::{Machine, MachineBuilder, MemKey, TaskEnv};
@@ -92,6 +94,9 @@ pub use topology::Topology;
 
 // Re-export the substrate types the public API traffics in.
 pub use bgq_collnet::{CollOp, DataType};
-pub use bgq_hw::{Counter, MemRegion};
-pub use bgq_mu::{EngineMode, PayloadSource};
+pub use bgq_hw::{Counter, DeliveryFault, MemRegion};
+pub use bgq_mu::{
+    EngineMode, FaultPlan, FaultRates, LinkFault, PayloadSource, RasCounters, RasEvent,
+    RasEventKind, RetryConfig,
+};
 pub use bgq_torus::TorusShape;

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use bgq_collnet::{ClassRoute, ClassRouteManager, CollNet, GiBarrier};
 use bgq_hw::{Counter, GlobalVa, MemRegion, WakeupUnit};
-use bgq_mu::{EngineMode, MuFabric, PayloadSource, RecFifoId};
+use bgq_mu::{EngineMode, FaultPlan, MuFabric, PayloadSource, RecFifoId};
 use bgq_torus::{Rectangle, TorusShape};
 use bgq_upc::Upc;
 use parking_lot::{Mutex, RwLock};
@@ -79,6 +79,8 @@ pub struct MachineBuilder {
     inj_fifos_per_context: u16,
     inj_fifo_capacity: usize,
     rec_fifo_capacity: usize,
+    fault_plan: Option<FaultPlan>,
+    packet_crc: bool,
 }
 
 impl MachineBuilder {
@@ -143,6 +145,22 @@ impl MachineBuilder {
         self
     }
 
+    /// Install a fault plan: the MU fabric routes every off-node transfer
+    /// through the link-level reliability layer (CRC + sequence numbers +
+    /// retransmit) with faults injected per the plan. An explicit plan
+    /// takes precedence over the `PAMI_FAULT_PLAN` environment variable.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enable/disable per-packet CRC-32C stamping (default on). Turning it
+    /// off isolates the integrity-check cost in benchmarks.
+    pub fn packet_crc(mut self, on: bool) -> Self {
+        self.packet_crc = on;
+        self
+    }
+
     /// Build the machine.
     pub fn build(self) -> Arc<Machine> {
         let nodes = self.shape.num_nodes();
@@ -160,12 +178,23 @@ impl MachineBuilder {
             }
             PolicyChoice::Custom(p) => p,
         };
-        let fabric = MuFabric::builder(self.shape)
+        // Chaos runs: an explicitly installed plan wins; otherwise the
+        // PAMI_FAULT_PLAN environment variable (inline JSON or a file
+        // path) arms the reliability layer for reproducible runs without
+        // touching the program.
+        let fault_plan = self.fault_plan.or_else(|| {
+            FaultPlan::from_env().unwrap_or_else(|e| panic!("PAMI_FAULT_PLAN: {e}"))
+        });
+        let mut fabric_builder = MuFabric::builder(self.shape)
             .engine_mode(self.engine_mode)
             .inj_fifo_capacity(self.inj_fifo_capacity)
             .rec_fifo_capacity(self.rec_fifo_capacity)
-            .telemetry(telemetry.clone())
-            .build();
+            .crc(self.packet_crc)
+            .telemetry(telemetry.clone());
+        if let Some(plan) = fault_plan {
+            fabric_builder = fabric_builder.fault_plan(plan);
+        }
+        let fabric = fabric_builder.build();
         let classroutes = ClassRouteManager::new(self.shape);
         let world_route = classroutes
             .allocate(Rectangle::full(self.shape), None)
@@ -262,6 +291,8 @@ impl Machine {
             inj_fifos_per_context: 4,
             inj_fifo_capacity: 128,
             rec_fifo_capacity: 512,
+            fault_plan: None,
+            packet_crc: true,
         }
     }
 
@@ -420,17 +451,16 @@ impl Machine {
         assert!(prev.is_none(), "endpoint ({client},{task},{context}) registered twice");
     }
 
-    pub(crate) fn endpoint_addr(&self, client: u16, task: u32, context: u16) -> EndpointAddr {
-        self.endpoints
-            .read()
-            .get(&(client, task, context))
-            .unwrap_or_else(|| {
-                panic!(
-                    "endpoint ({client},{task},{context}) not registered — create all \
-                     clients/contexts before communicating"
-                )
-            })
-            .clone()
+    /// Resolve an endpoint's physical address. `None` when the endpoint
+    /// was never created — surfaced to callers as
+    /// [`crate::PamiError::UnknownEndpoint`] rather than a panic.
+    pub(crate) fn endpoint_addr(
+        &self,
+        client: u16,
+        task: u32,
+        context: u16,
+    ) -> Option<EndpointAddr> {
+        self.endpoints.read().get(&(client, task, context)).cloned()
     }
 
     fn fresh_key(&self) -> u64 {

@@ -163,7 +163,7 @@ fn machine_wired_adaptive_policy_observes_real_traffic() {
                 Recv::Into {
                     region: sink.clone(),
                     offset: 0,
-                    on_complete: Box::new(move |_| {
+                    on_complete: Box::new(move |_, _result| {
                         got.fetch_add(1, Ordering::Relaxed);
                     }),
                 }
@@ -185,7 +185,7 @@ fn machine_wired_adaptive_policy_observes_real_traffic() {
                 len,
             },
             local_done: None,
-        });
+        }).unwrap();
         while got.load(Ordering::Relaxed) < i + 1 {
             sender.context(0).advance();
             receiver.context(0).advance();

@@ -38,7 +38,7 @@ impl Sink {
             Recv::Into {
                 region,
                 offset: 0,
-                on_complete: Box::new(move |_ctx| {
+                on_complete: Box::new(move |_ctx, _result| {
                     sink2.messages.lock().push((src, meta, stash.to_vec()));
                     sink2.count.fetch_add(1, Ordering::SeqCst);
                 }),
@@ -102,7 +102,7 @@ fn eager_send_multi_packet_reassembles() {
         metadata: vec![7],
         payload: PayloadSource::Region { region, offset: 0, len: 3000 },
         local_done: Some(done.clone()),
-    });
+    }).unwrap();
     c0.context(0).advance_until(|| done.is_complete());
     c1.context(0).advance_until(|| sink.received() == 1);
     assert_eq!(sink.messages.lock()[0].2, data);
@@ -133,7 +133,7 @@ fn eager_region_path_copies_payload_exactly_once() {
             len: 400,
         },
         local_done: None,
-    });
+    }).unwrap();
     while sink.received() < 1 {
         c0.context(0).advance();
         c1.context(0).advance();
@@ -159,7 +159,7 @@ fn eager_region_path_copies_payload_exactly_once() {
             len: 3000,
         },
         local_done: None,
-    });
+    }).unwrap();
     while sink.received() < 2 {
         c0.context(0).advance();
         c1.context(0).advance();
@@ -192,7 +192,7 @@ fn rendezvous_send_pulls_large_payload() {
         metadata: vec![],
         payload: PayloadSource::Region { region, offset: 0, len },
         local_done: Some(done.clone()),
-    });
+    }).unwrap();
     // Both sides must advance: the RTS goes 0→1, the remote get 1→0, the
     // put executes on node 0.
     while sink.received() < 1 || !done.is_complete() {
@@ -223,7 +223,7 @@ fn shm_inline_and_global_va_paths() {
         metadata: vec![1],
         payload: PayloadSource::Immediate(bytes::Bytes::from_static(b"short")),
         local_done: None,
-    });
+    }).unwrap();
     // Global-VA (large) path: single copy from the source region.
     let len = 64 * 1024;
     let data: Vec<u8> = (0..len).map(|i| (i % 239) as u8).collect();
@@ -239,7 +239,7 @@ fn shm_inline_and_global_va_paths() {
             len,
         },
         local_done: Some(done.clone()),
-    });
+    }).unwrap();
     c1.context(0).advance_until(|| sink.received() == 2);
     assert!(done.is_complete(), "receiver copy fires the sender counter");
     let msgs = sink.messages.lock();
@@ -273,7 +273,7 @@ fn ordering_preserved_per_destination() {
             metadata: vec![i],
             payload: PayloadSource::Immediate(bytes::Bytes::new()),
             local_done: None,
-        });
+        }).unwrap();
     }
     // Advance both sides until every message delivered (the semantic
     // completion signal — telemetry counters are not progress conditions,
@@ -310,7 +310,8 @@ fn one_sided_put_and_get_via_windows() {
         key,
         16,
         Some(local.clone()),
-    );
+    )
+    .unwrap();
     c0.context(0).advance_until(|| local.is_complete() && arrivals.is_complete());
     assert_eq!(&target.to_vec()[16..80], &(32..96).collect::<Vec<u8>>()[..]);
 
@@ -318,7 +319,7 @@ fn one_sided_put_and_get_via_windows() {
     let dst = MemRegion::zeroed(64);
     let got = Counter::new();
     got.add_expected(64);
-    c0.context(0).get(1, key, 16, (dst.clone(), 0), 64, Some(got.clone()));
+    c0.context(0).get(1, key, 16, (dst.clone(), 0), 64, Some(got.clone())).unwrap();
     while !got.is_complete() {
         c0.context(0).advance();
         c1.context(0).advance(); // target node services the remote get
@@ -369,7 +370,7 @@ fn commthreads_make_progress_while_app_thread_sleeps() {
             metadata: vec![],
             payload: PayloadSource::Immediate(bytes::Bytes::new()),
             local_done: None,
-        });
+        }).unwrap();
     }));
     let start = std::time::Instant::now();
     while sink.received() < 1 {

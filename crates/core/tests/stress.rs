@@ -22,7 +22,7 @@ fn counting_handler(count: &Arc<AtomicU64>, bytes: &Arc<AtomicU64>) -> pami::con
         Recv::Into {
             region,
             offset: 0,
-            on_complete: Box::new(move |_| {
+            on_complete: Box::new(move |_, _result| {
                 count.fetch_add(1, Ordering::Relaxed);
                 bytes.fetch_add(len, Ordering::Relaxed);
             }),
@@ -54,7 +54,7 @@ fn reception_fifo_overflow_engages_and_recovers() {
             metadata: i.to_le_bytes().to_vec(),
             payload: PayloadSource::Immediate(bytes::Bytes::new()),
             local_done: None,
-        });
+        }).unwrap();
         // Pump the sender so packets pile into the tiny reception ring.
         c0.context(0).advance();
     }
@@ -93,7 +93,7 @@ fn eager_rendezvous_boundary_is_exact() {
                 len,
             },
             local_done: Some(done.clone()),
-        });
+        }).unwrap();
         while !done.is_complete() {
             c0.context(0).advance();
             c1.context(0).advance();
@@ -130,7 +130,7 @@ fn many_concurrent_rendezvous_transfers() {
                 len: LEN,
             },
             local_done: Some(done.clone()),
-        });
+        }).unwrap();
     }
     while !(done.is_complete() && count.load(Ordering::Relaxed) == N as u64) {
         c0.context(0).advance();
@@ -197,7 +197,7 @@ fn cross_context_endpoints_are_independent_channels() {
             metadata: vec![],
             payload: PayloadSource::Immediate(bytes::Bytes::new()),
             local_done: None,
-        });
+        }).unwrap();
     }
     // Only advance the two context-1 objects.
     while got.load(Ordering::Relaxed) < 20 {
@@ -237,7 +237,7 @@ fn concurrent_senders_through_one_context_with_lock() {
                         metadata: vec![],
                         payload: PayloadSource::Immediate(bytes::Bytes::new()),
                         local_done: None,
-                    });
+                    }).unwrap();
                 }
             });
         }
@@ -272,7 +272,7 @@ fn zero_and_max_payload_sizes() {
                 len,
             },
             local_done: Some(done.clone()),
-        });
+        }).unwrap();
         while !done.is_complete() {
             c0.context(0).advance();
             c1.context(0).advance();
@@ -305,7 +305,7 @@ fn global_va_table_is_message_scoped() {
             len: LEN,
         },
         local_done: Some(done.clone()),
-    });
+    }).unwrap();
     assert_eq!(machine.global_va(0).published_count(), 1, "mapping published");
     c1.context(0).advance_until(|| done.is_complete());
     assert_eq!(machine.global_va(0).published_count(), 0, "mapping withdrawn");

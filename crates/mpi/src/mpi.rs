@@ -172,7 +172,7 @@ impl Mpi {
                     return Recv::Into {
                         region: posted.buffer.0,
                         offset: posted.buffer.1,
-                        on_complete: Box::new(move |_| req.complete_with(status)),
+                        on_complete: Box::new(move |_, _result| req.complete_with(status)),
                     };
                 }
                 // No match: stage as unexpected ("an entry is created in the
@@ -193,7 +193,7 @@ impl Mpi {
                 Recv::Into {
                     region: staging,
                     offset: 0,
-                    on_complete: Box::new(move |_| {
+                    on_complete: Box::new(move |_, _result| {
                         let mut st = state.lock();
                         match std::mem::replace(&mut *st, UnexpectedData::Ready) {
                             UnexpectedData::Arriving => {}
@@ -304,7 +304,7 @@ impl Mpi {
                     metadata,
                     payload,
                     local_done: Some(counter),
-                });
+                }).unwrap();
             }));
         } else {
             ctx.send(SendArgs {
@@ -313,7 +313,7 @@ impl Mpi {
                 metadata,
                 payload,
                 local_done: Some(counter),
-            });
+            }).unwrap();
         }
         handle
     }

@@ -143,7 +143,7 @@ pub(crate) fn register_dispatch(ctx: &Arc<Context>) {
                     Recv::Into {
                         region: r.region.clone(),
                         offset: r.base + off as usize,
-                        on_complete: Box::new(move |ctx2| {
+                        on_complete: Box::new(move |ctx2, _result| {
                             finish_slice(ctx2, &op2, &r, color, off, slen);
                         }),
                     }
@@ -156,7 +156,7 @@ pub(crate) fn register_dispatch(ctx: &Arc<Context>) {
                     Recv::Into {
                         region: staging,
                         offset: 0,
-                        on_complete: Box::new(move |ctx2| {
+                        on_complete: Box::new(move |ctx2, _result| {
                             let ready_now = {
                                 let mut st = op2.state.lock();
                                 match st.ready.clone() {
@@ -211,7 +211,7 @@ fn forward_slice(ctx: &Context, r: &Arc<ReadyCtx>, color: u8, off: u64, slen: u6
                 len: slen as usize,
             },
             local_done: Some(r.forwards.clone()),
-        });
+        }).unwrap();
     }
 }
 

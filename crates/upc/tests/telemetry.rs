@@ -251,3 +251,71 @@ fn report_json_round_trip_shape() {
     let snap = upc.snapshot();
     assert_eq!(snap.live_layers(), vec!["ctx".to_owned(), "mu".to_owned()]);
 }
+
+/// `mu.packets_dropped` is *live*, not a registered-but-never-incremented
+/// name: running a transfer through a fault-injected fabric whose counters
+/// are registered on this Upc makes the drop count move, and the `ras.*`
+/// family lands in the same report.
+#[test]
+fn mu_packets_dropped_counter_is_live_under_fault_injection() {
+    use bgq_mu::{
+        Descriptor, FaultPlan, MuFabric, PayloadSource, RetryConfig, XferKind,
+    };
+    use bgq_torus::TorusShape;
+
+    let upc = Upc::new();
+    let fabric = MuFabric::builder(TorusShape::new([2, 1, 1, 1, 1]))
+        .telemetry(upc.clone())
+        .fault_plan(
+            FaultPlan::new()
+                .seed(42)
+                .drop_rate(0.25)
+                .retry(RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 4, retry_budget: 64 }),
+        )
+        .build();
+    let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+    let done = bgq_hw::Counter::new();
+    done.add_expected(4096);
+    fabric.execute_now(
+        0,
+        Descriptor {
+            dst_node: 1,
+            dst_context: 0,
+            src_context: 0,
+            routing: bgq_torus::Routing::Deterministic,
+            payload: PayloadSource::Region {
+                region: bgq_hw::MemRegion::from_vec(vec![7u8; 4096]),
+                offset: 0,
+                len: 4096,
+            },
+            kind: XferKind::MemoryFifo {
+                rec_fifo: rec,
+                dispatch: 7,
+                metadata: bytes::Bytes::new(),
+            },
+            inj_counter: Some(done.clone()),
+        },
+    );
+    for _ in 0..10_000 {
+        if done.is_complete() {
+            break;
+        }
+        fabric.pump_links(0, usize::MAX);
+    }
+    assert!(done.is_ok(), "transfer must complete despite injected drops");
+
+    let snap = upc.snapshot();
+    assert!(
+        snap.counter("mu.packets_dropped") > 0,
+        "mu.packets_dropped must be incremented by the fault injector, got {}",
+        snap.counter("mu.packets_dropped")
+    );
+    assert!(
+        snap.counter("ras.retransmits") > 0,
+        "recovery from drops costs retransmits"
+    );
+    assert!(snap.live_layers().contains(&"ras".to_owned()), "ras.* family is registered");
+    let json = snap.report_json();
+    assert!(json.contains("\"mu.packets_dropped\""), "drop counter is in the report: {json}");
+    assert!(json.contains("\"ras.retransmits\""), "ras family is in the report: {json}");
+}

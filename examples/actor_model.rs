@@ -124,5 +124,6 @@ fn send_invoke(ctx: &Context, target: u64, token: u64) {
         metadata,
         payload: pami_repro::pami::PayloadSource::Immediate(bytes::Bytes::new()),
         local_done: None,
-    });
+    })
+    .unwrap();
 }

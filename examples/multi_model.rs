@@ -58,7 +58,8 @@ fn main() {
             right_key,
             (me as usize % WORDS) * 8,
             Some(put_done.clone()),
-        );
+        )
+        .unwrap();
         ctx.advance_until(|| put_done.is_complete());
 
         // Wait for the left neighbor's put to land in *our* window.
@@ -70,7 +71,8 @@ fn main() {
         let fetch = MemRegion::zeroed(8);
         let got_back = Counter::new();
         got_back.add_expected(8);
-        ctx.get(right as u32, right_key, (me as usize % WORDS) * 8, (fetch.clone(), 0), 8, Some(got_back.clone()));
+        ctx.get(right as u32, right_key, (me as usize % WORDS) * 8, (fetch.clone(), 0), 8, Some(got_back.clone()))
+            .unwrap();
         while !got_back.is_complete() {
             ctx.advance();
             std::thread::yield_now();

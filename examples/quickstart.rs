@@ -60,7 +60,7 @@ fn main() {
                 metadata: b"again".to_vec(),
                 payload: PayloadSource::Immediate(bytes::Bytes::from_static(b"pong-me")),
                 local_done: None,
-            });
+            }).unwrap();
             // Drive our own context so the injection FIFO drains; both
             // sides advance until the receiver has dispatched both
             // messages.

@@ -51,7 +51,8 @@ fn mixed_workload_application() {
             keys[right],
             0,
             Some(put_done.clone()),
-        );
+        )
+        .unwrap();
         ctx.advance_until(|| put_done.is_complete() && hits.is_complete());
         let left = (me + n - 1) % n;
         assert_eq!(window.read_i64(0), left as i64 * 11, "ring put landed");
