@@ -530,6 +530,43 @@ mod tests {
         assert_eq!(q.total_pushes(), PRODUCERS * BATCHES * BATCH);
     }
 
+    /// Pin the single-producer/single-consumer fast path — the shape every
+    /// context-owned injection FIFO sees after context sharding (one
+    /// producer: the owning context; one consumer: the pumping engine).
+    /// With a ring large enough to never fill, every push must take the
+    /// lockless path (zero overflow pushes) while a concurrent consumer
+    /// drains in strict FIFO order.
+    #[test]
+    fn spsc_fast_path_never_overflows_and_stays_ordered() {
+        const ITEMS: u64 = 4096;
+        let q = Arc::new(WorkQueue::<u64>::with_capacity(ITEMS as usize));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..ITEMS {
+                    assert!(q.push(i), "ring has space; push {i} must be lockless");
+                }
+            })
+        };
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        while next < ITEMS {
+            out.clear();
+            if q.pop_batch(64, &mut out) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for &v in &out {
+                assert_eq!(v, next, "SPSC order violated");
+                next += 1;
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.overflow_pushes(), 0, "SPSC fast path must never take the mutex");
+        assert_eq!(q.total_pushes(), ITEMS);
+    }
+
     #[test]
     fn mpsc_all_items_arrive_in_per_producer_order() {
         const PRODUCERS: u64 = 6;

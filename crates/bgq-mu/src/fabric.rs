@@ -34,8 +34,8 @@ use crate::descriptor::{Descriptor, PayloadSource, XferKind};
 use crate::engine::{self, EngineMode};
 use crate::faults::{link_id, Fate, FaultInjector, FaultPlan};
 use crate::fifo::{
-    FifoAllocator, FifoTable, InjFifo, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE,
-    REC_FIFOS_PER_NODE,
+    FifoAllocator, FifoTable, InjFifo, InjFifoId, MsgIdLane, RecFifo, RecFifoId,
+    INJ_FIFOS_PER_NODE, REC_FIFOS_PER_NODE,
 };
 use crate::link::{
     fail_body, Channel, Frame, FrameBody, FramePayload, FrameState, RasCounters, RasEvent,
@@ -43,12 +43,12 @@ use crate::link::{
 };
 use crate::packet::{packet_crc, MuPacket, PacketPayload};
 
-/// Message sequence numbers occupy the low 40 bits of a message id; the
-/// source node index occupies the bits above. Masking keeps a long-running
-/// node's sequence from bleeding into the node bits (ids may then recycle
-/// after 2^40 messages, by which point no packet of the old message can
-/// still be in flight).
-const MSG_SEQ_MASK: u64 = (1 << 40) - 1;
+// Message ids are minted by per-lane [`MsgIdLane`]s: `node << 40 | lane <<
+// 30 | seq`, where the lane is the injection FIFO the message went through
+// (or a reserved software lane — see [`crate::fifo::SYS_LANE`] /
+// [`crate::fifo::NODE_LANE`]). Each lane owns its sequence counter, so the
+// send hot path never touches a shared per-node atomic and ids from
+// different lanes can never collide.
 
 /// Per-node MU telemetry probes (`mu.*` layer), registered on the fabric's
 /// [`Upc`] registry. These replaced the old bespoke `NodeStats` snapshot
@@ -107,9 +107,13 @@ pub(crate) struct NodeMu {
     pub sys_wakeup: OnceLock<WakeupRegion>,
     /// Wakes this node's engine threads (threaded mode).
     pub engine_wakeup: WakeupRegion,
-    pub msg_seq: AtomicU64,
-    /// Per-node link sequence counter — stamps packets on the fault-free
-    /// fast path (channels stamp their own under a fault plan).
+    /// Fallback message-id lane ([`crate::fifo::NODE_LANE`]) for
+    /// descriptors executed without an injection FIFO (`execute_now`).
+    /// FIFO-routed messages mint from their own FIFO's lane instead.
+    pub msg_lane: MsgIdLane,
+    /// Fallback link sequence counter for the same `execute_now` path —
+    /// FIFO-routed fault-free packets stamp from their FIFO's counter, and
+    /// reliable channels stamp their own under a fault plan.
     pub link_seq: AtomicU64,
     /// `mu.*` telemetry probes for this node.
     pub counters: MuCounters,
@@ -198,14 +202,18 @@ impl MuFabricBuilder {
     pub fn build(self) -> MuFabric {
         let wakeups = WakeupUnit::new();
         let nodes: Vec<NodeMu> = (0..self.shape.num_nodes())
-            .map(|_| NodeMu {
+            .map(|node| NodeMu {
                 inj: FifoTable::new(INJ_FIFOS_PER_NODE),
                 rec: FifoTable::new(REC_FIFOS_PER_NODE),
                 allocator: FifoAllocator::default(),
-                sys_inj: Arc::new(InjFifo::new(self.inj_fifo_capacity)),
+                sys_inj: Arc::new(InjFifo::new(
+                    self.inj_fifo_capacity,
+                    node as u32,
+                    crate::fifo::SYS_LANE,
+                )),
                 sys_wakeup: OnceLock::new(),
                 engine_wakeup: wakeups.region(),
-                msg_seq: AtomicU64::new(0),
+                msg_lane: MsgIdLane::new(node as u32, crate::fifo::NODE_LANE),
                 link_seq: AtomicU64::new(0),
                 counters: MuCounters::new(&self.telemetry),
             })
@@ -292,7 +300,10 @@ impl MuFabric {
         let n = self.node(node);
         let range = n.allocator.alloc_inj(count)?;
         for id in range.clone() {
-            n.inj.publish(id, Arc::new(InjFifo::new(self.inner.inj_fifo_capacity)));
+            // The FIFO id doubles as its message-id lane, so everything the
+            // owning context needs to send — queue, msg-id mint, link-seq
+            // counter — lives in this one exclusively-owned structure.
+            n.inj.publish(id, Arc::new(InjFifo::new(self.inner.inj_fifo_capacity, node, id)));
         }
         Some(range.map(InjFifoId).collect())
     }
@@ -361,34 +372,45 @@ impl MuFabric {
     }
 
     /// Like [`MuFabric::pump_inj`] but on a cached FIFO handle, skipping
-    /// the table lookup (context hot path).
+    /// the table lookup (context hot path). Message ids and fault-free link
+    /// sequences come from the FIFO's own lane, and the per-node
+    /// `descriptors_executed` counter is updated once for the whole pump
+    /// rather than per descriptor.
     pub fn pump_inj_handle(&self, node: u32, fifo: &InjFifo, budget: usize) -> usize {
         let mut done = 0;
         while done < budget {
             match fifo.queue.pop() {
                 Some(desc) => {
-                    self.execute(node, desc);
+                    self.execute_from(node, desc, &fifo.lane, &fifo.link_seq);
                     done += 1;
                 }
                 None => break,
             }
         }
+        if done > 0 {
+            self.node(node).counters.descriptors_executed.add(done as u64);
+        }
         done
     }
 
     /// Execute up to `budget` system-FIFO descriptors (remote-get service).
+    /// Counters are batched per call, not per descriptor.
     pub fn pump_sys(&self, node: u32, budget: usize) -> usize {
         let sys = Arc::clone(&self.node(node).sys_inj);
         let mut done = 0;
         while done < budget {
             match sys.queue.pop() {
                 Some(desc) => {
-                    self.node(node).counters.remote_gets_serviced.incr();
-                    self.execute(node, desc);
+                    self.execute_from(node, desc, &sys.lane, &sys.link_seq);
                     done += 1;
                 }
                 None => break,
             }
+        }
+        if done > 0 {
+            let c = &self.node(node).counters;
+            c.remote_gets_serviced.add(done as u64);
+            c.descriptors_executed.add(done as u64);
         }
         done
     }
@@ -398,10 +420,12 @@ impl MuFabric {
         self.node(node).rec.get(fifo.0).poll()
     }
 
-    /// Record one receive-side payload copy on `node` (contexts call this
-    /// when they deposit a packet payload into destination memory).
-    pub fn note_payload_copy(&self, node: u32) {
-        self.node(node).counters.payload_copies.incr();
+    /// Record `n` receive-side payload copies on `node` (contexts deposit
+    /// packet payloads into destination memory and flush the count once per
+    /// `advance` call). `pin` stripes the counter by the caller's context
+    /// id so concurrent contexts never share a counter cell.
+    pub fn note_payload_copies(&self, node: u32, pin: usize, n: u64) {
+        self.node(node).counters.payload_copies.add_pinned(pin, n);
     }
 
     /// Live `mu.*` telemetry probes for `node`. Read a single probe with
@@ -419,17 +443,39 @@ impl MuFabric {
     /// cross no torus link and keep the direct path).
     pub(crate) fn execute(&self, src_node: u32, desc: Descriptor) {
         self.node(src_node).counters.descriptors_executed.incr();
+        let src = self.node(src_node);
+        self.execute_from(src_node, desc, &src.msg_lane, &src.link_seq);
+    }
+
+    /// Execute with an explicit message-id lane and link-sequence source —
+    /// the FIFO pump paths pass their FIFO's own, keeping the hot path free
+    /// of shared per-node sequence state. Does *not* bump
+    /// `descriptors_executed` (pump callers batch it; `execute` bumps it
+    /// for the immediate path).
+    pub(crate) fn execute_from(
+        &self,
+        src_node: u32,
+        desc: Descriptor,
+        lane: &MsgIdLane,
+        link_seq: &AtomicU64,
+    ) {
         if let Some(rel) = &self.inner.reliability {
             if desc.dst_node != src_node {
-                self.execute_reliable(rel, src_node, desc);
+                self.execute_reliable(rel, src_node, desc, lane);
                 return;
             }
         }
-        self.execute_direct(src_node, desc);
+        self.execute_direct(src_node, desc, lane, link_seq);
     }
 
     /// The lossless path: immediate, synchronous delivery.
-    fn execute_direct(&self, src_node: u32, desc: Descriptor) {
+    fn execute_direct(
+        &self,
+        src_node: u32,
+        desc: Descriptor,
+        lane: &MsgIdLane,
+        link_seq: &AtomicU64,
+    ) {
         let credit = desc.completion_credit();
         let Descriptor {
             dst_node,
@@ -446,7 +492,6 @@ impl MuFabric {
         let _ = routing;
         match kind {
             XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
-                let src = self.node(src_node);
                 self.deliver_fifo_sync(
                     src_node,
                     dst_node,
@@ -455,7 +500,8 @@ impl MuFabric {
                     dispatch,
                     metadata,
                     payload,
-                    &src.link_seq,
+                    lane,
+                    link_seq,
                     inj_counter.is_some(),
                 );
                 let _ = dst_context;
@@ -492,11 +538,13 @@ impl MuFabric {
 
     /// Fragment a MemoryFifo message into packets and deliver them
     /// synchronously. Shared by the lossless path and the reliable
-    /// fair-weather fast path — the two differ only in where the link
-    /// sequence counter lives (per-node on the lossless fabric, per-channel
-    /// under a fault plan) and in who fires the injection counter, so both
-    /// pay an identical per-packet cost: CRC stamp + sequence number +
-    /// fifo deposit.
+    /// fair-weather fast path — the two differ only in where the message-id
+    /// lane and link-sequence counter live (the injecting FIFO's own on the
+    /// lossless fabric, per-channel under a fault plan) and in who fires
+    /// the injection counter, so both pay an identical per-packet cost:
+    /// CRC stamp + sequence number + fifo deposit. Telemetry updates are
+    /// pinned to the sending context's stripe, so contexts flooding from
+    /// different threads never bounce a counter cache line.
     #[allow(clippy::too_many_arguments)]
     fn deliver_fifo_sync(
         &self,
@@ -507,18 +555,19 @@ impl MuFabric {
         dispatch: u16,
         metadata: bytes::Bytes,
         payload: PayloadSource,
+        lane: &MsgIdLane,
         seq_src: &AtomicU64,
         stage: bool,
     ) {
         let msg_len = payload.len();
         let src = self.node(src_node);
-        let msg_id = (src.msg_seq.fetch_add(1, Ordering::Relaxed) & MSG_SEQ_MASK)
-            | ((src_node as u64) << 40);
-        src.counters.fifo_messages.incr();
+        let msg_id = lane.next();
+        let pin = src_context as usize;
+        src.counters.fifo_messages.incr_pinned(pin);
         let dst = self.node(dst_node);
         let fifo = dst.rec.get(rec_fifo.0);
         let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
-        src.counters.packets_injected.add(npackets);
+        src.counters.packets_injected.add_pinned(pin, npackets);
         let base_seq = seq_src.fetch_add(npackets, Ordering::Relaxed);
         let crc_on = self.inner.crc;
         let header = |i: u64| {
@@ -580,7 +629,7 @@ impl MuFabric {
                     // on the *source* node). The counter fires at
                     // the tail of this function and the buffer is
                     // genuinely reusable.
-                    src.counters.payload_copies.add(npackets);
+                    src.counters.payload_copies.add_pinned(pin, npackets);
                     fifo.deliver_batch(npackets, |i| {
                         let (off, chunk) = header(i);
                         let mut staged = vec![0u8; chunk];
@@ -630,7 +679,7 @@ impl MuFabric {
                 }
             }
         }
-        dst.counters.packets_received.add(npackets);
+        dst.counters.packets_received.add_pinned(pin, npackets);
     }
 
     // ---- reliability layer (active iff a fault plan is installed) ------
@@ -720,7 +769,13 @@ impl MuFabric {
     /// (src, dst) channel, and attempt immediate transmission (fault-free
     /// frames deliver synchronously, matching the lossless path's
     /// observable behavior; lost frames wait for [`MuFabric::pump_links`]).
-    fn execute_reliable(&self, rel: &Reliability, src_node: u32, desc: Descriptor) {
+    fn execute_reliable(
+        &self,
+        rel: &Reliability,
+        src_node: u32,
+        desc: Descriptor,
+        lane: &MsgIdLane,
+    ) {
         let total_credit = desc.completion_credit();
         let Descriptor {
             dst_node,
@@ -756,6 +811,7 @@ impl MuFabric {
                     dispatch,
                     metadata,
                     payload,
+                    lane,
                     &ch.next_seq,
                     inj_counter.is_some(),
                 );
@@ -803,8 +859,7 @@ impl MuFabric {
             XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
                 let msg_len = payload.len();
                 let src = self.node(src_node);
-                let msg_id = (src.msg_seq.fetch_add(1, Ordering::Relaxed) & MSG_SEQ_MASK)
-                    | ((src_node as u64) << 40);
+                let msg_id = lane.next();
                 src.counters.fifo_messages.incr();
                 let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
                 src.counters.packets_injected.add(npackets);
@@ -1363,10 +1418,11 @@ mod tests {
     fn msg_ids_keep_node_bits_clean_of_sequence_overflow() {
         let fabric = small_fabric();
         let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
-        // Force the sequence counter near the 40-bit boundary.
+        // Force the fallback lane's sequence counter near the wrap boundary.
         fabric.inner.nodes[0]
+            .msg_lane
             .msg_seq
-            .store((1u64 << 40) - 1, Ordering::Relaxed);
+            .store(crate::fifo::LANE_SEQ_MASK, Ordering::Relaxed);
         for _ in 0..2 {
             fabric.execute_now(0, memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::new())));
         }
@@ -1375,6 +1431,28 @@ mod tests {
         assert_eq!(a.msg_id >> 40, 0, "node 0 in high bits");
         assert_eq!(b.msg_id >> 40, 0, "sequence wrap must not leak into node bits");
         assert_ne!(a.msg_id, b.msg_id);
+        // Both ids sit on the NODE fallback lane (execute_now bypasses
+        // injection FIFOs).
+        let lane_of = |id: u64| (id >> crate::fifo::LANE_SHIFT) & 0x3ff;
+        assert_eq!(lane_of(a.msg_id), crate::fifo::NODE_LANE as u64);
+        assert_eq!(lane_of(b.msg_id), crate::fifo::NODE_LANE as u64);
+    }
+
+    #[test]
+    fn fifo_routed_messages_mint_ids_on_their_own_lane() {
+        let fabric = small_fabric();
+        let inj = fabric.alloc_inj_fifos(0, 2).unwrap();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        for &f in &inj {
+            fabric.inject(0, f, memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::new())));
+            assert_eq!(fabric.pump_inj(0, f, usize::MAX), 1);
+        }
+        let a = fabric.poll_rec(1, rec).unwrap();
+        let b = fabric.poll_rec(1, rec).unwrap();
+        let lane_of = |id: u64| (id >> crate::fifo::LANE_SHIFT) & 0x3ff;
+        assert_eq!(lane_of(a.msg_id), inj[0].0 as u64, "first message on FIFO 0's lane");
+        assert_eq!(lane_of(b.msg_id), inj[1].0 as u64, "second message on FIFO 1's lane");
+        assert_ne!(a.msg_id, b.msg_id, "same per-lane seq (0), distinct lanes");
     }
 
     #[test]

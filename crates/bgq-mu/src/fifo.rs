@@ -11,7 +11,7 @@
 //! producers and the one owning context as consumer).
 
 
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bgq_hw::{WakeupRegion, WorkQueue};
@@ -26,6 +26,55 @@ pub const INJ_FIFOS_PER_NODE: usize = 544;
 /// MU reception FIFOs per node (17 cores × 16).
 pub const REC_FIFOS_PER_NODE: usize = 272;
 
+/// Bits of a message id that hold the per-lane sequence number. The id
+/// layout is `node << 40 | lane << 30 | seq`, where `lane` identifies the
+/// message-id source (an injection FIFO, the system FIFO, or the node
+/// fallback) — so every lane mints ids from its *own* atomic and two lanes
+/// can never collide, which is what lets contexts send without touching a
+/// shared per-node sequence counter.
+pub const LANE_SHIFT: u32 = 30;
+
+/// Mask for the per-lane sequence bits (ids recycle after 2^30 messages per
+/// lane, by which point no packet of the old message can still be in
+/// flight).
+pub const LANE_SEQ_MASK: u64 = (1u64 << LANE_SHIFT) - 1;
+
+/// Reserved lane id for the per-node *system* injection FIFO.
+pub const SYS_LANE: u16 = 1022;
+
+/// Reserved lane id for the per-node fallback (descriptors executed without
+/// going through an injection FIFO — the `execute_now` path).
+pub const NODE_LANE: u16 = 1023;
+
+/// A message-id mint: composes `node | lane` high bits (fixed at creation)
+/// with a private sequence counter. Each injection FIFO owns one, so the
+/// send hot path touches only state owned by the injecting context — no
+/// cross-context cache-line bouncing on a shared per-node counter.
+pub struct MsgIdLane {
+    /// `node << 40 | lane << 30`, precomputed.
+    base: u64,
+    /// Next sequence number. Public so tests can force near-wrap values.
+    pub msg_seq: AtomicU64,
+}
+
+impl MsgIdLane {
+    /// A lane for `node`. `lane` must fit in 10 bits (hardware FIFO ids are
+    /// 0..544; 1022/1023 are the reserved software lanes).
+    pub fn new(node: u32, lane: u16) -> Self {
+        debug_assert!(lane < 1024, "lane must fit in 10 bits");
+        MsgIdLane {
+            base: ((node as u64) << 40) | ((lane as u64) << LANE_SHIFT),
+            msg_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Mint the next message id on this lane.
+    #[inline]
+    pub fn next(&self) -> u64 {
+        self.base | (self.msg_seq.fetch_add(1, Ordering::Relaxed) & LANE_SEQ_MASK)
+    }
+}
+
 /// Identifier of an injection FIFO within its node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InjFifoId(pub u16);
@@ -36,14 +85,29 @@ pub struct RecFifoId(pub u16);
 
 /// An injection FIFO: descriptors queued by the owning context, drained by
 /// an engine (inline or threaded).
+///
+/// Beyond the descriptor queue, the FIFO owns every sequence counter the
+/// send fast path needs — its message-id lane and its fault-free link
+/// sequence — so draining it touches no per-node shared state: two contexts
+/// pumping their own FIFOs share zero cache lines here.
 pub struct InjFifo {
     /// Queued descriptors.
     pub queue: WorkQueue<Descriptor>,
+    /// Message-id mint for messages sent through this FIFO.
+    pub(crate) lane: MsgIdLane,
+    /// Link sequence source for the fault-free fast path (reliable channels
+    /// stamp their own under a fault plan, preserving per-channel
+    /// continuity).
+    pub(crate) link_seq: AtomicU64,
 }
 
 impl InjFifo {
-    pub(crate) fn new(capacity: usize) -> Self {
-        InjFifo { queue: WorkQueue::with_capacity(capacity) }
+    pub(crate) fn new(capacity: usize, node: u32, lane: u16) -> Self {
+        InjFifo {
+            queue: WorkQueue::with_capacity(capacity),
+            lane: MsgIdLane::new(node, lane),
+            link_seq: AtomicU64::new(0),
+        }
     }
 }
 
@@ -248,6 +312,30 @@ mod tests {
         assert_eq!(a.alloc_rec(1), None);
         assert_eq!(a.inj_remaining(), 0);
         assert_eq!(a.rec_remaining(), 0);
+    }
+
+    #[test]
+    fn msg_id_lanes_never_collide_across_lanes() {
+        // Two lanes on the same node, same sequence numbers: ids differ.
+        let a = MsgIdLane::new(3, 0);
+        let b = MsgIdLane::new(3, 1);
+        let ids: Vec<u64> = (0..4).map(|_| a.next()).chain((0..4).map(|_| b.next())).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "no collisions across lanes");
+        for id in &ids {
+            assert_eq!(id >> 40, 3, "node bits intact");
+        }
+        // Sequence wrap stays inside the lane bits.
+        let c = MsgIdLane::new(5, NODE_LANE);
+        c.msg_seq.store(LANE_SEQ_MASK, Ordering::Relaxed);
+        let x = c.next();
+        let y = c.next();
+        assert_eq!(x >> 40, 5);
+        assert_eq!(y >> 40, 5, "wrap must not leak into node bits");
+        assert_ne!(x, y);
+        assert_eq!((x >> LANE_SHIFT) & 0x3ff, NODE_LANE as u64);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use faults::{Fate, FaultInjector, FaultPlan, FaultPlanError, FaultRates, Lin
 pub use link::{RasCounters, RasEvent, RasEventKind, RasRing};
 pub use packet::packet_crc;
 pub use fifo::{
-    FifoAllocator, FifoTable, InjFifo, InjFifoId, RecFifo, RecFifoId, INJ_FIFOS_PER_NODE,
-    REC_FIFOS_PER_NODE,
+    FifoAllocator, FifoTable, InjFifo, InjFifoId, MsgIdLane, RecFifo, RecFifoId,
+    INJ_FIFOS_PER_NODE, LANE_SEQ_MASK, LANE_SHIFT, NODE_LANE, REC_FIFOS_PER_NODE, SYS_LANE,
 };
 pub use packet::{MuPacket, PacketPayload};

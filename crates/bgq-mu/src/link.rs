@@ -352,6 +352,28 @@ impl Channel {
     }
 }
 
+/// Machines up to this many nodes use the dense one-level channel table
+/// (n² `OnceLock<Channel>` slots ≈ a few MB at the threshold); larger
+/// machines fall back to lazily-allocated per-source rows so an idle
+/// source costs one pointer.
+const FLAT_CHANNEL_TABLE_MAX_NODES: usize = 128;
+
+/// Storage for the per-(src, dst) channels.
+///
+/// The fair-weather send path looks a channel up once per descriptor, so
+/// the lookup cost is on the message-rate critical path under a fault
+/// plan. The dense [`ChannelTable::Flat`] form resolves it with a single
+/// index + one lock-free `OnceLock` read — no chained row lookup, no
+/// hashing, no refcount traffic.
+enum ChannelTable {
+    /// One `src * n + dst`-indexed slab (small machines — the common bench
+    /// and test shape).
+    Flat(Box<[OnceLock<Channel>]>),
+    /// Per-source rows allocated on first use (large machines, where a
+    /// dense n² slab would waste memory on never-used pairs).
+    Rows(Vec<OnceLock<Box<[OnceLock<Channel>]>>>),
+}
+
 /// Everything the reliability layer owns, hung off the fabric when a fault
 /// plan is installed.
 pub(crate) struct Reliability {
@@ -367,11 +389,8 @@ pub(crate) struct Reliability {
     /// straight-through path (still counting frames, so the fault-free
     /// protocol overhead is real and measurable).
     pub clean: bool,
-    /// Per-source-node channel rows, indexed by destination node. The row
-    /// is allocated on a source's first channel; each slot initializes
-    /// once. Lookup on the fair-weather send path is two lock-free reads,
-    /// no hashing, no reference-count traffic.
-    channels: Vec<OnceLock<Box<[OnceLock<Channel>]>>>,
+    /// The (src, dst) channel table; see [`ChannelTable`].
+    channels: ChannelTable,
     /// Number of nodes (row width).
     num_nodes: usize,
     /// Per-source-node link-pump tick.
@@ -390,32 +409,57 @@ impl Reliability {
         num_nodes: usize,
     ) -> Self {
         let clean = injector.plan().is_clean();
+        let channels = if num_nodes <= FLAT_CHANNEL_TABLE_MAX_NODES {
+            ChannelTable::Flat((0..num_nodes * num_nodes).map(|_| OnceLock::new()).collect())
+        } else {
+            ChannelTable::Rows((0..num_nodes).map(|_| OnceLock::new()).collect())
+        };
         Reliability {
             injector,
             health,
             ras,
             ring,
             clean,
-            channels: (0..num_nodes).map(|_| OnceLock::new()).collect(),
+            channels,
             num_nodes,
             ticks: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
             pending: (0..num_nodes).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 
-    /// The channel from `src` to `dst`, created on first use.
+    /// The channel from `src` to `dst`, created on first use. On the dense
+    /// table this is one index plus one lock-free `OnceLock` read.
     pub(crate) fn channel(&self, src: u32, dst: u32) -> &Channel {
-        let row = self.channels[src as usize]
-            .get_or_init(|| (0..self.num_nodes).map(|_| OnceLock::new()).collect());
-        row[dst as usize].get_or_init(|| Channel::new(src, dst, &self.injector.retry()))
+        match &self.channels {
+            ChannelTable::Flat(slab) => slab[src as usize * self.num_nodes + dst as usize]
+                .get_or_init(|| Channel::new(src, dst, &self.injector.retry())),
+            ChannelTable::Rows(rows) => {
+                let row = rows[src as usize]
+                    .get_or_init(|| (0..self.num_nodes).map(|_| OnceLock::new()).collect());
+                row[dst as usize].get_or_init(|| Channel::new(src, dst, &self.injector.retry()))
+            }
+        }
     }
 
     /// All channels sourced at `node` (pump order: destination index).
     pub(crate) fn channels_of(&self, node: u32) -> impl Iterator<Item = &Channel> {
-        self.channels[node as usize]
-            .get()
-            .into_iter()
-            .flat_map(|row| row.iter().filter_map(OnceLock::get))
+        let flat = match &self.channels {
+            ChannelTable::Flat(slab) => {
+                let start = node as usize * self.num_nodes;
+                Some(slab[start..start + self.num_nodes].iter().filter_map(OnceLock::get))
+            }
+            ChannelTable::Rows(_) => None,
+        };
+        let rows = match &self.channels {
+            ChannelTable::Rows(rows) => Some(
+                rows[node as usize]
+                    .get()
+                    .into_iter()
+                    .flat_map(|row| row.iter().filter_map(OnceLock::get)),
+            ),
+            ChannelTable::Flat(_) => None,
+        };
+        flat.into_iter().flatten().chain(rows.into_iter().flatten())
     }
 
     /// Advance and read `node`'s link-pump tick.
@@ -515,6 +559,28 @@ mod tests {
         assert!(inj.is_complete() && rec.is_complete());
         // Idempotent: already-failed counters don't double count.
         assert_eq!(frame.fail(DeliveryFault::Aborted), 0);
+    }
+
+    #[test]
+    fn channel_table_rows_fallback_above_flat_threshold() {
+        use crate::faults::FaultPlan;
+        use bgq_torus::TorusShape;
+        let n = (FLAT_CHANNEL_TABLE_MAX_NODES + 8) as u32;
+        let shape = TorusShape::new([n as u16, 1, 1, 1, 1]);
+        let upc = Upc::new();
+        let r = Reliability::new(
+            FaultInjector::new(FaultPlan::new(), shape),
+            LinkHealth::new(shape),
+            Arc::new(RasCounters::new(&upc)),
+            Arc::new(RasRing::new(16)),
+            n as usize,
+        );
+        assert!(matches!(r.channels, ChannelTable::Rows(_)));
+        let a = r.channel(3, n - 1);
+        let b = r.channel(3, n - 1);
+        assert!(std::ptr::eq(a, b), "channel is created once");
+        assert_eq!(r.channels_of(3).count(), 1);
+        assert_eq!(r.channels_of(4).count(), 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bgq_hw::{Counter, L2TicketMutex, MemRegion, WakeupRegion, WorkQueue};
@@ -121,12 +121,32 @@ struct RzvPending {
     len: usize,
 }
 
+/// One-entry dispatch-handler memo: (dispatch generation, dispatch id,
+/// handler). Lives in the advance state, so it is only ever touched by the
+/// single advancing thread.
+type HandlerMemo = (u64, u16, DispatchFn);
+
 struct AdvanceState {
     /// Multi-packet eager messages being deposited, keyed by (source node,
     /// message id).
     reassembly: HashMap<(u32, u64), Reassembly>,
     /// Rendezvous receives waiting on their reception counters.
     rzv_pending: Vec<RzvPending>,
+    /// Last handler resolved on the receive path. Flood traffic dispatches
+    /// the same id back to back; the memo turns the per-message
+    /// RwLock + hash + `Arc` clone into one atomic generation check.
+    handler_memo: Option<HandlerMemo>,
+}
+
+/// Counter updates accumulated across one `advance` call and flushed once
+/// at the end — batched "doorbell" updates instead of a shared-counter RMW
+/// per packet.
+#[derive(Default)]
+struct BatchCounters {
+    /// Messages dispatched to handlers (first packets, RTSs, shm messages).
+    dispatched: u64,
+    /// Receive-side payload copies deposited into destination buffers.
+    copies: u64,
 }
 
 /// Per-advance budgets: how many items of each kind one `advance` call
@@ -213,6 +233,13 @@ pub struct Context {
     /// (the stamp is zero-sized with telemetry off).
     work: WorkQueue<(Stamp, WorkFn)>,
     dispatch: RwLock<HashMap<u16, DispatchFn>>,
+    /// Bumped by [`Context::set_dispatch`]; invalidates the advance-side
+    /// handler memo without the receive path ever taking the dispatch lock.
+    dispatch_gen: AtomicU64,
+    /// Pre-serialized wire envelope for the static flood case (zero stamp,
+    /// empty metadata): per-send `Bytes` clone — a refcount bump on
+    /// context-private memory — instead of a 12-byte heap allocation.
+    flood_envelope: Bytes,
     advance_state: Mutex<AdvanceState>,
     /// Number of in-flight internal obligations (reassembly entries plus
     /// pending rendezvous receives). Written only under `advance_state`;
@@ -280,9 +307,12 @@ impl Context {
             wakeup,
             work: WorkQueue::with_capacity(256),
             dispatch: RwLock::new(HashMap::new()),
+            dispatch_gen: AtomicU64::new(0),
+            flood_envelope: wire::envelope(task, Stamp::from_ns(0), &[]),
             advance_state: Mutex::new(AdvanceState {
                 reassembly: HashMap::new(),
                 rzv_pending: Vec::new(),
+                handler_memo: None,
             }),
             pending_internal: AtomicUsize::new(0),
             user_lock: L2TicketMutex::new(),
@@ -339,6 +369,8 @@ impl Context {
     pub fn set_dispatch(&self, dispatch: u16, handler: DispatchFn) {
         assert!(dispatch < DISPATCH_INTERNAL_BASE, "dispatch id {dispatch:#x} is reserved");
         self.dispatch.write().insert(dispatch, handler);
+        // Invalidate any advance-side handler memo.
+        self.dispatch_gen.fetch_add(1, Ordering::Release);
     }
 
     fn handler(&self, dispatch: u16) -> DispatchFn {
@@ -347,6 +379,21 @@ impl Context {
             .get(&dispatch)
             .unwrap_or_else(|| panic!("no handler registered for dispatch {dispatch}"))
             .clone()
+    }
+
+    /// Resolve the handler for `dispatch` through the advance state's
+    /// one-entry memo. On a hit (same id, same dispatch-table generation)
+    /// this is one acquire load — no RwLock, no hash, no `Arc` clone. The
+    /// returned reference borrows the memo slot, which only the advancing
+    /// thread touches.
+    #[inline]
+    fn resolve_handler<'a>(&self, memo: &'a mut Option<HandlerMemo>, dispatch: u16) -> &'a DispatchFn {
+        let generation = self.dispatch_gen.load(Ordering::Acquire);
+        let hit = matches!(memo, Some((g, d, _)) if *g == generation && *d == dispatch);
+        if !hit {
+            *memo = Some((generation, dispatch, self.handler(dispatch)));
+        }
+        &memo.as_ref().expect("memo just filled").2
     }
 
     // ---- initiation --------------------------------------------------------
@@ -385,7 +432,7 @@ impl Context {
         if dispatch >= DISPATCH_INTERNAL_BASE {
             return Err(PamiError::Invalid("dispatch id in the reserved range"));
         }
-        self.probes.sends_immediate.incr();
+        self.probes.sends_immediate.incr_pinned(self.offset as usize);
         // One-packet immediates are eager by construction: a packet fits
         // under every policy's minimum clamp, so consulting the policy
         // could only ever answer `Eager` — but the delivery outcome still
@@ -404,7 +451,7 @@ impl Context {
             });
             return Ok(());
         }
-        let addr = self.addr_of(dest)?;
+        let rec_fifo = self.rec_fifo_of(dest)?;
         self.machine.fabric().execute_now(
             self.node,
             Descriptor {
@@ -414,9 +461,9 @@ impl Context {
                 routing: bgq_torus::Routing::Deterministic,
                 payload: PayloadSource::Immediate(Bytes::copy_from_slice(payload)),
                 kind: XferKind::MemoryFifo {
-                    rec_fifo: addr.rec_fifo,
+                    rec_fifo,
                     dispatch,
-                    metadata: wire::envelope(self.task, stamp, metadata),
+                    metadata: self.envelope_for(stamp, metadata),
                 },
                 inj_counter: None,
             },
@@ -443,15 +490,15 @@ impl Context {
         }
         let dest_node = self.machine.task_node(args.dest.task);
         if dest_node == self.node {
-            self.probes.sends_shm.incr();
+            self.probes.sends_shm.incr_pinned(self.offset as usize);
             return self.send_shm(args);
         }
-        let addr = self.addr_of(args.dest)?;
+        let rec_fifo = self.rec_fifo_of(args.dest)?;
         let len = args.payload.len();
         let stamp = self.send_stamp();
         match self.machine.policy().select(args.dest.task, len) {
             Protocol::Eager => {
-                self.probes.sends_eager.incr();
+                self.probes.sends_eager.incr_pinned(self.offset as usize);
                 let desc = Descriptor {
                     dst_node: dest_node,
                     dst_context: args.dest.context,
@@ -459,9 +506,9 @@ impl Context {
                     routing: bgq_torus::Routing::Deterministic,
                     payload: args.payload,
                     kind: XferKind::MemoryFifo {
-                        rec_fifo: addr.rec_fifo,
+                        rec_fifo,
                         dispatch: args.dispatch,
-                        metadata: wire::envelope(self.task, stamp, &args.metadata),
+                        metadata: self.envelope_for(stamp, &args.metadata),
                     },
                     inj_counter: args.local_done,
                 };
@@ -470,7 +517,7 @@ impl Context {
             Protocol::Rendezvous => {
                 // Rendezvous: register the source, send an RTS; the target
                 // pulls the payload with a remote get.
-                self.probes.sends_rzv.incr();
+                self.probes.sends_rzv.incr_pinned(self.offset as usize);
                 let key = self.machine.rzv_register(args.payload, args.local_done);
                 let rts = wire::rts(args.dispatch, len as u64, key, &args.metadata);
                 let desc = Descriptor {
@@ -480,7 +527,7 @@ impl Context {
                     routing: bgq_torus::Routing::Deterministic,
                     payload: PayloadSource::Immediate(Bytes::new()),
                     kind: XferKind::MemoryFifo {
-                        rec_fifo: addr.rec_fifo,
+                        rec_fifo,
                         dispatch: DISPATCH_RZV_RTS,
                         metadata: wire::envelope(self.task, stamp, &rts),
                     },
@@ -506,7 +553,7 @@ impl Context {
         window_offset: usize,
         local_done: Option<Counter>,
     ) -> PamiResult<()> {
-        self.probes.puts.incr();
+        self.probes.puts.incr_pinned(self.offset as usize);
         let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
         let desc = Descriptor {
             dst_node: self.machine.task_node(dest_task),
@@ -540,7 +587,7 @@ impl Context {
         len: usize,
         done: Option<Counter>,
     ) -> PamiResult<()> {
-        self.probes.gets.incr();
+        self.probes.gets.incr_pinned(self.offset as usize);
         let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
         let put_back = Descriptor {
             dst_node: self.node,
@@ -577,11 +624,45 @@ impl Context {
         self.machine.fabric().inject_handle(self.node, fifo, desc);
     }
 
-    /// Resolve `dest` to its physical address, typed-error on miss.
+    /// Resolve `dest` to its physical address, typed-error on miss. The
+    /// machine's dense endpoint cache answers without the registry RwLock;
+    /// only out-of-envelope endpoints (clients beyond the first, context
+    /// offsets ≥ 16, very large machines) fall back to the map.
     fn addr_of(&self, dest: Endpoint) -> PamiResult<crate::machine::EndpointAddr> {
+        if let Some(addr) = self.machine.endpoint_addr_fast(self.client, dest.task, dest.context) {
+            return Ok(addr.clone());
+        }
         self.machine
             .endpoint_addr(self.client, dest.task, dest.context)
             .ok_or(PamiError::UnknownEndpoint { task: dest.task, context: dest.context })
+    }
+
+    /// Resolve just the destination's reception FIFO id — the only piece of
+    /// the address the off-node eager/rendezvous path needs. Cache hits are
+    /// one index + acquire load and copy out a plain id: no lock, no hash,
+    /// and no `Arc` refcount RMW on a cacheline shared with other senders.
+    #[inline]
+    fn rec_fifo_of(&self, dest: Endpoint) -> PamiResult<RecFifoId> {
+        if let Some(addr) = self.machine.endpoint_addr_fast(self.client, dest.task, dest.context) {
+            return Ok(addr.rec_fifo);
+        }
+        self.machine
+            .endpoint_addr(self.client, dest.task, dest.context)
+            .map(|a| a.rec_fifo)
+            .ok_or(PamiError::UnknownEndpoint { task: dest.task, context: dest.context })
+    }
+
+    /// Wire envelope for `metadata`. Under a feedback-free policy the stamp
+    /// is always zero, so the empty-metadata envelope is a per-context
+    /// constant — clone the pre-built one instead of serializing 12 bytes
+    /// into a fresh allocation per message.
+    #[inline]
+    fn envelope_for(&self, stamp: Stamp, metadata: &[u8]) -> Bytes {
+        if metadata.is_empty() && !self.policy_feedback {
+            self.flood_envelope.clone()
+        } else {
+            wire::envelope(self.task, stamp, metadata)
+        }
     }
 
     fn send_shm(&self, args: SendArgs) -> PamiResult<()> {
@@ -641,16 +722,17 @@ impl Context {
         // Empty fast path: when every queue this context drains is
         // observably empty, return without taking the advance lock at all —
         // the polling-loop cost the paper's latency numbers depend on.
-        self.probes.advance_calls.incr();
+        let pin = self.offset as usize;
+        self.probes.advance_calls.incr_pinned(pin);
         if self.observably_idle() {
-            self.probes.idle_fastpath_hits.incr();
+            self.probes.idle_fastpath_hits.incr_pinned(pin);
             return 0;
         }
         let Some(mut st) = self.advance_state.try_lock() else {
             return 0;
         };
         let events = self.advance_locked(&mut st);
-        self.probes.advance_events.add(events as u64);
+        self.probes.advance_events.add_pinned(pin, events as u64);
         events
     }
 
@@ -691,10 +773,13 @@ impl Context {
 
     fn advance_locked(&self, st: &mut AdvanceState) -> usize {
         let mut events = 0usize;
+        let pin = self.offset as usize;
+        let mut bc = BatchCounters::default();
 
         // 1. Posted work (commthread handoff path). The handoff latency —
         //    post() to here — is the cost the paper's commthread design
         //    tries to hide; record it before running the item.
+        let mut work_done = 0u64;
         for _ in 0..WORK_BUDGET {
             match self.work.pop() {
                 Some((posted, work)) => {
@@ -703,11 +788,14 @@ impl Context {
                         self.probes.handoff_ns.record_since(posted);
                     }
                     work(self);
-                    self.probes.work_items.incr();
+                    work_done += 1;
                     events += 1;
                 }
                 None => break,
             }
+        }
+        if work_done > 0 {
+            self.probes.work_items.add_pinned(pin, work_done);
         }
 
         // 2. Pump this context's own injection FIFOs (inline engine mode;
@@ -719,10 +807,15 @@ impl Context {
             // 3. Service the node's system FIFO (remote gets targeting any
             //    context on this node) and, under a fault plan, the node's
             //    link channels (retransmit timers, delayed frames); one
-            //    context at a time.
-            if let Some(_guard) = self.machine.sys_pump[self.node as usize].try_lock() {
-                events += self.machine.fabric().pump_sys(self.node, SYS_BUDGET);
-                events += self.machine.fabric().pump_links(self.node, SYS_BUDGET);
+            //    context at a time. Gated on observable work so the common
+            //    (no remote gets, no faults) case costs two lock-free
+            //    emptiness probes, not a try_lock RMW on a mutex cacheline
+            //    shared by every context on the node.
+            if !self.sys_fifo.queue.is_empty() || !self.machine.fabric().links_idle(self.node) {
+                if let Some(_guard) = self.machine.sys_pump[self.node as usize].try_lock() {
+                    events += self.machine.fabric().pump_sys(self.node, SYS_BUDGET);
+                    events += self.machine.fabric().pump_links(self.node, SYS_BUDGET);
+                }
             }
         }
 
@@ -730,7 +823,7 @@ impl Context {
         for _ in 0..RECV_BUDGET {
             match self.rec_fifo.poll() {
                 Some(pkt) => {
-                    self.handle_mu_packet(st, pkt);
+                    self.handle_mu_packet(st, &mut bc, pkt);
                     events += 1;
                 }
                 None => break,
@@ -741,7 +834,8 @@ impl Context {
         for _ in 0..RECV_BUDGET {
             match self.mailbox.queue.pop() {
                 Some(msg) => {
-                    self.handle_shm(msg);
+                    self.handle_shm(&mut st.handler_memo, msg);
+                    bc.dispatched += 1;
                     events += 1;
                 }
                 None => break,
@@ -780,6 +874,15 @@ impl Context {
             }
         }
 
+        // Flush the advance-batched counters: one striped add per probe per
+        // advance call instead of a shared-counter RMW per packet.
+        if bc.dispatched > 0 {
+            self.probes.messages_dispatched.add_pinned(pin, bc.dispatched);
+        }
+        if bc.copies > 0 {
+            self.machine.fabric().note_payload_copies(self.node, pin, bc.copies);
+        }
+
         events
     }
 
@@ -808,12 +911,12 @@ impl Context {
         }
     }
 
-    fn handle_mu_packet(&self, st: &mut AdvanceState, mut pkt: MuPacket) {
+    fn handle_mu_packet(&self, st: &mut AdvanceState, bc: &mut BatchCounters, mut pkt: MuPacket) {
         if pkt.is_first() {
             let (src_task, stamp, body) = wire::open_envelope(&pkt.metadata);
             let src = Endpoint { task: src_task, context: pkt.src_context };
             if pkt.dispatch == DISPATCH_RZV_RTS {
-                self.handle_rts(st, src, stamp, &body);
+                self.handle_rts(st, bc, src, stamp, &body);
                 return;
             }
             let msg = IncomingMsg {
@@ -822,8 +925,12 @@ impl Context {
                 metadata: body,
                 len: pkt.msg_len as u64,
             };
-            self.probes.messages_dispatched.incr();
-            let handler = self.handler(pkt.dispatch);
+            bc.dispatched += 1;
+            // Split the advance state into disjoint fields: the handler is
+            // borrowed from the memo while the reassembly map stays
+            // mutable for the Into arm.
+            let AdvanceState { handler_memo, reassembly, .. } = st;
+            let handler = self.resolve_handler(handler_memo, pkt.dispatch);
             // The handler sees the bytes staged in the packet buffer —
             // everything for an inline payload, nothing for a zero-copy
             // window (the data is still in source memory and must be
@@ -847,7 +954,7 @@ impl Context {
                     // window) straight into the destination buffer.
                     let pkt_len = pkt.payload.len();
                     pkt.payload.deposit(&region, offset);
-                    self.machine.fabric().note_payload_copy(self.node);
+                    bc.copies += 1;
                     if pkt.is_last() {
                         self.observe(|| ProtoEvent::EagerDelivered {
                             dest: self.task,
@@ -856,7 +963,7 @@ impl Context {
                         });
                         on_complete(self, Ok(()));
                     } else {
-                        st.reassembly.insert(
+                        reassembly.insert(
                             (pkt.src_node, pkt.msg_id),
                             Reassembly {
                                 region,
@@ -880,7 +987,7 @@ impl Context {
             let pkt_len = pkt.payload.len();
             let dst_offset = entry.base_offset + pkt.offset as usize;
             pkt.payload.deposit(&entry.region, dst_offset);
-            self.machine.fabric().note_payload_copy(self.node);
+            bc.copies += 1;
             entry.remaining -= pkt_len;
             if entry.remaining == 0 {
                 let mut entry = st.reassembly.remove(&key).expect("entry present");
@@ -897,11 +1004,19 @@ impl Context {
         }
     }
 
-    fn handle_rts(&self, st: &mut AdvanceState, src: Endpoint, stamp: Stamp, body: &Bytes) {
+    fn handle_rts(
+        &self,
+        st: &mut AdvanceState,
+        bc: &mut BatchCounters,
+        src: Endpoint,
+        stamp: Stamp,
+        body: &Bytes,
+    ) {
         let (dispatch, len, key, metadata) = wire::open_rts(body);
         let msg = IncomingMsg { src, dispatch, metadata, len };
-        self.probes.messages_dispatched.incr();
-        let handler = self.handler(dispatch);
+        bc.dispatched += 1;
+        let AdvanceState { handler_memo, rzv_pending, .. } = st;
+        let handler = self.resolve_handler(handler_memo, dispatch);
         match handler(self, &msg, &[]) {
             Recv::Done => panic!("rendezvous arrival of {len} bytes cannot be Recv::Done"),
             Recv::Into { region, offset, on_complete } => {
@@ -932,7 +1047,7 @@ impl Context {
                     inj_counter: None,
                 };
                 self.inject_to(src.task, get);
-                st.rzv_pending.push(RzvPending {
+                rzv_pending.push(RzvPending {
                     done,
                     on_complete: Some(on_complete),
                     stamp,
@@ -943,15 +1058,14 @@ impl Context {
         }
     }
 
-    fn handle_shm(&self, msg: ShmMsg) {
+    fn handle_shm(&self, memo: &mut Option<HandlerMemo>, msg: ShmMsg) {
         let info = IncomingMsg {
             src: msg.src,
             dispatch: msg.dispatch,
             metadata: msg.metadata,
             len: msg.payload.len() as u64,
         };
-        self.probes.messages_dispatched.incr();
-        let handler = self.handler(msg.dispatch);
+        let handler = self.resolve_handler(memo, msg.dispatch);
         let stamp = msg.stamp;
         match msg.payload {
             ShmPayload::Inline(bytes) => {

@@ -16,7 +16,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bgq_collnet::{ClassRoute, ClassRouteManager, CollNet, GiBarrier};
 use bgq_hw::{Counter, GlobalVa, MemRegion, WakeupUnit};
@@ -56,6 +56,19 @@ pub(crate) struct EndpointAddr {
     pub rec_fifo: RecFifoId,
     pub mailbox: Arc<ShmMailbox>,
 }
+
+/// Dense endpoint-address cache sizing. Endpoints are written once (at
+/// context creation, [`Machine::register_endpoint`] asserts no re-register)
+/// and never removed, so a `OnceLock` slab indexed by
+/// `task * ENDPOINT_CTX_SLOTS + context` resolves the send-path lookup with
+/// one acquire load — no `RwLock`, no hash, no `Arc` clone. The slab covers
+/// the first client and context offsets below [`ENDPOINT_CTX_SLOTS`] on
+/// machines up to [`ENDPOINT_CACHE_MAX_TASKS`] tasks; everything else falls
+/// back to the registry map.
+const ENDPOINT_CACHE_MAX_TASKS: usize = 4096;
+/// Context offsets per task covered by the dense cache (16 = one per BG/Q
+/// core-thread pair, the paper's max contexts-per-process sweep).
+pub(crate) const ENDPOINT_CTX_SLOTS: usize = 16;
 
 /// Which protocol-selection policy a machine is built with.
 enum PolicyChoice {
@@ -217,6 +230,11 @@ impl MachineBuilder {
             world_gi: GiBarrier::new(nodes),
             clients: Mutex::new(HashMap::new()),
             endpoints: RwLock::new(HashMap::new()),
+            endpoint_cache: if nodes * self.ppn <= ENDPOINT_CACHE_MAX_TASKS {
+                (0..nodes * self.ppn * ENDPOINT_CTX_SLOTS).map(|_| OnceLock::new()).collect()
+            } else {
+                Box::new([])
+            },
             windows: Mutex::new(HashMap::new()),
             rzv: Mutex::new(HashMap::new()),
             next_key: AtomicU64::new(1),
@@ -259,6 +277,10 @@ pub struct Machine {
     world_gi: GiBarrier,
     clients: Mutex<HashMap<String, u16>>,
     endpoints: RwLock<HashMap<(u16, u32, u16), EndpointAddr>>,
+    /// Lock-free send-path view of `endpoints` (client 0, context offsets
+    /// below [`ENDPOINT_CTX_SLOTS`]); empty on machines above
+    /// [`ENDPOINT_CACHE_MAX_TASKS`] tasks.
+    endpoint_cache: Box<[OnceLock<EndpointAddr>]>,
     windows: Mutex<HashMap<u64, Window>>,
     rzv: Mutex<HashMap<u64, RzvEntry>>,
     next_key: AtomicU64,
@@ -447,8 +469,15 @@ impl Machine {
         context: u16,
         addr: EndpointAddr,
     ) {
-        let prev = self.endpoints.write().insert((client, task, context), addr);
+        let prev = self.endpoints.write().insert((client, task, context), addr.clone());
         assert!(prev.is_none(), "endpoint ({client},{task},{context}) registered twice");
+        // Publish into the dense cache too (write-once by the assert above).
+        if client == 0 && (context as usize) < ENDPOINT_CTX_SLOTS {
+            let idx = task as usize * ENDPOINT_CTX_SLOTS + context as usize;
+            if let Some(slot) = self.endpoint_cache.get(idx) {
+                let _ = slot.set(addr);
+            }
+        }
     }
 
     /// Resolve an endpoint's physical address. `None` when the endpoint
@@ -461,6 +490,26 @@ impl Machine {
         context: u16,
     ) -> Option<EndpointAddr> {
         self.endpoints.read().get(&(client, task, context)).cloned()
+    }
+
+    /// Lock-free endpoint resolution through the dense cache: one index
+    /// computation plus one acquire load, returning a *reference* (no `Arc`
+    /// refcount traffic on the sender's hot path). `None` means "not in the
+    /// cache" — absent *or* outside the cached (client, context, machine
+    /// size) envelope — and callers fall back to [`Machine::endpoint_addr`].
+    #[inline]
+    pub(crate) fn endpoint_addr_fast(
+        &self,
+        client: u16,
+        task: u32,
+        context: u16,
+    ) -> Option<&EndpointAddr> {
+        if client != 0 || context as usize >= ENDPOINT_CTX_SLOTS {
+            return None;
+        }
+        self.endpoint_cache
+            .get(task as usize * ENDPOINT_CTX_SLOTS + context as usize)
+            .and_then(OnceLock::get)
     }
 
     fn fresh_key(&self) -> u64 {
@@ -609,6 +658,29 @@ mod tests {
         let m = Machine::with_nodes(1).build();
         let _a: Arc<Mutex<u32>> = m.shared_state("x", || Mutex::new(1));
         let _b: Arc<Mutex<String>> = m.shared_state("x", || Mutex::new(String::new()));
+    }
+
+    #[test]
+    fn endpoint_cache_mirrors_registry() {
+        let m = Machine::with_nodes(2).ppn(2).build();
+        assert!(m.endpoint_addr_fast(0, 1, 0).is_none(), "nothing registered yet");
+        let wake = m.wakeup_unit(0).region();
+        let addr = EndpointAddr {
+            rec_fifo: m.fabric().alloc_rec_fifos(0, 1).unwrap()[0],
+            mailbox: Arc::new(ShmMailbox::new(8, wake)),
+        };
+        m.register_endpoint(0, 1, 0, addr.clone());
+        let fast = m.endpoint_addr_fast(0, 1, 0).expect("dense cache hit");
+        let slow = m.endpoint_addr(0, 1, 0).expect("registry hit");
+        assert_eq!(fast.rec_fifo, slow.rec_fifo);
+        assert!(Arc::ptr_eq(&fast.mailbox, &slow.mailbox));
+        // Outside the cached envelope: registry only, fast path declines.
+        m.register_endpoint(1, 1, 0, addr.clone());
+        assert!(m.endpoint_addr_fast(1, 1, 0).is_none());
+        assert!(m.endpoint_addr(1, 1, 0).is_some());
+        m.register_endpoint(0, 0, ENDPOINT_CTX_SLOTS as u16, addr);
+        assert!(m.endpoint_addr_fast(0, 0, ENDPOINT_CTX_SLOTS as u16).is_none());
+        assert!(m.endpoint_addr(0, 0, ENDPOINT_CTX_SLOTS as u16).is_some());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! on [`bgq_upc::ENABLED`]).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bgq_upc::{Histogram, Upc};
 use parking_lot::Mutex;
@@ -240,9 +241,19 @@ struct DestState {
     selects: u32,
 }
 
-struct AdaptiveInner {
-    dests: HashMap<u32, DestState>,
-    observations: u64,
+/// Number of destination shards the adaptive per-destination map is split
+/// across. The map used to sit behind one machine-wide mutex — every
+/// in-band `select` from every context serialized on it, exactly the kind
+/// of shared fast-path state the context-sharding work removes. Destinations
+/// hash to shards by `dest % POLICY_SHARDS`, so contexts flooding disjoint
+/// destinations take disjoint locks; the per-destination `selects` counter
+/// inside each [`DestState`] doubles as the deterministic exploration clock,
+/// leaving no shared RNG or clock state on the select path.
+const POLICY_SHARDS: usize = 16;
+
+/// Whole-stack congestion-reading state (snapshot deltas). Off the select
+/// path entirely: touched only every `snapshot_every` observations.
+struct CongestionState {
     last_copies: u64,
     last_depth_p50: u64,
 }
@@ -289,7 +300,12 @@ pub struct AdaptivePolicy {
     cfg: AdaptiveConfig,
     upc: Upc,
     probes: ProtoProbes,
-    inner: Mutex<AdaptiveInner>,
+    /// Per-destination crossover state, sharded by `dest % POLICY_SHARDS`.
+    shards: Vec<Mutex<HashMap<u32, DestState>>>,
+    /// In-band observation count (drives the periodic congestion check);
+    /// lock-free so `observe` touches no shared mutex before the shard.
+    observations: AtomicU64,
+    congestion: Mutex<CongestionState>,
 }
 
 impl AdaptivePolicy {
@@ -304,18 +320,20 @@ impl AdaptivePolicy {
             cfg,
             upc: upc.clone(),
             probes: ProtoProbes::new(upc),
-            inner: Mutex::new(AdaptiveInner {
-                dests: HashMap::new(),
-                observations: 0,
-                last_copies: 0,
-                last_depth_p50: 0,
-            }),
+            shards: (0..POLICY_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            observations: AtomicU64::new(0),
+            congestion: Mutex::new(CongestionState { last_copies: 0, last_depth_p50: 0 }),
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &AdaptiveConfig {
         &self.cfg
+    }
+
+    #[inline]
+    fn shard(&self, dest: u32) -> &Mutex<HashMap<u32, DestState>> {
+        &self.shards[dest as usize % POLICY_SHARDS]
     }
 
     fn dest_entry<'a>(
@@ -338,11 +356,15 @@ impl AdaptivePolicy {
         len >= crossover / 2 && len <= crossover.saturating_mul(2)
     }
 
-    fn nudge_all_down(&self, inner: &mut AdaptiveInner) {
-        for st in inner.dests.values_mut() {
-            st.crossover = (((st.crossover as f64) * 0.8) as usize).clamp(self.cfg.min, self.cfg.max);
-            st.eager_cost.reset_fresh();
-            st.rzv_cost.reset_fresh();
+    fn nudge_all_down(&self) {
+        for shard in &self.shards {
+            let mut dests = shard.lock();
+            for st in dests.values_mut() {
+                st.crossover =
+                    (((st.crossover as f64) * 0.8) as usize).clamp(self.cfg.min, self.cfg.max);
+                st.eager_cost.reset_fresh();
+                st.rzv_cost.reset_fresh();
+            }
         }
         self.probes.congestion_nudges.incr();
     }
@@ -350,21 +372,26 @@ impl AdaptivePolicy {
     /// Periodic whole-stack reading: unexpected-queue depth growing past
     /// the threshold, or eager staging pressure (payload copies far in
     /// excess of the observed in-band traffic), pulls every destination's
-    /// crossover down 20%.
-    fn congestion_check(&self, inner: &mut AdaptiveInner) {
+    /// crossover down 20%. Takes the congestion mutex (never held together
+    /// with a shard lock) and then the shards one at a time.
+    fn congestion_check(&self) {
+        let Some(mut cong) = self.congestion.try_lock() else {
+            return; // another thread is already running this window's check
+        };
         let snap = self.upc.snapshot();
         let depth = snap.histogram("match.unexpected_depth").map(|s| s.p50).unwrap_or(0);
         let copies = snap.counter("mu.payload_copies");
-        let copies_delta = copies.saturating_sub(inner.last_copies);
-        inner.last_copies = copies;
-        let depth_growing = depth >= self.cfg.depth_nudge_at && depth > inner.last_depth_p50;
-        inner.last_depth_p50 = depth;
+        let copies_delta = copies.saturating_sub(cong.last_copies);
+        cong.last_copies = copies;
+        let depth_growing = depth >= self.cfg.depth_nudge_at && depth > cong.last_depth_p50;
+        cong.last_depth_p50 = depth;
         // Copy pressure: more than 128 packet copies per in-band
         // observation over the window means eager traffic is fragmenting
         // and staging heavily relative to the completions we see.
         let copy_pressure = copies_delta > self.cfg.snapshot_every * 128;
+        drop(cong);
         if depth_growing || copy_pressure {
-            self.nudge_all_down(inner);
+            self.nudge_all_down();
         }
     }
 }
@@ -381,8 +408,8 @@ impl ProtocolPolicy for AdaptivePolicy {
             self.probes.rzv_selected.incr();
             return Protocol::Rendezvous;
         }
-        let mut inner = self.inner.lock();
-        let st = Self::dest_entry(&mut inner.dests, &self.cfg, dest);
+        let mut dests = self.shard(dest).lock();
+        let st = Self::dest_entry(&mut dests, &self.cfg, dest);
         st.selects = st.selects.wrapping_add(1);
         let natural = if len <= st.crossover { Protocol::Eager } else { Protocol::Rendezvous };
         // Deterministic exploration: with telemetry live, periodically send
@@ -401,7 +428,7 @@ impl ProtocolPolicy for AdaptivePolicy {
         } else {
             natural
         };
-        drop(inner);
+        drop(dests);
         match chosen {
             Protocol::Eager => self.probes.eager_selected.incr(),
             Protocol::Rendezvous => self.probes.rzv_selected.incr(),
@@ -425,13 +452,13 @@ impl ProtocolPolicy for AdaptivePolicy {
         if len < self.cfg.min / 2 {
             return;
         }
-        let mut inner = self.inner.lock();
-        inner.observations += 1;
-        if inner.observations.is_multiple_of(self.cfg.snapshot_every) {
-            self.congestion_check(&mut inner);
+        let obs = self.observations.fetch_add(1, Ordering::Relaxed) + 1;
+        if obs.is_multiple_of(self.cfg.snapshot_every) {
+            self.congestion_check();
         }
         let cfg = self.cfg;
-        let st = Self::dest_entry(&mut inner.dests, &cfg, dest);
+        let mut dests = self.shard(dest).lock();
+        let st = Self::dest_entry(&mut dests, &cfg, dest);
         if !Self::in_band(len, st.crossover) {
             return;
         }
@@ -461,9 +488,8 @@ impl ProtocolPolicy for AdaptivePolicy {
     }
 
     fn crossover(&self, dest: u32) -> usize {
-        self.inner
+        self.shard(dest)
             .lock()
-            .dests
             .get(&dest)
             .map(|s| s.crossover)
             .unwrap_or_else(|| self.cfg.initial.clamp(self.cfg.min, self.cfg.max))
@@ -526,6 +552,29 @@ mod tests {
             p.observe(ProtoEvent::RzvComplete { dest: 3, len: 4096, ns: 0 });
         }
         assert_eq!(p.crossover(3), 4096);
+    }
+
+    #[test]
+    fn adaptive_shards_keep_destinations_independent() {
+        let upc = Upc::new();
+        let cfg = AdaptiveConfig { initial: 4096, ..AdaptiveConfig::default() };
+        let p = AdaptivePolicy::new(cfg, &upc);
+        // Dest 1 (shard 1): rendezvous decisively cheaper → crossover falls.
+        // Dest 2 (shard 2): eager decisively cheaper → crossover rises.
+        for _ in 0..2_000 {
+            p.observe(ProtoEvent::EagerDelivered { dest: 1, len: 4096, ns: 1_000_000 });
+            p.observe(ProtoEvent::RzvComplete { dest: 1, len: 4096, ns: 10 });
+            p.observe(ProtoEvent::EagerDelivered { dest: 2, len: 4096, ns: 10 });
+            p.observe(ProtoEvent::RzvComplete { dest: 2, len: 4096, ns: 1_000_000 });
+        }
+        // With telemetry compiled out every observation is skipped and the
+        // policy is exactly static — only assert adaptation when it can run.
+        if bgq_upc::ENABLED {
+            assert!(p.crossover(1) < 4096, "dest 1 crossover fell: {}", p.crossover(1));
+            assert!(p.crossover(2) > 4096, "dest 2 crossover rose: {}", p.crossover(2));
+        }
+        // Dest 17 shares shard 1 with dest 1 but has untouched state.
+        assert_eq!(p.crossover(17), 4096);
     }
 
     #[test]

@@ -283,6 +283,83 @@ fn zero_and_max_payload_sizes() {
 }
 
 #[test]
+fn context_fifo_ownership_under_concurrent_flood() {
+    // The context-sharding contract: every context owns an exclusive
+    // reception FIFO and an exclusive set of injection FIFOs, and traffic
+    // addressed to context i is delivered by context i's advance and no
+    // other. Eight context pairs flood concurrently; each message carries
+    // its intended destination context in the metadata, and every handler
+    // checks the byte against its own offset.
+    const CONTEXTS: usize = 8;
+    const MSGS: usize = 400;
+    let machine = Machine::with_nodes(2).build();
+    let sender = Client::create(&machine, 0, "own", CONTEXTS);
+    let receiver = Client::create(&machine, 1, "own", CONTEXTS);
+
+    // FIFO allocations are per-node resources: within each client, no two
+    // contexts may share a reception FIFO or an injection FIFO.
+    for client in [&sender, &receiver] {
+        let mut rec = std::collections::HashSet::new();
+        let mut inj = std::collections::HashSet::new();
+        for i in 0..CONTEXTS {
+            let ctx = client.context(i);
+            assert!(rec.insert(ctx.rec_fifo_id()), "reception FIFO shared by two contexts");
+            for id in ctx.inj_fifo_ids() {
+                assert!(inj.insert(*id), "injection FIFO shared by two contexts");
+            }
+        }
+    }
+
+    let got: Vec<Arc<AtomicU64>> =
+        (0..CONTEXTS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let misdelivered = Arc::new(AtomicU64::new(0));
+    for (i, g) in got.iter().enumerate() {
+        let g = Arc::clone(g);
+        let bad = Arc::clone(&misdelivered);
+        receiver.context(i).set_dispatch(
+            7,
+            Arc::new(move |_ctx, msg: &pami::IncomingMsg, _first| {
+                if msg.metadata.first() != Some(&(i as u8)) {
+                    bad.fetch_add(1, Ordering::Relaxed);
+                }
+                g.fetch_add(1, Ordering::Relaxed);
+                Recv::Done
+            }),
+        );
+    }
+    std::thread::scope(|s| {
+        for (i, g) in got.iter().enumerate() {
+            let stx = Arc::clone(sender.context(i));
+            let rtx = Arc::clone(receiver.context(i));
+            let g = Arc::clone(g);
+            s.spawn(move || {
+                for k in 0..MSGS {
+                    stx.send(SendArgs {
+                        dest: Endpoint { task: 1, context: i as u16 },
+                        dispatch: 7,
+                        metadata: vec![i as u8],
+                        payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[1u8; 8])),
+                        local_done: None,
+                    }).unwrap();
+                    if k % 8 == 0 {
+                        stx.advance();
+                        rtx.advance();
+                    }
+                }
+                while g.load(Ordering::Relaxed) < MSGS as u64 {
+                    stx.advance();
+                    rtx.advance();
+                }
+            });
+        }
+    });
+    assert_eq!(misdelivered.load(Ordering::Relaxed), 0, "cross-context delivery observed");
+    for (i, g) in got.iter().enumerate() {
+        assert_eq!(g.load(Ordering::Relaxed), MSGS as u64, "context {i} message count");
+    }
+}
+
+#[test]
 fn global_va_table_is_message_scoped() {
     // Large intra-node sends publish the source buffer in the CNK
     // global-VA table; delivery must withdraw the mapping.

@@ -127,6 +127,27 @@ impl Counter {
         self.add(1);
     }
 
+    /// Bump the counter on the stripe selected by `pin` (typically the
+    /// owning context id) rather than by thread arrival order.
+    ///
+    /// Thread-slot striping degrades when many short-lived bench threads
+    /// burn through the first [`STRIPES`] slots and later workers pile onto
+    /// the shared overflow cell; pinning by a stable small id keeps each
+    /// context on its own cache-padded stripe regardless of which thread
+    /// advances it. Two pins can map to the same stripe (`pin % STRIPES`),
+    /// so this uses a real `fetch_add` — still uncontended in the common
+    /// case of ≤ [`STRIPES`] contexts per counter.
+    #[inline]
+    pub fn add_pinned(&self, pin: usize, n: u64) {
+        self.cell.stripes[pin & (STRIPES - 1)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// [`Counter::add_pinned`] by one.
+    #[inline]
+    pub fn incr_pinned(&self, pin: usize) {
+        self.add_pinned(pin, 1);
+    }
+
     /// Aggregate the stripes. Safe to call concurrently with writers; the
     /// result is exact once writers have quiesced.
     pub fn value(&self) -> u64 {
@@ -190,6 +211,14 @@ impl RawHist {
         self.max = self.max.max(other.max);
     }
 
+    /// Quantile with linear interpolation inside the target bucket.
+    ///
+    /// The old behaviour returned the bucket's upper bound, so every
+    /// reported p50/p99 landed on a power-of-two edge (4095, 16383, …) and
+    /// latency gates only moved when a distribution crossed a whole octave.
+    /// Interpolating by rank within the bucket (values assumed uniform in
+    /// `[lower, min(upper, max)]`) tracks sub-octave shifts; for a uniform
+    /// distribution the result is exact.
     fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -197,10 +226,23 @@ impl RawHist {
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            cum += b;
-            if cum >= target {
-                return bucket_upper_bound(i).min(self.max);
+            if *b == 0 {
+                continue;
             }
+            let next = cum + b;
+            if next >= target {
+                let lo = crate::bucket_lower_bound(i);
+                let hi = bucket_upper_bound(i).min(self.max);
+                if hi <= lo {
+                    return lo.min(self.max);
+                }
+                // Rank within the bucket, 1..=b; interpolate across the
+                // bucket's value span.
+                let pos = (target - cum) as f64 / *b as f64;
+                let v = lo as f64 + (hi - lo) as f64 * pos;
+                return (v as u64).min(self.max);
+            }
+            cum = next;
         }
         self.max
     }

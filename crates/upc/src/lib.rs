@@ -51,6 +51,17 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of a bucket (used for intra-bucket interpolation
+/// when reporting quantiles).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=64 => 1u64 << (i - 1),
+        _ => u64::MAX,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Summary / snapshot types (always compiled; empty under no-op builds)
 // ---------------------------------------------------------------------------
@@ -281,6 +292,9 @@ mod tests {
         for i in 0..HIST_BUCKETS {
             let ub = bucket_upper_bound(i);
             assert_eq!(bucket_index(ub), i);
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i);
+            assert!(lb <= ub);
         }
     }
 
