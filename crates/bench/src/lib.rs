@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use pami::{Client, Context, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs};
+use pami::{Client, Context, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs, StaticPolicy};
 use pami_mpi::{LibFlavor, Mpi, MpiConfig, ThreadLevel, ANY_SOURCE};
 
 /// Format a seconds value as microseconds with two decimals.
@@ -411,6 +411,193 @@ pub fn measure_message_rate_multi_stats(contexts: usize, msgs: usize) -> MultiRa
         cpu_rate,
         max_thread_cpu_ns,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Three-tier ladder: short-tier rate vs forced-eager, persistent channels,
+// learned cutoffs
+// ---------------------------------------------------------------------------
+
+/// Single-context flood 0 → 1 with `len`-byte payloads, counted at the
+/// receiver. Under the default policy a `len` at or below the short cutoff
+/// takes the short tier (one inline packet, no region registration, no
+/// completion counter). With `force_eager` the machine is built with
+/// `StaticPolicy::with_short(0, …)` — the pre-ladder behaviour where the
+/// same payload pays the full eager path — so the pair
+/// `(measure_rate_at_len(128, n, false), measure_rate_at_len(128, n, true))`
+/// is the short-tier speedup at the cutoff.
+pub fn measure_rate_at_len(len: usize, msgs: usize, force_eager: bool) -> f64 {
+    let mut builder = Machine::with_nodes(2);
+    if force_eager {
+        builder = builder.protocol_policy(Arc::new(StaticPolicy::with_short(0, 4096)));
+    }
+    let machine = builder.build();
+    let sender = Client::create(&machine, 0, "tier", 1);
+    let receiver = Client::create(&machine, 1, "tier", 1);
+    let got = Arc::new(AtomicU64::new(0));
+    {
+        let got = Arc::clone(&got);
+        receiver.context(0).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                got.fetch_add(1, Ordering::Relaxed);
+                Recv::Done
+            }),
+        );
+    }
+    let payload = bytes::Bytes::from(vec![0u8; len]);
+    let start = Instant::now();
+    for i in 0..msgs {
+        sender
+            .context(0)
+            .send(SendArgs {
+                dest: Endpoint::of_task(1),
+                dispatch: 1,
+                metadata: Vec::new(),
+                payload: PayloadSource::Immediate(payload.clone()),
+                local_done: None,
+            })
+            .unwrap();
+        if i % 16 == 0 {
+            sender.context(0).advance();
+            receiver.context(0).advance();
+        }
+    }
+    while got.load(Ordering::Relaxed) < msgs as u64 {
+        sender.context(0).advance();
+        receiver.context(0).advance();
+    }
+    msgs as f64 / start.elapsed().as_secs_f64()
+}
+
+/// What one persistent-channel halo run measured.
+pub struct PersistentHaloStats {
+    /// Timed iterations (one bidirectional post/post/wait/wait each).
+    pub iters: usize,
+    /// Per-iteration wall time percentiles, nanoseconds.
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    /// Mean per-iteration wall time, nanoseconds.
+    pub mean_ns: f64,
+    /// Matching-engine events during the timed loop (posted + unexpected
+    /// matches). Persistent traffic is pre-negotiated direct puts, so this
+    /// stays **flat at zero** — the zero-matching claim, measured.
+    pub match_events: u64,
+    /// `ctx.sends_eager` + `ctx.sends_rzv` for the whole run: the
+    /// steady-state exchange never re-enters the protocol ladder.
+    pub ladder_sends: u64,
+}
+
+/// Persistent-channel halo: two nodes pre-negotiate one channel each way,
+/// then run `iters` bidirectional boundary exchanges of `size` bytes —
+/// every iteration is two fixed-descriptor injections and two counter
+/// waits, with zero matching and zero protocol decisions. Returns the
+/// per-iteration latency distribution plus the counters that prove the
+/// zero-* claims (all zeros with telemetry compiled out).
+pub fn measure_persistent_halo(size: usize, iters: usize) -> PersistentHaloStats {
+    let machine = Machine::with_nodes(2).build();
+    let c0 = Client::create(&machine, 0, "halo", 1);
+    let c1 = Client::create(&machine, 1, "halo", 1);
+    let mut a = c0.context(0).channel(Endpoint::of_task(1), size).unwrap();
+    let mut b = c1.context(0).channel(Endpoint::of_task(0), size).unwrap();
+    let data = vec![3u8; size];
+    let mut buf = vec![0u8; size];
+    let mut step = |a: &mut pami::PersistentChannel, b: &mut pami::PersistentChannel| {
+        a.post(&data).unwrap();
+        b.post(&data).unwrap();
+        b.wait(&mut buf).unwrap();
+        a.wait(&mut buf).unwrap();
+    };
+    // Warm-up binds both channels and touches both double-buffer slots.
+    for _ in 0..8 {
+        step(&mut a, &mut b);
+    }
+    let match_before = {
+        let snap = machine.telemetry().snapshot();
+        snap.counter("match.matched_posted") + snap.counter("match.matched_unexpected")
+    };
+    let mut ns: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        step(&mut a, &mut b);
+        ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let mean_ns = ns.iter().sum::<u64>() as f64 / iters as f64;
+    ns.sort_unstable();
+    let pct = |p: f64| ns[((ns.len() - 1) as f64 * p).round() as usize];
+    let snap = machine.telemetry().snapshot();
+    PersistentHaloStats {
+        iters,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        mean_ns,
+        match_events: snap.counter("match.matched_posted")
+            + snap.counter("match.matched_unexpected")
+            - match_before,
+        ladder_sends: snap.counter("ctx.sends_eager") + snap.counter("ctx.sends_rzv"),
+    }
+}
+
+/// Run a mixed windowed stream under the adaptive policy and report the
+/// learned per-destination boundaries: destination 1 sees payload lengths
+/// cycling through 32…512 B (the short/eager signal), destination 2 sees
+/// 16 KiB messages (the eager/rendezvous signal, as in
+/// [`measure_policy_ab`]). Returns
+/// `(short_crossover(dest 1), crossover(dest 2))` after `msgs` windowed
+/// rounds — with telemetry compiled out the adaptive policy never moves, so
+/// both come back at their initial values.
+pub fn measure_adaptive_cutoffs(msgs: usize) -> (usize, usize) {
+    const LENS: [usize; 5] = [32, 64, 128, 256, 512];
+    const LARGE: usize = 16 * 1024;
+    let machine = Machine::with_nodes(3).eager_limit(32 * 1024).adaptive_policy().build();
+    let sender = Client::create(&machine, 0, "cut", 1);
+    let recvs: Vec<Arc<Client>> =
+        (1..3u32).map(|t| Client::create(&machine, t, "cut", 1)).collect();
+    let got = Arc::new(AtomicU64::new(0));
+    for c in &recvs {
+        let got = Arc::clone(&got);
+        let sink = MemRegion::zeroed(LARGE);
+        c.context(0).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                let got = Arc::clone(&got);
+                Recv::Into {
+                    region: sink.clone(),
+                    offset: 0,
+                    on_complete: Box::new(move |_, _result| {
+                        got.fetch_add(1, Ordering::Relaxed);
+                    }),
+                }
+            }),
+        );
+    }
+    let small = MemRegion::from_vec(vec![1u8; 512]);
+    let large = MemRegion::from_vec(vec![2u8; LARGE]);
+    for i in 0..msgs {
+        for (dest, region, len) in
+            [(1u32, &small, LENS[i % LENS.len()]), (2u32, &large, LARGE)]
+        {
+            let before = got.load(Ordering::Relaxed);
+            sender
+                .context(0)
+                .send(SendArgs {
+                    dest: Endpoint::of_task(dest),
+                    dispatch: 1,
+                    metadata: Vec::new(),
+                    payload: PayloadSource::Region { region: region.clone(), offset: 0, len },
+                    local_done: None,
+                })
+                .unwrap();
+            while got.load(Ordering::Relaxed) == before {
+                sender.context(0).advance();
+                for c in &recvs {
+                    c.context(0).advance();
+                }
+            }
+        }
+    }
+    let policy = machine.policy();
+    (policy.short_crossover(1), policy.crossover(2))
 }
 
 // ---------------------------------------------------------------------------
@@ -932,16 +1119,31 @@ pub struct ChaosStats {
     pub packets_dropped: u64,
 }
 
-/// Single-context eager flood 0 → 1 (8-byte messages, receives handled by
-/// a counting dispatch) over a machine with an optional [`pami::FaultPlan`]
+/// Single-context flood 0 → 1 (8-byte messages, receives handled by a
+/// counting dispatch) over a machine with an optional [`pami::FaultPlan`]
 /// installed. With `None` the fabric runs the bare fast path; with a clean
 /// plan (`FaultPlan::new()`, all rates zero) every packet still pays CRC
 /// stamping, sequence numbers and ack bookkeeping — the delta between those
 /// two is the reliability layer's fair-weather cost. With non-zero rates
 /// the run additionally exercises retransmission, and the returned RAS
 /// counters record how hostile the plan actually was.
-pub fn measure_chaos_rate(plan: Option<pami::FaultPlan>, msgs: usize) -> ChaosStats {
+///
+/// `force_eager` pins the flood to the eager protocol (a zero short
+/// crossover). The chaos *gate* arms use it so the clean-plan budget keeps
+/// comparing the machinery it was calibrated against — an 8-byte send
+/// otherwise rides the short tier, whose lossless baseline is so lean that
+/// a fixed percentage budget stops meaning "the reliability layer is
+/// cheap" and starts meaning "CRC arithmetic is free", which it is not.
+/// The short tier's own clean-plan cost is reported (ungated) alongside.
+pub fn measure_chaos_rate(
+    plan: Option<pami::FaultPlan>,
+    msgs: usize,
+    force_eager: bool,
+) -> ChaosStats {
     let mut builder = Machine::with_nodes(2);
+    if force_eager {
+        builder = builder.protocol_policy(Arc::new(StaticPolicy::with_short(0, 4096)));
+    }
     if let Some(plan) = plan {
         builder = builder.fault_plan(plan);
     }

@@ -138,6 +138,7 @@ mod tests {
                         rec_fifo: rec,
                         dispatch: 0,
                         metadata: Bytes::new(),
+                        short: false,
                     },
                     inj_counter: None,
                 },
@@ -159,7 +160,12 @@ mod tests {
             }
         }
         if cfg!(feature = "telemetry") {
-            assert_eq!(fabric.counters(1).packets_received.value(), 4);
+            // One sampled message per lane, each accounting for a whole
+            // sample window.
+            assert_eq!(
+                fabric.counters(1).packets_received.value(),
+                4 * crate::fabric::MU_PACKET_COUNTER_SAMPLE
+            );
         }
     }
 

@@ -50,6 +50,25 @@ use crate::packet::{packet_crc, MuPacket, PacketPayload};
 // send hot path never touches a shared per-node atomic and ids from
 // different lanes can never collide.
 
+/// Sampling period of the per-message `mu.fifo_messages` /
+/// `mu.packets_injected` / `mu.packets_received` probe updates on the
+/// synchronous delivery path: one message in every
+/// `MU_PACKET_COUNTER_SAMPLE` (deterministically, by the low bits of its
+/// lane-local sequence number) accounts for the whole sample window, so the
+/// counters stay rate-exact while the hot path pays the probe cost only
+/// once per window. `mu.packets_dropped` and `mu.payload_copies` stay
+/// per-event exact — drops are rare and copies are a correctness assertion
+/// in tests. Must be a power of two.
+pub const MU_PACKET_COUNTER_SAMPLE: u64 = 16;
+
+/// Deterministic sample gate: lane-local message sequence numbers increment
+/// by one, so masking the low bits of the message id hits exactly one
+/// message per [`MU_PACKET_COUNTER_SAMPLE`] window on every lane.
+#[inline]
+fn counter_sample_hit(msg_id: u64) -> bool {
+    msg_id & (MU_PACKET_COUNTER_SAMPLE - 1) == 0
+}
+
 /// Per-node MU telemetry probes (`mu.*` layer), registered on the fabric's
 /// [`Upc`] registry. These replaced the old bespoke `NodeStats` snapshot
 /// struct: each field is a live `bgq-upc` counter handle — read one with
@@ -363,6 +382,221 @@ impl MuFabric {
         self.execute(src_node, desc);
     }
 
+    /// Short-tier send on a caller-owned injection FIFO: the whole message
+    /// — metadata and payload — is one inline packet envelope, built and
+    /// delivered right here. No descriptor, no fragment loop, no region
+    /// registration, no staging: one message id, one sequence number, one
+    /// CRC stamp, one reception-FIFO deposit. The caller must have
+    /// established ordering first ([`InjFifo::is_quiescent`]) — bypassing
+    /// a non-empty queue would overtake earlier eager traffic.
+    ///
+    /// `local_done` (if any) is credited synchronously with the payload
+    /// length ([`Descriptor::ZERO_LEN_CREDIT`] for empty payloads) on the
+    /// lossless fabric; under a fault plan the envelope rides the reliable
+    /// channel as a single frame instead, so the counter keeps its
+    /// ack-or-typed-fault semantics and chaos runs exercise the same tier.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_short(
+        &self,
+        src_node: u32,
+        fifo: &InjFifo,
+        dst_node: u32,
+        rec_fifo: RecFifoId,
+        src_context: u16,
+        dispatch: u16,
+        metadata: bytes::Bytes,
+        payload: bytes::Bytes,
+        local_done: Option<bgq_hw::Counter>,
+    ) {
+        self.send_short_from(
+            src_node,
+            &fifo.lane,
+            &fifo.link_seq,
+            dst_node,
+            rec_fifo,
+            src_context,
+            dispatch,
+            metadata,
+            payload,
+            local_done,
+        );
+    }
+
+    /// [`MuFabric::send_short`] without an injection FIFO — the
+    /// `PAMI_Send_immediate` analogue of [`MuFabric::execute_now`], minting
+    /// ids from the node's fallback lane. Same single-envelope semantics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_short_now(
+        &self,
+        src_node: u32,
+        dst_node: u32,
+        rec_fifo: RecFifoId,
+        src_context: u16,
+        dispatch: u16,
+        metadata: bytes::Bytes,
+        payload: bytes::Bytes,
+        local_done: Option<bgq_hw::Counter>,
+    ) {
+        let src = self.node(src_node);
+        self.send_short_from(
+            src_node,
+            &src.msg_lane,
+            &src.link_seq,
+            dst_node,
+            rec_fifo,
+            src_context,
+            dispatch,
+            metadata,
+            payload,
+            local_done,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_short_from(
+        &self,
+        src_node: u32,
+        lane: &MsgIdLane,
+        seq_src: &AtomicU64,
+        dst_node: u32,
+        rec_fifo: RecFifoId,
+        src_context: u16,
+        dispatch: u16,
+        metadata: bytes::Bytes,
+        payload: bytes::Bytes,
+        local_done: Option<bgq_hw::Counter>,
+    ) {
+        debug_assert!(payload.len() <= MAX_PAYLOAD_BYTES, "short tier is one packet");
+        let len = payload.len();
+        if let Some(rel) = &self.inner.reliability {
+            if dst_node != src_node {
+                let ch = rel.channel(src_node, dst_node);
+                if rel.clean && !rel.health.any_down() && ch.seems_alive() {
+                    // Fair-weather short fast path: same single-packet
+                    // synchronous deliver as the lossless tail below, but
+                    // the sequence number comes from the channel's atomic
+                    // (so a run that later installs faults continues the
+                    // same sequence space) and the packet carries the
+                    // reliable path's CRC stamp. This mirrors the generic
+                    // fair-weather bypass in `execute_reliable` minus the
+                    // descriptor round-trip the short tier exists to skip.
+                    let msg_id = lane.next();
+                    let pin = src_context as usize;
+                    let src = self.node(src_node);
+                    let dst = self.node(dst_node);
+                    if counter_sample_hit(msg_id) {
+                        src.counters
+                            .fifo_messages
+                            .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
+                        src.counters
+                            .packets_injected
+                            .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
+                        dst.counters
+                            .packets_received
+                            .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
+                    }
+                    let seq = ch.next_seq.fetch_add(1, Ordering::Relaxed);
+                    let crc = if self.inner.crc {
+                        packet_crc(
+                            src_node,
+                            src_context,
+                            dispatch,
+                            msg_id,
+                            len as u32,
+                            0,
+                            seq,
+                            &metadata,
+                            &payload,
+                        )
+                    } else {
+                        0
+                    };
+                    dst.rec.get(rec_fifo.0).deliver(MuPacket {
+                        src_node,
+                        src_context,
+                        dispatch,
+                        metadata,
+                        msg_id,
+                        msg_len: len as u32,
+                        offset: 0,
+                        link_seq: seq,
+                        crc,
+                        short: true,
+                        payload: PacketPayload::Inline(payload),
+                    });
+                    if let Some(c) = local_done {
+                        c.delivered(if len == 0 {
+                            Descriptor::ZERO_LEN_CREDIT
+                        } else {
+                            len as u64
+                        });
+                    }
+                    return;
+                }
+                // Chaos path: one frame on the reliable channel; the `short`
+                // flag survives in the frame body so the receive side still
+                // sees a short envelope, and drops/kills keep their
+                // exactly-once / typed-fault semantics.
+                let kind =
+                    XferKind::MemoryFifo { rec_fifo, dispatch, metadata, short: true };
+                let desc = Descriptor {
+                    dst_node,
+                    dst_context: 0,
+                    src_context,
+                    routing: Descriptor::default_routing(&kind),
+                    payload: PayloadSource::Immediate(payload),
+                    kind,
+                    inj_counter: local_done,
+                };
+                self.execute_from(src_node, desc, lane, seq_src);
+                return;
+            }
+        }
+        let src = self.node(src_node);
+        let dst = self.node(dst_node);
+        let msg_id = lane.next();
+        let pin = src_context as usize;
+        if counter_sample_hit(msg_id) {
+            src.counters
+                .fifo_messages
+                .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
+            src.counters
+                .packets_injected
+                .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
+            dst.counters
+                .packets_received
+                .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
+        }
+        let seq = seq_src.fetch_add(1, Ordering::Relaxed);
+        // No CRC stamp on the lossless short path: the fabric cannot touch
+        // the packet in flight (faulty fabrics take the reliable branch
+        // above, whose frames carry their own CRC), and nothing on the
+        // lossless receive side consumes the stamp — it would be pure dead
+        // computation on the tier whose whole point is the minimum
+        // per-message cost. A zero stamp reads as "CRC disabled" to
+        // `MuPacket::verify_crc`.
+        dst.rec.get(rec_fifo.0).deliver(MuPacket {
+            src_node,
+            src_context,
+            dispatch,
+            metadata,
+            msg_id,
+            msg_len: len as u32,
+            offset: 0,
+            link_seq: seq,
+            crc: 0,
+            short: true,
+            payload: PacketPayload::Inline(payload),
+        });
+        if let Some(c) = local_done {
+            c.delivered(if len == 0 {
+                Descriptor::ZERO_LEN_CREDIT
+            } else {
+                len as u64
+            });
+        }
+    }
+
     /// Drain up to `budget` descriptors from one injection FIFO (inline
     /// engine mode: contexts call this from `advance`). Returns descriptors
     /// executed.
@@ -379,12 +613,24 @@ impl MuFabric {
     pub fn pump_inj_handle(&self, node: u32, fifo: &InjFifo, budget: usize) -> usize {
         let mut done = 0;
         while done < budget {
+            // Bracket the pop-execute window in `inflight` so the short
+            // tier's queue-bypass stays ordered: the bypasser only skips
+            // the queue when `is_quiescent()` — and if it observes the
+            // queue empty after our pop (release store, acquired by its
+            // emptiness check), this increment is already visible, so it
+            // falls back to the queued path instead of overtaking a
+            // descriptor that is mid-execution.
+            fifo.inflight.fetch_add(1, Ordering::SeqCst);
             match fifo.queue.pop() {
                 Some(desc) => {
                     self.execute_from(node, desc, &fifo.lane, &fifo.link_seq);
+                    fifo.inflight.fetch_sub(1, Ordering::Release);
                     done += 1;
                 }
-                None => break,
+                None => {
+                    fifo.inflight.fetch_sub(1, Ordering::Release);
+                    break;
+                }
             }
         }
         if done > 0 {
@@ -491,7 +737,7 @@ impl MuFabric {
         // timing models and to the ordering contract asserted in tests.
         let _ = routing;
         match kind {
-            XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
+            XferKind::MemoryFifo { rec_fifo, dispatch, metadata, short } => {
                 self.deliver_fifo_sync(
                     src_node,
                     dst_node,
@@ -503,6 +749,7 @@ impl MuFabric {
                     lane,
                     link_seq,
                     inj_counter.is_some(),
+                    short,
                 );
                 let _ = dst_context;
             }
@@ -558,16 +805,30 @@ impl MuFabric {
         lane: &MsgIdLane,
         seq_src: &AtomicU64,
         stage: bool,
+        short: bool,
     ) {
         let msg_len = payload.len();
         let src = self.node(src_node);
         let msg_id = lane.next();
         let pin = src_context as usize;
-        src.counters.fifo_messages.incr_pinned(pin);
         let dst = self.node(dst_node);
         let fifo = dst.rec.get(rec_fifo.0);
         let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
-        src.counters.packets_injected.add_pinned(pin, npackets);
+        // Per-message probes are sampled: one message per window accounts
+        // for the whole window (scaled add), so the synchronous hot path
+        // touches the telemetry stripes once every
+        // MU_PACKET_COUNTER_SAMPLE messages instead of per message.
+        if counter_sample_hit(msg_id) {
+            src.counters
+                .fifo_messages
+                .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
+            src.counters
+                .packets_injected
+                .add_pinned(pin, npackets * MU_PACKET_COUNTER_SAMPLE);
+            dst.counters
+                .packets_received
+                .add_pinned(pin, npackets * MU_PACKET_COUNTER_SAMPLE);
+        }
         let base_seq = seq_src.fetch_add(npackets, Ordering::Relaxed);
         let crc_on = self.inner.crc;
         let header = |i: u64| {
@@ -611,6 +872,7 @@ impl MuFabric {
                         offset: off as u32,
                         link_seq: seq,
                         crc: stamp(off, seq, &data[off..off + chunk]),
+                        short,
                         payload: PacketPayload::Inline(data.slice(off..off + chunk)),
                     }
                 });
@@ -645,6 +907,7 @@ impl MuFabric {
                             offset: off as u32,
                             link_seq: seq,
                             crc: stamp(off, seq, &staged),
+                            short,
                             payload: PacketPayload::Inline(bytes::Bytes::from(staged)),
                         }
                     });
@@ -669,6 +932,7 @@ impl MuFabric {
                             offset: off as u32,
                             link_seq: seq,
                             crc: stamp(off, seq, &[]),
+                            short,
                             payload: PacketPayload::Region {
                                 region: region.clone(),
                                 offset: base + off,
@@ -679,7 +943,6 @@ impl MuFabric {
                 }
             }
         }
-        dst.counters.packets_received.add_pinned(pin, npackets);
     }
 
     // ---- reliability layer (active iff a fault plan is installed) ------
@@ -736,6 +999,63 @@ impl MuFabric {
             });
         }
         newly
+    }
+
+    /// Administratively revive the physical link out of `node` in direction
+    /// `dir` (both directions come back up) — the RAS analogue of reseating
+    /// the optical module [`MuFabric::kill_link`] pulled. Requires a fault
+    /// plan. Returns `false` if the link was not down. `ras.link_down`
+    /// stays monotonic (it counts down *events*); recovery is visible
+    /// through the `LinkRevived` RAS event, `LinkHealth::down_count`, and
+    /// the health epoch bump that invalidates cached routes.
+    pub fn revive_link(&self, node: u32, dir: Dir) -> bool {
+        let rel = self
+            .inner
+            .reliability
+            .as_ref()
+            .expect("revive_link requires a fault plan (MuFabricBuilder::fault_plan)");
+        let at = self.inner.shape.coords_of(node as usize);
+        let peer = self.inner.shape.node_index(self.inner.shape.neighbor(at, dir)) as u32;
+        let newly = rel.health.revive(at, dir);
+        if newly {
+            rel.ring.record(RasEvent {
+                tick: rel.tick(node),
+                kind: RasEventKind::LinkRevived,
+                src_node: node,
+                dst_node: peer,
+                detail: link_id(node, dir),
+            });
+        }
+        newly
+    }
+
+    /// Clear a dead (src, dst) reliable channel so traffic can flow again
+    /// after the underlying failure was repaired — the persistent-channel
+    /// renegotiation hook. Resets the retransmit state (fresh RTO, zero
+    /// retries, route recomputed at the current health epoch on next use)
+    /// and republishes the channel alive. Returns `false` without a fault
+    /// plan, for self-sends, or if the channel was not dead. Frames failed
+    /// by the kill stay failed — revival is forward-looking only.
+    pub fn revive_channel(&self, src_node: u32, dst_node: u32) -> bool {
+        let Some(rel) = &self.inner.reliability else { return false };
+        if src_node == dst_node {
+            return false;
+        }
+        let ch = rel.channel(src_node, dst_node);
+        let mut tx = ch.tx.lock();
+        let Some(fault) = tx.dead.take() else { return false };
+        tx.retries = 0;
+        tx.rto = rel.injector.retry().rto_ticks;
+        tx.route = None;
+        ch.publish_alive();
+        rel.ring.record(RasEvent {
+            tick: rel.tick(src_node),
+            kind: RasEventKind::ChannelRevived,
+            src_node,
+            dst_node,
+            detail: fault as u64,
+        });
+        true
     }
 
     /// Whether `node` has no frames queued or awaiting retry in its
@@ -796,7 +1116,7 @@ impl MuFabric {
         // lock exists only for the retransmit queue.
         let fast = rel.clean && !rel.health.any_down() && ch.seems_alive();
         let kind = match kind {
-            XferKind::MemoryFifo { rec_fifo, dispatch, metadata } if fast => {
+            XferKind::MemoryFifo { rec_fifo, dispatch, metadata, short } if fast => {
                 // Specialized fair-weather fifo path: fragment straight
                 // into `MuPacket`s (no link-frame intermediate) exactly as
                 // the lossless fabric does, drawing sequence numbers from
@@ -814,6 +1134,7 @@ impl MuFabric {
                     lane,
                     &ch.next_seq,
                     inj_counter.is_some(),
+                    short,
                 );
                 if let Some(c) = inj_counter {
                     c.delivered(total_credit);
@@ -856,7 +1177,7 @@ impl MuFabric {
             }
         };
         match kind {
-            XferKind::MemoryFifo { rec_fifo, dispatch, metadata } => {
+            XferKind::MemoryFifo { rec_fifo, dispatch, metadata, short } => {
                 let msg_len = payload.len();
                 let src = self.node(src_node);
                 let msg_id = lane.next();
@@ -905,6 +1226,7 @@ impl MuFabric {
                             msg_id,
                             msg_len: msg_len as u32,
                             offset: off as u32,
+                            short,
                             payload: fp,
                         },
                     );
@@ -1213,6 +1535,7 @@ impl MuFabric {
                 msg_id,
                 msg_len,
                 offset,
+                short,
                 payload,
             } => {
                 let staged: &[u8] = match &payload {
@@ -1244,6 +1567,7 @@ impl MuFabric {
                     offset,
                     link_seq: seq,
                     crc,
+                    short,
                     payload: pkt_payload,
                 });
                 dst.counters.packets_received.incr();
@@ -1308,7 +1632,12 @@ mod tests {
             src_context: 0,
             routing: bgq_torus::Routing::Deterministic,
             payload,
-            kind: XferKind::MemoryFifo { rec_fifo: fifo, dispatch: 7, metadata: Bytes::new() },
+            kind: XferKind::MemoryFifo {
+                rec_fifo: fifo,
+                dispatch: 7,
+                metadata: Bytes::new(),
+                short: false,
+            },
             inj_counter: None,
         }
     }
@@ -1340,9 +1669,18 @@ mod tests {
         assert_eq!(count, 3);
         assert_eq!(out.to_vec(), data);
         if cfg!(feature = "telemetry") {
-            assert_eq!(fabric.counters(1).packets_received.value(), 3);
-            assert_eq!(fabric.counters(0).packets_injected.value(), 3);
-            assert_eq!(fabric.counters(0).fifo_messages.value(), 1);
+            // Per-message probes are sampled: the first message on a lane
+            // (sequence 0) accounts for a whole MU_PACKET_COUNTER_SAMPLE
+            // window.
+            assert_eq!(
+                fabric.counters(1).packets_received.value(),
+                3 * MU_PACKET_COUNTER_SAMPLE
+            );
+            assert_eq!(
+                fabric.counters(0).packets_injected.value(),
+                3 * MU_PACKET_COUNTER_SAMPLE
+            );
+            assert_eq!(fabric.counters(0).fifo_messages.value(), MU_PACKET_COUNTER_SAMPLE);
         }
     }
 
@@ -1985,5 +2323,98 @@ mod tests {
         let p = fabric.poll_rec(0, rec).expect("self-sends never traverse links");
         assert_eq!(p.payload.view(), b"loop");
         assert!(fabric.links_idle(0));
+    }
+
+    #[test]
+    fn short_send_is_one_inline_packet_with_synchronous_completion() {
+        let fabric = small_fabric();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let done = Counter::new();
+        done.add_expected(5);
+        fabric.send_short_now(
+            0,
+            1,
+            rec,
+            3,
+            9,
+            Bytes::from_static(b"md"),
+            Bytes::from_static(b"hello"),
+            Some(done.clone()),
+        );
+        assert!(done.is_complete(), "short-tier completion is synchronous");
+        let p = fabric.poll_rec(1, rec).unwrap();
+        assert!(p.short, "envelope carries the short-tier flag");
+        assert_eq!(p.src_context, 3);
+        assert_eq!(p.dispatch, 9);
+        assert_eq!(&p.metadata[..], b"md");
+        assert_eq!(p.payload.view(), b"hello");
+        assert_eq!(p.msg_len, 5);
+        assert_eq!(p.offset, 0);
+        assert!(fabric.poll_rec(1, rec).is_none(), "exactly one packet");
+    }
+
+    #[test]
+    fn short_send_keeps_flag_through_reliable_channel() {
+        let fabric = reliable_fabric(FaultPlan::new().seed(7));
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let done = Counter::new();
+        done.add_expected(4);
+        fabric.send_short_now(
+            0,
+            1,
+            rec,
+            0,
+            5,
+            Bytes::new(),
+            Bytes::from_static(b"shrt"),
+            Some(done.clone()),
+        );
+        assert!(done.is_complete());
+        let p = fabric.poll_rec(1, rec).unwrap();
+        assert!(p.short, "flag survives the fair-weather reliable path");
+        assert_eq!(p.payload.view(), b"shrt");
+    }
+
+    #[test]
+    fn revived_link_and_channel_carry_traffic_again() {
+        let fabric = MuFabric::builder(TorusShape::new([2, 1, 1, 1, 1]))
+            .fault_plan(FaultPlan::new().seed(1))
+            .build();
+        let rec = fabric.alloc_rec_fifos(1, 1).unwrap()[0];
+        let xp = bgq_torus::Dir { dim: bgq_torus::Dim::A, plus: true };
+        let xm = bgq_torus::Dir { dim: bgq_torus::Dim::A, plus: false };
+        // Sever every route from node 0 to node 1 (a 2-node torus only has
+        // the two A-dimension links).
+        assert!(fabric.kill_link(0, xp));
+        assert!(fabric.kill_link(0, xm));
+        let doomed = Counter::new();
+        doomed.add_expected(3);
+        let mut desc =
+            memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from_static(b"die")));
+        desc.inj_counter = Some(doomed.clone());
+        fabric.execute_now(0, desc);
+        assert_eq!(
+            doomed.fault(),
+            Some(DeliveryFault::Unreachable),
+            "no healthy route must fail the counter, not hang it"
+        );
+        // Repair: both links back up, then clear the dead channel.
+        assert!(fabric.revive_link(0, xp));
+        assert!(fabric.revive_link(0, xm));
+        assert!(!fabric.revive_link(0, xp), "already up");
+        assert!(fabric.revive_channel(0, 1), "channel was dead");
+        assert!(!fabric.revive_channel(0, 1), "already alive");
+        let ok = Counter::new();
+        ok.add_expected(3);
+        let mut desc =
+            memfifo_desc(1, rec, PayloadSource::Immediate(Bytes::from_static(b"yay")));
+        desc.inj_counter = Some(ok.clone());
+        fabric.execute_now(0, desc);
+        assert!(ok.is_ok(), "revived channel delivers again");
+        let p = fabric.poll_rec(1, rec).unwrap();
+        assert_eq!(p.payload.view(), b"yay");
+        let (events, _) = fabric.ras_events();
+        assert!(events.iter().any(|e| e.kind == RasEventKind::LinkRevived));
+        assert!(events.iter().any(|e| e.kind == RasEventKind::ChannelRevived));
     }
 }

@@ -99,6 +99,12 @@ pub struct InjFifo {
     /// stamp their own under a fault plan, preserving per-channel
     /// continuity).
     pub(crate) link_seq: AtomicU64,
+    /// Descriptors popped from `queue` but not yet fully delivered by the
+    /// pumping engine. The short-tier bypass consults this together with
+    /// queue emptiness ([`InjFifo::is_quiescent`]) before injecting a
+    /// message around the FIFO, so bypassing never reorders against a
+    /// descriptor the engine is mid-delivery on.
+    pub(crate) inflight: AtomicU64,
 }
 
 impl InjFifo {
@@ -107,7 +113,17 @@ impl InjFifo {
             queue: WorkQueue::with_capacity(capacity),
             lane: MsgIdLane::new(node, lane),
             link_seq: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
         }
+    }
+
+    /// `true` when nothing is queued in this FIFO *and* no engine is
+    /// mid-delivery on a descriptor popped from it — the condition under
+    /// which a single-packet send may bypass the FIFO without overtaking
+    /// earlier traffic to the same destination.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.inflight.load(Ordering::Acquire) == 0
     }
 }
 
@@ -362,6 +378,7 @@ mod tests {
             offset: 0,
             link_seq: 0,
             crc: 0,
+            short: false,
             payload: crate::packet::PacketPayload::Inline(Bytes::new()),
         });
         assert_eq!(region.epoch(), 1);
@@ -385,6 +402,7 @@ mod tests {
             offset: i as u32 * 512,
             link_seq: i,
             crc: 0,
+            short: false,
             payload: crate::packet::PacketPayload::Inline(Bytes::new()),
         });
         assert_eq!(region.epoch(), 1, "one wakeup for the whole message");

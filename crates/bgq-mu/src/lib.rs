@@ -47,7 +47,7 @@ pub mod packet;
 pub use bgq_hw::{Counter, DeliveryFault};
 pub use descriptor::{Descriptor, PayloadSource, XferKind};
 pub use engine::EngineMode;
-pub use fabric::{MuCounters, MuFabric, MuFabricBuilder};
+pub use fabric::{MuCounters, MuFabric, MuFabricBuilder, MU_PACKET_COUNTER_SAMPLE};
 pub use faults::{Fate, FaultInjector, FaultPlan, FaultPlanError, FaultRates, LinkFault, RetryConfig};
 pub use link::{RasCounters, RasEvent, RasEventKind, RasRing};
 pub use packet::packet_crc;

@@ -91,6 +91,13 @@ pub enum RasEventKind {
     Reroute,
     /// A transfer failed permanently (`detail` = fault discriminant).
     DeliveryFailure,
+    /// A directed link came back up after a service action (`detail` =
+    /// link id).
+    LinkRevived,
+    /// A dead channel was administratively cleared so traffic (e.g. a
+    /// persistent-channel renegotiation) can flow again (`detail` = the
+    /// fault discriminant that had killed it).
+    ChannelRevived,
 }
 
 impl RasEventKind {
@@ -103,6 +110,8 @@ impl RasEventKind {
             RasEventKind::LinkDown => "link_down",
             RasEventKind::Reroute => "reroute",
             RasEventKind::DeliveryFailure => "delivery_failure",
+            RasEventKind::LinkRevived => "link_revived",
+            RasEventKind::ChannelRevived => "channel_revived",
         }
     }
 }
@@ -201,6 +210,9 @@ pub(crate) enum FrameBody {
         msg_id: u64,
         msg_len: u32,
         offset: u32,
+        /// Short-tier flag, carried so the delivered [`crate::packet::MuPacket`]
+        /// keeps its tier under a fault plan.
+        short: bool,
         payload: FramePayload,
     },
     /// One ≤512-byte window of a direct put.
@@ -349,6 +361,12 @@ impl Channel {
     /// after [`TxState::dead`] is set.
     pub(crate) fn publish_dead(&self) {
         self.dead_hint.store(true, Ordering::Release);
+    }
+
+    /// Clear the dead hint; called with the lock held, right after
+    /// [`TxState::dead`] is cleared by a channel revive.
+    pub(crate) fn publish_alive(&self) {
+        self.dead_hint.store(false, Ordering::Release);
     }
 }
 

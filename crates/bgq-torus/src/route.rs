@@ -94,6 +94,10 @@ pub struct LinkHealth {
     /// Number of directed links currently marked down (both directions of a
     /// killed physical link count). Zero ⇒ every route is healthy.
     down_count: AtomicUsize,
+    /// Monotonic change counter: bumps on every kill *and* every revive, so
+    /// cached routes invalidate even when the down count returns to a value
+    /// it held before.
+    change_epoch: AtomicUsize,
 }
 
 impl LinkHealth {
@@ -104,6 +108,7 @@ impl LinkHealth {
             shape,
             down: (0..n).map(|_| AtomicU16::new(0)).collect(),
             down_count: AtomicUsize::new(0),
+            change_epoch: AtomicUsize::new(0),
         }
     }
 
@@ -118,10 +123,11 @@ impl LinkHealth {
         self.down_count.load(Ordering::Relaxed) != 0
     }
 
-    /// Monotonic health epoch: bumps every time a directed link goes down.
-    /// Route caches compare epochs to know when to recompute.
+    /// Monotonic health epoch: bumps every time a directed link goes down
+    /// or comes back up. Route caches compare epochs to know when to
+    /// recompute.
     pub fn epoch(&self) -> usize {
-        self.down_count.load(Ordering::Relaxed)
+        self.change_epoch.load(Ordering::Relaxed)
     }
 
     /// Is the outgoing link of `node` in direction `dir` up?
@@ -140,12 +146,37 @@ impl LinkHealth {
         a || b
     }
 
+    /// Revive the physical link between `node` and its `dir` neighbor — the
+    /// service action that replaces a failed module. Both directions come
+    /// back up. Returns `true` if this call newly revived the link
+    /// (idempotent).
+    pub fn revive(&self, node: Coords, dir: Dir) -> bool {
+        let peer = self.shape.neighbor(node, dir);
+        let a = self.unmark(node, dir);
+        let b = self.unmark(peer, dir.reverse());
+        a || b
+    }
+
     fn mark(&self, node: Coords, dir: Dir) -> bool {
         let idx = self.shape.node_index(node);
         let bit = 1u16 << dir.index();
         let prev = self.down[idx].fetch_or(bit, Ordering::Relaxed);
         if prev & bit == 0 {
             self.down_count.fetch_add(1, Ordering::Relaxed);
+            self.change_epoch.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unmark(&self, node: Coords, dir: Dir) -> bool {
+        let idx = self.shape.node_index(node);
+        let bit = 1u16 << dir.index();
+        let prev = self.down[idx].fetch_and(!bit, Ordering::Relaxed);
+        if prev & bit != 0 {
+            self.down_count.fetch_sub(1, Ordering::Relaxed);
+            self.change_epoch.fetch_add(1, Ordering::Relaxed);
             true
         } else {
             false

@@ -32,7 +32,10 @@ use crate::endpoint::Endpoint;
 use crate::error::{PamiError, PamiResult};
 use crate::machine::Machine;
 use crate::policy::{ProtoEvent, Protocol};
-use crate::proto::{wire, SendArgs, ShmMailbox, ShmMsg, ShmPayload, DISPATCH_INTERNAL_BASE, DISPATCH_RZV_RTS};
+use crate::proto::{
+    wire, SendArgs, ShmMailbox, ShmMsg, ShmPayload, DISPATCH_CHAN_REQ, DISPATCH_INTERNAL_BASE,
+    DISPATCH_RZV_RTS,
+};
 
 thread_local! {
     /// Whether the current thread is a commthread-pool worker. Set by
@@ -168,8 +171,9 @@ struct CtxProbes {
     idle_fastpath_hits: bgq_upc::Counter,
     /// Events processed across all `advance` calls.
     advance_events: bgq_upc::Counter,
-    /// Sends by protocol.
-    sends_immediate: bgq_upc::Counter,
+    /// Sends by protocol. The short tier and `send_immediate` share one
+    /// probe — they are the same envelope path.
+    sends_short: bgq_upc::Counter,
     sends_eager: bgq_upc::Counter,
     sends_rzv: bgq_upc::Counter,
     sends_shm: bgq_upc::Counter,
@@ -194,7 +198,7 @@ impl CtxProbes {
             advance_calls: upc.counter("ctx.advance_calls"),
             idle_fastpath_hits: upc.counter("ctx.idle_fastpath_hits"),
             advance_events: upc.counter("ctx.advance_events"),
-            sends_immediate: upc.counter("ctx.sends_immediate"),
+            sends_short: upc.counter("ctx.sends_short"),
             sends_eager: upc.counter("ctx.sends_eager"),
             sends_rzv: upc.counter("ctx.sends_rzv"),
             sends_shm: upc.counter("ctx.sends_shm"),
@@ -246,6 +250,14 @@ pub struct Context {
     /// read lock-free by [`Context::is_quiescent`] and the empty-fast-path
     /// in [`Context::advance`].
     pending_internal: AtomicUsize,
+    /// Persistent-channel pairing ordinals, per peer endpoint: the n-th
+    /// channel this context opens to a peer pairs with the n-th channel the
+    /// peer opens back (see [`crate::channel::PersistentChannel`]).
+    chan_ordinals: Mutex<HashMap<Endpoint, u64>>,
+    /// Buffer offers received from peers ([`DISPATCH_CHAN_REQ`] arrivals),
+    /// keyed by (peer endpoint, ordinal), waiting for the local side to
+    /// bind its channel.
+    chan_offers: Mutex<HashMap<(Endpoint, u64), crate::channel::ChanOffer>>,
     user_lock: L2TicketMutex,
     /// Cached `machine.policy().wants_feedback()`: when `false` (the
     /// static default) the send path writes a zero stamp and delivery
@@ -315,6 +327,8 @@ impl Context {
                 handler_memo: None,
             }),
             pending_internal: AtomicUsize::new(0),
+            chan_ordinals: Mutex::new(HashMap::new()),
+            chan_offers: Mutex::new(HashMap::new()),
             user_lock: L2TicketMutex::new(),
             policy_feedback: bgq_upc::ENABLED && machine.policy().wants_feedback(),
             probes: CtxProbes::new(machine.telemetry()),
@@ -432,12 +446,11 @@ impl Context {
         if dispatch >= DISPATCH_INTERNAL_BASE {
             return Err(PamiError::Invalid("dispatch id in the reserved range"));
         }
-        self.probes.sends_immediate.incr_pinned(self.offset as usize);
-        // One-packet immediates are eager by construction: a packet fits
-        // under every policy's minimum clamp, so consulting the policy
-        // could only ever answer `Eager` — but the delivery outcome still
-        // flows back through the stamped envelope so adaptive policies see
-        // immediate traffic in their eager cost model.
+        self.probes.sends_short.incr_pinned(self.offset as usize);
+        // One-packet immediates ARE short-tier sends: one inline envelope,
+        // no descriptor, no injection queue — and the delivery outcome
+        // feeds the policy's *short* cost model through the short-flagged
+        // packet instead of polluting the eager one.
         let stamp = self.send_stamp();
         let dest_node = self.machine.task_node(dest.task);
         if dest_node == self.node {
@@ -452,21 +465,15 @@ impl Context {
             return Ok(());
         }
         let rec_fifo = self.rec_fifo_of(dest)?;
-        self.machine.fabric().execute_now(
+        self.machine.fabric().send_short_now(
             self.node,
-            Descriptor {
-                dst_node: dest_node,
-                dst_context: dest.context,
-                src_context: self.offset,
-                routing: bgq_torus::Routing::Deterministic,
-                payload: PayloadSource::Immediate(Bytes::copy_from_slice(payload)),
-                kind: XferKind::MemoryFifo {
-                    rec_fifo,
-                    dispatch,
-                    metadata: self.envelope_for(stamp, metadata),
-                },
-                inj_counter: None,
-            },
+            dest_node,
+            rec_fifo,
+            self.offset,
+            dispatch,
+            self.envelope_for(stamp, metadata),
+            Bytes::copy_from_slice(payload),
+            None,
         );
         Ok(())
     }
@@ -497,7 +504,49 @@ impl Context {
         let len = args.payload.len();
         let stamp = self.send_stamp();
         match self.machine.policy().select(args.dest.task, len) {
-            Protocol::Eager => {
+            Protocol::Short if len <= bgq_torus::packet::MAX_PAYLOAD_BYTES => {
+                self.probes.sends_short.incr_pinned(self.offset as usize);
+                let fifo = &self.inj_fifos[args.dest.task as usize % self.inj_fifos.len()];
+                let metadata = self.envelope_for(stamp, &args.metadata);
+                if fifo.is_quiescent() {
+                    // Short tier: the destination's pinned FIFO has nothing
+                    // queued and no engine mid-pop, so ordering lets the
+                    // message skip the injection queue entirely — one
+                    // inline envelope, no descriptor, no completion-counter
+                    // allocation, no fragment loop.
+                    self.machine.fabric().send_short(
+                        self.node,
+                        fifo,
+                        dest_node,
+                        rec_fifo,
+                        self.offset,
+                        args.dispatch,
+                        metadata,
+                        args.payload.to_bytes(),
+                        args.local_done,
+                    );
+                } else {
+                    // Earlier traffic is still queued on this FIFO: keep
+                    // the per-destination ordering rule by queueing a
+                    // short-flagged descriptor behind it.
+                    let desc = Descriptor {
+                        dst_node: dest_node,
+                        dst_context: args.dest.context,
+                        src_context: self.offset,
+                        routing: bgq_torus::Routing::Deterministic,
+                        payload: args.payload,
+                        kind: XferKind::MemoryFifo {
+                            rec_fifo,
+                            dispatch: args.dispatch,
+                            metadata,
+                            short: true,
+                        },
+                        inj_counter: args.local_done,
+                    };
+                    self.machine.fabric().inject_handle(self.node, fifo, desc);
+                }
+            }
+            Protocol::Short | Protocol::Eager => {
                 self.probes.sends_eager.incr_pinned(self.offset as usize);
                 let desc = Descriptor {
                     dst_node: dest_node,
@@ -509,6 +558,7 @@ impl Context {
                         rec_fifo,
                         dispatch: args.dispatch,
                         metadata: self.envelope_for(stamp, &args.metadata),
+                        short: false,
                     },
                     inj_counter: args.local_done,
                 };
@@ -530,6 +580,7 @@ impl Context {
                         rec_fifo,
                         dispatch: DISPATCH_RZV_RTS,
                         metadata: wire::envelope(self.task, stamp, &rts),
+                        short: false,
                     },
                     inj_counter: None,
                 };
@@ -669,9 +720,11 @@ impl Context {
         let addr = self.addr_of(args.dest)?;
         let len = args.payload.len();
         let stamp = self.send_stamp();
+        // On-node, short and eager are the same inline mailbox path; only
+        // rendezvous-class payloads take the global-VA single-copy route.
         let eager = matches!(
             self.machine.policy().select(args.dest.task, len),
-            Protocol::Eager
+            Protocol::Short | Protocol::Eager
         );
         let payload = if eager {
             let bytes = args.payload.to_bytes();
@@ -919,6 +972,11 @@ impl Context {
                 self.handle_rts(st, bc, src, stamp, &body);
                 return;
             }
+            if pkt.dispatch == DISPATCH_CHAN_REQ {
+                self.handle_chan_req(src, &body);
+                bc.dispatched += 1;
+                return;
+            }
             let msg = IncomingMsg {
                 src,
                 dispatch: pkt.dispatch,
@@ -943,10 +1001,17 @@ impl Context {
                         pkt.payload.view().len(),
                         pkt.msg_len
                     );
-                    self.observe(|| ProtoEvent::EagerDelivered {
-                        dest: self.task,
-                        len: pkt.msg_len as usize,
-                        ns: stamp.elapsed_ns(),
+                    // The short flag, not the packet count, picks the cost
+                    // model: an exploration-eager single packet must feed
+                    // the eager EWMA, and vice versa.
+                    self.observe(|| {
+                        let (dest, len, ns) =
+                            (self.task, pkt.msg_len as usize, stamp.elapsed_ns());
+                        if pkt.short {
+                            ProtoEvent::ShortDelivered { dest, len, ns }
+                        } else {
+                            ProtoEvent::EagerDelivered { dest, len, ns }
+                        }
                     });
                 }
                 Recv::Into { region, offset, on_complete } => {
@@ -956,10 +1021,14 @@ impl Context {
                     pkt.payload.deposit(&region, offset);
                     bc.copies += 1;
                     if pkt.is_last() {
-                        self.observe(|| ProtoEvent::EagerDelivered {
-                            dest: self.task,
-                            len: pkt.msg_len as usize,
-                            ns: stamp.elapsed_ns(),
+                        self.observe(|| {
+                            let (dest, len, ns) =
+                                (self.task, pkt.msg_len as usize, stamp.elapsed_ns());
+                            if pkt.short {
+                                ProtoEvent::ShortDelivered { dest, len, ns }
+                            } else {
+                                ProtoEvent::EagerDelivered { dest, len, ns }
+                            }
                         });
                         on_complete(self, Ok(()));
                     } else {
@@ -1059,6 +1128,13 @@ impl Context {
     }
 
     fn handle_shm(&self, memo: &mut Option<HandlerMemo>, msg: ShmMsg) {
+        if msg.dispatch == DISPATCH_CHAN_REQ {
+            // On-node channel offers ride the mailbox with the body as raw
+            // metadata (no envelope — shm messages carry the source
+            // endpoint natively).
+            self.handle_chan_req(msg.src, &msg.metadata);
+            return;
+        }
         let info = IncomingMsg {
             src: msg.src,
             dispatch: msg.dispatch,
@@ -1118,12 +1194,96 @@ impl Context {
         }
     }
 
+    // ---- persistent channels ----------------------------------------------
+
+    /// Open a persistent channel to `dest`: pre-negotiate a pinned buffer
+    /// pair once, then move fixed-size messages with
+    /// [`crate::channel::PersistentChannel::post`] /
+    /// [`crate::channel::PersistentChannel::wait`] — prebuilt-descriptor
+    /// injections with zero matching and zero per-message protocol
+    /// decisions. The peer must open a matching channel back (channels
+    /// pair in per-peer creation order); this call sends the local buffer
+    /// offer and returns immediately — the handshake completes lazily on
+    /// first use.
+    pub fn channel(
+        self: &Arc<Self>,
+        dest: Endpoint,
+        size: usize,
+    ) -> PamiResult<crate::channel::PersistentChannel> {
+        crate::channel::PersistentChannel::create(self, dest, size)
+    }
+
+    /// Next pairing ordinal for channels to `dest` (the n-th channel this
+    /// context opens to a peer pairs with the n-th the peer opens back).
+    pub(crate) fn next_chan_ordinal(&self, dest: Endpoint) -> u64 {
+        let mut m = self.chan_ordinals.lock();
+        let slot = m.entry(dest).or_insert(0);
+        let ordinal = *slot;
+        *slot += 1;
+        ordinal
+    }
+
+    /// Send a persistent-channel buffer offer to `dest` over the system
+    /// lane (mailbox on-node, an internal-dispatch memory-FIFO message
+    /// off-node).
+    pub(crate) fn send_chan_offer(&self, dest: Endpoint, body: Vec<u8>) -> PamiResult<()> {
+        let dest_node = self.machine.task_node(dest.task);
+        if dest_node == self.node {
+            let addr = self.addr_of(dest)?;
+            addr.mailbox.deliver(ShmMsg {
+                src: self.endpoint(),
+                dispatch: DISPATCH_CHAN_REQ,
+                metadata: Bytes::from(body),
+                stamp: Stamp::from_ns(0),
+                payload: ShmPayload::Inline(Bytes::new()),
+            });
+            return Ok(());
+        }
+        let rec_fifo = self.rec_fifo_of(dest)?;
+        self.machine.fabric().execute_now(
+            self.node,
+            Descriptor {
+                dst_node: dest_node,
+                dst_context: dest.context,
+                src_context: self.offset,
+                routing: bgq_torus::Routing::Deterministic,
+                payload: PayloadSource::Immediate(Bytes::new()),
+                kind: XferKind::MemoryFifo {
+                    rec_fifo,
+                    dispatch: DISPATCH_CHAN_REQ,
+                    metadata: wire::envelope(self.task, Stamp::from_ns(0), &body),
+                    short: false,
+                },
+                inj_counter: None,
+            },
+        );
+        Ok(())
+    }
+
+    fn handle_chan_req(&self, src: Endpoint, body: &Bytes) {
+        let (ordinal, size, mem_key) = wire::open_chan_req(body);
+        self.chan_offers.lock().insert(
+            (src, ordinal),
+            crate::channel::ChanOffer { size, mem_key: crate::machine::MemKey(mem_key) },
+        );
+    }
+
+    /// Claim the peer's buffer offer for (peer, ordinal), if it has
+    /// arrived.
+    pub(crate) fn take_chan_offer(
+        &self,
+        peer: Endpoint,
+        ordinal: u64,
+    ) -> Option<crate::channel::ChanOffer> {
+        self.chan_offers.lock().remove(&(peer, ordinal))
+    }
+
     // ---- statistics --------------------------------------------------------
 
     /// Sends initiated through this context, across every protocol
     /// (telemetry aggregate; 0 with the `telemetry` feature off).
     pub fn sends_initiated(&self) -> u64 {
-        self.probes.sends_immediate.value()
+        self.probes.sends_short.value()
             + self.probes.sends_eager.value()
             + self.probes.sends_rzv.value()
             + self.probes.sends_shm.value()

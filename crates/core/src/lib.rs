@@ -66,6 +66,7 @@
 //! assert_eq!(got.load(Ordering::SeqCst), 1);
 //! ```
 
+pub mod channel;
 pub mod client;
 pub mod coll;
 pub mod commthread;
@@ -78,6 +79,7 @@ pub mod policy;
 pub mod proto;
 pub mod topology;
 
+pub use channel::PersistentChannel;
 pub use client::Client;
 pub use commthread::{CommThreadPool, LockDiscipline};
 pub use context::{Context, IncomingMsg, Recv};

@@ -38,9 +38,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bgq_upc::{Histogram, Upc};
 use parking_lot::Mutex;
 
+/// Default short/eager crossover in bytes — the Charm++ PAMI machine
+/// layer's `SHORT_CUTOFF 128`: payloads at or below it inline into a single
+/// packet envelope with no region setup and no completion counter.
+pub const SHORT_CUTOFF: usize = 128;
+
 /// Which wire protocol a send uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
+    /// Metadata and payload inline into one packet envelope — no region
+    /// registration, no completion counter, no fragment loop; the receive
+    /// side dispatches straight from the packet.
+    Short,
     /// Payload travels with the message (memory-FIFO packets off-node,
     /// inline mailbox copy on-node).
     Eager,
@@ -54,6 +63,15 @@ pub enum Protocol {
 /// the stamp the sender put in the message envelope (0 with telemetry off).
 #[derive(Debug, Clone, Copy)]
 pub enum ProtoEvent {
+    /// A short-tier message (single inline packet) was delivered at `dest`.
+    ShortDelivered {
+        /// The receiving task (the key the sender selected by).
+        dest: u32,
+        /// Payload length.
+        len: usize,
+        /// Send-stamp → delivery nanoseconds.
+        ns: u64,
+    },
     /// An eager message was fully delivered at `dest`.
     EagerDelivered {
         /// The receiving task (the key the sender selected by).
@@ -78,6 +96,7 @@ pub enum ProtoEvent {
 impl ProtoEvent {
     fn parts(&self) -> (Protocol, u32, usize, u64) {
         match *self {
+            ProtoEvent::ShortDelivered { dest, len, ns } => (Protocol::Short, dest, len, ns),
             ProtoEvent::EagerDelivered { dest, len, ns } => (Protocol::Eager, dest, len, ns),
             ProtoEvent::RzvComplete { dest, len, ns } => (Protocol::Rendezvous, dest, len, ns),
         }
@@ -112,6 +131,13 @@ pub trait ProtocolPolicy: Send + Sync {
     /// (diagnostics; adaptive policies report per-destination state).
     fn crossover(&self, dest: u32) -> usize;
 
+    /// The current short/eager crossover for `dest`, in bytes. Zero means
+    /// the policy has no short tier (the pre-ladder default).
+    fn short_crossover(&self, dest: u32) -> usize {
+        let _ = dest;
+        0
+    }
+
     /// Short policy name for reports (`"static"` / `"adaptive"`).
     fn name(&self) -> &'static str;
 }
@@ -120,23 +146,36 @@ pub trait ProtocolPolicy: Send + Sync {
 // Static
 // ---------------------------------------------------------------------------
 
-/// Today's fixed-threshold behaviour, preserved bit for bit: `len <= limit`
-/// is eager, everything larger is rendezvous, for every destination.
+/// Fixed-threshold three-tier ladder: `len <= short` goes short (inline
+/// single packet), `len <= limit` goes eager, everything larger is
+/// rendezvous, for every destination.
 pub struct StaticPolicy {
+    short: usize,
     limit: usize,
 }
 
 impl StaticPolicy {
-    /// A static policy with the given eager limit in bytes.
+    /// A static policy with the given eager limit in bytes and the default
+    /// [`SHORT_CUTOFF`] short tier.
     pub fn new(limit: usize) -> StaticPolicy {
-        StaticPolicy { limit }
+        StaticPolicy { short: SHORT_CUTOFF.min(limit), limit }
+    }
+
+    /// A static policy with an explicit short cutoff (`0` disables the
+    /// short tier — every small send takes the eager path, the pre-ladder
+    /// behaviour the benches baseline against).
+    pub fn with_short(short: usize, limit: usize) -> StaticPolicy {
+        assert!(short <= limit, "short cutoff must not exceed the eager limit");
+        StaticPolicy { short, limit }
     }
 }
 
 impl ProtocolPolicy for StaticPolicy {
     #[inline]
     fn select(&self, _dest: u32, len: usize) -> Protocol {
-        if len <= self.limit {
+        if self.short > 0 && len <= self.short {
+            Protocol::Short
+        } else if len <= self.limit {
             Protocol::Eager
         } else {
             Protocol::Rendezvous
@@ -145,6 +184,10 @@ impl ProtocolPolicy for StaticPolicy {
 
     fn crossover(&self, _dest: u32) -> usize {
         self.limit
+    }
+
+    fn short_crossover(&self, _dest: u32) -> usize {
+        self.short
     }
 
     fn name(&self) -> &'static str {
@@ -188,6 +231,15 @@ pub struct AdaptiveConfig {
     /// pulls crossovers down (eager floods unexpected queues; rendezvous
     /// throttles the sender).
     pub depth_nudge_at: u64,
+    /// Starting short/eager crossover for every destination.
+    pub short_initial: usize,
+    /// Hard floor of the short band: `len <= short_min` is always short and
+    /// the short crossover never tunes below this.
+    pub short_min: usize,
+    /// Hard clamp of the short band; must stay at or below `min` (the short
+    /// band sits strictly below the eager/rendezvous band) and below the
+    /// single-packet payload limit so a short send is always one packet.
+    pub short_max: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -202,6 +254,9 @@ impl Default for AdaptiveConfig {
             min_samples: 8,
             snapshot_every: 256,
             depth_nudge_at: 8,
+            short_initial: SHORT_CUTOFF,
+            short_min: 32,
+            short_max: 512,
         }
     }
 }
@@ -230,15 +285,25 @@ impl Ewma {
     }
 }
 
-/// Per-destination crossover state.
+/// Per-destination crossover state: two independently learned boundaries
+/// (short/eager and eager/rendezvous), each steered by its own pair of
+/// per-byte cost EWMAs sampled in its own decision band.
 #[derive(Debug, Clone, Copy)]
 struct DestState {
     crossover: usize,
-    /// Per-byte eager delivery cost near the crossover.
+    /// Per-byte eager delivery cost near the eager/rendezvous crossover.
     eager_cost: Ewma,
     /// Per-byte rendezvous round-trip cost near the crossover.
     rzv_cost: Ewma,
     selects: u32,
+    /// Learned short/eager boundary.
+    short_crossover: usize,
+    /// Per-byte short delivery cost near the short crossover.
+    short_cost: Ewma,
+    /// Per-byte eager delivery cost near the *short* crossover (kept apart
+    /// from `eager_cost` so small-message samples never steer the
+    /// eager/rendezvous boundary and vice versa).
+    eager_short_cost: Ewma,
 }
 
 /// Number of destination shards the adaptive per-destination map is split
@@ -260,29 +325,38 @@ struct CongestionState {
 
 /// `proto.*` probes: the selection layer's own telemetry.
 struct ProtoProbes {
+    short_selected: bgq_upc::Counter,
     eager_selected: bgq_upc::Counter,
     rzv_selected: bgq_upc::Counter,
     explorations: bgq_upc::Counter,
     crossover_raised: bgq_upc::Counter,
     crossover_lowered: bgq_upc::Counter,
+    short_crossover_raised: bgq_upc::Counter,
+    short_crossover_lowered: bgq_upc::Counter,
     congestion_nudges: bgq_upc::Counter,
     /// Full rendezvous round-trip cost (send stamp → completion).
     rzv_rtt_ns: Histogram,
     /// Eager send stamp → delivery latency.
     eager_delivery_ns: Histogram,
+    /// Short-tier send stamp → delivery latency.
+    short_delivery_ns: Histogram,
 }
 
 impl ProtoProbes {
     fn new(upc: &Upc) -> ProtoProbes {
         ProtoProbes {
+            short_selected: upc.counter("proto.short_selected"),
             eager_selected: upc.counter("proto.eager_selected"),
             rzv_selected: upc.counter("proto.rzv_selected"),
             explorations: upc.counter("proto.explorations"),
             crossover_raised: upc.counter("proto.crossover_raised"),
             crossover_lowered: upc.counter("proto.crossover_lowered"),
+            short_crossover_raised: upc.counter("proto.short_crossover_raised"),
+            short_crossover_lowered: upc.counter("proto.short_crossover_lowered"),
             congestion_nudges: upc.counter("proto.congestion_nudges"),
             rzv_rtt_ns: upc.histogram("proto.rzv_rtt_ns"),
             eager_delivery_ns: upc.histogram("proto.eager_delivery_ns"),
+            short_delivery_ns: upc.histogram("proto.short_delivery_ns"),
         }
     }
 }
@@ -316,6 +390,11 @@ impl AdaptivePolicy {
         assert!(cfg.min >= 1 && cfg.min <= cfg.max, "adaptive clamp must satisfy 1 <= min <= max");
         assert!(cfg.step > 1.0, "adaptive step must be > 1");
         assert!(cfg.hysteresis >= 0.0, "hysteresis must be non-negative");
+        assert!(
+            cfg.short_min >= 1 && cfg.short_min <= cfg.short_max,
+            "short clamp must satisfy 1 <= short_min <= short_max"
+        );
+        assert!(cfg.short_max <= cfg.min, "short band must sit below the eager/rzv band");
         AdaptivePolicy {
             cfg,
             upc: upc.clone(),
@@ -346,6 +425,9 @@ impl AdaptivePolicy {
             eager_cost: Ewma::default(),
             rzv_cost: Ewma::default(),
             selects: 0,
+            short_crossover: cfg.short_initial.clamp(cfg.short_min, cfg.short_max),
+            short_cost: Ewma::default(),
+            eager_short_cost: Ewma::default(),
         })
     }
 
@@ -398,9 +480,14 @@ impl AdaptivePolicy {
 
 impl ProtocolPolicy for AdaptivePolicy {
     fn select(&self, dest: u32, len: usize) -> Protocol {
-        // Outside the clamp the answer is fixed and lock-free — the uniform
-        // small-message fast path never touches per-destination state.
-        if len <= self.cfg.min {
+        // Outside the tunable bands the answer is fixed and lock-free — the
+        // uniform small-message (8-byte flood) fast path never touches
+        // per-destination state.
+        if len <= self.cfg.short_min {
+            self.probes.short_selected.incr();
+            return Protocol::Short;
+        }
+        if len > self.cfg.short_max && len <= self.cfg.min {
             self.probes.eager_selected.incr();
             return Protocol::Eager;
         }
@@ -411,17 +498,29 @@ impl ProtocolPolicy for AdaptivePolicy {
         let mut dests = self.shard(dest).lock();
         let st = Self::dest_entry(&mut dests, &self.cfg, dest);
         st.selects = st.selects.wrapping_add(1);
-        let natural = if len <= st.crossover { Protocol::Eager } else { Protocol::Rendezvous };
+        // Which boundary is this length deciding? The short band
+        // (`short_min..=short_max`) steers short/eager; the in-band region
+        // (`min..=max`) steers eager/rendezvous.
+        let (natural, band_crossover) = if len <= self.cfg.short_max {
+            let p = if len <= st.short_crossover { Protocol::Short } else { Protocol::Eager };
+            (p, st.short_crossover)
+        } else {
+            let p = if len <= st.crossover { Protocol::Eager } else { Protocol::Rendezvous };
+            (p, st.crossover)
+        };
         // Deterministic exploration: with telemetry live, periodically send
-        // an in-band message over the other protocol so both cost EWMAs
-        // keep fresh samples. Both protocols are correct at any size here
-        // (len <= cfg.max), so this is purely a measurement flip.
+        // an in-band message over the neighbouring protocol so both cost
+        // EWMAs keep fresh samples. Both tiers of either boundary are
+        // correct at any size inside their band, so this is purely a
+        // measurement flip.
         let chosen = if bgq_upc::ENABLED
-            && Self::in_band(len, st.crossover)
+            && Self::in_band(len, band_crossover)
             && st.selects.is_multiple_of(self.cfg.explore_every)
         {
             self.probes.explorations.incr();
             match natural {
+                Protocol::Short => Protocol::Eager,
+                Protocol::Eager if len <= self.cfg.short_max => Protocol::Short,
                 Protocol::Eager => Protocol::Rendezvous,
                 Protocol::Rendezvous => Protocol::Eager,
             }
@@ -430,6 +529,7 @@ impl ProtocolPolicy for AdaptivePolicy {
         };
         drop(dests);
         match chosen {
+            Protocol::Short => self.probes.short_selected.incr(),
             Protocol::Eager => self.probes.eager_selected.incr(),
             Protocol::Rendezvous => self.probes.rzv_selected.incr(),
         }
@@ -439,6 +539,7 @@ impl ProtocolPolicy for AdaptivePolicy {
     fn observe(&self, ev: ProtoEvent) {
         let (proto, dest, len, ns) = ev.parts();
         match proto {
+            Protocol::Short => self.probes.short_delivery_ns.record(ns),
             Protocol::Eager => self.probes.eager_delivery_ns.record(ns),
             Protocol::Rendezvous => self.probes.rzv_rtt_ns.record(ns),
         }
@@ -447,9 +548,9 @@ impl ProtocolPolicy for AdaptivePolicy {
         if !bgq_upc::ENABLED || ns == 0 {
             return;
         }
-        // Events far below any reachable band can never steer a crossover;
+        // Events far below any reachable band can never steer a boundary;
         // skip the lock (this is every 8-byte flood message).
-        if len < self.cfg.min / 2 {
+        if len < self.cfg.short_min / 2 {
             return;
         }
         let obs = self.observations.fetch_add(1, Ordering::Relaxed) + 1;
@@ -459,18 +560,51 @@ impl ProtocolPolicy for AdaptivePolicy {
         let cfg = self.cfg;
         let mut dests = self.shard(dest).lock();
         let st = Self::dest_entry(&mut dests, &cfg, dest);
-        if !Self::in_band(len, st.crossover) {
+        let per_byte = ns as f64 / len.max(1) as f64;
+        let h = 1.0 + cfg.hysteresis;
+        // Short/eager boundary: fed by short samples and by eager samples
+        // that land in the short decision band.
+        if len <= cfg.short_max && Self::in_band(len, st.short_crossover) {
+            match proto {
+                Protocol::Short => st.short_cost.push(per_byte),
+                Protocol::Eager => st.eager_short_cost.push(per_byte),
+                Protocol::Rendezvous => {}
+            }
+            if st.short_cost.fresh >= cfg.min_samples
+                && st.eager_short_cost.fresh >= cfg.min_samples
+            {
+                if st.short_cost.value * h < st.eager_short_cost.value
+                    && st.short_crossover < cfg.short_max
+                {
+                    // Short is decisively cheaper near the boundary: raise it.
+                    st.short_crossover = (((st.short_crossover as f64) * cfg.step) as usize)
+                        .clamp(cfg.short_min, cfg.short_max);
+                    st.short_cost.reset_fresh();
+                    st.eager_short_cost.reset_fresh();
+                    self.probes.short_crossover_raised.incr();
+                } else if st.eager_short_cost.value * h < st.short_cost.value
+                    && st.short_crossover > cfg.short_min
+                {
+                    st.short_crossover = (((st.short_crossover as f64) / cfg.step) as usize)
+                        .clamp(cfg.short_min, cfg.short_max);
+                    st.short_cost.reset_fresh();
+                    st.eager_short_cost.reset_fresh();
+                    self.probes.short_crossover_lowered.incr();
+                }
+            }
+        }
+        // Eager/rendezvous boundary: short samples never steer it.
+        if proto == Protocol::Short || !Self::in_band(len, st.crossover) {
             return;
         }
-        let per_byte = ns as f64 / len.max(1) as f64;
         match proto {
             Protocol::Eager => st.eager_cost.push(per_byte),
             Protocol::Rendezvous => st.rzv_cost.push(per_byte),
+            Protocol::Short => unreachable!(),
         }
         if st.eager_cost.fresh < cfg.min_samples || st.rzv_cost.fresh < cfg.min_samples {
             return;
         }
-        let h = 1.0 + cfg.hysteresis;
         if st.eager_cost.value * h < st.rzv_cost.value && st.crossover < cfg.max {
             // Eager is decisively cheaper near the crossover: raise it.
             st.crossover =
@@ -495,6 +629,12 @@ impl ProtocolPolicy for AdaptivePolicy {
             .unwrap_or_else(|| self.cfg.initial.clamp(self.cfg.min, self.cfg.max))
     }
 
+    fn short_crossover(&self, dest: u32) -> usize {
+        self.shard(dest).lock().get(&dest).map(|s| s.short_crossover).unwrap_or_else(|| {
+            self.cfg.short_initial.clamp(self.cfg.short_min, self.cfg.short_max)
+        })
+    }
+
     /// The adaptive policy lives on observations — but only when the
     /// telemetry clock is real. Compiled out, stamps are all zero and
     /// feedback is pure overhead, so the runtime skips it.
@@ -514,11 +654,79 @@ mod tests {
     #[test]
     fn static_policy_matches_fixed_threshold() {
         let p = StaticPolicy::new(4096);
-        assert_eq!(p.select(0, 0), Protocol::Eager);
+        assert_eq!(p.select(0, 0), Protocol::Short);
+        assert_eq!(p.select(0, SHORT_CUTOFF), Protocol::Short);
+        assert_eq!(p.select(0, SHORT_CUTOFF + 1), Protocol::Eager);
         assert_eq!(p.select(0, 4096), Protocol::Eager);
         assert_eq!(p.select(0, 4097), Protocol::Rendezvous);
         assert_eq!(p.crossover(9), 4096);
+        assert_eq!(p.short_crossover(9), SHORT_CUTOFF);
         assert_eq!(p.name(), "static");
+    }
+
+    #[test]
+    fn static_policy_short_tier_can_be_disabled() {
+        let p = StaticPolicy::with_short(0, 4096);
+        assert_eq!(p.select(0, 0), Protocol::Eager);
+        assert_eq!(p.select(0, 8), Protocol::Eager);
+        assert_eq!(p.select(0, 4097), Protocol::Rendezvous);
+        assert_eq!(p.short_crossover(0), 0);
+    }
+
+    #[test]
+    fn adaptive_short_band_respects_clamps() {
+        let upc = Upc::new();
+        let cfg = AdaptiveConfig::default();
+        let p = AdaptivePolicy::new(cfg, &upc);
+        // Below the short floor: always short, even after eager-favouring
+        // evidence; above short_max: never short.
+        for _ in 0..10_000 {
+            p.observe(ProtoEvent::ShortDelivered { dest: 1, len: 128, ns: 1_000_000 });
+            p.observe(ProtoEvent::EagerDelivered { dest: 1, len: 128, ns: 10 });
+        }
+        assert_eq!(p.select(1, cfg.short_min), Protocol::Short);
+        assert!(p.short_crossover(1) >= cfg.short_min);
+        assert_ne!(p.select(1, cfg.short_max + 1), Protocol::Short);
+    }
+
+    #[test]
+    fn adaptive_short_crossover_converges_on_mixed_stream() {
+        // Satellite coverage: on a mixed ≤512 B stream whose measurements
+        // say short is decisively cheaper per byte, the short/eager
+        // crossover must climb; when the evidence flips, it must fall back.
+        // The eager/rzv boundary must not move either way (every sample is
+        // far below its decision band).
+        let upc = Upc::new();
+        let cfg = AdaptiveConfig::default();
+        let p = AdaptivePolicy::new(cfg, &upc);
+        if !bgq_upc::ENABLED {
+            return; // zero stamps: adaptation compiled out
+        }
+        for i in 0..4_000usize {
+            let len = 16 + (i % 32) * 16; // 16..=512, mixed
+            let _ = p.select(7, len);
+            p.observe(ProtoEvent::ShortDelivered { dest: 7, len, ns: 40 * len as u64 });
+            p.observe(ProtoEvent::EagerDelivered { dest: 7, len, ns: 400 * len as u64 });
+        }
+        let learned = p.short_crossover(7);
+        assert!(
+            learned > cfg.short_initial,
+            "short crossover should rise from {} (got {learned})",
+            cfg.short_initial
+        );
+        assert!(learned <= cfg.short_max);
+        assert_eq!(p.crossover(7), cfg.initial, "eager/rzv boundary untouched");
+        // Evidence flips: eager decisively cheaper → the boundary retreats.
+        for i in 0..4_000usize {
+            let len = 16 + (i % 32) * 16;
+            let _ = p.select(7, len);
+            p.observe(ProtoEvent::ShortDelivered { dest: 7, len, ns: 400 * len as u64 });
+            p.observe(ProtoEvent::EagerDelivered { dest: 7, len, ns: 40 * len as u64 });
+        }
+        let fallen = p.short_crossover(7);
+        assert!(fallen < learned, "short crossover should fall from {learned} (got {fallen})");
+        assert!(fallen >= cfg.short_min);
+        assert_eq!(p.crossover(7), cfg.initial, "eager/rzv boundary still untouched");
     }
 
     #[test]

@@ -18,6 +18,11 @@ use crate::endpoint::Endpoint;
 /// Internal dispatch id: rendezvous request-to-send.
 pub(crate) const DISPATCH_RZV_RTS: u16 = 0xFF00;
 
+/// Internal dispatch id: persistent-channel buffer offer (each side
+/// advertises its pre-registered receive window once; all subsequent
+/// traffic is fixed-descriptor direct puts with no per-message protocol).
+pub(crate) const DISPATCH_CHAN_REQ: u16 = 0xFF01;
+
 /// First user-forbidden dispatch id; user dispatch ids must be below this.
 pub const DISPATCH_INTERNAL_BASE: u16 = 0xFF00;
 
@@ -152,6 +157,25 @@ pub(crate) mod wire {
         let key = u64::from_le_bytes(body[10..18].try_into().unwrap());
         (dispatch, len, key, body.slice(18..))
     }
+
+    /// Persistent-channel offer body: pairing ordinal, slot size, and the
+    /// offering side's receive-window key.
+    pub fn chan_req(ordinal: u64, size: u64, mem_key: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24);
+        buf.extend_from_slice(&ordinal.to_le_bytes());
+        buf.extend_from_slice(&size.to_le_bytes());
+        buf.extend_from_slice(&mem_key.to_le_bytes());
+        buf
+    }
+
+    /// Parse a persistent-channel offer body into (ordinal, size, mem_key).
+    pub fn open_chan_req(body: &Bytes) -> (u64, u64, u64) {
+        assert!(body.len() >= 24, "malformed persistent-channel offer");
+        let ordinal = u64::from_le_bytes(body[..8].try_into().unwrap());
+        let size = u64::from_le_bytes(body[8..16].try_into().unwrap());
+        let mem_key = u64::from_le_bytes(body[16..24].try_into().unwrap());
+        (ordinal, size, mem_key)
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +212,12 @@ mod tests {
         assert_eq!(len, 1 << 33);
         assert_eq!(key, 0xABCD);
         assert_eq!(&meta[..], b"user");
+    }
+
+    #[test]
+    fn chan_req_round_trips() {
+        let body = Bytes::from(wire::chan_req(3, 4096, 0x55AA));
+        assert_eq!(wire::open_chan_req(&body), (3, 4096, 0x55AA));
     }
 
     #[test]

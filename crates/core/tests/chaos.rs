@@ -289,3 +289,118 @@ fn initiation_errors_are_typed_and_do_not_touch_the_network() {
         env.machine.task_barrier();
     });
 }
+
+// ---------------------------------------------------------------------------
+// Short tier under chaos
+// ---------------------------------------------------------------------------
+
+#[test]
+fn short_tier_exactly_once_under_one_percent_drop() {
+    // 64 B payloads ride the short tier (single inline packet envelope);
+    // a 1% drop plan forces the reliability layer to retransmit short
+    // frames, and every message must still arrive exactly once, intact.
+    let plan = FaultPlan::new().seed(2024).drop_rate(0.01);
+    let (retransmits, _) = chaos_exchange(plan, 200, 64);
+    if cfg!(feature = "telemetry") {
+        assert!(retransmits > 0, "1% drop over 200 short frames must cost retransmits");
+    }
+}
+
+#[test]
+fn short_tier_exactly_once_under_drop_and_corrupt() {
+    // Corruption on a short frame must be caught by the frame CRC and
+    // retransmitted — never dispatched with a damaged payload.
+    let plan = FaultPlan::new().seed(2025).drop_rate(0.02).corrupt_rate(0.02);
+    chaos_exchange(plan, 200, 32);
+}
+
+// ---------------------------------------------------------------------------
+// Collective suite under chaos
+// ---------------------------------------------------------------------------
+
+/// Run `rounds` summing allreduces (alg as given) on a fault-injected
+/// machine and verify every element on every task each round.
+fn chaos_allreduce(plan: FaultPlan, alg: Algorithm, nodes: usize, ppn: usize, rounds: usize) {
+    let machine = Machine::builder(bgq_torus::TorusShape::for_nodes(nodes))
+        .ppn(ppn)
+        .fault_plan(plan)
+        .build();
+    let tasks = (nodes * ppn) as i64;
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "chaos", 1);
+        env.machine.task_barrier();
+        let ctx = client.context(0);
+        let geom = world_geometry(ctx);
+        if alg == Algorithm::HwCollNet {
+            geom.optimize().expect("world is rectangular");
+        }
+        for round in 0..rounds {
+            let count = 16 + round * 8;
+            let mine: Vec<i64> =
+                (0..count as i64).map(|i| i * (round as i64 + 1) + env.task as i64).collect();
+            let src = MemRegion::from_vec(bgq_collnet::ops::elems::from_i64(&mine));
+            let dst = MemRegion::zeroed(count * 8);
+            coll::allreduce_with(
+                &geom,
+                ctx,
+                alg,
+                (&src, 0),
+                (&dst, 0),
+                count,
+                pami::CollOp::Sum,
+                pami::DataType::Int64,
+            );
+            let got = bgq_collnet::ops::elems::to_i64(&dst.to_vec());
+            let base: i64 = (0..tasks).sum();
+            for (i, v) in got.iter().enumerate() {
+                assert_eq!(
+                    *v,
+                    i as i64 * (round as i64 + 1) * tasks + base,
+                    "round {round} elem {i} on task {}",
+                    env.task
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn sw_allreduce_phases_survive_drop_and_corrupt() {
+    // The binomial reduce+broadcast phases ride eager/rendezvous MU
+    // traffic: every hop crosses the lossy links and must retransmit to a
+    // bit-exact sum.
+    let plan = FaultPlan::new().seed(31).drop_rate(0.02).corrupt_rate(0.02);
+    chaos_allreduce(plan, Algorithm::SwBinomial, 4, 1, 3);
+}
+
+#[test]
+fn hw_allreduce_classroute_survives_drop_and_corrupt() {
+    // The classroute HW path: geometry setup, barriers and the
+    // shared-address intra-node phase ride the lossy MU fabric even
+    // though the combine itself rides the collective network.
+    let plan = FaultPlan::new().seed(37).drop_rate(0.02).corrupt_rate(0.02);
+    chaos_allreduce(plan, Algorithm::HwCollNet, 2, 2, 3);
+}
+
+#[test]
+fn hw_broadcast_classroute_survives_drop_and_corrupt() {
+    let plan = FaultPlan::new().seed(41).drop_rate(0.02).corrupt_rate(0.02);
+    let machine = Machine::with_nodes(2).ppn(2).fault_plan(plan).build();
+    let len = 20_000usize;
+    let payload: Arc<Vec<u8>> = Arc::new(pattern(5, len));
+    let payload2 = Arc::clone(&payload);
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "chaos", 1);
+        env.machine.task_barrier();
+        let ctx = client.context(0);
+        let geom = world_geometry(ctx);
+        geom.optimize().expect("world is rectangular");
+        let region = if env.task == 1 {
+            MemRegion::from_vec((*payload2).clone())
+        } else {
+            MemRegion::zeroed(len)
+        };
+        coll::broadcast_with(&geom, ctx, Algorithm::HwCollNet, 1, &region, 0, len);
+        assert_eq!(region.to_vec(), *payload2, "task {}", env.task);
+    });
+}

@@ -1,17 +1,23 @@
-//! Halo exchange: the classic stencil communication pattern, over the MPI
-//! layer — nonblocking sends/receives plus the two-phase waitall the paper
-//! optimizes.
+//! Halo exchange: the classic stencil communication pattern, over
+//! **persistent channels** — the fixed-descriptor tier of the protocol
+//! ladder.
 //!
 //! Eight ranks form a 1-D periodic chain; each owns an interior of CELLS
 //! doubles plus two ghost cells, runs Jacobi-style relaxation steps, and
-//! exchanges boundary values with both neighbors every step.
+//! exchanges boundary values with both neighbors every step. A halo
+//! boundary is the persistent channel's ideal workload: the peers, the
+//! size, and the buffers never change, so each rank pre-negotiates one
+//! channel per neighbor **once** and every subsequent step is two
+//! fixed-descriptor injections plus two counter waits — no matching, no
+//! protocol decision, no tag bookkeeping. (The MPI spelling of this loop —
+//! irecv/isend/waitall with per-step tags — pays the matching engine on
+//! every single boundary byte.)
 //!
 //! ```text
 //! cargo run --example halo_exchange
 //! ```
 
-use pami_repro::pami::Machine;
-use pami_repro::pami_mpi::{MemRegion, Mpi, MpiConfig};
+use pami_repro::pami::{Client, Endpoint, Machine};
 
 const RANKS: usize = 8;
 const CELLS: usize = 64; // interior cells per rank
@@ -20,47 +26,50 @@ const STEPS: usize = 20;
 fn main() {
     let machine = Machine::with_nodes(RANKS).build();
     machine.run(|env| {
-        let mpi = Mpi::init(&env.machine, env.task, MpiConfig::default());
+        let client = Client::create(&env.machine, env.task, "halo", 1);
         env.machine.task_barrier();
-        let world = mpi.world().clone();
-        let me = world.rank();
+        let ctx = client.context(0);
+        let me = env.task as usize;
         let left = (me + RANKS - 1) % RANKS;
         let right = (me + 1) % RANKS;
 
-        // Layout: [ghost_left][interior…][ghost_right], 8 bytes per cell.
-        let field = MemRegion::zeroed((CELLS + 2) * 8);
-        let write = |i: usize, v: f64| field.write_f64(i * 8, v);
-        let read = |i: usize| field.read_f64(i * 8);
-        // Initialize: rank r's interior is all r+1.
-        for i in 1..=CELLS {
-            write(i, (me + 1) as f64);
-        }
+        // One persistent channel per neighbor, negotiated once. Channels
+        // pair in per-peer creation order, so every rank creating its
+        // left-then-right channels lines each one up with the matching
+        // channel on the other side of that edge.
+        let mut chan_l = ctx.channel(Endpoint::of_task(left as u32), 8).unwrap();
+        let mut chan_r = ctx.channel(Endpoint::of_task(right as u32), 8).unwrap();
 
-        for step in 0..STEPS {
-            let tag_lr = (2 * step) as i32; // leftward-traveling values
-            let tag_rl = (2 * step + 1) as i32;
-            // Post ghost receives, then send boundaries (pre-posting keeps
-            // everything on the matched fast path).
-            let reqs = [
-                mpi.irecv(&field, 0, 8, left as i32, tag_lr, &world),
-                mpi.irecv(&field, (CELLS + 1) * 8, 8, right as i32, tag_rl, &world),
-                mpi.isend(&field, CELLS * 8, 8, right, tag_lr, &world),
-                mpi.isend(&field, 8, 8, left, tag_rl, &world),
-            ];
-            mpi.waitall(&reqs);
+        // Layout: [ghost_left][interior…][ghost_right].
+        // Initialize: rank r's interior is all r+1.
+        let mut field = vec![0.0f64; CELLS + 2];
+        field[1..=CELLS].fill((me + 1) as f64);
+
+        let mut ghost = [0u8; 8];
+        for _step in 0..STEPS {
+            // Steady state: post both boundaries, wait for both ghosts.
+            // The payloads land in the channels' pre-negotiated windows —
+            // the receive side never dispatches, matches, or allocates.
+            chan_r.post(&field[CELLS].to_le_bytes()).unwrap();
+            chan_l.post(&field[1].to_le_bytes()).unwrap();
+            chan_l.wait(&mut ghost).unwrap();
+            field[0] = f64::from_le_bytes(ghost);
+            chan_r.wait(&mut ghost).unwrap();
+            field[CELLS + 1] = f64::from_le_bytes(ghost);
             // Relax: new = (left + self + right) / 3 over the interior.
-            let snapshot: Vec<f64> = (0..CELLS + 2).map(read).collect();
+            let snapshot = field.clone();
             for i in 1..=CELLS {
-                write(i, (snapshot[i - 1] + snapshot[i] + snapshot[i + 1]) / 3.0);
+                field[i] = (snapshot[i - 1] + snapshot[i] + snapshot[i + 1]) / 3.0;
             }
         }
 
         // Diffusion smooths the field: every rank's interior range shrinks
         // toward the neighborhood values, and the extremes contract.
         let mean: f64 = (1..=RANKS).map(|r| r as f64).sum::<f64>() / RANKS as f64;
-        let my_avg: f64 = (1..=CELLS).map(read).sum::<f64>() / CELLS as f64;
-        let my_min = (1..=CELLS).map(read).fold(f64::INFINITY, f64::min);
-        let my_max = (1..=CELLS).map(read).fold(f64::NEG_INFINITY, f64::max);
+        let interior = &field[1..=CELLS];
+        let my_avg: f64 = interior.iter().sum::<f64>() / CELLS as f64;
+        let my_min = interior.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let my_max = interior.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         println!("rank {me}: average {my_avg:.3} range [{my_min:.3}, {my_max:.3}] (global mean {mean:.3})");
         // The maximum principle: values stay inside the initial extremes,
         // and the extreme ranks have moved strictly inward.
@@ -71,11 +80,11 @@ fn main() {
         if me == RANKS - 1 {
             assert!(my_avg < RANKS as f64 - 1e-6, "highest rank pulled down");
         }
-        // (Neighbors run ahead, so some messages may arrive unexpected —
-        // the matching engine stages them; nothing is lost.)
-        mpi.barrier(&world);
+        // (Neighbors may run a step ahead; the channels' double buffering
+        // absorbs the skew — nothing is matched, nothing is lost.)
+        env.machine.task_barrier();
         if me == 0 {
-            println!("halo_exchange OK ({STEPS} steps, {RANKS} ranks)");
+            println!("halo_exchange OK ({STEPS} steps, {RANKS} ranks, persistent channels)");
         }
     });
 }
