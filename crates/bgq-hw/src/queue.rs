@@ -66,9 +66,10 @@ pub struct WorkQueue<T> {
     /// per-producer ordering is preserved.
     overflow_active: CachePadded<AtomicBool>,
     /// Total pushes that took the overflow (mutex) path, for ablation
-    /// benches comparing lockless vs locked behaviour.
+    /// benches comparing lockless vs locked behaviour. The total push
+    /// count is *derived* (`tail` claims + this), not maintained — the
+    /// push fast path carries no accounting RMW of its own.
     overflow_pushes: L2Counter,
-    total_pushes: L2Counter,
 }
 
 unsafe impl<T: Send> Send for WorkQueue<T> {}
@@ -94,7 +95,6 @@ impl<T> WorkQueue<T> {
             overflow: Mutex::new(VecDeque::new()),
             overflow_active: CachePadded::new(AtomicBool::new(false)),
             overflow_pushes: L2Counter::new(0),
-            total_pushes: L2Counter::new(0),
         }
     }
 
@@ -107,7 +107,6 @@ impl<T> WorkQueue<T> {
     /// item takes the mutex-guarded overflow path. Returns `true` if the
     /// lockless fast path was used.
     pub fn push(&self, item: T) -> bool {
-        self.total_pushes.store_add(1);
         if self.overflow_active.load(Ordering::Acquire) {
             self.push_overflow(item);
             return false;
@@ -143,7 +142,6 @@ impl<T> WorkQueue<T> {
         if n == 0 {
             return 0;
         }
-        self.total_pushes.store_add(n);
         let mut next = 0u64;
         if !self.overflow_active.load(Ordering::Acquire) {
             if let Some(range) = self.tail.bounded_add(n) {
@@ -312,9 +310,12 @@ impl<T> WorkQueue<T> {
         self.overflow_pushes.load()
     }
 
-    /// Total pushes observed.
+    /// Total pushes observed. Derived, not counted: every ring push claims
+    /// exactly one `tail` position (a monotone counter that never rewinds)
+    /// and every diverted push increments `overflow_pushes`, so the sum is
+    /// the push total with zero cost on the push fast path.
     pub fn total_pushes(&self) -> u64 {
-        self.total_pushes.load()
+        self.tail.value() + self.overflow_pushes()
     }
 }
 

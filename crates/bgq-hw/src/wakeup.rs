@@ -74,6 +74,17 @@ impl WakeupRegion {
         self.inner.epoch.load(Ordering::Acquire)
     }
 
+    /// Whether any [`Waiter`] is currently subscribed — one atomic load.
+    /// Per-event producers (MU packet delivery) consult this to skip
+    /// [`WakeupRegion::touch`] entirely when nobody could observe it; the
+    /// race against a concurrent subscribe is the same "touches from
+    /// before the subscription are not observed" contract `touch` itself
+    /// documents.
+    #[inline]
+    pub fn has_watchers(&self) -> bool {
+        self.inner.watcher_count.load(Ordering::Acquire) > 0
+    }
+
     /// Identifier of this region within its unit (diagnostics).
     pub fn id(&self) -> usize {
         self.inner.id

@@ -47,6 +47,7 @@ fn pump_share(fabric: &MuFabric, node: u32, engine_idx: usize, engines: usize) -
     if engine_idx == 0 {
         done += fabric.pump_sys(node, 64);
         done += fabric.pump_links(node, 64);
+        done += fabric.pump_transport();
     }
     // Lock-free high-water-mark read of the node's allocated FIFO count.
     let fifo_count = fabric.inner.nodes[node as usize].inj.allocated();

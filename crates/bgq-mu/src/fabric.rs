@@ -42,6 +42,7 @@ use crate::link::{
     RasEventKind, RasRing, Reliability, TxState,
 };
 use crate::packet::{packet_crc, MuPacket, PacketPayload};
+use crate::transport::Transport;
 
 // Message ids are minted by per-lane [`MsgIdLane`]s: `node << 40 | lane <<
 // 30 | seq`, where the lane is the injection FIFO the message went through
@@ -154,6 +155,11 @@ pub(crate) struct FabricInner {
     pub ring: Arc<RasRing>,
     /// The reliability layer; present iff a fault plan was installed.
     pub reliability: Option<Reliability>,
+    /// The packet transport seam ([`crate::transport`]): `None` keeps the
+    /// synchronous deposit path (one branch of overhead); `Some` routes
+    /// every reception-FIFO deposit through the installed transport (the
+    /// co-simulation's DES-scheduled delivery).
+    pub transport: Option<Arc<dyn Transport>>,
 }
 
 /// Configures and builds a [`MuFabric`].
@@ -166,6 +172,7 @@ pub struct MuFabricBuilder {
     crc: bool,
     fault_plan: Option<FaultPlan>,
     ras_ring_capacity: usize,
+    transport: Option<Arc<dyn Transport>>,
 }
 
 impl MuFabricBuilder {
@@ -217,6 +224,15 @@ impl MuFabricBuilder {
         self
     }
 
+    /// Install a packet transport ([`crate::transport::Transport`]): every
+    /// reception-FIFO deposit is handed to it instead of being performed
+    /// synchronously. The co-simulation harness installs a DES-scheduled
+    /// transport here; without one the fabric behaves exactly as before.
+    pub fn transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Build the fabric (and spawn engine threads in threaded mode).
     pub fn build(self) -> MuFabric {
         let wakeups = WakeupUnit::new();
@@ -260,6 +276,7 @@ impl MuFabricBuilder {
             ras,
             ring,
             reliability,
+            transport: self.transport,
         });
         let fabric = MuFabric { inner };
         if let EngineMode::Threaded(n) = self.mode {
@@ -287,6 +304,7 @@ impl MuFabric {
             crc: true,
             fault_plan: None,
             ras_ring_capacity: 1024,
+            transport: None,
         }
     }
 
@@ -307,6 +325,52 @@ impl MuFabric {
 
     fn node(&self, id: u32) -> &NodeMu {
         &self.inner.nodes[id as usize]
+    }
+
+    /// Every reception-FIFO deposit funnels through here: synchronous batch
+    /// delivery on the default fabric, or the installed
+    /// [`Transport`] (which may schedule the deposit on its own clock).
+    #[inline]
+    fn deposit(
+        &self,
+        src_node: u32,
+        dst_node: u32,
+        rec_fifo: RecFifoId,
+        fifo: &Arc<RecFifo>,
+        npackets: u64,
+        make: &mut dyn FnMut(u64) -> MuPacket,
+    ) {
+        match &self.inner.transport {
+            None => fifo.deliver_batch(npackets, make),
+            Some(t) => t.deliver(src_node, dst_node, rec_fifo, fifo, npackets, make),
+        }
+    }
+
+    /// Deposit whatever the installed transport has due at its current
+    /// (virtual) time; returns deposits performed. A no-op — zero, no
+    /// locks — on the default synchronous fabric. Pumped alongside the
+    /// system FIFO by the engine loops so threaded-mode fabrics drain a
+    /// scheduling transport without help from the harness.
+    pub fn pump_transport(&self) -> usize {
+        match &self.inner.transport {
+            None => 0,
+            Some(t) => t.pump(),
+        }
+    }
+
+    /// Whether a transport seam is installed (diagnostics).
+    pub fn has_transport(&self) -> bool {
+        self.inner.transport.is_some()
+    }
+
+    /// Install an observer invoked on every RAS event recorded by the
+    /// reliability layer (retransmits, link kills, delivery failures, …) —
+    /// the RAS→software feedback hook. Set at most once, before traffic
+    /// flows; later calls are ignored. The callback runs on the thread that
+    /// detected the event, possibly while link-channel locks are held: it
+    /// must be cheap and must not call back into the fabric.
+    pub fn set_ras_observer(&self, observer: crate::link::RasObserver) {
+        self.inner.ring.set_observer(observer);
     }
 
     /// Allocate `count` exclusive injection FIFOs on `node`; `None` when the
@@ -511,7 +575,7 @@ impl MuFabric {
                     } else {
                         0
                     };
-                    dst.rec.get(rec_fifo.0).deliver(MuPacket {
+                    let mut pkt = Some(MuPacket {
                         src_node,
                         src_context,
                         dispatch,
@@ -523,6 +587,9 @@ impl MuFabric {
                         crc,
                         short: true,
                         payload: PacketPayload::Inline(payload),
+                    });
+                    self.deposit(src_node, dst_node, rec_fifo, dst.rec.get(rec_fifo.0), 1, &mut |_| {
+                        pkt.take().expect("short tier is one packet")
                     });
                     if let Some(c) = local_done {
                         c.delivered(if len == 0 {
@@ -552,11 +619,13 @@ impl MuFabric {
                 return;
             }
         }
-        let src = self.node(src_node);
         let dst = self.node(dst_node);
         let msg_id = lane.next();
         let pin = src_context as usize;
         if counter_sample_hit(msg_id) {
+            // Source-node lookup only on the sampled window: the unsampled
+            // short send never touches the source slot table at all.
+            let src = self.node(src_node);
             src.counters
                 .fifo_messages
                 .add_pinned(pin, MU_PACKET_COUNTER_SAMPLE);
@@ -575,7 +644,7 @@ impl MuFabric {
         // computation on the tier whose whole point is the minimum
         // per-message cost. A zero stamp reads as "CRC disabled" to
         // `MuPacket::verify_crc`.
-        dst.rec.get(rec_fifo.0).deliver(MuPacket {
+        let pkt = MuPacket {
             src_node,
             src_context,
             dispatch,
@@ -587,7 +656,18 @@ impl MuFabric {
             crc: 0,
             short: true,
             payload: PacketPayload::Inline(payload),
-        });
+        };
+        // Single-packet deposit: on the default synchronous fabric this is
+        // a direct `deliver`, with no packet-maker indirection.
+        match &self.inner.transport {
+            None => dst.rec.get(rec_fifo.0).deliver(pkt),
+            Some(t) => {
+                let mut pkt = Some(pkt);
+                t.deliver(src_node, dst_node, rec_fifo, dst.rec.get(rec_fifo.0), 1, &mut |_| {
+                    pkt.take().expect("short tier is one packet")
+                });
+            }
+        }
         if let Some(c) = local_done {
             c.delivered(if len == 0 {
                 Descriptor::ZERO_LEN_CREDIT
@@ -613,6 +693,14 @@ impl MuFabric {
     pub fn pump_inj_handle(&self, node: u32, fifo: &InjFifo, budget: usize) -> usize {
         let mut done = 0;
         while done < budget {
+            // Empty pre-check before the `inflight` bracket: an advance
+            // loop sweeps every FIFO the context owns, and on an idle FIFO
+            // the sweep must cost emptiness loads, not a SeqCst RMW. Racing
+            // a producer here is benign — we skip the round exactly as a
+            // bracketed pop returning `None` would.
+            if fifo.queue.is_empty() {
+                break;
+            }
             // Bracket the pop-execute window in `inflight` so the short
             // tier's queue-bypass stays ordered: the bypasser only skips
             // the queue when `is_quiescent()` — and if it observes the
@@ -859,7 +947,7 @@ impl MuFabric {
                 // descriptor; packets carry refcounted slices of it
                 // and the injection counter fires now — the source
                 // buffer is no longer referenced.
-                fifo.deliver_batch(npackets, |i| {
+                self.deposit(src_node, dst_node, rec_fifo, fifo, npackets, &mut |i| {
                     let (off, chunk) = header(i);
                     let seq = base_seq + i;
                     MuPacket {
@@ -892,7 +980,7 @@ impl MuFabric {
                     // the tail of this function and the buffer is
                     // genuinely reusable.
                     src.counters.payload_copies.add_pinned(pin, npackets);
-                    fifo.deliver_batch(npackets, |i| {
+                    self.deposit(src_node, dst_node, rec_fifo, fifo, npackets, &mut |i| {
                         let (off, chunk) = header(i);
                         let mut staged = vec![0u8; chunk];
                         region.read(base + off, &mut staged);
@@ -919,7 +1007,7 @@ impl MuFabric {
                     // receiver's deposit. Packets carry zero-copy
                     // windows into the source region; the one
                     // payload copy happens on the destination node.
-                    fifo.deliver_batch(npackets, |i| {
+                    self.deposit(src_node, dst_node, rec_fifo, fifo, npackets, &mut |i| {
                         let (off, chunk) = header(i);
                         let seq = base_seq + i;
                         MuPacket {
@@ -1557,7 +1645,7 @@ impl MuFabric {
                     }
                 };
                 let dst = self.node(ch.dst);
-                dst.rec.get(rec_fifo.0).deliver(MuPacket {
+                let mut pkt = Some(MuPacket {
                     src_node: ch.src,
                     src_context,
                     dispatch,
@@ -1569,6 +1657,9 @@ impl MuFabric {
                     crc,
                     short,
                     payload: pkt_payload,
+                });
+                self.deposit(ch.src, ch.dst, rec_fifo, dst.rec.get(rec_fifo.0), 1, &mut |_| {
+                    pkt.take().expect("one frame, one packet")
                 });
                 dst.counters.packets_received.incr();
             }

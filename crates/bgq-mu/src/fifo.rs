@@ -138,7 +138,10 @@ pub struct RecFifo {
 }
 
 impl RecFifo {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A standalone FIFO of the given capacity. Public so out-of-crate
+    /// [`crate::transport::Transport`] implementations can be exercised
+    /// against a bare FIFO without building a whole fabric.
+    pub fn new(capacity: usize) -> Self {
         RecFifo {
             queue: WorkQueue::with_capacity(capacity),
             wakeup: OnceLock::new(),
@@ -152,31 +155,48 @@ impl RecFifo {
         let _ = self.wakeup.set(region);
     }
 
-    /// Deliver a packet (fabric side): enqueue and wake any watcher.
+    /// Deliver a packet (fabric side): enqueue and wake any watcher. The
+    /// touch is skipped — one atomic load — while no waiter is subscribed,
+    /// so a polling-mode receiver never pays the epoch RMW per packet.
     pub fn deliver(&self, packet: MuPacket) {
         self.queue.push(packet);
         if let Some(w) = self.wakeup.get() {
-            w.touch();
+            if w.has_watchers() {
+                w.touch();
+            }
         }
     }
 
     /// Deliver `n` packets produced by `make` in one ring claim
     /// ([`WorkQueue::push_batch_with`]) with a single wakeup touch — the
     /// whole-message delivery path: an N-packet message costs one atomic
-    /// claim and one wakeup, not N of each.
-    pub(crate) fn deliver_batch<F>(&self, n: u64, make: F)
+    /// claim and one wakeup, not N of each. Public so out-of-crate
+    /// [`crate::transport::Transport`] implementations can deposit buffered
+    /// messages with the same single-claim cost.
+    pub fn deliver_batch<F>(&self, n: u64, make: F)
     where
         F: FnMut(u64) -> MuPacket,
     {
         self.queue.push_batch_with(n, make);
         if let Some(w) = self.wakeup.get() {
-            w.touch();
+            if w.has_watchers() {
+                w.touch();
+            }
         }
     }
 
     /// Pull the next packet (owning context only).
     pub fn poll(&self) -> Option<MuPacket> {
         self.queue.pop()
+    }
+
+    /// Pull up to `max` packets into `out` in one consumer transaction
+    /// ([`WorkQueue::pop_batch`]): all ready packets are claimed with a
+    /// single head publish and a single bound advance, so the drain side
+    /// touches the producer-shared cachelines once per batch instead of
+    /// once per packet — the receive mirror of [`RecFifo::deliver_batch`].
+    pub fn poll_batch(&self, max: usize, out: &mut Vec<MuPacket>) -> usize {
+        self.queue.pop_batch(max, out)
     }
 
     /// Whether the FIFO currently holds no packets.
@@ -365,6 +385,10 @@ mod tests {
     fn rec_fifo_delivery_touches_wakeup() {
         let unit = bgq_hw::WakeupUnit::new();
         let region = unit.region();
+        // A subscribed waiter is what makes delivery touch the region —
+        // with nobody watching, delivery skips the wakeup entirely.
+        let mut waiter = bgq_hw::Waiter::new();
+        waiter.subscribe(&region);
         let fifo = RecFifo::new(16);
         fifo.set_wakeup(region.clone());
         assert!(fifo.is_empty());
@@ -387,9 +411,37 @@ mod tests {
     }
 
     #[test]
+    fn unwatched_delivery_skips_the_wakeup() {
+        // Polling-mode receivers (no parked waiter) must not pay the epoch
+        // RMW per packet: delivery without a subscriber leaves the region
+        // untouched.
+        let unit = bgq_hw::WakeupUnit::new();
+        let region = unit.region();
+        let fifo = RecFifo::new(16);
+        fifo.set_wakeup(region.clone());
+        fifo.deliver_batch(2, |i| MuPacket {
+            src_node: 0,
+            src_context: 0,
+            dispatch: 1,
+            metadata: Bytes::new(),
+            msg_id: 4,
+            msg_len: 8,
+            offset: i as u32 * 8,
+            link_seq: i,
+            crc: 0,
+            short: false,
+            payload: crate::packet::PacketPayload::Inline(Bytes::new()),
+        });
+        assert_eq!(region.epoch(), 0, "no watcher, no touch");
+        assert!(fifo.poll().is_some());
+    }
+
+    #[test]
     fn batch_delivery_touches_wakeup_once() {
         let unit = bgq_hw::WakeupUnit::new();
         let region = unit.region();
+        let mut waiter = bgq_hw::Waiter::new();
+        waiter.subscribe(&region);
         let fifo = RecFifo::new(16);
         fifo.set_wakeup(region.clone());
         fifo.deliver_batch(3, |i| MuPacket {

@@ -43,14 +43,16 @@ pub mod fifo;
 pub mod json;
 pub mod link;
 pub mod packet;
+pub mod transport;
 
 pub use bgq_hw::{Counter, DeliveryFault};
 pub use descriptor::{Descriptor, PayloadSource, XferKind};
 pub use engine::EngineMode;
 pub use fabric::{MuCounters, MuFabric, MuFabricBuilder, MU_PACKET_COUNTER_SAMPLE};
 pub use faults::{Fate, FaultInjector, FaultPlan, FaultPlanError, FaultRates, LinkFault, RetryConfig};
-pub use link::{RasCounters, RasEvent, RasEventKind, RasRing};
+pub use link::{RasCounters, RasEvent, RasEventKind, RasObserver, RasRing};
 pub use packet::packet_crc;
+pub use transport::Transport;
 pub use fifo::{
     FifoAllocator, FifoTable, InjFifo, InjFifoId, MsgIdLane, RecFifo, RecFifoId,
     INJ_FIFOS_PER_NODE, LANE_SEQ_MASK, LANE_SHIFT, NODE_LANE, REC_FIFOS_PER_NODE, SYS_LANE,

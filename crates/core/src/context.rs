@@ -139,6 +139,9 @@ struct AdvanceState {
     /// the same id back to back; the memo turns the per-message
     /// RwLock + hash + `Arc` clone into one atomic generation check.
     handler_memo: Option<HandlerMemo>,
+    /// Reusable buffer for batched reception FIFO drains: packets are
+    /// claimed in one queue transaction per advance, not one per packet.
+    rec_scratch: Vec<MuPacket>,
 }
 
 /// Counter updates accumulated across one `advance` call and flushed once
@@ -325,6 +328,7 @@ impl Context {
                 reassembly: HashMap::new(),
                 rzv_pending: Vec::new(),
                 handler_memo: None,
+                rec_scratch: Vec::with_capacity(RECV_BUDGET),
             }),
             pending_internal: AtomicUsize::new(0),
             chan_ordinals: Mutex::new(HashMap::new()),
@@ -360,6 +364,20 @@ impl Context {
     /// This context's own endpoint.
     pub fn endpoint(&self) -> Endpoint {
         Endpoint { task: self.task, context: self.offset }
+    }
+
+    /// Numeric client id (registry key component).
+    pub(crate) fn client_id(&self) -> u16 {
+        self.client
+    }
+
+    /// This context's physical address — what the endpoint table maps to.
+    /// Virtual endpoints alias it ([`Machine::register_virtual_endpoint`]).
+    pub(crate) fn endpoint_addr(&self) -> crate::machine::EndpointAddr {
+        crate::machine::EndpointAddr {
+            rec_fifo: self.rec_fifo_id,
+            mailbox: Arc::clone(&self.mailbox),
+        }
     }
 
     /// The wakeup region covering this context's queues (commthreads park
@@ -872,16 +890,19 @@ impl Context {
             }
         }
 
-        // 4. MU reception.
-        for _ in 0..RECV_BUDGET {
-            match self.rec_fifo.poll() {
-                Some(pkt) => {
-                    self.handle_mu_packet(st, &mut bc, pkt);
-                    events += 1;
-                }
-                None => break,
-            }
+        // 4. MU reception, drained in one queue transaction: the batch
+        //    claim publishes the consumer cursor (and re-opens producer
+        //    ring space) once per advance instead of once per packet, so
+        //    a flood ping-pongs the producer-shared cachelines per batch.
+        //    The scratch buffer is moved out of `st` while packets are
+        //    handled (handlers borrow `st` mutably) and moved back after.
+        let mut batch = std::mem::take(&mut st.rec_scratch);
+        let received = self.rec_fifo.poll_batch(RECV_BUDGET, &mut batch);
+        for pkt in batch.drain(..) {
+            self.handle_mu_packet(st, &mut bc, pkt);
         }
+        events += received;
+        st.rec_scratch = batch;
 
         // 5. Shared-memory mailbox.
         for _ in 0..RECV_BUDGET {

@@ -66,6 +66,12 @@ pub(crate) struct EndpointAddr {
 /// machines up to [`ENDPOINT_CACHE_MAX_TASKS`] tasks; everything else falls
 /// back to the registry map.
 const ENDPOINT_CACHE_MAX_TASKS: usize = 4096;
+/// Beyond [`ENDPOINT_CACHE_MAX_TASKS`] the cache narrows to one context
+/// slot per task instead of disappearing: a 100K-endpoint co-simulation
+/// pays 16 bytes per endpoint, not 16 slots × 16 bytes — the O(1)
+/// per-endpoint budget the scale harness enforces. Above this bound the
+/// slab is dropped entirely and everything goes through the registry map.
+const ENDPOINT_CACHE_MAX_TASKS_SPARSE: usize = 1 << 20;
 /// Context offsets per task covered by the dense cache (16 = one per BG/Q
 /// core-thread pair, the paper's max contexts-per-process sweep).
 pub(crate) const ENDPOINT_CTX_SLOTS: usize = 16;
@@ -94,6 +100,7 @@ pub struct MachineBuilder {
     rec_fifo_capacity: usize,
     fault_plan: Option<FaultPlan>,
     packet_crc: bool,
+    transport: Option<Arc<dyn bgq_mu::Transport>>,
 }
 
 impl MachineBuilder {
@@ -101,6 +108,28 @@ impl MachineBuilder {
     pub fn ppn(mut self, ppn: usize) -> Self {
         assert!((1..=64).contains(&ppn), "BG/Q supports 1..=64 processes per node");
         self.ppn = ppn;
+        self
+    }
+
+    /// Processes per node without the hardware 64 cap — co-simulation
+    /// oversubscription, where thousands of *virtual* endpoints share one
+    /// node's FIFOs and mailboxes (see `bgq-scale`). Real-machine builds
+    /// should use [`MachineBuilder::ppn`], which keeps the BG/Q limit.
+    pub fn oversubscribed_ppn(mut self, ppn: usize) -> Self {
+        assert!(
+            (1..=ENDPOINT_CACHE_MAX_TASKS_SPARSE).contains(&ppn),
+            "oversubscribed ppn must be 1..=2^20"
+        );
+        self.ppn = ppn;
+        self
+    }
+
+    /// Install a packet transport on the MU fabric: every reception-FIFO
+    /// deposit is handed to it instead of being performed synchronously.
+    /// The co-simulation seam — `bgq-scale` installs a DES-clocked
+    /// `VirtualFabric` here so delivery order follows virtual link timing.
+    pub fn transport(mut self, transport: Arc<dyn bgq_mu::Transport>) -> Self {
+        self.transport = Some(transport);
         self
     }
 
@@ -207,11 +236,48 @@ impl MachineBuilder {
         if let Some(plan) = fault_plan {
             fabric_builder = fabric_builder.fault_plan(plan);
         }
+        if let Some(transport) = self.transport {
+            fabric_builder = fabric_builder.transport(transport);
+        }
         let fabric = fabric_builder.build();
+        // RAS→policy feedback: retransmit and delivery-failure events are
+        // recorded per link (node pair); fan each out to the destination
+        // node's tasks so the per-destination protocol state sees them.
+        // Policies that ignore feedback get a cheap early return. Under
+        // co-simulation oversubscription the fan-out would be thousands of
+        // tasks per event, so it collapses to the node's lead task.
+        {
+            let pol = Arc::clone(&policy);
+            let ppn = self.ppn as u32;
+            let fanout = if ppn <= 64 { ppn } else { 1 };
+            fabric.set_ras_observer(Arc::new(move |ev: &bgq_mu::RasEvent| {
+                let (retransmits, failures) = match ev.kind {
+                    bgq_mu::RasEventKind::Retransmit => (1, 0),
+                    bgq_mu::RasEventKind::DeliveryFailure => (0, 1),
+                    _ => return,
+                };
+                let first = ev.dst_node * ppn;
+                for task in first..first + fanout {
+                    pol.observe(crate::policy::ProtoEvent::DeliveryTrouble {
+                        dest: task,
+                        retransmits,
+                        failures,
+                    });
+                }
+            }));
+        }
         let classroutes = ClassRouteManager::new(self.shape);
         let world_route = classroutes
             .allocate(Rectangle::full(self.shape), None)
             .expect("fresh machine always has a classroute for COMM_WORLD");
+        let tasks = nodes * self.ppn;
+        let cache_slots = if tasks <= ENDPOINT_CACHE_MAX_TASKS {
+            ENDPOINT_CTX_SLOTS
+        } else if tasks <= ENDPOINT_CACHE_MAX_TASKS_SPARSE {
+            1
+        } else {
+            0
+        };
         Arc::new(Machine {
             telemetry,
             coll_probes,
@@ -230,11 +296,8 @@ impl MachineBuilder {
             world_gi: GiBarrier::new(nodes),
             clients: Mutex::new(HashMap::new()),
             endpoints: RwLock::new(HashMap::new()),
-            endpoint_cache: if nodes * self.ppn <= ENDPOINT_CACHE_MAX_TASKS {
-                (0..nodes * self.ppn * ENDPOINT_CTX_SLOTS).map(|_| OnceLock::new()).collect()
-            } else {
-                Box::new([])
-            },
+            endpoint_cache: (0..tasks * cache_slots).map(|_| OnceLock::new()).collect(),
+            cache_slots,
             windows: Mutex::new(HashMap::new()),
             rzv: Mutex::new(HashMap::new()),
             next_key: AtomicU64::new(1),
@@ -278,9 +341,13 @@ pub struct Machine {
     clients: Mutex<HashMap<String, u16>>,
     endpoints: RwLock<HashMap<(u16, u32, u16), EndpointAddr>>,
     /// Lock-free send-path view of `endpoints` (client 0, context offsets
-    /// below [`ENDPOINT_CTX_SLOTS`]); empty on machines above
-    /// [`ENDPOINT_CACHE_MAX_TASKS`] tasks.
+    /// below `cache_slots`): a `task * cache_slots + context` slab.
     endpoint_cache: Box<[OnceLock<EndpointAddr>]>,
+    /// Context slots per task in `endpoint_cache`: [`ENDPOINT_CTX_SLOTS`]
+    /// up to [`ENDPOINT_CACHE_MAX_TASKS`] tasks, 1 up to
+    /// [`ENDPOINT_CACHE_MAX_TASKS_SPARSE`] (context 0 only — the co-sim
+    /// envelope), 0 beyond (registry map only).
+    cache_slots: usize,
     windows: Mutex<HashMap<u64, Window>>,
     rzv: Mutex<HashMap<u64, RzvEntry>>,
     next_key: AtomicU64,
@@ -315,6 +382,7 @@ impl Machine {
             rec_fifo_capacity: 512,
             fault_plan: None,
             packet_crc: true,
+            transport: None,
         }
     }
 
@@ -472,12 +540,28 @@ impl Machine {
         let prev = self.endpoints.write().insert((client, task, context), addr.clone());
         assert!(prev.is_none(), "endpoint ({client},{task},{context}) registered twice");
         // Publish into the dense cache too (write-once by the assert above).
-        if client == 0 && (context as usize) < ENDPOINT_CTX_SLOTS {
-            let idx = task as usize * ENDPOINT_CTX_SLOTS + context as usize;
+        if client == 0 && (context as usize) < self.cache_slots {
+            let idx = task as usize * self.cache_slots + context as usize;
             if let Some(slot) = self.endpoint_cache.get(idx) {
                 let _ = slot.set(addr);
             }
         }
+    }
+
+    /// Register a *virtual* endpoint: (client, `task`, `context`) resolves
+    /// to the reception FIFO and mailbox of an existing real context, `ctx`.
+    /// The co-simulation harness uses this to multiplex thousands of
+    /// simulated ranks onto one advancing context per node — traffic
+    /// addressed to the virtual endpoint lands in `ctx`'s queues, and the
+    /// scenario demultiplexes by metadata. `ctx` must live on the node that
+    /// owns `task` (node-major layout), or delivery timing would be wrong.
+    pub fn register_virtual_endpoint(&self, task: u32, context: u16, ctx: &crate::Context) {
+        assert_eq!(
+            self.task_node(task),
+            ctx.node(),
+            "virtual endpoint must alias a context on its own node"
+        );
+        self.register_endpoint(ctx.client_id(), task, context, ctx.endpoint_addr());
     }
 
     /// Resolve an endpoint's physical address. `None` when the endpoint
@@ -504,12 +588,19 @@ impl Machine {
         task: u32,
         context: u16,
     ) -> Option<&EndpointAddr> {
-        if client != 0 || context as usize >= ENDPOINT_CTX_SLOTS {
+        if client != 0 || context as usize >= self.cache_slots {
             return None;
         }
         self.endpoint_cache
-            .get(task as usize * ENDPOINT_CTX_SLOTS + context as usize)
+            .get(task as usize * self.cache_slots + context as usize)
             .and_then(OnceLock::get)
+    }
+
+    /// Context slots per task in the dense endpoint cache (test hook for
+    /// the O(1)-per-endpoint sizing policy).
+    #[doc(hidden)]
+    pub fn endpoint_cache_geometry(&self) -> (usize, usize) {
+        (self.endpoint_cache.len(), self.cache_slots)
     }
 
     fn fresh_key(&self) -> u64 {

@@ -91,6 +91,20 @@ pub enum ProtoEvent {
         /// Send-stamp → completion nanoseconds.
         ns: u64,
     },
+    /// The RAS layer saw link trouble on the path to `dest`: retransmits
+    /// (a recoverable drop/corruption cost eager pays in full, since its
+    /// payload rides memory-FIFO packets) and delivery failures (a channel
+    /// gave up — traffic should be behind completion counters). Fed by the
+    /// machine's RAS-ring observer, not by a delivery stamp, so it carries
+    /// counts rather than nanoseconds.
+    DeliveryTrouble {
+        /// The destination task whose protocol state should shift.
+        dest: u32,
+        /// `ras.retransmits` delta attributed to this destination.
+        retransmits: u64,
+        /// `ras.delivery_failures` delta attributed to this destination.
+        failures: u64,
+    },
 }
 
 impl ProtoEvent {
@@ -99,6 +113,9 @@ impl ProtoEvent {
             ProtoEvent::ShortDelivered { dest, len, ns } => (Protocol::Short, dest, len, ns),
             ProtoEvent::EagerDelivered { dest, len, ns } => (Protocol::Eager, dest, len, ns),
             ProtoEvent::RzvComplete { dest, len, ns } => (Protocol::Rendezvous, dest, len, ns),
+            ProtoEvent::DeliveryTrouble { .. } => {
+                unreachable!("RAS events are consumed before parts()")
+            }
         }
     }
 }
@@ -334,6 +351,9 @@ struct ProtoProbes {
     short_crossover_raised: bgq_upc::Counter,
     short_crossover_lowered: bgq_upc::Counter,
     congestion_nudges: bgq_upc::Counter,
+    /// Crossover reductions driven by RAS trouble (retransmit/failure
+    /// events pushing a destination toward counter-protected rendezvous).
+    ras_downgrades: bgq_upc::Counter,
     /// Full rendezvous round-trip cost (send stamp → completion).
     rzv_rtt_ns: Histogram,
     /// Eager send stamp → delivery latency.
@@ -354,6 +374,7 @@ impl ProtoProbes {
             short_crossover_raised: upc.counter("proto.short_crossover_raised"),
             short_crossover_lowered: upc.counter("proto.short_crossover_lowered"),
             congestion_nudges: upc.counter("proto.congestion_nudges"),
+            ras_downgrades: upc.counter("proto.ras_downgrades"),
             rzv_rtt_ns: upc.histogram("proto.rzv_rtt_ns"),
             eager_delivery_ns: upc.histogram("proto.eager_delivery_ns"),
             short_delivery_ns: upc.histogram("proto.short_delivery_ns"),
@@ -476,6 +497,38 @@ impl AdaptivePolicy {
             self.nudge_all_down();
         }
     }
+
+    /// RAS trouble on the path to `dest`: pull its eager/rendezvous
+    /// crossover down one `cfg.step` per retransmit (four per delivery
+    /// failure — a channel giving up is categorically worse than a
+    /// recovered drop), capped at 8 steps per event. Rendezvous payload
+    /// rides counter-protected direct puts, so a flaky destination is
+    /// pushed toward the protocol whose completion semantics already
+    /// tolerate loss. Fresh EWMAs reset so the post-trouble decision is
+    /// made on post-trouble evidence.
+    ///
+    /// Unlike the stamp-driven arms this is *not* gated on
+    /// `bgq_upc::ENABLED`: RAS events are protocol outcomes (the link layer
+    /// counted real retransmits), not clock readings, so they steer even in
+    /// telemetry-off builds — a deliberate softening of the "telemetry off
+    /// ⇒ exactly static" invariant, limited to faulty runs.
+    fn observe_trouble(&self, dest: u32, retransmits: u64, failures: u64) {
+        let steps = (retransmits + 4 * failures).min(8);
+        if steps == 0 {
+            return;
+        }
+        let cfg = self.cfg;
+        let mut dests = self.shard(dest).lock();
+        let st = Self::dest_entry(&mut dests, &cfg, dest);
+        let before = st.crossover;
+        let divisor = cfg.step.powi(steps as i32);
+        st.crossover = (((st.crossover as f64) / divisor) as usize).clamp(cfg.min, cfg.max);
+        if st.crossover != before {
+            st.eager_cost.reset_fresh();
+            st.rzv_cost.reset_fresh();
+            self.probes.ras_downgrades.incr();
+        }
+    }
 }
 
 impl ProtocolPolicy for AdaptivePolicy {
@@ -537,6 +590,10 @@ impl ProtocolPolicy for AdaptivePolicy {
     }
 
     fn observe(&self, ev: ProtoEvent) {
+        if let ProtoEvent::DeliveryTrouble { dest, retransmits, failures } = ev {
+            self.observe_trouble(dest, retransmits, failures);
+            return;
+        }
         let (proto, dest, len, ns) = ev.parts();
         match proto {
             Protocol::Short => self.probes.short_delivery_ns.record(ns),
@@ -671,6 +728,30 @@ mod tests {
         assert_eq!(p.select(0, 8), Protocol::Eager);
         assert_eq!(p.select(0, 4097), Protocol::Rendezvous);
         assert_eq!(p.short_crossover(0), 0);
+    }
+
+    #[test]
+    fn delivery_trouble_pulls_crossover_down() {
+        let upc = Upc::new();
+        let cfg = AdaptiveConfig::default();
+        let p = AdaptivePolicy::new(cfg, &upc);
+        let initial = p.crossover(5);
+        // One retransmit: one step down, only for the troubled destination.
+        p.observe(ProtoEvent::DeliveryTrouble { dest: 5, retransmits: 1, failures: 0 });
+        let after_rexmit = p.crossover(5);
+        assert!(after_rexmit < initial, "retransmit must lower the crossover");
+        assert_eq!(p.crossover(6), initial, "clean destinations are untouched");
+        // A delivery failure weighs four steps — strictly worse.
+        p.observe(ProtoEvent::DeliveryTrouble { dest: 7, retransmits: 0, failures: 1 });
+        assert!(p.crossover(7) < after_rexmit);
+        // Sustained trouble bottoms out at the clamp floor, never below.
+        for _ in 0..64 {
+            p.observe(ProtoEvent::DeliveryTrouble { dest: 5, retransmits: 8, failures: 2 });
+        }
+        assert_eq!(p.crossover(5), cfg.min);
+        // Zero-count events are a no-op.
+        p.observe(ProtoEvent::DeliveryTrouble { dest: 9, retransmits: 0, failures: 0 });
+        assert_eq!(p.crossover(9), initial);
     }
 
     #[test]

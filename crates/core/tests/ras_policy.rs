@@ -1,0 +1,109 @@
+//! RAS→policy feedback: link trouble shifts the troubled destination
+//! toward counter-protected rendezvous.
+//!
+//! The machine installs a RAS-ring observer that converts retransmit and
+//! delivery-failure events into `ProtoEvent::DeliveryTrouble` for the
+//! destination node's tasks. Under a seeded drop plan the adaptive policy's
+//! eager/rendezvous crossover for the flaky destination must come down —
+//! deterministically, because the fault history is seed-driven, and
+//! regardless of the `telemetry` feature, because RAS events carry real
+//! retransmit counts rather than clock stamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bgq_torus::Dir;
+use pami::{
+    Client, Counter, Endpoint, FaultPlan, FaultRates, Machine, MemRegion, PayloadSource, Recv,
+    SendArgs,
+};
+
+const DISPATCH: u16 = 3;
+
+#[test]
+fn seeded_drops_shift_flaky_destination_toward_rendezvous() {
+    // Drops only on node 0's outgoing links, so the 0→1 data path sees
+    // trouble while the reverse (ack and remote-get) path stays clean —
+    // that is what keeps destination 0's crossover untouched below. The
+    // rate is heavy enough to guarantee retransmits across 64 messages,
+    // light enough that the default retry budget always recovers.
+    let mut plan = FaultPlan::new().seed(4242);
+    for dir in Dir::all() {
+        plan = plan.link_rates(0, dir, FaultRates { drop: 0.3, ..FaultRates::default() });
+    }
+    let machine = Machine::with_nodes(2).adaptive_policy().fault_plan(plan).build();
+    let initial = machine.policy().crossover(1);
+    let msgs: u64 = 64;
+    let len: usize = 2048;
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen2 = Arc::clone(&seen);
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "rasfeed", 1);
+        let ctx = client.context(0);
+        if env.task == 1 {
+            let seen = Arc::clone(&seen2);
+            ctx.set_dispatch(
+                DISPATCH,
+                Arc::new(move |_ctx, msg, first| {
+                    // The trouble feedback itself drags this destination's
+                    // crossover below the message size mid-run, so later
+                    // sends arrive as rendezvous — land those too.
+                    if first.len() as u64 == msg.len {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                        return Recv::Done;
+                    }
+                    let seen = Arc::clone(&seen);
+                    Recv::Into {
+                        region: MemRegion::zeroed(msg.len as usize),
+                        offset: 0,
+                        on_complete: Box::new(move |_ctx, result| {
+                            result.expect("payload delivery under recoverable drops");
+                            seen.fetch_add(1, Ordering::SeqCst);
+                        }),
+                    }
+                }),
+            );
+        }
+        env.machine.task_barrier();
+        if env.task == 0 {
+            let done = Counter::new();
+            for _ in 0..msgs {
+                done.add_expected(len as u64);
+                ctx.send(SendArgs {
+                    dest: Endpoint::of_task(1),
+                    dispatch: DISPATCH,
+                    metadata: Vec::new(),
+                    payload: PayloadSource::Region {
+                        region: MemRegion::zeroed(len),
+                        offset: 0,
+                        len,
+                    },
+                    local_done: Some(done.clone()),
+                })
+                .unwrap();
+                ctx.advance();
+            }
+            ctx.advance_until(|| done.is_complete());
+            assert!(done.is_ok(), "drops must be recovered, not fatal: {:?}", done.fault());
+        }
+        ctx.advance_until(|| seen2.load(Ordering::SeqCst) == msgs);
+    });
+    // The event ring (not the UPC counters — those compile out with
+    // telemetry off) proves the plan actually bit, in every feature mode.
+    let (events, _) = machine.fabric().ras_events();
+    let retransmits = events
+        .iter()
+        .filter(|e| matches!(e.kind, pami::RasEventKind::Retransmit) && e.dst_node == 1)
+        .count();
+    assert!(retransmits > 0, "the 30% drop plan must actually bite");
+    let after = machine.policy().crossover(1);
+    assert!(
+        after < initial,
+        "retransmits toward task 1 must pull its crossover down ({initial} -> {after})"
+    );
+    // The reverse path (task 1 -> task 0) carries only acks, which are not
+    // eager traffic; task 0's crossover state moves only if the RAS layer
+    // recorded retransmits toward node 0. With this seed it records none,
+    // so the clean destination's crossover is untouched.
+    assert_eq!(machine.policy().crossover(0), initial, "clean destination stays put");
+}

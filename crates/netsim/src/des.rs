@@ -92,6 +92,22 @@ impl<T: PartialEq> Engine<T> {
         Some(ev)
     }
 
+    /// Pop the next event only if it is due at or before `limit`, advancing
+    /// time to it. `None` leaves the engine (and its clock) untouched — the
+    /// co-simulation pump, which drains events up to a shared virtual "now"
+    /// without ever running ahead of it.
+    pub fn next_due(&mut self, limit: f64) -> Option<Event<T>> {
+        if self.heap.peek()?.time > limit {
+            return None;
+        }
+        self.next()
+    }
+
+    /// The time of the earliest pending event, if any (does not advance).
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|ev| ev.time)
+    }
+
     /// Run `handler` until no events remain; returns the final time.
     pub fn run(&mut self, mut handler: impl FnMut(&mut Engine<T>, Event<T>)) -> f64 {
         while let Some(ev) = self.next() {
@@ -164,6 +180,21 @@ mod tests {
         });
         assert_eq!(end, 5.0);
         assert_eq!(e.processed(), 6);
+    }
+
+    #[test]
+    fn next_due_respects_the_limit() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(1.0, 1);
+        e.schedule(2.0, 2);
+        assert_eq!(e.peek_time(), Some(1.0));
+        assert_eq!(e.next_due(0.5), None);
+        assert_eq!(e.now(), 0.0, "a declined pop must not advance time");
+        assert_eq!(e.next_due(1.0).unwrap().payload, 1);
+        assert_eq!(e.now(), 1.0);
+        assert_eq!(e.next_due(1.5), None);
+        assert_eq!(e.next_due(10.0).unwrap().payload, 2);
+        assert_eq!(e.next_due(10.0), None, "empty engine yields nothing");
     }
 
     #[test]

@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo test --workspace 2>&1 | tee test_output.txt
-cargo build --release -p pami-bench
+cargo build --release -p bench
 ./target/release/repro all | tee repro_output.txt
 ./target/release/msgrate
 ./target/release/collgate --baseline ci/BENCH_coll_baseline.json

@@ -82,7 +82,7 @@ fn functional_ordering_pami_faster_than_mpi() {
 }
 
 /// A miniature inline version of the bench-crate harness (the root test
-/// crate does not depend on `pami-bench`).
+/// crate does not depend on `bench`).
 mod pami_bench_mini {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
