@@ -452,10 +452,11 @@ fn main() {
     // chrome://tracing timeline. Skipped when the probes are compiled out
     // (the report would be empty).
     if telemetry_enabled {
-        let (report, trace) = pamistat_sample();
+        let (report, trace, ras) = pamistat_sample();
         std::fs::write("telemetry.json", &report).expect("write telemetry.json");
         std::fs::write("telemetry_trace.json", &trace).expect("write telemetry_trace.json");
-        println!("pamistat: wrote telemetry.json + telemetry_trace.json");
+        std::fs::write("telemetry_ras.jsonl", &ras).expect("write telemetry_ras.jsonl");
+        println!("pamistat: wrote telemetry.json + telemetry_trace.json + telemetry_ras.jsonl");
     } else {
         println!("pamistat: telemetry feature compiled out; no report");
     }

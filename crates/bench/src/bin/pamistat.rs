@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! pamistat sample [PREFIX]        run a whole-stack sample workload and write
-//!                                 PREFIX.json + PREFIX_trace.json
-//!                                 (default PREFIX: telemetry)
+//!                                 PREFIX.json + PREFIX_trace.json +
+//!                                 PREFIX_ras.jsonl (the drained RAS event
+//!                                 ring; default PREFIX: telemetry)
 //! pamistat show FILE.json         pretty-print one report (layer totals,
 //!                                 counters, histogram summaries)
 //! pamistat diff OLD.json NEW.json print per-counter and per-histogram deltas
@@ -53,18 +54,29 @@ fn load(path: &str) -> Report {
 }
 
 fn sample(prefix: &str) {
-    let (report_json, trace_json) = pamistat_sample();
+    let (report_json, trace_json, ras_jsonl) = pamistat_sample();
     let report_path = format!("{prefix}.json");
     let trace_path = format!("{prefix}_trace.json");
+    let ras_path = format!("{prefix}_ras.jsonl");
     std::fs::write(&report_path, &report_json).expect("write report");
     std::fs::write(&trace_path, &trace_json).expect("write trace");
+    std::fs::write(&ras_path, &ras_jsonl).expect("write ras events");
     if bgq_upc::ENABLED {
-        println!("pamistat: wrote {report_path} + {trace_path}");
+        println!("pamistat: wrote {report_path} + {trace_path} + {ras_path}");
         show(&report::parse(&report_json));
     } else {
         println!(
-            "pamistat: telemetry feature compiled out; wrote empty {report_path} + {trace_path}"
+            "pamistat: telemetry feature compiled out; wrote empty {report_path} + \
+             {trace_path} (RAS ring in {ras_path} stays populated)"
         );
+    }
+    // The RAS event ring is the narrative behind the ras.* counters —
+    // print the tail so a chaos run is triaged without opening files.
+    let events: Vec<&str> = ras_jsonl.lines().collect();
+    println!();
+    println!("-- ras event ring (last {} of {}) --", events.len().min(10), events.len());
+    for line in events.iter().rev().take(10).rev() {
+        println!("{line}");
     }
 }
 

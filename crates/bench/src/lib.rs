@@ -726,18 +726,25 @@ pub fn measure_handoff_percentiles(posts: usize) -> ((u64, u64), (u64, u64)) {
 // ---------------------------------------------------------------------------
 
 /// Run a small whole-stack workload on one machine and return its
-/// (`telemetry.json`, chrome-trace JSON) pair — the `pamistat` report.
+/// (`telemetry.json`, chrome-trace JSON, RAS-event JSONL) triple — the
+/// `pamistat` report.
 ///
 /// The workload deliberately crosses every instrumented layer so the
 /// report has non-zero counters from each: MU fabric traffic (`mu.*`,
 /// including rendezvous RDMA), context advance/sends (`ctx.*`), MPI
 /// matching with pre-posted, unexpected, and wildcard receives
 /// (`match.*`), hardware collectives with per-phase timing (`coll.*`),
-/// and a commthread pool servicing posted work (`commthread.*`).
+/// a commthread pool servicing posted work (`commthread.*`), and — on a
+/// fault-injected side machine that shares the same UPC registry — the
+/// reliability layer (`ras.*`: retransmits, SACK retransmits, CRC
+/// errors, reorder depth). The side machine's RAS event ring is drained
+/// into the third string (one JSON object per line, oldest first) so a
+/// chaos run is diagnosable from the telemetry artifacts alone.
 ///
-/// With the `telemetry` feature off both strings are valid but empty
-/// reports (the probes compile to no-ops).
-pub fn pamistat_sample() -> (String, String) {
+/// With the `telemetry` feature off the first two strings are valid but
+/// empty reports (the probes compile to no-ops); the RAS ring is
+/// feature-independent and stays populated.
+pub fn pamistat_sample() -> (String, String, String) {
     use pami::coll::Algorithm;
     use pami::CommThreadPool;
 
@@ -812,8 +819,75 @@ pub fn pamistat_sample() -> (String, String) {
     }
     pool.shutdown();
 
+    // Reliability segment: a hostile 1%+1% flood on a side machine that
+    // shares the main sample's UPC registry, so the `ras.*` counters in
+    // the report are non-zero and the RAS event ring has real entries.
+    // Fixed seed — the sample is a deterministic fixture, not a soak.
+    let ras_lines = {
+        let plan = pami::FaultPlan::new()
+            .seed(4242)
+            .drop_rate(0.01)
+            .corrupt_rate(0.01)
+            .retry(pami::RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 8, retry_budget: 64 });
+        let chaos = Machine::with_nodes(2)
+            .telemetry(machine.telemetry().clone())
+            .fault_plan(plan)
+            .build();
+        let sender = Client::create(&chaos, 0, "stat-chaos", 1);
+        let receiver = Client::create(&chaos, 1, "stat-chaos", 1);
+        let got = Arc::new(AtomicU64::new(0));
+        {
+            let got = Arc::clone(&got);
+            receiver.context(0).set_dispatch(
+                1,
+                Arc::new(move |_: &Context, _msg, _first| {
+                    got.fetch_add(1, Ordering::Relaxed);
+                    Recv::Done
+                }),
+            );
+        }
+        const CHAOS_MSGS: u64 = 2_000;
+        for i in 0..CHAOS_MSGS {
+            sender
+                .context(0)
+                .send(SendArgs {
+                    dest: Endpoint::of_task(1),
+                    dispatch: 1,
+                    metadata: Vec::new(),
+                    payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[0u8; 8])),
+                    local_done: None,
+                })
+                .unwrap();
+            if i % 16 == 0 {
+                sender.context(0).advance();
+                receiver.context(0).advance();
+            }
+        }
+        while got.load(Ordering::Relaxed) < CHAOS_MSGS {
+            sender.context(0).advance();
+            receiver.context(0).advance();
+        }
+        let (events, overflowed) = chaos.fabric().ras_events();
+        let mut out = String::with_capacity(events.len() * 96 + 64);
+        for e in &events {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "{{\"tick\": {}, \"kind\": \"{}\", \"src_node\": {}, \"dst_node\": {}, \"detail\": {}}}",
+                e.tick,
+                e.kind.as_str(),
+                e.src_node,
+                e.dst_node,
+                e.detail,
+            );
+        }
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "{{\"ring_overflowed\": {overflowed}}}");
+        out
+    };
+
     let upc = machine.telemetry();
-    (upc.report_json(), upc.chrome_trace_json())
+    (upc.report_json(), upc.chrome_trace_json(), ras_lines)
 }
 
 // ---------------------------------------------------------------------------
@@ -1113,6 +1187,9 @@ pub struct ChaosStats {
     pub rate: f64,
     /// `ras.retransmits` after the run (0 when telemetry is compiled out).
     pub retransmits: u64,
+    /// `ras.sack_retransmits` after the run — losses recovered by SACK
+    /// fast retransmit without waiting out an RTO.
+    pub sack_retransmits: u64,
     /// `ras.crc_errors` after the run.
     pub crc_errors: u64,
     /// `mu.packets_dropped` summed over both nodes.
@@ -1187,8 +1264,200 @@ pub fn measure_chaos_rate(
     ChaosStats {
         rate,
         retransmits: ras.retransmits.value(),
+        sack_retransmits: ras.sack_retransmits.value(),
         crc_errors: ras.crc_errors.value(),
         packets_dropped: machine.fabric().counters(0).packets_dropped.value()
             + machine.fabric().counters(1).packets_dropped.value(),
+    }
+}
+
+/// What the kill-a-node failover drill measured.
+pub struct FailoverStats {
+    /// Messages delivered at the primary before its node was cut off.
+    pub pre_kill: u64,
+    /// Messages drained to the standby after the kill.
+    pub drained: u64,
+    /// `Unreachable` delivery faults the sender absorbed while the
+    /// failover was firing (each one is a resend, not a loss).
+    pub unreachable_faults: u64,
+    /// Messages never delivered anywhere. The failover contract is 0.
+    pub lost: u64,
+    /// Whether the persistent channel renegotiated onto the standby and
+    /// replayed the step that died with the primary.
+    pub channel_replayed: bool,
+    /// Wall-clock seconds for the whole drill.
+    pub secs: f64,
+}
+
+/// Kill-a-node failover drill: flood task 1, cut node 1 off mid-stream,
+/// and verify traffic drains to the registered standby (task 2) with zero
+/// lost messages.
+///
+/// Three nodes, one task each. Task 0 sends `msgs` 64-byte messages one at
+/// a time (each with a completion counter, so an `Unreachable` fault is
+/// observed per message and answered with a resend). Halfway through, node
+/// 1 loses every link — its own plus the last hop of each inbound route.
+/// The first post-kill send dies `Unreachable`; the RAS observer fires the
+/// machine-level failover and the resend lands on the standby. A
+/// persistent channel rides along: one step delivered to the primary
+/// pre-kill, then a post into the dead channel (which must fail), a
+/// `renegotiate()` that follows the failover, and a replay the standby
+/// must receive.
+///
+/// Returns counts instead of asserting so the chaos bin can gate on them
+/// and record the numbers in `BENCH_chaos.json`.
+///
+/// `plan` overrides the fault plan: `None` is the gated drill (a clean
+/// plan — reliability on, no injected loss), `Some` lets the nightly soak
+/// run the same kill-and-drain scenario under a seeded lossy plan, where
+/// the failover must fire *while* retransmission is already absorbing
+/// drops and corruption.
+pub fn measure_failover_drain(msgs: usize, plan: Option<pami::FaultPlan>) -> FailoverStats {
+    use pami::{Counter, DeliveryFault, FaultPlan};
+
+    const DISPATCH: u16 = 9;
+    const SLOT: usize = 32;
+    let pre = (msgs / 2).max(1) as u64;
+    let post = (msgs as u64 - pre).max(1);
+    let shape = bgq_torus::TorusShape::for_nodes(3);
+    // A clean plan (no rates) turns the reliability layer on, which is
+    // what makes links killable and Unreachable faults reportable.
+    let plan = plan.unwrap_or_else(|| FaultPlan::new().seed(4040));
+    let machine = Machine::builder(shape).fault_plan(plan).build();
+    machine.register_standby(1, 2);
+    let arrived1 = Arc::new(AtomicU64::new(0));
+    let arrived2 = Arc::new(AtomicU64::new(0));
+    let faults = Arc::new(AtomicU64::new(0));
+    let lost = Arc::new(AtomicU64::new(0));
+    let replayed = Arc::new(AtomicU64::new(0));
+    // 1: primary consumed the channel step; 2: links are dead (standby may
+    // open its channel); 3: sender done, receivers may stop advancing.
+    let stage = Arc::new(AtomicU64::new(0));
+    let (a1, a2, f2, l2, r2, st) = (
+        Arc::clone(&arrived1),
+        Arc::clone(&arrived2),
+        Arc::clone(&faults),
+        Arc::clone(&lost),
+        Arc::clone(&replayed),
+        Arc::clone(&stage),
+    );
+    let start = Instant::now();
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "failover", 1);
+        let ctx = client.context(0);
+        let counted = |cell: &Arc<AtomicU64>| {
+            let cell = Arc::clone(cell);
+            let f: pami::context::DispatchFn = Arc::new(move |_: &Context, _, _| {
+                cell.fetch_add(1, Ordering::SeqCst);
+                Recv::Done
+            });
+            f
+        };
+        match env.task {
+            1 => ctx.set_dispatch(DISPATCH, counted(&a1)),
+            2 => ctx.set_dispatch(DISPATCH, counted(&a2)),
+            _ => {}
+        }
+        env.machine.task_barrier();
+        let send_one = || {
+            let done = Counter::new();
+            done.add_expected(64);
+            ctx.send(SendArgs {
+                dest: Endpoint::of_task(1),
+                dispatch: DISPATCH,
+                metadata: Vec::new(),
+                payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[0u8; 64])),
+                local_done: Some(done.clone()),
+            })
+            .unwrap();
+            ctx.advance_until(|| done.is_complete());
+            done
+        };
+        match env.task {
+            0 => {
+                let mut ch = ctx.channel(Endpoint::of_task(1), SLOT).unwrap();
+                for _ in 0..pre {
+                    if !send_one().is_ok() {
+                        l2.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                ch.post(&[0xA0; SLOT]).unwrap();
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 1);
+                // Cut node 1 off: its own links plus the last hop of every
+                // inbound route.
+                let fab = env.machine.fabric();
+                for dir in bgq_torus::Dir::all() {
+                    fab.kill_link(1, dir);
+                }
+                let c1 = shape.coords_of(1);
+                fab.kill_link(0, bgq_torus::det_route(shape, shape.coords_of(0), c1)[0]);
+                fab.kill_link(2, bgq_torus::det_route(shape, shape.coords_of(2), c1)[0]);
+                // Drain the rest, resending on fault; the retry bound
+                // converts a failover that never fires into lost counts
+                // instead of a hang.
+                for _ in 0..post {
+                    let mut delivered = false;
+                    for _ in 0..8 {
+                        let done = send_one();
+                        if done.is_ok() {
+                            delivered = true;
+                            break;
+                        }
+                        if done.fault() == Some(DeliveryFault::Unreachable) {
+                            f2.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    if !delivered {
+                        l2.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                // Channel replay: the post into the dead channel must
+                // fail, the renegotiated channel must reach the standby.
+                // (If renegotiation itself fails the standby's side hangs
+                // in its handshake — the caller bounds the whole drill
+                // with a wall clock, so that surfaces as a failure, not a
+                // wedged bench.)
+                let dead_post_failed = ch.post(&[0xA1; SLOT]).is_err();
+                st.store(2, Ordering::SeqCst);
+                let renegotiated = ch.renegotiate().is_ok() && ch.peer().task == 2;
+                if renegotiated {
+                    ch.post(&[0xA1; SLOT]).unwrap();
+                    if dead_post_failed {
+                        r2.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                st.store(3, Ordering::SeqCst);
+            }
+            1 => {
+                let mut ch = ctx.channel(Endpoint::of_task(0), SLOT).unwrap();
+                let mut buf = [0u8; SLOT];
+                ch.wait(&mut buf).unwrap();
+                st.store(1, Ordering::SeqCst);
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 3);
+            }
+            2 => {
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 2);
+                let mut ch = ctx.channel(Endpoint::of_task(0), SLOT).unwrap();
+                let mut buf = [0u8; SLOT];
+                if ch.wait(&mut buf).is_ok() && buf == [0xA1; SLOT] {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                }
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 3);
+            }
+            _ => unreachable!(),
+        }
+    });
+    let delivered1 = arrived1.load(Ordering::SeqCst);
+    let delivered2 = arrived2.load(Ordering::SeqCst);
+    FailoverStats {
+        pre_kill: delivered1,
+        drained: delivered2,
+        unreachable_faults: faults.load(Ordering::SeqCst),
+        lost: lost.load(Ordering::SeqCst) + (pre + post).saturating_sub(delivered1 + delivered2),
+        // Both halves must agree: the sender saw the dead post fail and
+        // renegotiated onto the standby, and the standby received the
+        // replayed step.
+        channel_replayed: replayed.load(Ordering::SeqCst) == 2,
+        secs: start.elapsed().as_secs_f64(),
     }
 }

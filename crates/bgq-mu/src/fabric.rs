@@ -26,21 +26,31 @@ use std::sync::{Arc, OnceLock};
 
 use bgq_hw::{DeliveryFault, WakeupRegion, WakeupUnit};
 use bgq_torus::packet::MAX_PAYLOAD_BYTES;
-use bgq_torus::{healthy_route, Dir, LinkHealth, TorusShape};
+use bgq_torus::{healthy_route, Coords, Dir, LinkHealth, TorusShape};
 use bgq_upc::{Counter, Upc};
 use parking_lot::MutexGuard;
 
 use crate::descriptor::{Descriptor, PayloadSource, XferKind};
 use crate::engine::{self, EngineMode};
-use crate::faults::{link_id, Fate, FaultInjector, FaultPlan};
+use crate::faults::{link_id, Fate, FaultInjector, FaultPlan, LinkProtocol};
 use crate::fifo::{
     FifoAllocator, FifoTable, InjFifo, InjFifoId, MsgIdLane, RecFifo, RecFifoId,
     INJ_FIFOS_PER_NODE, REC_FIFOS_PER_NODE,
 };
 use crate::link::{
     fail_body, Channel, Frame, FrameBody, FramePayload, FrameState, RasCounters, RasEvent,
-    RasEventKind, RasRing, Reliability, TxState,
+    RasEventKind, RasRing, Reliability, RoutePlan, RxVerdict, TxState,
 };
+
+/// How a selective-repeat arrival leaves the sender's scan: move to the
+/// next frame, restart from the (new) queue front after a cumulative ack
+/// retired a prefix, or rescan because a SACK re-queued earlier frames for
+/// immediate retransmission.
+enum Arrival {
+    Advance,
+    Restart,
+    FastRetransmit,
+}
 use crate::packet::{packet_crc, MuPacket, PacketPayload};
 use crate::transport::Transport;
 
@@ -535,7 +545,8 @@ impl MuFabric {
         if let Some(rel) = &self.inner.reliability {
             if dst_node != src_node {
                 let ch = rel.channel(src_node, dst_node);
-                if rel.clean && !rel.health.any_down() && ch.seems_alive() {
+                if rel.clean && !rel.health.any_down() && ch.seems_alive() && !ch.has_backlog()
+                {
                     // Fair-weather short fast path: same single-packet
                     // synchronous deliver as the lossless tail below, but
                     // the sequence number comes from the channel's atomic
@@ -836,6 +847,7 @@ impl MuFabric {
                     payload,
                     lane,
                     link_seq,
+                    None,
                     inj_counter.is_some(),
                     short,
                 );
@@ -892,6 +904,7 @@ impl MuFabric {
         payload: PayloadSource,
         lane: &MsgIdLane,
         seq_src: &AtomicU64,
+        preseq: Option<u64>,
         stage: bool,
         short: bool,
     ) {
@@ -917,7 +930,10 @@ impl MuFabric {
                 .packets_received
                 .add_pinned(pin, npackets * MU_PACKET_COUNTER_SAMPLE);
         }
-        let base_seq = seq_src.fetch_add(npackets, Ordering::Relaxed);
+        // The fate-peeked cut-through draws its sequence numbers before
+        // rolling the dice; everyone else draws here.
+        let base_seq =
+            preseq.unwrap_or_else(|| seq_src.fetch_add(npackets, Ordering::Relaxed));
         let crc_on = self.inner.crc;
         let header = |i: u64| {
             let off = i as usize * MAX_PAYLOAD_BYTES;
@@ -1132,9 +1148,10 @@ impl MuFabric {
         let ch = rel.channel(src_node, dst_node);
         let mut tx = ch.tx.lock();
         let Some(fault) = tx.dead.take() else { return false };
-        tx.retries = 0;
-        tx.rto = rel.injector.retry().rto_ticks;
         tx.route = None;
+        // The kill cleared the receiver's reorder buffer; the cursor
+        // re-syncs to the next queued frame on the first pump visit.
+        debug_assert!(ch.rx.lock().buffer.is_empty());
         ch.publish_alive();
         rel.ring.record(RasEvent {
             tick: rel.tick(src_node),
@@ -1202,7 +1219,8 @@ impl MuFabric {
         // CRC + sequence numbers + ack bookkeeping, not locks and queue
         // churn. Sequence numbers come from the channel's atomic, so the
         // lock exists only for the retransmit queue.
-        let fast = rel.clean && !rel.health.any_down() && ch.seems_alive();
+        let fast =
+            rel.clean && !rel.health.any_down() && ch.seems_alive() && !ch.has_backlog();
         let kind = match kind {
             XferKind::MemoryFifo { rec_fifo, dispatch, metadata, short } if fast => {
                 // Specialized fair-weather fifo path: fragment straight
@@ -1221,6 +1239,7 @@ impl MuFabric {
                     payload,
                     lane,
                     &ch.next_seq,
+                    None,
                     inj_counter.is_some(),
                     short,
                 );
@@ -1229,12 +1248,107 @@ impl MuFabric {
                 }
                 return;
             }
+            // Fate-peeked cut-through, the selective-repeat analog of the
+            // fair-weather bypass: the fault dice are pure functions of
+            // (link, seq, attempt), so under a hostile plan the sender
+            // draws the message's sequence numbers up front and rolls
+            // every packet's forward fate and reverse ack fate before
+            // committing to the queue. If they all pass — the
+            // overwhelmingly common case at percent-level loss — the
+            // message delivers synchronously exactly as the clean path
+            // does, lock-free; any unlucky die sends the message to the
+            // retransmit queue *under the already-drawn seqs*, so the
+            // pump re-rolls these same dice and records the loss exactly
+            // as if the peek never happened. Either way each seq's dice
+            // are consumed exactly once and the fault plan's statistics
+            // are untouched. Guards: selective repeat only (go-back-N
+            // keeps its committed behavior bit for bit), no kill
+            // schedules (crossing counts must stay exact), every link up
+            // (then the route is the deterministic one, precomputed per
+            // channel), channel alive with an empty queue. The liveness
+            // and backlog hints race a concurrent fault episode by at
+            // most one in-flight message — the same window the clean
+            // bypass already accepts.
+            XferKind::MemoryFifo { rec_fifo, dispatch, metadata, short }
+                if !rel.clean
+                    && rel.injector.protocol() == LinkProtocol::SelectiveRepeat
+                    && !rel.injector.has_kills()
+                    && rel.injector.uniform_thresholds().is_some()
+                    && !rel.health.any_down()
+                    && ch.seems_alive()
+                    && !ch.has_backlog() =>
+            {
+                let npackets = bgq_torus::packet::packets_for(payload.len()) as u64;
+                let base = ch.next_seq.fetch_add(npackets, Ordering::Relaxed);
+                let (pass_thr, ack_thr) = rel
+                    .injector
+                    .uniform_thresholds()
+                    .expect("guard requires a uniform-rate plan");
+                let plan = self.fair_plan(rel, ch);
+                // One finalizer per die: each forward hop must come up
+                // `Pass`, each reverse (ack) hop `Pass` or `Delay` — the
+                // threshold forms of exactly the `decide` calls the pump
+                // would make for these frames.
+                let all_pass = (0..npackets).all(|i| {
+                    let ss = FaultInjector::seq_salt(base + i, 0);
+                    plan.fwd_salts
+                        .iter()
+                        .all(|&ls| FaultInjector::draw(ls, ss) >= pass_thr)
+                        && plan
+                            .rev_salts
+                            .iter()
+                            .all(|&ls| FaultInjector::draw(ls, ss) >= ack_thr)
+                });
+                if all_pass {
+                    self.deliver_fifo_sync(
+                        src_node,
+                        dst_node,
+                        src_context,
+                        rec_fifo,
+                        dispatch,
+                        metadata,
+                        payload,
+                        lane,
+                        &ch.next_seq,
+                        Some(base),
+                        inj_counter.is_some(),
+                        short,
+                    );
+                    if let Some(t) = &self.inner.transport {
+                        for _ in 0..npackets {
+                            t.deliver_control(dst_node, src_node, Self::ACK_WIRE_BYTES);
+                        }
+                    }
+                    if let Some(c) = inj_counter {
+                        c.delivered(total_credit);
+                    }
+                    return;
+                }
+                self.enqueue_fifo_frames(
+                    rel,
+                    ch,
+                    base,
+                    src_node,
+                    dst_node,
+                    src_context,
+                    rec_fifo,
+                    dispatch,
+                    metadata,
+                    payload,
+                    lane,
+                    inj_counter,
+                    total_credit,
+                    short,
+                );
+                return;
+            }
             // Put/Get on a clean fabric still use the generic lock-free
             // frame emit below (not message-rate critical).
             other => other,
         };
         let mut guard = if fast { None } else { Some(ch.tx.lock()) };
         let dead = guard.as_ref().and_then(|g| g.dead);
+        let rto_init = rel.injector.retry().rto_ticks;
         let mut queued = 0usize;
         let mut failed = 0u64;
         {
@@ -1252,6 +1366,8 @@ impl MuFabric {
                 seq,
                 attempt: 0,
                 state: FrameState::Queued,
+                retries: 0,
+                rto: rto_init,
                 credit,
                 inj_counter: inj_counter.clone(),
                 body,
@@ -1382,16 +1498,19 @@ impl MuFabric {
         }
         if queued > 0 {
             rel.add_pending(src_node, queued);
+            ch.publish_backlog(true);
             let now = rel.tick(src_node);
             let guard = guard.as_mut().expect("slow path holds the channel lock");
             self.pump_channel_locked(rel, ch, guard, now, usize::MAX);
         }
     }
 
-    /// The channel state machine: go-back-N over the front frame. `now` is
-    /// the node's link-pump tick; `budget` caps deliveries. Holding the
-    /// channel lock across delivery is safe — delivery never takes another
-    /// channel's lock.
+    /// The channel state machine. `now` is the node's link-pump tick;
+    /// `budget` caps deliveries. Dispatches on the plan's
+    /// [`LinkProtocol`]: selective repeat works a window of frames with
+    /// lossy acks, go-back-N reproduces the original front-frame protocol
+    /// for A/B runs. Holding the channel lock across delivery is safe —
+    /// delivery never takes another channel's lock.
     fn pump_channel_locked(
         &self,
         rel: &Reliability,
@@ -1404,12 +1523,645 @@ impl MuFabric {
         if tx.dead.is_some() {
             return 0;
         }
+        let done = match rel.injector.protocol() {
+            LinkProtocol::SelectiveRepeat => {
+                self.pump_selective_repeat(rel, ch, tx, now, budget)
+            }
+            LinkProtocol::GoBackN => self.pump_go_back_n(rel, ch, tx, now, budget),
+        };
+        if tx.dead.is_none() {
+            ch.publish_backlog(!tx.queue.is_empty());
+        }
+        done
+    }
+
+    /// The channel's deterministic route in hot-path form, built once and
+    /// read lock-free. Only meaningful while every link is up — exactly
+    /// when `healthy_route` returns the deterministic route, so this is
+    /// the same plan `ensure_route` would cache under the lock.
+    fn fair_plan<'a>(&self, rel: &Reliability, ch: &'a Channel) -> &'a Arc<RoutePlan> {
+        ch.fair_plan.get_or_init(|| {
+            let shape = self.inner.shape;
+            let src_c = shape.coords_of(ch.src as usize);
+            let dst_c = shape.coords_of(ch.dst as usize);
+            let route = bgq_torus::det_route(shape, src_c, dst_c);
+            Arc::new(Self::build_route_plan(rel, shape, src_c, dst_c, &route))
+        })
+    }
+
+    /// Resolve a route's coordinate arithmetic and dice keys once, into
+    /// exactly what the per-frame hot path needs.
+    fn build_route_plan(
+        rel: &Reliability,
+        shape: TorusShape,
+        src_c: Coords,
+        dst_c: Coords,
+        route: &[Dir],
+    ) -> RoutePlan {
+        let mut hops = Vec::with_capacity(route.len());
+        let mut fwd_salts = Vec::with_capacity(route.len());
+        let mut at = src_c;
+        for &dir in route {
+            let lid = link_id(shape.node_index(at) as u32, dir);
+            hops.push((lid, at, dir));
+            fwd_salts.push(rel.injector.link_salt(lid));
+            at = shape.neighbor(at, dir);
+        }
+        let mut rev_lids = Vec::with_capacity(route.len());
+        let mut rev_salts = Vec::with_capacity(route.len());
+        let mut rat = dst_c;
+        for &dir in route.iter().rev() {
+            let back = dir.reverse();
+            let lid = link_id(shape.node_index(rat) as u32, back);
+            rev_lids.push(lid);
+            rev_salts.push(rel.injector.link_salt(lid));
+            rat = shape.neighbor(rat, back);
+        }
+        RoutePlan { hops, rev_lids, fwd_salts, rev_salts }
+    }
+
+    /// Queue a MemoryFifo message whose sequence numbers were already
+    /// drawn by the fate-peeked cut-through: one frame per packet,
+    /// carrying the pre-drawn seqs so the pump's dice rolls match the
+    /// peek, then pump the channel inline exactly as the generic slow
+    /// path does after an emit.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_fifo_frames(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        base_seq: u64,
+        src_node: u32,
+        dst_node: u32,
+        src_context: u16,
+        rec_fifo: RecFifoId,
+        dispatch: u16,
+        metadata: bytes::Bytes,
+        payload: PayloadSource,
+        lane: &MsgIdLane,
+        inj_counter: Option<bgq_hw::Counter>,
+        total_credit: u64,
+        short: bool,
+    ) {
+        let msg_len = payload.len();
+        let src = self.node(src_node);
+        let msg_id = lane.next();
+        src.counters.fifo_messages.incr();
+        let npackets = bgq_torus::packet::packets_for(msg_len) as u64;
+        src.counters.packets_injected.add(npackets);
+        let stage = inj_counter.is_some() && matches!(payload, PayloadSource::Region { .. });
+        if stage {
+            src.counters.payload_copies.add(npackets);
+        }
+        let rto_init = rel.injector.retry().rto_ticks;
+        let mut guard = ch.tx.lock();
+        let dead = guard.dead;
+        let mut failed = 0u64;
+        let mut queued = 0usize;
+        for i in 0..npackets {
+            let off = i as usize * MAX_PAYLOAD_BYTES;
+            let chunk = (msg_len - off).min(MAX_PAYLOAD_BYTES);
+            let fp = match &payload {
+                PayloadSource::Immediate(data) => {
+                    FramePayload::Inline(data.slice(off..off + chunk))
+                }
+                PayloadSource::Region { region, offset: base, len } => {
+                    debug_assert_eq!(*len, msg_len);
+                    if stage {
+                        let mut staged = vec![0u8; chunk];
+                        region.read(base + off, &mut staged);
+                        FramePayload::Inline(bytes::Bytes::from(staged))
+                    } else {
+                        FramePayload::Region {
+                            region: region.clone(),
+                            offset: base + off,
+                            len: chunk,
+                        }
+                    }
+                }
+            };
+            let credit = if msg_len == 0 { total_credit } else { chunk as u64 };
+            let body = FrameBody::Packet {
+                rec_fifo,
+                src_context,
+                dispatch,
+                metadata: bytes::Bytes::clone(&metadata),
+                msg_id,
+                msg_len: msg_len as u32,
+                offset: off as u32,
+                short,
+                payload: fp,
+            };
+            if let Some(fault) = dead {
+                // The liveness hint raced a concurrent kill: surface the
+                // fault to this transfer's counters, as the emit path does.
+                failed += fail_body(&body, fault);
+                continue;
+            }
+            let seq = base_seq + i;
+            // A concurrent sender's draw may have reached the queue
+            // first: insert in sequence order, which the pump relies on.
+            let pos = guard.queue.partition_point(|f| f.seq < seq);
+            guard.queue.insert(
+                pos,
+                Frame {
+                    seq,
+                    attempt: 0,
+                    state: FrameState::Queued,
+                    retries: 0,
+                    rto: rto_init,
+                    credit,
+                    inj_counter: inj_counter.clone(),
+                    body,
+                },
+            );
+            queued += 1;
+        }
+        if let Some(fault) = dead {
+            drop(guard);
+            if let Some(c) = &inj_counter {
+                failed += c.fail(fault) as u64;
+            }
+            rel.ras.delivery_failures.add(failed);
+            rel.ring.record(RasEvent {
+                tick: rel.tick(src_node),
+                kind: RasEventKind::DeliveryFailure,
+                src_node,
+                dst_node,
+                detail: fault as u64,
+            });
+            return;
+        }
+        rel.add_pending(src_node, queued);
+        ch.publish_backlog(true);
+        let now = rel.tick(src_node);
+        self.pump_channel_locked(rel, ch, &mut guard, now, usize::MAX);
+    }
+
+    /// Make sure `tx` holds a route computed at the current health epoch.
+    /// Kills the channel (`Unreachable`) and returns `None` when no
+    /// healthy route exists.
+    fn ensure_route(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        tx: &mut TxState,
+        now: u64,
+    ) -> Option<Arc<RoutePlan>> {
+        let epoch = rel.health.epoch();
+        if tx.route.is_none() || tx.route_epoch != epoch {
+            let shape = self.inner.shape;
+            let src_c = shape.coords_of(ch.src as usize);
+            let dst_c = shape.coords_of(ch.dst as usize);
+            match healthy_route(shape, src_c, dst_c, &rel.health) {
+                Some(route) => {
+                    if rel.health.any_down()
+                        && route != bgq_torus::det_route(shape, src_c, dst_c)
+                    {
+                        rel.ras.reroutes.incr();
+                        rel.ring.record(RasEvent {
+                            tick: now,
+                            kind: RasEventKind::Reroute,
+                            src_node: ch.src,
+                            dst_node: ch.dst,
+                            detail: route.len() as u64,
+                        });
+                    }
+                    // Resolve the coordinate arithmetic once: the hot
+                    // path crosses frames (and their acks) against the
+                    // precomputed link ids and dice salts only.
+                    tx.route = Some(Arc::new(Self::build_route_plan(
+                        rel, shape, src_c, dst_c, &route,
+                    )));
+                    tx.route_epoch = epoch;
+                }
+                None => {
+                    self.kill_channel(rel, ch, tx, DeliveryFault::Unreachable, now);
+                    return None;
+                }
+            }
+        }
+        tx.route.clone()
+    }
+
+    /// Walk the route's links with one data frame; kill schedules and
+    /// per-link fates apply, first bad link wins. Returns the frame's fate
+    /// and whether a kill schedule fired (cached route invalidated by the
+    /// caller).
+    fn cross_links(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        route: &RoutePlan,
+        seq: u64,
+        attempt: u32,
+        now: u64,
+    ) -> (Fate, bool) {
+        // Kill schedules are rare; hoist the probe so schedule-free plans
+        // pay one branch per frame instead of a map lookup per hop.
+        let check_kills = rel.injector.has_kills();
+        for &(lid, at, dir) in &route.hops {
+            if check_kills && rel.injector.note_crossing(lid) {
+                if rel.health.kill(at, dir) {
+                    rel.ras.link_down.add(2);
+                    rel.ring.record(RasEvent {
+                        tick: now,
+                        kind: RasEventKind::LinkDown,
+                        src_node: ch.src,
+                        dst_node: ch.dst,
+                        detail: lid,
+                    });
+                }
+                return (Fate::Drop, true);
+            }
+            match rel.injector.decide(lid, seq, attempt) {
+                Fate::Pass => {}
+                f => return (f, false),
+            }
+        }
+        (Fate::Pass, false)
+    }
+
+    /// Ack wire cost charged to the transport seam when an ack crosses the
+    /// reverse route: sequence number + SACK bitmap + CRC, no payload.
+    const ACK_WIRE_BYTES: u64 = 32;
+
+    /// Roll the per-link fate dice for an ack crossing the reverse route
+    /// (destination back to source). Ack crossings never advance kill
+    /// schedules — kill-at-Nth-frame plans count data frames only — but
+    /// they reuse the same deterministic dice keyed by the reverse link
+    /// ids, so replay stays bit-for-bit per seed. A passing ack is charged
+    /// to the transport seam as a control frame.
+    fn ack_crosses(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        route: &RoutePlan,
+        seq: u64,
+        attempt: u32,
+    ) -> bool {
+        if !rel.clean {
+            for &lid in &route.rev_lids {
+                match rel.injector.decide(lid, seq, attempt) {
+                    // A delayed ack still arrives — only loss (drop or
+                    // corruption) forces the sender to probe. Modeled as
+                    // on-time because the in-process protocol has no
+                    // reverse-path event queue to defer it on.
+                    Fate::Pass | Fate::Delay(_) => {}
+                    Fate::Drop | Fate::Corrupt => return false,
+                }
+            }
+        }
+        if let Some(t) = &self.inner.transport {
+            t.deliver_control(ch.dst, ch.src, Self::ACK_WIRE_BYTES);
+        }
+        true
+    }
+
+    /// Retire every frame the cumulative ack through `cum` covers: pop the
+    /// queue prefix and credit the source completion counters. All popped
+    /// frames have already been deposited at the destination.
+    fn retire_through(&self, rel: &Reliability, ch: &Channel, tx: &mut TxState, cum: u64) {
+        let mut n = 0;
+        while let Some(front) = tx.queue.front() {
+            if cum.wrapping_sub(front.seq) >= 1 << 63 {
+                break;
+            }
+            let frame = tx.queue.pop_front().expect("front exists");
+            // The frame's data was delivered (its seq is behind the
+            // receive cursor) even if a probe left it Lost/Delayed/Queued;
+            // only SackHeld bodies are still undelivered, and those sit
+            // above the cursor by construction.
+            debug_assert!(
+                !matches!(frame.state, FrameState::SackHeld),
+                "cumulative ack never covers a reorder-buffered frame"
+            );
+            if let Some(c) = &frame.inj_counter {
+                c.delivered(frame.credit);
+            }
+            n += 1;
+        }
+        if n > 0 {
+            rel.sub_pending(ch.src, n);
+        }
+    }
+
+    /// Process one data-frame arrival at the receiver under selective
+    /// repeat: classify it against the reorder state, deposit what became
+    /// deliverable, and apply the (possibly lost) ack to the sender's
+    /// queue. Returns how the caller's scan should continue.
+    #[allow(clippy::too_many_arguments)]
+    fn sr_arrival(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        tx: &mut TxState,
+        idx: usize,
+        seq: u64,
+        now: u64,
+        ack: bool,
+        done: &mut usize,
+    ) -> Arrival {
+        let verdict = ch.rx.lock().accept(seq);
+        match verdict {
+            RxVerdict::Deliver => {
+                // The data crossed in order: deposit it now, then drain
+                // the consecutive run of buffered successors it unblocked.
+                {
+                    let f = &mut tx.queue[idx];
+                    let (fseq, credit) = (f.seq, f.credit);
+                    self.deliver_body(ch, fseq, credit, &f.body);
+                    f.state = FrameState::AckWait { since: now };
+                }
+                *done += 1;
+                let mut cum = seq;
+                let mut j = idx + 1;
+                while let Some(f) = tx.queue.get(j) {
+                    if f.state != FrameState::SackHeld {
+                        break;
+                    }
+                    let fseq = f.seq;
+                    if !ch.rx.lock().drain_next(fseq) {
+                        break;
+                    }
+                    let f = &mut tx.queue[j];
+                    let credit = f.credit;
+                    self.deliver_body(ch, fseq, credit, &f.body);
+                    f.state = FrameState::AckWait { since: now };
+                    *done += 1;
+                    cum = fseq;
+                    j += 1;
+                }
+                if ack {
+                    self.retire_through(rel, ch, tx, cum);
+                    Arrival::Restart
+                } else {
+                    // Ack lost: the delivered frames stay queued in
+                    // AckWait until an RTO probe re-elicits the
+                    // cumulative ack.
+                    Arrival::Advance
+                }
+            }
+            RxVerdict::Sacked => {
+                rel.ras.reorder_depth.incr();
+                if !ack {
+                    // The selective ack was lost: the sender cannot know
+                    // the receiver holds the data, so the frame must be
+                    // retried (the receiver will answer the duplicate).
+                    tx.queue[idx].state = FrameState::Lost { since: now };
+                    return Arrival::Advance;
+                }
+                tx.queue[idx].state = FrameState::SackHeld;
+                // SACK fast retransmit: the selective ack proves later
+                // data crossed, so earlier lost frames needn't wait out
+                // their RTO. These retransmits are free — they do not
+                // count against the retry budget.
+                let mut any = false;
+                for j in 0..idx {
+                    let f = &mut tx.queue[j];
+                    if matches!(f.state, FrameState::Lost { .. }) {
+                        f.state = FrameState::Queued;
+                        f.attempt += 1;
+                        let fseq = f.seq;
+                        any = true;
+                        rel.ras.retransmits.incr();
+                        rel.ras.sack_retransmits.incr();
+                        rel.ring.record(RasEvent {
+                            tick: now,
+                            kind: RasEventKind::SackRetransmit,
+                            src_node: ch.src,
+                            dst_node: ch.dst,
+                            detail: fseq,
+                        });
+                    }
+                }
+                if any {
+                    Arrival::FastRetransmit
+                } else {
+                    Arrival::Advance
+                }
+            }
+            RxVerdict::DupSacked => {
+                // Receiver already holds it; the re-sent selective ack
+                // settles the frame (or is lost again).
+                tx.queue[idx].state = if ack {
+                    FrameState::SackHeld
+                } else {
+                    FrameState::Lost { since: now }
+                };
+                Arrival::Advance
+            }
+            RxVerdict::Duplicate => {
+                // The receiver delivered this data earlier (the ack was
+                // lost); the probe re-elicits the cumulative ack.
+                tx.queue[idx].state = FrameState::AckWait { since: now };
+                if ack {
+                    let cum = ch.rx.lock().next_expected.wrapping_sub(1);
+                    self.retire_through(rel, ch, tx, cum);
+                    Arrival::Restart
+                } else {
+                    Arrival::Advance
+                }
+            }
+            RxVerdict::Refused => {
+                // Reorder buffer at its high-water mark: drop-newest. Not
+                // a wire fault, so no retry-budget charge.
+                rel.ring.record(RasEvent {
+                    tick: now,
+                    kind: RasEventKind::ReorderEvict,
+                    src_node: ch.src,
+                    dst_node: ch.dst,
+                    detail: seq,
+                });
+                tx.queue[idx].state = FrameState::Lost { since: now };
+                Arrival::Advance
+            }
+        }
+    }
+
+    /// Selective repeat: work up to a window of frames per visit. Each
+    /// transmission rolls per-link fates on the forward route; each
+    /// arrival gets a verdict from the receiver's reorder state and an ack
+    /// that rolls the reverse route's dice (see `crate::link` docs for the
+    /// modeling choices). Blocked frames are skipped, so a lost frame at
+    /// the front never head-of-line-blocks the rest of the window.
+    fn pump_selective_repeat(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        tx: &mut TxState,
+        now: u64,
+        budget: usize,
+    ) -> usize {
         let retry = rel.injector.retry();
-        let mut done = 0;
+        let mut done = 0usize;
         // `sent` counts transmissions this visit; the retry window bounds
         // it (acks are immediate in-process, so the window is a per-tick
         // transmission bound rather than an in-flight bound — see
         // `crate::link` docs).
+        let mut sent = 0usize;
+        // Catch the reorder cursor up past anything the fair-weather path
+        // delivered without touching it.
+        if let Some(front) = tx.queue.front() {
+            ch.rx.lock().sync_to(front.seq);
+        }
+        let mut rescan = true;
+        while rescan && done < budget && sent < retry.window {
+            rescan = false;
+            let mut idx = 0usize;
+            while idx < tx.queue.len()
+                && idx < retry.window
+                && done < budget
+                && sent < retry.window
+            {
+                let (state, seq, attempt) = {
+                    let f = &tx.queue[idx];
+                    (f.state, f.seq, f.attempt)
+                };
+                match state {
+                    FrameState::SackHeld => {
+                        // Parked at the receiver; retires via cumulative
+                        // ack when the gap ahead of it fills.
+                        idx += 1;
+                    }
+                    FrameState::Delayed { until } => {
+                        if now < until {
+                            idx += 1;
+                            continue;
+                        }
+                        // The delayed frame arrives now.
+                        let Some(route) = self.ensure_route(rel, ch, tx, now) else {
+                            return done;
+                        };
+                        let ack = self.ack_crosses(rel, ch, &route, seq, attempt);
+                        match self.sr_arrival(rel, ch, tx, idx, seq, now, ack, &mut done) {
+                            Arrival::Advance => idx += 1,
+                            Arrival::Restart => idx = 0,
+                            Arrival::FastRetransmit => {
+                                rescan = true;
+                                idx += 1;
+                            }
+                        }
+                    }
+                    FrameState::Lost { since } | FrameState::AckWait { since } => {
+                        let (rto, retries) = {
+                            let f = &tx.queue[idx];
+                            (f.rto, f.retries)
+                        };
+                        if now.saturating_sub(since) < rto {
+                            idx += 1;
+                            continue;
+                        }
+                        if retries + 1 > retry.retry_budget {
+                            self.kill_channel(rel, ch, tx, DeliveryFault::Timeout, now);
+                            return done;
+                        }
+                        rel.ras.retransmits.incr();
+                        rel.ring.record(RasEvent {
+                            tick: now,
+                            kind: RasEventKind::Retransmit,
+                            src_node: ch.src,
+                            dst_node: ch.dst,
+                            detail: seq,
+                        });
+                        let f = &mut tx.queue[idx];
+                        f.retries += 1;
+                        f.rto = rto.saturating_mul(2).min(retry.rto_max_ticks);
+                        f.attempt += 1;
+                        f.state = FrameState::Queued;
+                        // Same index re-examined: the frame transmits now.
+                    }
+                    FrameState::Queued => {
+                        sent += 1;
+                        // Fair-weather: a clean plan with all links up
+                        // cannot touch the frame or its ack.
+                        if rel.clean && !rel.health.any_down() {
+                            if let Some(t) = &self.inner.transport {
+                                t.deliver_control(ch.dst, ch.src, Self::ACK_WIRE_BYTES);
+                            }
+                            match self.sr_arrival(rel, ch, tx, idx, seq, now, true, &mut done)
+                            {
+                                Arrival::Advance => idx += 1,
+                                Arrival::Restart => idx = 0,
+                                Arrival::FastRetransmit => {
+                                    rescan = true;
+                                    idx += 1;
+                                }
+                            }
+                            continue;
+                        }
+                        let Some(route) = self.ensure_route(rel, ch, tx, now) else {
+                            return done;
+                        };
+                        let (fate, link_died) =
+                            self.cross_links(rel, ch, &route, seq, attempt, now);
+                        match fate {
+                            Fate::Pass => {
+                                let ack = self.ack_crosses(rel, ch, &route, seq, attempt);
+                                match self
+                                    .sr_arrival(rel, ch, tx, idx, seq, now, ack, &mut done)
+                                {
+                                    Arrival::Advance => idx += 1,
+                                    Arrival::Restart => idx = 0,
+                                    Arrival::FastRetransmit => {
+                                        rescan = true;
+                                        idx += 1;
+                                    }
+                                }
+                            }
+                            Fate::Drop => {
+                                self.node(ch.src).counters.packets_dropped.incr();
+                                rel.ring.record(RasEvent {
+                                    tick: now,
+                                    kind: RasEventKind::PacketDropped,
+                                    src_node: ch.src,
+                                    dst_node: ch.dst,
+                                    detail: seq,
+                                });
+                                if link_died {
+                                    tx.route = None;
+                                }
+                                tx.queue[idx].state = FrameState::Lost { since: now };
+                                idx += 1;
+                            }
+                            Fate::Corrupt => {
+                                rel.ras.crc_errors.incr();
+                                rel.ring.record(RasEvent {
+                                    tick: now,
+                                    kind: RasEventKind::CrcError,
+                                    src_node: ch.src,
+                                    dst_node: ch.dst,
+                                    detail: seq,
+                                });
+                                tx.queue[idx].state = FrameState::Lost { since: now };
+                                idx += 1;
+                            }
+                            Fate::Delay(n) => {
+                                tx.queue[idx].state =
+                                    FrameState::Delayed { until: now + n as u64 };
+                                idx += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    /// Go-back-N over the front frame: the original protocol, acks modeled
+    /// lossless, kept selectable through [`LinkProtocol::GoBackN`] for A/B
+    /// runs against selective repeat.
+    fn pump_go_back_n(
+        &self,
+        rel: &Reliability,
+        ch: &Channel,
+        tx: &mut TxState,
+        now: u64,
+        budget: usize,
+    ) -> usize {
+        let retry = rel.injector.retry();
+        let mut done = 0;
         let mut sent = 0usize;
         while done < budget && sent < retry.window {
             let Some(front) = tx.queue.front() else { break };
@@ -1422,16 +2174,17 @@ impl MuFabric {
                     let frame = tx.queue.pop_front().expect("front exists");
                     self.deliver_frame(rel, ch, frame);
                     rel.sub_pending(ch.src, 1);
-                    tx.retries = 0;
-                    tx.rto = retry.rto_ticks;
                     done += 1;
                 }
                 FrameState::Lost { since } => {
-                    if now.saturating_sub(since) < tx.rto {
+                    let (rto, retries) = {
+                        let f = tx.queue.front().expect("front exists");
+                        (f.rto, f.retries)
+                    };
+                    if now.saturating_sub(since) < rto {
                         break;
                     }
-                    tx.retries += 1;
-                    if tx.retries > retry.retry_budget {
+                    if retries + 1 > retry.retry_budget {
                         self.kill_channel(rel, ch, tx, DeliveryFault::Timeout, now);
                         return done;
                     }
@@ -1443,8 +2196,9 @@ impl MuFabric {
                         dst_node: ch.dst,
                         detail: seq,
                     });
-                    tx.rto = tx.rto.saturating_mul(2).min(retry.rto_max_ticks);
                     let front = tx.queue.front_mut().expect("front exists");
+                    front.retries += 1;
+                    front.rto = rto.saturating_mul(2).min(retry.rto_max_ticks);
                     front.attempt += 1;
                     front.state = FrameState::Queued;
                     sent += 1;
@@ -1460,79 +2214,18 @@ impl MuFabric {
                         sent += 1;
                         continue;
                     }
-                    // (Re)compute the route at the current health epoch.
-                    let epoch = rel.health.epoch();
-                    if tx.route.is_none() || tx.route_epoch != epoch {
-                        let src_c = self.inner.shape.coords_of(ch.src as usize);
-                        let dst_c = self.inner.shape.coords_of(ch.dst as usize);
-                        match healthy_route(self.inner.shape, src_c, dst_c, &rel.health) {
-                            Some(route) => {
-                                if rel.health.any_down()
-                                    && route != bgq_torus::det_route(self.inner.shape, src_c, dst_c)
-                                {
-                                    rel.ras.reroutes.incr();
-                                    rel.ring.record(RasEvent {
-                                        tick: now,
-                                        kind: RasEventKind::Reroute,
-                                        src_node: ch.src,
-                                        dst_node: ch.dst,
-                                        detail: route.len() as u64,
-                                    });
-                                }
-                                tx.route = Some(route);
-                                tx.route_epoch = epoch;
-                            }
-                            None => {
-                                self.kill_channel(
-                                    rel,
-                                    ch,
-                                    tx,
-                                    DeliveryFault::Unreachable,
-                                    now,
-                                );
-                                return done;
-                            }
-                        }
-                    }
+                    let Some(route) = self.ensure_route(rel, ch, tx, now) else {
+                        return done;
+                    };
                     // Transmit: walk the route's links; kill schedules and
                     // per-link fates apply, first bad link wins.
-                    let route = tx.route.clone().expect("route just ensured");
-                    let mut at = self.inner.shape.coords_of(ch.src as usize);
-                    let mut fate = Fate::Pass;
-                    let mut link_died = false;
-                    for &dir in &route {
-                        let lid = link_id(self.inner.shape.node_index(at) as u32, dir);
-                        if rel.injector.note_crossing(lid) {
-                            if rel.health.kill(at, dir) {
-                                rel.ras.link_down.add(2);
-                                rel.ring.record(RasEvent {
-                                    tick: now,
-                                    kind: RasEventKind::LinkDown,
-                                    src_node: ch.src,
-                                    dst_node: ch.dst,
-                                    detail: lid,
-                                });
-                            }
-                            link_died = true;
-                            fate = Fate::Drop;
-                            break;
-                        }
-                        match rel.injector.decide(lid, seq, attempt) {
-                            Fate::Pass => {}
-                            f => {
-                                fate = f;
-                                break;
-                            }
-                        }
-                        at = self.inner.shape.neighbor(at, dir);
-                    }
+                    let (fate, link_died) =
+                        self.cross_links(rel, ch, &route, seq, attempt, now);
                     match fate {
                         Fate::Pass => {
                             let frame = tx.queue.pop_front().expect("front exists");
                             self.deliver_frame(rel, ch, frame);
                             rel.sub_pending(ch.src, 1);
-                            tx.retries = 0;
-                            tx.rto = retry.rto_ticks;
                             done += 1;
                             sent += 1;
                         }
@@ -1572,6 +2265,9 @@ impl MuFabric {
                         }
                     }
                 }
+                FrameState::AckWait { .. } | FrameState::SackHeld => {
+                    unreachable!("go-back-N never parks frames in selective-repeat states")
+                }
             }
         }
         done
@@ -1590,12 +2286,16 @@ impl MuFabric {
     ) {
         tx.dead = Some(fault);
         ch.publish_dead();
+        ch.publish_backlog(false);
         let n = tx.queue.len();
         let mut failed = 0;
         for f in &tx.queue {
             failed += f.fail(fault);
         }
         tx.queue.clear();
+        // Frames parked in the receiver's reorder buffer died with the
+        // channel (their bodies were still in the queue above).
+        ch.rx.lock().buffer.clear();
         if n > 0 {
             rel.sub_pending(ch.src, n);
         }
@@ -1611,9 +2311,22 @@ impl MuFabric {
 
     /// Deliver one frame to its destination (the frame "crossed the wire"
     /// intact) and acknowledge it: credit the source completion counter.
+    /// Go-back-N and fair-weather path: delivery doubles as the ack.
     fn deliver_frame(&self, rel: &Reliability, ch: &Channel, frame: Frame) {
         let _ = rel;
         let Frame { seq, credit, inj_counter, body, .. } = frame;
+        self.deliver_body(ch, seq, credit, &body);
+        if let Some(c) = inj_counter {
+            c.delivered(credit);
+        }
+    }
+
+    /// Deposit one frame body at the destination — the data crossed the
+    /// wire — without crediting the source completion counter (under
+    /// selective repeat that happens when the cumulative ack arrives; see
+    /// [`MuFabric::retire_through`]). Borrows the body because the frame
+    /// stays queued until acked; the clones below are refcount bumps.
+    fn deliver_body(&self, ch: &Channel, seq: u64, credit: u64, body: &FrameBody) {
         match body {
             FrameBody::Packet {
                 rec_fifo,
@@ -1626,48 +2339,55 @@ impl MuFabric {
                 short,
                 payload,
             } => {
-                let staged: &[u8] = match &payload {
+                let staged: &[u8] = match payload {
                     FramePayload::Inline(b) => b,
                     FramePayload::Region { .. } => &[],
                 };
                 let crc = if self.inner.crc {
                     packet_crc(
-                        ch.src, src_context, dispatch, msg_id, msg_len, offset, seq, &metadata,
+                        ch.src,
+                        *src_context,
+                        *dispatch,
+                        *msg_id,
+                        *msg_len,
+                        *offset,
+                        seq,
+                        metadata,
                         staged,
                     )
                 } else {
                     0
                 };
                 let pkt_payload = match payload {
-                    FramePayload::Inline(b) => PacketPayload::Inline(b),
+                    FramePayload::Inline(b) => PacketPayload::Inline(b.clone()),
                     FramePayload::Region { region, offset, len } => {
-                        PacketPayload::Region { region, offset, len }
+                        PacketPayload::Region { region: region.clone(), offset: *offset, len: *len }
                     }
                 };
                 let dst = self.node(ch.dst);
                 let mut pkt = Some(MuPacket {
                     src_node: ch.src,
-                    src_context,
-                    dispatch,
-                    metadata,
-                    msg_id,
-                    msg_len,
-                    offset,
+                    src_context: *src_context,
+                    dispatch: *dispatch,
+                    metadata: metadata.clone(),
+                    msg_id: *msg_id,
+                    msg_len: *msg_len,
+                    offset: *offset,
                     link_seq: seq,
                     crc,
-                    short,
+                    short: *short,
                     payload: pkt_payload,
                 });
-                self.deposit(ch.src, ch.dst, rec_fifo, dst.rec.get(rec_fifo.0), 1, &mut |_| {
+                self.deposit(ch.src, ch.dst, *rec_fifo, dst.rec.get(rec_fifo.0), 1, &mut |_| {
                     pkt.take().expect("one frame, one packet")
                 });
                 dst.counters.packets_received.incr();
             }
             FrameBody::Put { dst_region, dst_offset, payload, rec_counter } => {
-                match &payload {
-                    FramePayload::Inline(b) => dst_region.write(dst_offset, b),
+                match payload {
+                    FramePayload::Inline(b) => dst_region.write(*dst_offset, b),
                     FramePayload::Region { region, offset, len } => {
-                        dst_region.copy_from(dst_offset, region, *offset, *len);
+                        dst_region.copy_from(*dst_offset, region, *offset, *len);
                     }
                 }
                 self.node(ch.dst).counters.put_bytes_in.add(payload.len() as u64);
@@ -1677,7 +2397,7 @@ impl MuFabric {
             }
             FrameBody::Get { desc } => {
                 let dst = self.node(ch.dst);
-                dst.sys_inj.queue.push(*desc);
+                dst.sys_inj.queue.push((**desc).clone());
                 if let Some(w) = dst.sys_wakeup.get() {
                     w.touch();
                 }
@@ -1685,9 +2405,6 @@ impl MuFabric {
                     dst.engine_wakeup.touch();
                 }
             }
-        }
-        if let Some(c) = inj_counter {
-            c.delivered(credit);
         }
     }
 }

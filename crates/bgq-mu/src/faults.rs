@@ -82,6 +82,28 @@ impl Default for RetryConfig {
     }
 }
 
+/// Which retransmit protocol the link channels run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LinkProtocol {
+    /// Selective repeat: per-frame acks with SACK-driven fast retransmit
+    /// and a receiver reorder buffer — only missing frames are re-sent.
+    #[default]
+    SelectiveRepeat,
+    /// Go-back-N: the channel examines only its oldest unacked frame and
+    /// acks are modeled lossless — the pre-selective-repeat behaviour,
+    /// kept selectable for A/B benchmarking.
+    GoBackN,
+}
+
+impl LinkProtocol {
+    fn as_str(&self) -> &'static str {
+        match self {
+            LinkProtocol::SelectiveRepeat => "selective_repeat",
+            LinkProtocol::GoBackN => "go_back_n",
+        }
+    }
+}
+
 /// A per-link override in a [`FaultPlan`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct LinkFault {
@@ -111,6 +133,13 @@ pub struct FaultPlan {
     pub links: Vec<LinkFault>,
     /// Retry-protocol constants.
     pub retry: RetryConfig,
+    /// Retransmit protocol (selective repeat by default; go-back-N kept
+    /// for A/B comparison).
+    pub protocol: LinkProtocol,
+    /// Receiver reorder-buffer capacity in frames per channel. `None`
+    /// defaults to the retry window — out-of-order frames beyond this
+    /// high-water mark are refused (drop-newest) and retransmitted later.
+    pub reorder_capacity: Option<usize>,
 }
 
 impl FaultPlan {
@@ -166,6 +195,19 @@ impl FaultPlan {
         self
     }
 
+    /// Select the retransmit protocol (selective repeat by default).
+    pub fn link_protocol(mut self, protocol: LinkProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Cap the receiver reorder buffer at `frames` per channel (defaults
+    /// to the retry window).
+    pub fn reorder_capacity(mut self, frames: usize) -> Self {
+        self.reorder_capacity = Some(frames);
+        self
+    }
+
     fn link_entry(&mut self, node: u32, dir: Dir) -> &mut LinkFault {
         if let Some(i) = self.links.iter().position(|l| l.node == node && l.dir == dir) {
             &mut self.links[i]
@@ -198,6 +240,10 @@ impl FaultPlan {
             ", \"retry\": {{\"window\": {}, \"rto_ticks\": {}, \"rto_max_ticks\": {}, \"retry_budget\": {}}}",
             r.window, r.rto_ticks, r.rto_max_ticks, r.retry_budget
         ));
+        out.push_str(&format!(", \"protocol\": \"{}\"", self.protocol.as_str()));
+        if let Some(cap) = self.reorder_capacity {
+            out.push_str(&format!(", \"reorder_capacity\": {cap}"));
+        }
         out.push_str(", \"links\": [");
         for (i, l) in self.links.iter().enumerate() {
             if i > 0 {
@@ -254,6 +300,24 @@ impl FaultPlan {
                     as u32;
             }
             plan.retry = retry;
+        }
+        if let Some(p) = obj.get("protocol") {
+            plan.protocol = match p.as_str() {
+                Some("selective_repeat") => LinkProtocol::SelectiveRepeat,
+                Some("go_back_n") => LinkProtocol::GoBackN,
+                _ => {
+                    return Err(FaultPlanError::Shape(
+                        "protocol must be \"selective_repeat\" or \"go_back_n\"",
+                    ))
+                }
+            };
+        }
+        if let Some(cap) = obj.get("reorder_capacity") {
+            plan.reorder_capacity = Some(
+                cap.as_u64()
+                    .ok_or(FaultPlanError::Shape("reorder_capacity must be an integer"))?
+                    as usize,
+            );
         }
         if let Some(links) = obj.get("links") {
             let links =
@@ -340,7 +404,16 @@ impl FaultPlan {
                 "retry timeouts must satisfy 0 < rto_ticks <= rto_max_ticks",
             ));
         }
+        if self.reorder_capacity == Some(0) {
+            return Err(FaultPlanError::Shape("reorder_capacity must be positive"));
+        }
         Ok(())
+    }
+
+    /// Effective receiver reorder-buffer capacity (explicit or the retry
+    /// window).
+    pub fn effective_reorder_capacity(&self) -> usize {
+        self.reorder_capacity.unwrap_or(self.retry.window).max(1)
     }
 }
 
@@ -409,6 +482,11 @@ pub struct FaultInjector {
     overrides: HashMap<LinkId, FaultRates>,
     /// Links with a kill schedule: kill threshold and crossing counter.
     kills: HashMap<LinkId, (u64, AtomicU64)>,
+    /// Uniform-plan fate thresholds, precomputed when no link carries a
+    /// rate override: a draw at or above `.0` is `Pass`, at or above `.1`
+    /// is `Pass` or `Delay`. `None` disables the fate-peek fast path
+    /// (per-link rates need the full `decide`).
+    uniform: Option<(f64, f64)>,
 }
 
 impl FaultInjector {
@@ -431,7 +509,13 @@ impl FaultInjector {
                 kills.insert(id, (k, AtomicU64::new(0)));
             }
         }
-        FaultInjector { plan, overrides, kills }
+        let uniform = if overrides.is_empty() {
+            let r = plan.default_rates;
+            Some((r.drop + r.corrupt + r.delay, r.drop + r.corrupt))
+        } else {
+            None
+        };
+        FaultInjector { plan, overrides, kills, uniform }
     }
 
     /// The plan this injector was compiled from.
@@ -444,22 +528,62 @@ impl FaultInjector {
         self.plan.retry
     }
 
+    /// Which retransmit protocol the channels run.
+    pub fn protocol(&self) -> LinkProtocol {
+        self.plan.protocol
+    }
+
+    /// Receiver reorder-buffer capacity in frames.
+    pub fn reorder_capacity(&self) -> usize {
+        self.plan.effective_reorder_capacity()
+    }
+
+    /// Per-link half of the dice key. `link_salt(l) + seq_salt(s, a)`
+    /// (wrapping) reproduces `decide`'s hash input exactly — addition
+    /// commutes — so route plans precompute this once per link and the
+    /// per-frame fate peek pays a single finalizer per die.
+    #[inline]
+    pub fn link_salt(&self, link: LinkId) -> u64 {
+        self.plan.seed.wrapping_add(mix(link ^ 0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Per-(seq, attempt) half of the dice key; see [`Self::link_salt`].
+    #[inline]
+    pub fn seq_salt(seq: u64, attempt: u32) -> u64 {
+        mix(seq ^ 0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(mix(attempt as u64 ^ 0x94D0_49BB_1331_11EB))
+    }
+
+    /// The uniform draw in [0, 1) behind `decide`, from precomputed keys.
+    #[inline]
+    pub fn draw(link_salt: u64, seq_salt: u64) -> f64 {
+        (splitmix64(link_salt.wrapping_add(seq_salt)) >> 11) as f64
+            * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform-plan fate thresholds (`None` when per-link rate overrides
+    /// exist): `draw >= .0` ⇔ `Fate::Pass`; `draw >= .1` ⇔ `Pass` or
+    /// `Delay`.
+    #[inline]
+    pub fn uniform_thresholds(&self) -> Option<(f64, f64)> {
+        self.uniform
+    }
+
     /// Decide the fate of frame `seq` crossing `link` on transmission
     /// `attempt` (0 = first try). Pure in its arguments and the seed.
     pub fn decide(&self, link: LinkId, seq: u64, attempt: u32) -> Fate {
-        let rates = self.overrides.get(&link).copied().unwrap_or(self.plan.default_rates);
+        // The hot path rolls these dice once per link per frame (twice
+        // under selective repeat, which also dices the reverse-route
+        // ack) — skip the map probe entirely for uniform-rate plans.
+        let rates = if self.overrides.is_empty() {
+            self.plan.default_rates
+        } else {
+            self.overrides.get(&link).copied().unwrap_or(self.plan.default_rates)
+        };
         if rates.is_clean() {
             return Fate::Pass;
         }
-        let h = splitmix64(
-            self.plan
-                .seed
-                .wrapping_add(mix(link ^ 0x9E37_79B9_7F4A_7C15))
-                .wrapping_add(mix(seq ^ 0xBF58_476D_1CE4_E5B9))
-                .wrapping_add(mix(attempt as u64 ^ 0x94D0_49BB_1331_11EB)),
-        );
-        // Map to a uniform draw in [0, 1).
-        let draw = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let draw = Self::draw(self.link_salt(link), Self::seq_salt(seq, attempt));
         if draw < rates.drop {
             Fate::Drop
         } else if draw < rates.drop + rates.corrupt {
@@ -605,10 +729,26 @@ mod tests {
             .delay_rate(0.02, 3)
             .link_rates(2, dir, FaultRates { drop: 0.5, corrupt: 0.0, delay: 0.0, delay_ticks: 2 })
             .kill_link_at(3, dir, 128)
-            .retry(RetryConfig { window: 32, rto_ticks: 2, rto_max_ticks: 16, retry_budget: 5 });
+            .retry(RetryConfig { window: 32, rto_ticks: 2, rto_max_ticks: 16, retry_budget: 5 })
+            .link_protocol(LinkProtocol::GoBackN)
+            .reorder_capacity(12);
         let text = plan.to_json();
         let back = FaultPlan::from_json(&text).expect("round trip parses");
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn protocol_and_reorder_capacity_parse_and_default() {
+        let plan = FaultPlan::from_json("{}").unwrap();
+        assert_eq!(plan.protocol, LinkProtocol::SelectiveRepeat);
+        assert_eq!(plan.reorder_capacity, None);
+        assert_eq!(plan.effective_reorder_capacity(), plan.retry.window);
+        let plan =
+            FaultPlan::from_json("{\"protocol\": \"go_back_n\", \"reorder_capacity\": 4}").unwrap();
+        assert_eq!(plan.protocol, LinkProtocol::GoBackN);
+        assert_eq!(plan.effective_reorder_capacity(), 4);
+        assert!(FaultPlan::from_json("{\"protocol\": \"stop_and_wait\"}").is_err());
+        assert!(FaultPlan::from_json("{\"reorder_capacity\": 0}").is_err());
     }
 
     #[test]

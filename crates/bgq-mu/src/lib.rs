@@ -49,7 +49,7 @@ pub use bgq_hw::{Counter, DeliveryFault};
 pub use descriptor::{Descriptor, PayloadSource, XferKind};
 pub use engine::EngineMode;
 pub use fabric::{MuCounters, MuFabric, MuFabricBuilder, MU_PACKET_COUNTER_SAMPLE};
-pub use faults::{Fate, FaultInjector, FaultPlan, FaultPlanError, FaultRates, LinkFault, RetryConfig};
+pub use faults::{Fate, FaultInjector, FaultPlan, FaultPlanError, FaultRates, LinkFault, LinkProtocol, RetryConfig};
 pub use link::{RasCounters, RasEvent, RasEventKind, RasObserver, RasRing};
 pub use packet::packet_crc;
 pub use transport::Transport;

@@ -12,14 +12,35 @@
 //! completion counters with a typed [`DeliveryFault`] instead of hanging
 //! whoever is polling them.
 //!
-//! Two deliberate simplifications, documented here because they bound what
-//! the model can show:
+//! The retransmit protocol is **selective repeat** (go-back-N remains
+//! selectable through [`crate::faults::LinkProtocol`] for A/B runs): the
+//! sender works a window of frames rather than only the oldest one, the
+//! receiver accepts out-of-order arrivals into a bounded reorder buffer
+//! ([`RxState`]) and answers each with a selective ack, and a cumulative
+//! ack covering every in-order-delivered frame retires whole prefixes of
+//! the queue at once. A selective ack for a later frame doubles as SACK
+//! information: any earlier frame the sender knows to be lost is
+//! retransmitted immediately (`ras.sack_retransmits`) instead of waiting
+//! out its RTO.
 //!
-//! * **Acks are lossless and immediate.** The simulation's "wire" is a
-//!   function call, so a delivered frame is acknowledged on the spot
-//!   (cumulative ack ≡ frame pop). The retry window therefore bounds
-//!   *transmissions per link-pump tick* rather than unacked frames in
-//!   flight; drops, corruption and delay all act on the data frames.
+//! Deliberate modeling choices, documented because they bound what the
+//! model can show:
+//!
+//! * **Acks are frames too, and they can be lost.** Under selective repeat
+//!   an ack crosses the reverse route and rolls the same per-link fate
+//!   dice as data; a lost ack leaves the sender's frame in
+//!   [`FrameState::AckWait`] until an RTO-driven probe re-elicits a
+//!   cumulative ack (the receiver discards the duplicate data). Ack
+//!   crossings do not advance kill schedules, so kill-at-Nth-frame plans
+//!   count data frames only. Go-back-N mode keeps the old lossless-ack
+//!   model, bit for bit.
+//! * **The reorder buffer is sender-resident.** The simulation's "wire" is
+//!   a function call, so an out-of-order frame's body stays in the sender's
+//!   queue ([`FrameState::SackHeld`]) and is deposited at the destination
+//!   when the sequence gap fills; the receiver tracks only the held
+//!   sequence numbers, bounded by the plan's reorder capacity. Arrivals
+//!   beyond the high-water mark are refused (drop-newest,
+//!   `RasEventKind::ReorderEvict`) and retransmitted later.
 //! * **Faults fire on the links of the route.** A frame's fate is decided
 //!   per crossed link (first bad link wins), so longer routes really are
 //!   more exposed, but there is no per-hop buffering — a frame is either
@@ -34,13 +55,13 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bgq_hw::{Counter as HwCounter, DeliveryFault, MemRegion};
-use bgq_torus::{Dir, LinkHealth};
+use bgq_torus::{Coords, Dir, LinkHealth};
 use bgq_upc::{Counter, Upc};
 use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::descriptor::Descriptor;
-use crate::faults::{FaultInjector, RetryConfig};
+use crate::faults::FaultInjector;
 use crate::fifo::RecFifoId;
 
 /// `ras.*` telemetry probes — the reliability layer's RAS event counters,
@@ -62,6 +83,13 @@ pub struct RasCounters {
     /// [`DeliveryFault`] (retry budget exhausted or destination
     /// unreachable).
     pub delivery_failures: Counter,
+    /// Retransmissions triggered by SACK information (a later frame's ack
+    /// revealed an earlier frame missing) rather than an RTO expiry.
+    pub sack_retransmits: Counter,
+    /// Frames accepted out of order into a receiver reorder buffer
+    /// (cumulative occupancy, the selective-repeat reorder pressure
+    /// signal).
+    pub reorder_depth: Counter,
 }
 
 impl RasCounters {
@@ -72,6 +100,8 @@ impl RasCounters {
             link_down: upc.counter("ras.link_down"),
             reroutes: upc.counter("ras.reroutes"),
             delivery_failures: upc.counter("ras.delivery_failures"),
+            sack_retransmits: upc.counter("ras.sack_retransmits"),
+            reorder_depth: upc.counter("ras.reorder_depth"),
         }
     }
 }
@@ -98,6 +128,12 @@ pub enum RasEventKind {
     /// persistent-channel renegotiation) can flow again (`detail` = the
     /// fault discriminant that had killed it).
     ChannelRevived,
+    /// A frame was retransmitted because SACK information showed it
+    /// missing, without waiting out its RTO (`detail` = frame sequence).
+    SackRetransmit,
+    /// An out-of-order arrival was refused because the receiver's reorder
+    /// buffer hit its high-water mark (`detail` = frame sequence).
+    ReorderEvict,
 }
 
 impl RasEventKind {
@@ -112,6 +148,8 @@ impl RasEventKind {
             RasEventKind::DeliveryFailure => "delivery_failure",
             RasEventKind::LinkRevived => "link_revived",
             RasEventKind::ChannelRevived => "channel_revived",
+            RasEventKind::SackRetransmit => "sack_retransmit",
+            RasEventKind::ReorderEvict => "reorder_evict",
         }
     }
 }
@@ -247,16 +285,25 @@ pub(crate) enum FrameBody {
     Get { desc: Box<Descriptor> },
 }
 
-/// Transmission state of the channel's front frame.
+/// Transmission state of a queued frame (selective repeat tracks this per
+/// frame, not just for the queue front).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum FrameState {
     /// Not yet transmitted at the current attempt.
     Queued,
-    /// Transmitted and lost (dropped or corrupted); waiting out the RTO
-    /// that started at this tick.
+    /// Transmitted and lost (dropped, corrupted, or refused by a full
+    /// reorder buffer); waiting out the RTO that started at this tick.
     Lost { since: u64 },
     /// In flight but delayed; deliverable at this tick.
     Delayed { until: u64 },
+    /// Data delivered in order at the receiver, but the cumulative ack was
+    /// lost; an RTO-driven probe (the receiver discards the duplicate)
+    /// re-elicits it, started at this tick.
+    AckWait { since: u64 },
+    /// Data sitting in the receiver's reorder buffer (selectively acked,
+    /// out of order). No retransmit timer: the frame retires when the
+    /// sequence gap ahead of it fills and a cumulative ack covers it.
+    SackHeld,
 }
 
 /// One frame in a channel: a unit of link-level (re)transmission.
@@ -267,6 +314,13 @@ pub(crate) struct Frame {
     pub attempt: u32,
     /// Where the frame is in the transmit state machine.
     pub state: FrameState,
+    /// RTO-driven retransmissions consumed by this frame (counts against
+    /// the retry budget; SACK-driven fast retransmits are free — they are
+    /// evidence the path works).
+    pub retries: u32,
+    /// This frame's current retransmit timeout in ticks (per-frame
+    /// exponential backoff).
+    pub rto: u64,
     /// Bytes credited to `inj_counter` when the frame is acknowledged.
     pub credit: u64,
     /// Source-side completion counter share.
@@ -316,22 +370,120 @@ pub(crate) fn fail_descriptor(desc: &Descriptor, fault: DeliveryFault) -> u64 {
     failed
 }
 
-/// Mutable half of a channel, guarded by the channel mutex.
+/// A healthy route, precomputed into exactly what the per-frame hot path
+/// needs: forward hops with their link ids resolved (for kill schedules
+/// and fate dice) and the reverse-route link ids (for ack dice under
+/// selective repeat). Built once per route computation so crossing a
+/// frame does no coordinate arithmetic and no allocation — the cached
+/// copy is shared out of [`TxState`] by refcount.
+pub(crate) struct RoutePlan {
+    /// Forward per-hop state: (link id, coords of the hop's tail, dir).
+    pub hops: Vec<(crate::faults::LinkId, Coords, Dir)>,
+    /// Reverse-route link ids, destination back to source, in ack
+    /// crossing order.
+    pub rev_lids: Vec<crate::faults::LinkId>,
+    /// Per-link dice salts ([`crate::faults::FaultInjector::link_salt`])
+    /// for the forward hops, in `hops` order — the fate peek combines
+    /// each with the packet's seq salt in one finalizer.
+    pub fwd_salts: Vec<u64>,
+    /// Dice salts for `rev_lids`, in the same order.
+    pub rev_salts: Vec<u64>,
+}
+
+/// Mutable transmit half of a channel, guarded by the channel mutex.
 pub(crate) struct TxState {
-    /// Frames awaiting transmission/ack, in order. The front frame is the
-    /// one the go-back-N state machine is working on.
+    /// Frames awaiting transmission/ack, in sequence order. Selective
+    /// repeat works up to a window of them per pump visit; go-back-N mode
+    /// examines only the front.
     pub queue: VecDeque<Frame>,
-    /// Current retransmit timeout in ticks (exponential backoff).
-    pub rto: u64,
-    /// Retransmissions consumed by the *front* frame.
-    pub retries: u32,
     /// Cached healthy route; `None` = recompute before next transmission.
-    pub route: Option<Vec<Dir>>,
+    pub route: Option<Arc<RoutePlan>>,
     /// [`LinkHealth::epoch`] the cached route was computed at; a newer
     /// epoch invalidates the cache.
     pub route_epoch: usize,
     /// Set when the channel failed permanently; new frames fail on push.
     pub dead: Option<DeliveryFault>,
+}
+
+/// What the receiver said about one arriving data frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RxVerdict {
+    /// In-order: deposit now (the pump then drains consecutive
+    /// [`FrameState::SackHeld`] successors).
+    Deliver,
+    /// Out of order: entered the reorder buffer, selectively acked.
+    Sacked,
+    /// Duplicate of a frame already in the reorder buffer; re-acked.
+    DupSacked,
+    /// Duplicate of an already-delivered frame; discarded and the
+    /// cumulative ack re-sent.
+    Duplicate,
+    /// Reorder buffer at its high-water mark (or the frame is too far
+    /// ahead of the window): refused, drop-newest.
+    Refused,
+}
+
+/// Receive half of a channel: the selective-repeat reorder tracking for
+/// the (src, dst) flow. Bounded memory: only sequence numbers are held —
+/// the frame bodies stay in the sender's queue ([`FrameState::SackHeld`])
+/// until the gap fills. Locked after `tx`, never before.
+pub(crate) struct RxState {
+    /// Next in-order sequence the receiver will deposit.
+    pub next_expected: u64,
+    /// Out-of-order sequences currently held in the reorder buffer.
+    pub buffer: std::collections::HashSet<u64>,
+    /// Reorder-buffer high-water mark in frames.
+    pub capacity: usize,
+}
+
+impl RxState {
+    /// Classify one arriving data frame. `Deliver` advances
+    /// `next_expected`; the caller deposits the body and then drains
+    /// consecutive buffered successors with [`RxState::drain_next`].
+    pub(crate) fn accept(&mut self, seq: u64) -> RxVerdict {
+        let rel = seq.wrapping_sub(self.next_expected);
+        if rel >= 1 << 63 {
+            return RxVerdict::Duplicate;
+        }
+        if rel == 0 {
+            // A frame that was sacked earlier (but whose selective ack was
+            // lost) can be retransmitted and arrive in order; drop the now
+            // stale buffer entry so it doesn't pin capacity.
+            self.buffer.remove(&seq);
+            self.next_expected = self.next_expected.wrapping_add(1);
+            return RxVerdict::Deliver;
+        }
+        if self.buffer.contains(&seq) {
+            return RxVerdict::DupSacked;
+        }
+        if rel as usize > self.capacity || self.buffer.len() >= self.capacity {
+            return RxVerdict::Refused;
+        }
+        self.buffer.insert(seq);
+        RxVerdict::Sacked
+    }
+
+    /// Release `seq` from the reorder buffer if it is the next in-order
+    /// sequence; returns whether the caller should deposit its body.
+    pub(crate) fn drain_next(&mut self, seq: u64) -> bool {
+        if seq == self.next_expected && self.buffer.remove(&seq) {
+            self.next_expected = self.next_expected.wrapping_add(1);
+            return true;
+        }
+        false
+    }
+
+    /// Fast-forward past sequences the fair-weather path delivered without
+    /// touching this state: the oldest unacked queued frame is the oldest
+    /// sequence the receiver could still be missing.
+    pub(crate) fn sync_to(&mut self, oldest_unacked: u64) {
+        let rel = oldest_unacked.wrapping_sub(self.next_expected);
+        if rel > 0 && rel < 1 << 63 {
+            self.next_expected = oldest_unacked;
+            let ne = self.next_expected;
+            self.buffer.retain(|&s| s.wrapping_sub(ne) < 1 << 63);
+        }
+    }
 }
 
 /// A reliable link-level channel for one (source node, destination node)
@@ -351,23 +503,41 @@ pub(crate) struct Channel {
     /// in-flight frame deliver, which is indistinguishable from the frame
     /// having crossed just before the kill.
     dead_hint: std::sync::atomic::AtomicBool,
+    /// Lock-free mirror of "the queue is non-empty". The fair-weather
+    /// fast path checks it so synchronous sends never overtake frames
+    /// still queued from a fault episode — one relaxed load when clean.
+    backlog_hint: std::sync::atomic::AtomicBool,
+    /// The deterministic route in hot-path form, built lazily once per
+    /// channel. Valid whenever every link is up (then it is exactly the
+    /// route `ensure_route` would cache); read lock-free by the
+    /// fate-peeked cut-through so the send path under a hostile plan
+    /// never takes the channel mutex for a passing message.
+    pub(crate) fair_plan: std::sync::OnceLock<Arc<RoutePlan>>,
     pub tx: Mutex<TxState>,
+    /// Receiver-side reorder tracking. Lock order: `tx` before `rx`,
+    /// always.
+    pub rx: Mutex<RxState>,
 }
 
 impl Channel {
-    fn new(src: u32, dst: u32, retry: &RetryConfig) -> Self {
+    fn new(src: u32, dst: u32, reorder_capacity: usize) -> Self {
         Channel {
             src,
             dst,
             next_seq: AtomicU64::new(0),
             dead_hint: std::sync::atomic::AtomicBool::new(false),
+            backlog_hint: std::sync::atomic::AtomicBool::new(false),
+            fair_plan: std::sync::OnceLock::new(),
             tx: Mutex::new(TxState {
                 queue: VecDeque::new(),
-                rto: retry.rto_ticks,
-                retries: 0,
                 route: None,
                 route_epoch: 0,
                 dead: None,
+            }),
+            rx: Mutex::new(RxState {
+                next_expected: 0,
+                buffer: std::collections::HashSet::new(),
+                capacity: reorder_capacity.max(1),
             }),
         }
     }
@@ -375,6 +545,17 @@ impl Channel {
     /// Lock-free liveness probe (see `dead_hint`).
     pub(crate) fn seems_alive(&self) -> bool {
         !self.dead_hint.load(Ordering::Acquire)
+    }
+
+    /// Lock-free backlog probe (see `backlog_hint`).
+    pub(crate) fn has_backlog(&self) -> bool {
+        self.backlog_hint.load(Ordering::Relaxed)
+    }
+
+    /// Publish whether the transmit queue is non-empty; called with the
+    /// `tx` lock held whenever the emptiness changes.
+    pub(crate) fn publish_backlog(&self, on: bool) {
+        self.backlog_hint.store(on, Ordering::Release);
     }
 
     /// Publish the lock-free dead hint; called with the lock held, right
@@ -468,13 +649,14 @@ impl Reliability {
     /// The channel from `src` to `dst`, created on first use. On the dense
     /// table this is one index plus one lock-free `OnceLock` read.
     pub(crate) fn channel(&self, src: u32, dst: u32) -> &Channel {
+        let cap = self.injector.reorder_capacity();
         match &self.channels {
             ChannelTable::Flat(slab) => slab[src as usize * self.num_nodes + dst as usize]
-                .get_or_init(|| Channel::new(src, dst, &self.injector.retry())),
+                .get_or_init(|| Channel::new(src, dst, cap)),
             ChannelTable::Rows(rows) => {
                 let row = rows[src as usize]
                     .get_or_init(|| (0..self.num_nodes).map(|_| OnceLock::new()).collect());
-                row[dst as usize].get_or_init(|| Channel::new(src, dst, &self.injector.retry()))
+                row[dst as usize].get_or_init(|| Channel::new(src, dst, cap))
             }
         }
     }
@@ -560,6 +742,71 @@ mod tests {
         assert_eq!(RasEventKind::Retransmit.as_str(), "retransmit");
         assert_eq!(RasEventKind::PacketDropped.as_str(), "packet_dropped");
         assert_eq!(RasEventKind::DeliveryFailure.as_str(), "delivery_failure");
+        assert_eq!(RasEventKind::SackRetransmit.as_str(), "sack_retransmit");
+        assert_eq!(RasEventKind::ReorderEvict.as_str(), "reorder_evict");
+    }
+
+    fn rx(next_expected: u64, capacity: usize) -> RxState {
+        RxState { next_expected, buffer: std::collections::HashSet::new(), capacity }
+    }
+
+    #[test]
+    fn rx_accepts_in_order_and_buffers_gaps() {
+        let mut r = rx(0, 4);
+        assert_eq!(r.accept(0), RxVerdict::Deliver);
+        assert_eq!(r.next_expected, 1);
+        // Gap: 2 and 3 buffered out of order, selectively acked.
+        assert_eq!(r.accept(2), RxVerdict::Sacked);
+        assert_eq!(r.accept(3), RxVerdict::Sacked);
+        assert_eq!(r.accept(2), RxVerdict::DupSacked, "re-arrival of a held frame");
+        // Gap fills: 1 delivers, then the drain releases 2 and 3 in order.
+        assert_eq!(r.accept(1), RxVerdict::Deliver);
+        assert!(r.drain_next(2));
+        assert!(r.drain_next(3));
+        assert!(!r.drain_next(4), "nothing buffered at 4");
+        assert_eq!(r.next_expected, 4);
+        assert!(r.buffer.is_empty());
+    }
+
+    #[test]
+    fn rx_discards_duplicates_of_delivered_frames() {
+        let mut r = rx(0, 4);
+        assert_eq!(r.accept(0), RxVerdict::Deliver);
+        assert_eq!(r.accept(0), RxVerdict::Duplicate, "retransmit probe after lost ack");
+        assert_eq!(r.next_expected, 1, "duplicates do not advance the cursor");
+    }
+
+    #[test]
+    fn rx_refuses_past_high_water_mark() {
+        let mut r = rx(0, 2);
+        assert_eq!(r.accept(1), RxVerdict::Sacked);
+        assert_eq!(r.accept(2), RxVerdict::Sacked);
+        assert_eq!(r.accept(3), RxVerdict::Refused, "buffer full: drop-newest");
+        assert_eq!(r.accept(100), RxVerdict::Refused, "far beyond the window");
+        assert_eq!(r.buffer.len(), 2);
+    }
+
+    #[test]
+    fn rx_sequences_wrap_around_u64() {
+        let near_max = u64::MAX - 1;
+        let mut r = rx(near_max, 4);
+        assert_eq!(r.accept(near_max), RxVerdict::Deliver);
+        assert_eq!(r.accept(0), RxVerdict::Sacked, "post-wrap seq buffers across the wrap");
+        assert_eq!(r.accept(u64::MAX), RxVerdict::Deliver);
+        assert!(r.drain_next(0), "drain follows the wrap");
+        assert_eq!(r.next_expected, 1);
+        assert_eq!(r.accept(u64::MAX), RxVerdict::Duplicate, "pre-wrap seq is behind");
+    }
+
+    #[test]
+    fn rx_sync_fast_forwards_and_prunes() {
+        let mut r = rx(0, 8);
+        assert_eq!(r.accept(2), RxVerdict::Sacked);
+        r.sync_to(5);
+        assert_eq!(r.next_expected, 5);
+        assert!(r.buffer.is_empty(), "stale held seq pruned");
+        r.sync_to(3);
+        assert_eq!(r.next_expected, 5, "sync never moves backwards");
     }
 
     #[test]
@@ -573,6 +820,8 @@ mod tests {
             seq: 0,
             attempt: 0,
             state: FrameState::Queued,
+            retries: 0,
+            rto: 4,
             credit: 8,
             inj_counter: Some(inj.clone()),
             body: FrameBody::Get {

@@ -58,4 +58,14 @@ pub trait Transport: Send + Sync {
     fn pump(&self) -> usize {
         0
     }
+
+    /// Account one link-layer control frame (a selective-repeat ack/SACK of
+    /// `bytes` on the wire) crossing from `src_node` to `dst_node`. Control
+    /// frames carry no packets — nothing is deposited — but a scheduling
+    /// transport should charge their wire time on its clock so
+    /// co-simulated chaos runs see the protocol's reverse-path cost.
+    /// Default: free, matching the synchronous fabric's in-process acks.
+    fn deliver_control(&self, src_node: u32, dst_node: u32, bytes: u64) {
+        let _ = (src_node, dst_node, bytes);
+    }
 }

@@ -72,6 +72,10 @@ pub struct VirtualFabric {
     in_flight: AtomicU64,
     scheduled: AtomicU64,
     delivered: AtomicU64,
+    /// Link-layer control frames (selective-repeat acks/SACKs) charged on
+    /// the clock via [`Transport::deliver_control`].
+    control_frames: AtomicU64,
+    control_bytes: AtomicU64,
 }
 
 impl VirtualFabric {
@@ -93,6 +97,8 @@ impl VirtualFabric {
             in_flight: AtomicU64::new(0),
             scheduled: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
+            control_frames: AtomicU64::new(0),
+            control_bytes: AtomicU64::new(0),
         })
     }
 
@@ -159,6 +165,15 @@ impl VirtualFabric {
         let processed: u64 = self.shards.iter().map(|s| s.lock().engine.processed()).sum();
         (self.scheduled.load(Ordering::Relaxed), self.delivered.load(Ordering::Relaxed), processed)
     }
+
+    /// (control frames charged, control bytes charged): the reverse-path
+    /// ack/SACK traffic the reliability layer put on the virtual wire.
+    pub fn control_stats(&self) -> (u64, u64) {
+        (
+            self.control_frames.load(Ordering::Relaxed),
+            self.control_bytes.load(Ordering::Relaxed),
+        )
+    }
 }
 
 impl Transport for VirtualFabric {
@@ -211,6 +226,31 @@ impl Transport for VirtualFabric {
             done += self.pump_node(node);
         }
         done
+    }
+
+    fn deliver_control(&self, src_node: u32, dst_node: u32, bytes: u64) {
+        // A control frame deposits nothing, but it occupies the
+        // (src, dst) path on the wire: charge its serialization through
+        // the per-path FIFO clamp so later traffic on the same path
+        // cannot be scheduled ahead of it. This is how the SR ack stream
+        // shows up on the DES clock without a reception-FIFO target.
+        let hops = hop_distance(
+            self.shape,
+            self.shape.coords_of(src_node as usize),
+            self.shape.coords_of(dst_node as usize),
+        );
+        let now = self.now_ns.load(Ordering::Acquire) as f64 * 1e-9;
+        let arrival = now
+            + hops as f64 * self.params.hop_latency
+            + (bytes + PACKET_HEADER_BYTES) as f64 / self.params.link_payload_bw;
+        let mut shard = self.shards[dst_node as usize].lock();
+        let last = shard.last_arrival.entry(src_node).or_insert(0.0);
+        if arrival > *last {
+            *last = arrival;
+        }
+        drop(shard);
+        self.control_frames.fetch_add(1, Ordering::Relaxed);
+        self.control_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 }
 
@@ -269,6 +309,33 @@ mod tests {
         let first = fifo.poll().expect("two deposits");
         assert_eq!(first.msg_id, 0, "injection order preserved");
         assert_eq!(fifo.poll().expect("second deposit").msg_id, 1);
+    }
+
+    #[test]
+    fn control_frames_occupy_the_path_and_are_counted() {
+        let (vf, fifo) = harness();
+        // A fat control frame on the 1->0 path, then a data packet on the
+        // same path: the data packet must not be scheduled ahead of the
+        // control frame's serialization point.
+        vf.deliver_control(1, 0, 1 << 20);
+        assert_eq!(vf.control_stats(), (1, 1 << 20));
+        let mut pkt = Some(packet(1, 0, 8));
+        vf.deliver(1, 0, RecFifoId(0), &fifo, 1, &mut |_| pkt.take().unwrap());
+        // A bare 8-byte packet serializes far faster than a megabyte
+        // control frame: without the clamp it would be due almost
+        // immediately. Check the scheduled arrival really sits at or after
+        // the control frame's.
+        let due = vf.advance_clock_to_next().expect("data packet in flight") as f64 * 1e-9;
+        let control_wire =
+            (1u64 << 20) as f64 / MachineParams::default().link_payload_bw;
+        assert!(
+            due >= control_wire,
+            "data arrival {due}s must not precede the control frame's wire time {control_wire}s"
+        );
+        assert_eq!(vf.pump_node(0), 1);
+        // Control frames deposit nothing.
+        assert_eq!(fifo.poll().expect("one data deposit").msg_id, 0);
+        assert!(fifo.is_empty());
     }
 
     #[test]

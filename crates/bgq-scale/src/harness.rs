@@ -381,8 +381,13 @@ pub struct StormStats {
     pub failed: u64,
     /// Link-kill events the fault plan fired.
     pub links_killed: u64,
-    /// Retransmits the reliability layer performed.
+    /// RTO-driven retransmits the reliability layer performed.
     pub retransmits: u64,
+    /// SACK fast retransmits: losses recovered from selective-ack
+    /// feedback without waiting out an RTO.
+    pub sack_retransmits: u64,
+    /// Link-layer control frames (acks/SACKs) charged on the DES clock.
+    pub control_frames: u64,
     /// The zero-silent-loss property: every message accounted for.
     pub zero_lost: bool,
 }
@@ -481,6 +486,11 @@ pub fn failure_storm(endpoints: usize, seed: u64) -> StormStats {
         .count() as u64;
     let retransmits =
         ras.iter().filter(|e| matches!(e.kind, pami::RasEventKind::Retransmit)).count() as u64;
+    let sack_retransmits = ras
+        .iter()
+        .filter(|e| matches!(e.kind, pami::RasEventKind::SackRetransmit))
+        .count() as u64;
+    let control_frames = vf.control_stats().0;
     let arrived = arrived.load(Ordering::Relaxed);
     StormStats {
         sent,
@@ -488,6 +498,8 @@ pub fn failure_storm(endpoints: usize, seed: u64) -> StormStats {
         failed,
         links_killed,
         retransmits,
+        sack_retransmits,
+        control_frames,
         // Nothing vanished: every send is accounted for as an arrival or a
         // typed counter fault. (A frame delivered but unacknowledged when
         // its channel dies legitimately counts on both sides, so the sum
@@ -555,8 +567,12 @@ mod tests {
         assert!(stats.zero_lost, "silent loss: {stats:?}");
         assert!(stats.links_killed > 0, "the kill schedule must fire");
         assert!(
-            stats.retransmits > 0,
+            stats.retransmits + stats.sack_retransmits > 0,
             "1% drop noise over 1024 eager messages must cost retransmits"
+        );
+        assert!(
+            stats.control_frames > 0,
+            "selective-repeat acks must ride the DES clock: {stats:?}"
         );
     }
 }

@@ -464,6 +464,9 @@ impl Context {
         if dispatch >= DISPATCH_INTERNAL_BASE {
             return Err(PamiError::Invalid("dispatch id in the reserved range"));
         }
+        // Endpoint failover: a failed-over destination re-targets its
+        // standby (identity — one relaxed load — until a failover fires).
+        let dest = Endpoint { task: self.machine.resolve_task(dest.task), ..dest };
         self.probes.sends_short.incr_pinned(self.offset as usize);
         // One-packet immediates ARE short-tier sends: one inline envelope,
         // no descriptor, no injection queue — and the delivery outcome
@@ -513,6 +516,9 @@ impl Context {
         if args.dispatch >= DISPATCH_INTERNAL_BASE {
             return Err(PamiError::Invalid("dispatch id in the reserved range"));
         }
+        // Endpoint failover remap, ahead of node/FIFO/policy resolution.
+        let mut args = args;
+        args.dest.task = self.machine.resolve_task(args.dest.task);
         let dest_node = self.machine.task_node(args.dest.task);
         if dest_node == self.node {
             self.probes.sends_shm.incr_pinned(self.offset as usize);
@@ -622,6 +628,7 @@ impl Context {
         window_offset: usize,
         local_done: Option<Counter>,
     ) -> PamiResult<()> {
+        let dest_task = self.machine.resolve_task(dest_task);
         self.probes.puts.incr_pinned(self.offset as usize);
         let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
         let desc = Descriptor {
@@ -656,6 +663,7 @@ impl Context {
         len: usize,
         done: Option<Counter>,
     ) -> PamiResult<()> {
+        let dest_task = self.machine.resolve_task(dest_task);
         self.probes.gets.incr_pinned(self.offset as usize);
         let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
         let put_back = Descriptor {
@@ -1248,6 +1256,7 @@ impl Context {
     /// lane (mailbox on-node, an internal-dispatch memory-FIFO message
     /// off-node).
     pub(crate) fn send_chan_offer(&self, dest: Endpoint, body: Vec<u8>) -> PamiResult<()> {
+        let dest = Endpoint { task: self.machine.resolve_task(dest.task), ..dest };
         let dest_node = self.machine.task_node(dest.task);
         if dest_node == self.node {
             let addr = self.addr_of(dest)?;

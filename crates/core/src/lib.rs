@@ -98,7 +98,7 @@ pub use topology::Topology;
 pub use bgq_collnet::{CollOp, DataType};
 pub use bgq_hw::{Counter, DeliveryFault, MemRegion};
 pub use bgq_mu::{
-    EngineMode, FaultPlan, FaultRates, LinkFault, PayloadSource, RasCounters, RasEvent,
-    RasEventKind, RetryConfig,
+    EngineMode, FaultPlan, FaultRates, LinkFault, LinkProtocol, PayloadSource, RasCounters,
+    RasEvent, RasEventKind, RetryConfig,
 };
 pub use bgq_torus::TorusShape;

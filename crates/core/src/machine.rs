@@ -15,7 +15,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bgq_collnet::{ClassRoute, ClassRouteManager, CollNet, GiBarrier};
@@ -76,6 +76,107 @@ const ENDPOINT_CACHE_MAX_TASKS_SPARSE: usize = 1 << 20;
 /// core-thread pair, the paper's max contexts-per-process sweep).
 pub(crate) const ENDPOINT_CTX_SLOTS: usize = 16;
 
+/// Machine-level endpoint failover. When the RAS layer reports a channel
+/// gave up with [`bgq_mu::DeliveryFault::Unreachable`] (no route — the node
+/// is cut off), traffic addressed to that node's tasks re-targets their
+/// registered *standby* tasks: [`Machine::resolve_task`] remaps the
+/// destination at the top of every send path, and the per-task failover
+/// generation lets higher layers ([`crate::PersistentChannel`]) detect the
+/// remap and renegotiate against the standby.
+///
+/// The fair-weather cost is one relaxed load: `generation == 0` means no
+/// failover ever fired and every lookup is identity. Only after the first
+/// trigger do lookups consult the `active` map.
+pub(crate) struct FailoverState {
+    /// Standbys registered ahead of time: primary task → standby task.
+    standbys: Mutex<HashMap<u32, u32>>,
+    /// Failovers that fired: primary task → (standby task, generation at
+    /// which the remap took effect).
+    active: RwLock<HashMap<u32, (u32, u64)>>,
+    /// Global failover generation; 0 = never fired (the zero-cost gate).
+    generation: AtomicU64,
+    /// Staleness side-table parallel to the machine's endpoint cache: the
+    /// `OnceLock` slab is write-once, so a failed-over task's slots are
+    /// marked stale here and `endpoint_addr_fast` declines them (checked
+    /// only when `generation != 0`, keeping the clean path branch-free).
+    slot_stale: Box<[AtomicBool]>,
+    cache_slots: usize,
+}
+
+impl FailoverState {
+    fn new(tasks: usize, cache_slots: usize) -> Self {
+        FailoverState {
+            standbys: Mutex::new(HashMap::new()),
+            active: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            slot_stale: (0..tasks * cache_slots).map(|_| AtomicBool::new(false)).collect(),
+            cache_slots,
+        }
+    }
+
+    fn register(&self, primary: u32, standby: u32) {
+        self.standbys.lock().insert(primary, standby);
+    }
+
+    /// Fire failover for `primary` if a standby is registered. Idempotent:
+    /// re-triggering an already-active mapping does not bump generations,
+    /// so repeated Unreachable events from draining traffic are free.
+    fn trigger(&self, primary: u32) -> Option<u32> {
+        let standby = *self.standbys.lock().get(&primary)?;
+        let mut active = self.active.write();
+        if let Some(&(cur, _)) = active.get(&primary) {
+            if cur == standby {
+                return Some(standby);
+            }
+        }
+        let gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        active.insert(primary, (standby, gen));
+        drop(active);
+        let base = primary as usize * self.cache_slots;
+        if let Some(slots) = self.slot_stale.get(base..base + self.cache_slots) {
+            for slot in slots {
+                slot.store(true, Ordering::Release);
+            }
+        }
+        Some(standby)
+    }
+
+    /// Fire failover for every registered primary in `tasks` (one lock of
+    /// the standby table, so a node-death event over an oversubscribed
+    /// node's 2^20 tasks doesn't take 2^20 locks). Free when no standby
+    /// was ever registered.
+    fn trigger_range(&self, tasks: std::ops::Range<u32>) {
+        let primaries: Vec<u32> = {
+            let standbys = self.standbys.lock();
+            if standbys.is_empty() {
+                return;
+            }
+            standbys.keys().copied().filter(|t| tasks.contains(t)).collect()
+        };
+        for primary in primaries {
+            self.trigger(primary);
+        }
+    }
+
+    fn resolve(&self, task: u32) -> u32 {
+        if self.generation.load(Ordering::Relaxed) == 0 {
+            return task;
+        }
+        self.active.read().get(&task).map_or(task, |&(standby, _)| standby)
+    }
+
+    fn generation_of(&self, task: u32) -> u64 {
+        if self.generation.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        self.active.read().get(&task).map_or(0, |&(_, gen)| gen)
+    }
+
+    fn slot_is_stale(&self, idx: usize) -> bool {
+        self.slot_stale.get(idx).is_some_and(|b| b.load(Ordering::Acquire))
+    }
+}
+
 /// Which protocol-selection policy a machine is built with.
 enum PolicyChoice {
     /// Fixed eager/rendezvous crossover at the builder's `eager_limit` —
@@ -101,6 +202,7 @@ pub struct MachineBuilder {
     fault_plan: Option<FaultPlan>,
     packet_crc: bool,
     transport: Option<Arc<dyn bgq_mu::Transport>>,
+    telemetry: Option<Upc>,
 }
 
 impl MachineBuilder {
@@ -203,10 +305,20 @@ impl MachineBuilder {
         self
     }
 
+    /// Share a caller-owned UPC registry instead of creating a fresh one.
+    /// Counters registered by several machines under the same name sum in
+    /// the snapshot, so one report can cover a multi-machine workload
+    /// (`pamistat` uses this to fold a fault-injected side segment into
+    /// the main sample's `ras.*` counters).
+    pub fn telemetry(mut self, upc: Upc) -> Self {
+        self.telemetry = Some(upc);
+        self
+    }
+
     /// Build the machine.
     pub fn build(self) -> Arc<Machine> {
         let nodes = self.shape.num_nodes();
-        let telemetry = Upc::new();
+        let telemetry = self.telemetry.unwrap_or_default();
         let coll_probes = crate::coll::CollProbes::new(&telemetry);
         let coll_registry = crate::coll::CollRegistry::with_builtins();
         let policy: Arc<dyn ProtocolPolicy> = match self.policy {
@@ -240,27 +352,48 @@ impl MachineBuilder {
             fabric_builder = fabric_builder.transport(transport);
         }
         let fabric = fabric_builder.build();
+        let tasks = nodes * self.ppn;
+        let cache_slots = if tasks <= ENDPOINT_CACHE_MAX_TASKS {
+            ENDPOINT_CTX_SLOTS
+        } else if tasks <= ENDPOINT_CACHE_MAX_TASKS_SPARSE {
+            1
+        } else {
+            0
+        };
+        let failover = Arc::new(FailoverState::new(tasks, cache_slots));
         // RAS→policy feedback: retransmit and delivery-failure events are
         // recorded per link (node pair); fan each out to the destination
         // node's tasks so the per-destination protocol state sees them.
         // Policies that ignore feedback get a cheap early return. Under
         // co-simulation oversubscription the fan-out would be thousands of
         // tasks per event, so it collapses to the node's lead task.
+        // Unreachable channel deaths additionally fire machine-level
+        // endpoint failover for the dead node's tasks.
         {
             let pol = Arc::clone(&policy);
+            let fo = Arc::clone(&failover);
             let ppn = self.ppn as u32;
             let fanout = if ppn <= 64 { ppn } else { 1 };
             fabric.set_ras_observer(Arc::new(move |ev: &bgq_mu::RasEvent| {
-                let (retransmits, failures) = match ev.kind {
-                    bgq_mu::RasEventKind::Retransmit => (1, 0),
-                    bgq_mu::RasEventKind::DeliveryFailure => (0, 1),
+                use bgq_mu::RasEventKind as K;
+                let (retransmits, sack_retransmits, failures) = match ev.kind {
+                    K::Retransmit => (1, 0, 0),
+                    // SACK fast retransmits and reorder-buffer evictions
+                    // are both "loss recovered without an RTO stall" —
+                    // half-weight trouble in the policy's eyes.
+                    K::SackRetransmit | K::ReorderEvict => (0, 1, 0),
+                    K::DeliveryFailure => (0, 0, 1),
                     _ => return,
                 };
+                if failures > 0 && ev.detail == bgq_mu::DeliveryFault::Unreachable as u64 {
+                    fo.trigger_range(ev.dst_node * ppn..(ev.dst_node + 1) * ppn);
+                }
                 let first = ev.dst_node * ppn;
                 for task in first..first + fanout {
                     pol.observe(crate::policy::ProtoEvent::DeliveryTrouble {
                         dest: task,
                         retransmits,
+                        sack_retransmits,
                         failures,
                     });
                 }
@@ -270,14 +403,6 @@ impl MachineBuilder {
         let world_route = classroutes
             .allocate(Rectangle::full(self.shape), None)
             .expect("fresh machine always has a classroute for COMM_WORLD");
-        let tasks = nodes * self.ppn;
-        let cache_slots = if tasks <= ENDPOINT_CACHE_MAX_TASKS {
-            ENDPOINT_CTX_SLOTS
-        } else if tasks <= ENDPOINT_CACHE_MAX_TASKS_SPARSE {
-            1
-        } else {
-            0
-        };
         Arc::new(Machine {
             telemetry,
             coll_probes,
@@ -298,6 +423,7 @@ impl MachineBuilder {
             endpoints: RwLock::new(HashMap::new()),
             endpoint_cache: (0..tasks * cache_slots).map(|_| OnceLock::new()).collect(),
             cache_slots,
+            failover,
             windows: Mutex::new(HashMap::new()),
             rzv: Mutex::new(HashMap::new()),
             next_key: AtomicU64::new(1),
@@ -348,6 +474,10 @@ pub struct Machine {
     /// [`ENDPOINT_CACHE_MAX_TASKS_SPARSE`] (context 0 only — the co-sim
     /// envelope), 0 beyond (registry map only).
     cache_slots: usize,
+    /// Endpoint failover registry (standbys, active remaps, generations).
+    /// `Arc` because the fabric's RAS observer holds a clone — it must
+    /// outlive neither and is installed before the machine exists.
+    failover: Arc<FailoverState>,
     windows: Mutex<HashMap<u64, Window>>,
     rzv: Mutex<HashMap<u64, RzvEntry>>,
     next_key: AtomicU64,
@@ -383,6 +513,7 @@ impl Machine {
             fault_plan: None,
             packet_crc: true,
             transport: None,
+            telemetry: None,
         }
     }
 
@@ -591,9 +722,16 @@ impl Machine {
         if client != 0 || context as usize >= self.cache_slots {
             return None;
         }
-        self.endpoint_cache
-            .get(task as usize * self.cache_slots + context as usize)
-            .and_then(OnceLock::get)
+        let idx = task as usize * self.cache_slots + context as usize;
+        // The slab is write-once, so failover invalidates by side table:
+        // a stale slot (its task failed over) declines into the registry
+        // path. One relaxed load guards the check in fair weather.
+        if self.failover.generation.load(Ordering::Relaxed) != 0
+            && self.failover.slot_is_stale(idx)
+        {
+            return None;
+        }
+        self.endpoint_cache.get(idx).and_then(OnceLock::get)
     }
 
     /// Context slots per task in the dense endpoint cache (test hook for
@@ -601,6 +739,43 @@ impl Machine {
     #[doc(hidden)]
     pub fn endpoint_cache_geometry(&self) -> (usize, usize) {
         (self.endpoint_cache.len(), self.cache_slots)
+    }
+
+    // ---- endpoint failover ----------------------------------------------
+
+    /// Register `standby` as the failover target for `primary`: if the
+    /// reliability layer ever reports `primary`'s node unreachable (a
+    /// channel died with [`bgq_mu::DeliveryFault::Unreachable`]), sends
+    /// addressed to `primary` re-target `standby` from then on. The standby
+    /// must be a live task with its own contexts; it is assumed fresh — no
+    /// prior persistent-channel history with the peers it inherits.
+    pub fn register_standby(&self, primary: u32, standby: u32) {
+        let tasks = self.num_tasks() as u32;
+        assert!(primary < tasks && standby < tasks, "standby registration out of range");
+        assert_ne!(primary, standby, "a task cannot stand by for itself");
+        self.failover.register(primary, standby);
+    }
+
+    /// Fire failover of `primary` now (operator action / tests — the RAS
+    /// observer calls the same path on Unreachable). Returns the standby
+    /// traffic was re-targeted to, `None` when no standby is registered.
+    pub fn failover(&self, primary: u32) -> Option<u32> {
+        self.failover.trigger(primary)
+    }
+
+    /// The live task for `task`: itself in fair weather (one relaxed load),
+    /// or its standby once failover fired. Send paths call this at the top
+    /// so endpoint, node, and FIFO resolution all follow the remap.
+    pub fn resolve_task(&self, task: u32) -> u32 {
+        self.failover.resolve(task)
+    }
+
+    /// Monotone failover generation for `task`: 0 until its first failover,
+    /// then the global generation at which its current remap took effect.
+    /// [`crate::PersistentChannel`] snapshots this at creation and
+    /// renegotiates when it moves.
+    pub fn failover_generation(&self, task: u32) -> u64 {
+        self.failover.generation_of(task)
     }
 
     fn fresh_key(&self) -> u64 {

@@ -100,8 +100,13 @@ pub enum ProtoEvent {
     DeliveryTrouble {
         /// The destination task whose protocol state should shift.
         dest: u32,
-        /// `ras.retransmits` delta attributed to this destination.
+        /// `ras.retransmits` delta attributed to this destination —
+        /// RTO-driven probes, the protocol's strongest loss signal.
         retransmits: u64,
+        /// `ras.sack_retransmits` + reorder-evict delta: losses recovered
+        /// by selective-repeat SACK feedback (or buffer pressure) without
+        /// waiting out an RTO — real loss, but cheaper than a timeout.
+        sack_retransmits: u64,
         /// `ras.delivery_failures` delta attributed to this destination.
         failures: u64,
     },
@@ -499,9 +504,11 @@ impl AdaptivePolicy {
     }
 
     /// RAS trouble on the path to `dest`: pull its eager/rendezvous
-    /// crossover down one `cfg.step` per retransmit (four per delivery
-    /// failure — a channel giving up is categorically worse than a
-    /// recovered drop), capped at 8 steps per event. Rendezvous payload
+    /// crossover down one `cfg.step` per retransmit (half a step per SACK
+    /// fast retransmit — loss recovered without an RTO stall is half as
+    /// alarming — and four per delivery failure: a channel giving up is
+    /// categorically worse than a recovered drop), capped at 8 steps per
+    /// event. Rendezvous payload
     /// rides counter-protected direct puts, so a flaky destination is
     /// pushed toward the protocol whose completion semantics already
     /// tolerate loss. Fresh EWMAs reset so the post-trouble decision is
@@ -512,8 +519,8 @@ impl AdaptivePolicy {
     /// counted real retransmits), not clock readings, so they steer even in
     /// telemetry-off builds — a deliberate softening of the "telemetry off
     /// ⇒ exactly static" invariant, limited to faulty runs.
-    fn observe_trouble(&self, dest: u32, retransmits: u64, failures: u64) {
-        let steps = (retransmits + 4 * failures).min(8);
+    fn observe_trouble(&self, dest: u32, retransmits: u64, sack_retransmits: u64, failures: u64) {
+        let steps = (retransmits + sack_retransmits.div_ceil(2) + 4 * failures).min(8);
         if steps == 0 {
             return;
         }
@@ -590,8 +597,8 @@ impl ProtocolPolicy for AdaptivePolicy {
     }
 
     fn observe(&self, ev: ProtoEvent) {
-        if let ProtoEvent::DeliveryTrouble { dest, retransmits, failures } = ev {
-            self.observe_trouble(dest, retransmits, failures);
+        if let ProtoEvent::DeliveryTrouble { dest, retransmits, sack_retransmits, failures } = ev {
+            self.observe_trouble(dest, retransmits, sack_retransmits, failures);
             return;
         }
         let (proto, dest, len, ns) = ev.parts();
@@ -737,20 +744,49 @@ mod tests {
         let p = AdaptivePolicy::new(cfg, &upc);
         let initial = p.crossover(5);
         // One retransmit: one step down, only for the troubled destination.
-        p.observe(ProtoEvent::DeliveryTrouble { dest: 5, retransmits: 1, failures: 0 });
+        p.observe(ProtoEvent::DeliveryTrouble {
+            dest: 5,
+            retransmits: 1,
+            sack_retransmits: 0,
+            failures: 0,
+        });
         let after_rexmit = p.crossover(5);
         assert!(after_rexmit < initial, "retransmit must lower the crossover");
         assert_eq!(p.crossover(6), initial, "clean destinations are untouched");
         // A delivery failure weighs four steps — strictly worse.
-        p.observe(ProtoEvent::DeliveryTrouble { dest: 7, retransmits: 0, failures: 1 });
+        p.observe(ProtoEvent::DeliveryTrouble {
+            dest: 7,
+            retransmits: 0,
+            sack_retransmits: 0,
+            failures: 1,
+        });
         assert!(p.crossover(7) < after_rexmit);
+        // A SACK fast retransmit weighs half a retransmit, rounded up: one
+        // costs a full step, two still cost one step total.
+        p.observe(ProtoEvent::DeliveryTrouble {
+            dest: 8,
+            retransmits: 0,
+            sack_retransmits: 2,
+            failures: 0,
+        });
+        assert_eq!(p.crossover(8), after_rexmit, "two SACK rexmits = one step");
         // Sustained trouble bottoms out at the clamp floor, never below.
         for _ in 0..64 {
-            p.observe(ProtoEvent::DeliveryTrouble { dest: 5, retransmits: 8, failures: 2 });
+            p.observe(ProtoEvent::DeliveryTrouble {
+                dest: 5,
+                retransmits: 8,
+                sack_retransmits: 0,
+                failures: 2,
+            });
         }
         assert_eq!(p.crossover(5), cfg.min);
         // Zero-count events are a no-op.
-        p.observe(ProtoEvent::DeliveryTrouble { dest: 9, retransmits: 0, failures: 0 });
+        p.observe(ProtoEvent::DeliveryTrouble {
+            dest: 9,
+            retransmits: 0,
+            sack_retransmits: 0,
+            failures: 0,
+        });
         assert_eq!(p.crossover(9), initial);
     }
 

@@ -45,6 +45,14 @@ fn pattern(i: usize, len: usize) -> Vec<u8> {
 /// intact. Returns the fault history (retransmits, crc_errors) so callers
 /// can assert the plan actually bit.
 fn chaos_exchange(plan: FaultPlan, msgs: usize, len: usize) -> (u64, u64) {
+    let machine = chaos_machine(plan, msgs, len);
+    let ras = machine.fabric().ras_counters();
+    (ras.retransmits.value(), ras.crc_errors.value())
+}
+
+/// [`chaos_exchange`], returning the machine so callers can inspect the
+/// full RAS state (counters and event ring) after the run.
+fn chaos_machine(plan: FaultPlan, msgs: usize, len: usize) -> Arc<Machine> {
     let machine = Machine::with_nodes(2).fault_plan(plan).build();
     let seen = Arc::new(AtomicU64::new(0));
     let seen2 = Arc::clone(&seen);
@@ -117,8 +125,7 @@ fn chaos_exchange(plan: FaultPlan, msgs: usize, len: usize) -> (u64, u64) {
         }
     });
     assert_eq!(seen.load(Ordering::SeqCst), msgs as u64);
-    let ras = machine.fabric().ras_counters();
-    (ras.retransmits.value(), ras.crc_errors.value())
+    machine
 }
 
 #[test]
@@ -403,4 +410,226 @@ fn hw_broadcast_classroute_survives_drop_and_corrupt() {
         coll::broadcast_with(&geom, ctx, Algorithm::HwCollNet, 1, &region, 0, len);
         assert_eq!(region.to_vec(), *payload2, "task {}", env.task);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Selective-repeat edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sack_fast_retransmit_recovers_drops_without_rto_stall() {
+    // With selective repeat, a dropped frame followed by a delivered
+    // successor is re-queued off the SACK feedback — no RTO wait. The run
+    // must be exactly-once and the recovery must show up as SACK
+    // retransmits, not only timer probes.
+    let plan = FaultPlan::new().seed(6001).drop_rate(0.1);
+    let machine = chaos_machine(plan, 96, 2048);
+    let (events, _) = machine.fabric().ras_events();
+    let sacks = events
+        .iter()
+        .filter(|e| matches!(e.kind, pami::RasEventKind::SackRetransmit))
+        .count();
+    assert!(sacks > 0, "10% drop over ~480 packets must trigger SACK fast retransmits");
+    if cfg!(feature = "telemetry") {
+        let ras = machine.fabric().ras_counters();
+        assert_eq!(ras.sack_retransmits.value(), sacks as u64, "counter matches the ring");
+        assert!(ras.reorder_depth.value() > 0, "gaps must park frames in the reorder buffer");
+    }
+}
+
+#[test]
+fn lost_acks_recover_via_rto_backoff_probes() {
+    // Heavy loss hits acks on the reverse path too: a delivered-but-
+    // unacknowledged frame sits in AckWait and must be re-probed on the
+    // (exponentially backed off) RTO until an ack finally crosses. The
+    // receiver sees those probes as duplicates and must dispatch nothing
+    // twice — `chaos_machine`'s handler asserts exactly-once delivery.
+    let plan = FaultPlan::new()
+        .seed(6002)
+        .drop_rate(0.3)
+        .retry(RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 8, retry_budget: 256 });
+    let machine = chaos_machine(plan, 64, 512);
+    let (events, _) = machine.fabric().ras_events();
+    let rto_probes = events
+        .iter()
+        .filter(|e| matches!(e.kind, pami::RasEventKind::Retransmit))
+        .count();
+    assert!(rto_probes > 0, "30% loss must push some frames through the RTO path");
+}
+
+#[test]
+fn reorder_buffer_high_water_eviction_stays_exactly_once() {
+    // A one-slot reorder buffer under a wide sender window: most gaps
+    // overflow the buffer, refused frames are evicted (RAS-visible) and
+    // must come back as retransmits — never as holes or duplicates.
+    let plan = FaultPlan::new()
+        .seed(6003)
+        .drop_rate(0.15)
+        .reorder_capacity(1)
+        .retry(RetryConfig { window: 8, rto_ticks: 1, rto_max_ticks: 8, retry_budget: 256 });
+    let machine = chaos_machine(plan, 64, 2048);
+    let (events, _) = machine.fabric().ras_events();
+    let evictions = events
+        .iter()
+        .filter(|e| matches!(e.kind, pami::RasEventKind::ReorderEvict))
+        .count();
+    assert!(evictions > 0, "a 1-slot reorder buffer under 15% drop must refuse frames");
+}
+
+#[test]
+fn tiny_window_cycles_the_sequence_space_exactly_once() {
+    // A 2-frame window over a 200-message stream cycles the transmit
+    // window hundreds of times; ordering, exactly-once and SACK state must
+    // survive every wrap of the window cursor.
+    let plan = FaultPlan::new()
+        .seed(6004)
+        .drop_rate(0.05)
+        .retry(RetryConfig { window: 2, rto_ticks: 1, rto_max_ticks: 4, retry_budget: 64 });
+    chaos_exchange(plan, 200, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint failover
+// ---------------------------------------------------------------------------
+
+/// Kill every link touching node 1 mid-workload and check the unified
+/// recovery path end to end: the dead channel surfaces `Unreachable`, the
+/// RAS observer fires machine-level failover to the registered standby
+/// (task 2), plain sends re-targeted at the standby drain with zero lost
+/// messages, and the persistent channel renegotiates against the standby
+/// and replays the failed step.
+#[test]
+fn node_kill_fails_over_to_standby_with_zero_lost_messages() {
+    const PRE: u64 = 4;
+    const POST: u64 = 4;
+    const SLOT: usize = 32;
+    let shape = bgq_torus::TorusShape::for_nodes(3);
+    let machine = Machine::builder(shape).fault_plan(FaultPlan::new().seed(4040)).build();
+    machine.register_standby(1, 2);
+    let arrived1 = Arc::new(AtomicU64::new(0));
+    let arrived2 = Arc::new(AtomicU64::new(0));
+    // 1 once the primary consumed the pre-kill channel step; 2 once the
+    // links are dead (the standby may open its channel); 3 when task 0 is
+    // done and the receivers may stop advancing.
+    let stage = Arc::new(AtomicU64::new(0));
+    let (a1, a2, st) = (Arc::clone(&arrived1), Arc::clone(&arrived2), Arc::clone(&stage));
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "chaos", 1);
+        let ctx = client.context(0);
+        match env.task {
+            1 => {
+                let a = Arc::clone(&a1);
+                ctx.set_dispatch(
+                    DISPATCH,
+                    Arc::new(move |_, _, _| {
+                        a.fetch_add(1, Ordering::SeqCst);
+                        Recv::Done
+                    }),
+                );
+            }
+            2 => {
+                let a = Arc::clone(&a2);
+                ctx.set_dispatch(
+                    DISPATCH,
+                    Arc::new(move |_, _, _| {
+                        a.fetch_add(1, Ordering::SeqCst);
+                        Recv::Done
+                    }),
+                );
+            }
+            _ => {}
+        }
+        env.machine.task_barrier();
+        let send_one = |i: u64| {
+            let done = Counter::new();
+            done.add_expected(64);
+            ctx.send(SendArgs {
+                dest: Endpoint::of_task(1),
+                dispatch: DISPATCH,
+                metadata: i.to_le_bytes().to_vec(),
+                payload: PayloadSource::Immediate(bytes::Bytes::from(vec![i as u8; 64])),
+                local_done: Some(done.clone()),
+            })
+            .unwrap();
+            ctx.advance_until(|| done.is_complete());
+            done
+        };
+        match env.task {
+            0 => {
+                let mut ch = ctx.channel(Endpoint::of_task(1), SLOT).unwrap();
+                for i in 0..PRE {
+                    assert!(send_one(i).is_ok(), "pre-kill sends ride clean links");
+                }
+                ch.post(&[0xA0; SLOT]).unwrap();
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 1);
+                // Cut node 1 off: its own links plus the last hop of every
+                // inbound route.
+                let fab = env.machine.fabric();
+                for dir in bgq_torus::Dir::all() {
+                    fab.kill_link(1, dir);
+                }
+                let c1 = shape.coords_of(1);
+                fab.kill_link(0, bgq_torus::det_route(shape, shape.coords_of(0), c1)[0]);
+                fab.kill_link(2, bgq_torus::det_route(shape, shape.coords_of(2), c1)[0]);
+                // Drain POST more messages, re-sending on fault: the first
+                // attempt dies Unreachable and fires the failover, the
+                // retry lands on the standby.
+                let mut faults = 0u64;
+                for i in PRE..PRE + POST {
+                    loop {
+                        let done = send_one(i);
+                        if done.is_ok() {
+                            break;
+                        }
+                        assert_eq!(done.fault(), Some(DeliveryFault::Unreachable));
+                        faults += 1;
+                        assert!(faults <= 4, "failover must stop the fault storm");
+                    }
+                }
+                assert!(faults >= 1, "the first post-kill send must trip Unreachable");
+                assert_eq!(env.machine.resolve_task(1), 2, "failover must remap task 1");
+                assert!(env.machine.failover_generation(1) > 0);
+                // The channel to the primary is dead; renegotiate follows
+                // the failover to the standby and replays the lost step.
+                let lost = ch.post(&[0xA1; SLOT]);
+                assert!(lost.is_err(), "posting into the dead primary channel must fail");
+                stage.store(2, Ordering::SeqCst);
+                ch.renegotiate().unwrap();
+                assert_eq!(ch.peer().task, 2, "the channel must follow the failover");
+                ch.post(&[0xA1; SLOT]).unwrap();
+                ch.post(&[0xA2; SLOT]).unwrap();
+                stage.store(3, Ordering::SeqCst);
+            }
+            1 => {
+                let mut ch = ctx.channel(Endpoint::of_task(0), SLOT).unwrap();
+                let mut buf = [0u8; SLOT];
+                ch.wait(&mut buf).unwrap();
+                assert_eq!(buf, [0xA0; SLOT], "pre-kill channel step reaches the primary");
+                st.store(1, Ordering::SeqCst);
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 3);
+            }
+            2 => {
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 2);
+                let mut ch = ctx.channel(Endpoint::of_task(0), SLOT).unwrap();
+                let mut buf = [0u8; SLOT];
+                ch.wait(&mut buf).unwrap();
+                assert_eq!(buf, [0xA1; SLOT], "the failed step is replayed to the standby");
+                ch.wait(&mut buf).unwrap();
+                assert_eq!(buf, [0xA2; SLOT]);
+                ctx.advance_until(|| st.load(Ordering::SeqCst) >= 3);
+            }
+            _ => unreachable!(),
+        }
+    });
+    // Zero lost messages: every logical message is accounted for exactly
+    // once — the pre-kill batch at the primary, the drained batch at the
+    // standby.
+    assert_eq!(arrived1.load(Ordering::SeqCst), PRE, "pre-kill messages landed at the primary");
+    assert_eq!(arrived2.load(Ordering::SeqCst), POST, "post-kill messages drained to the standby");
+    let (events, _) = machine.fabric().ras_events();
+    assert!(
+        events.iter().any(|e| matches!(e.kind, pami::RasEventKind::DeliveryFailure)
+            && e.detail == DeliveryFault::Unreachable as u64),
+        "the failover trigger must be RAS-visible"
+    );
 }
