@@ -239,18 +239,35 @@ fn ratchet_mode_for(key: &str) -> RatchetMode {
     }
 }
 
+/// Read one gate's numeric threshold out of the ratchet file (flat
+/// single-line JSON, parsed the same literal way as [`ratchet_mode_for`]);
+/// absent key or file yields `default`.
+fn ratchet_number_for(key: &str, default: f64) -> f64 {
+    let Ok(s) = std::fs::read_to_string(RATCHET_PATH) else { return default };
+    let needle = format!("\"{key}\": ");
+    let Some(at) = s.find(&needle) else { return default };
+    s[at + needle.len()..]
+        .split([',', '}'])
+        .next()
+        .and_then(|t| t.trim().parse().ok())
+        .unwrap_or(default)
+}
+
 /// Rewrite the ratchet file with both gates' current modes, preserving the
-/// short-gate threshold and the scale bench's gate mode (owned by the
-/// `scale` binary; this one only carries it through).
+/// short-gate threshold and the scale/hotspot gates (owned by the `scale`
+/// and `hotspot` binaries; this one only carries them through).
 fn write_ratchet(scaling: RatchetMode, short: RatchetMode) -> std::io::Result<()> {
     let scale = ratchet_mode_for("scale_gate");
+    let hotspot = ratchet_mode_for("hotspot_gate");
+    let hotspot_ratio = ratchet_number_for("hotspot_gate_min_ratio", 4.0);
     std::fs::write(
         RATCHET_PATH,
         format!(
-            "{{\"mode\": \"{}\", \"short_gate\": \"{}\", \"short_gate_min_ratio\": {SHORT_GATE_MIN_RATIO}, \"scale_gate\": \"{}\"}}\n",
+            "{{\"mode\": \"{}\", \"short_gate\": \"{}\", \"short_gate_min_ratio\": {SHORT_GATE_MIN_RATIO}, \"scale_gate\": \"{}\", \"hotspot_gate\": \"{}\", \"hotspot_gate_min_ratio\": {hotspot_ratio}}}\n",
             scaling.as_str(),
             short.as_str(),
             scale.as_str(),
+            hotspot.as_str(),
         ),
     )
 }

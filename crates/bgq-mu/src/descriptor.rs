@@ -55,6 +55,34 @@ impl PayloadSource {
     }
 }
 
+/// Atomic read-modify-write operation carried by an [`XferKind::Rmw`]
+/// descriptor. All operations act on a 64-bit little-endian word in the
+/// target window and return the prior value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `*target += operand`; returns the pre-add value. The only op the
+    /// fabric combines at intermediate hops (addition is associative and
+    /// priors decombine by prefix sum).
+    FetchAdd,
+    /// `if *target == compare { *target = operand }`; returns the prior
+    /// value (success iff prior == compare).
+    CompareSwap,
+    /// `*target = min(*target, operand)`; returns the prior value.
+    Min,
+    /// `*target = max(*target, operand)`; returns the prior value.
+    Max,
+}
+
+/// Where the prior value of an rmw is written back (8 bytes, little
+/// endian) — the caller-supplied result slot.
+#[derive(Debug, Clone)]
+pub struct RmwReply {
+    /// Local region the prior value lands in.
+    pub region: MemRegion,
+    /// Byte offset of the 8-byte slot within `region`.
+    pub offset: usize,
+}
+
 /// The transfer type a descriptor requests.
 #[derive(Debug, Clone)]
 pub enum XferKind {
@@ -90,6 +118,28 @@ pub enum XferKind {
     RemoteGet {
         /// Descriptor for the destination to execute.
         payload: Box<Descriptor>,
+    },
+    /// Remote atomic: executes `op` atomically against an 8-byte word in
+    /// a registered window on the target node and writes the prior value
+    /// to the caller's reply slot. Fetch-adds may be coalesced at
+    /// intermediate torus hops when the fabric's combining overlay is
+    /// enabled — the (window key, offset) pair is the combining identity.
+    Rmw {
+        /// Key of the target window (combining identity; the resolved
+        /// region rides in `dst_region`).
+        win_key: u64,
+        /// Target region backing the window.
+        dst_region: MemRegion,
+        /// Byte offset of the 8-byte word within the region.
+        dst_offset: usize,
+        /// The atomic operation.
+        op: RmwOp,
+        /// Operand (addend / swap value / min-max candidate).
+        operand: u64,
+        /// Comparand for [`RmwOp::CompareSwap`]; ignored otherwise.
+        compare: u64,
+        /// Optional slot the prior value is written to.
+        reply: Option<RmwReply>,
     },
 }
 
@@ -128,7 +178,9 @@ impl Descriptor {
     /// for direct-put payload (bandwidth).
     pub fn default_routing(kind: &XferKind) -> Routing {
         match kind {
-            XferKind::MemoryFifo { .. } | XferKind::RemoteGet { .. } => Routing::Deterministic,
+            XferKind::MemoryFifo { .. } | XferKind::RemoteGet { .. } | XferKind::Rmw { .. } => {
+                Routing::Deterministic
+            }
             XferKind::DirectPut { .. } => Routing::Dynamic,
         }
     }

@@ -30,7 +30,8 @@ use bgq_torus::{healthy_route, Coords, Dir, LinkHealth, TorusShape};
 use bgq_upc::{Counter, Upc};
 use parking_lot::MutexGuard;
 
-use crate::descriptor::{Descriptor, PayloadSource, XferKind};
+use crate::comb::{CombCounters, CombState, RmwLocks};
+use crate::descriptor::{Descriptor, PayloadSource, RmwOp, XferKind};
 use crate::engine::{self, EngineMode};
 use crate::faults::{link_id, Fate, FaultInjector, FaultPlan, LinkProtocol};
 use crate::fifo::{
@@ -170,6 +171,11 @@ pub(crate) struct FabricInner {
     /// every reception-FIFO deposit through the installed transport (the
     /// co-simulation's DES-scheduled delivery).
     pub transport: Option<Arc<dyn Transport>>,
+    /// Striped per-(window, offset) locks making rmw descriptors atomic.
+    pub rmw_locks: RmwLocks,
+    /// In-network combining overlay for hot-key fetch-adds; present iff
+    /// [`MuFabricBuilder::combining`] enabled it.
+    pub comb: Option<CombState>,
 }
 
 /// Configures and builds a [`MuFabric`].
@@ -183,6 +189,7 @@ pub struct MuFabricBuilder {
     fault_plan: Option<FaultPlan>,
     ras_ring_capacity: usize,
     transport: Option<Arc<dyn Transport>>,
+    combining: bool,
 }
 
 impl MuFabricBuilder {
@@ -243,6 +250,15 @@ impl MuFabricBuilder {
         self
     }
 
+    /// Enable the in-network combining overlay (default off): fetch-add
+    /// descriptors to the same (window, offset) coalesce at every torus
+    /// hop on the way to the root, which applies the combined addend once
+    /// and decombines the priors by prefix sum. See [`crate::comb`].
+    pub fn combining(mut self, on: bool) -> Self {
+        self.combining = on;
+        self
+    }
+
     /// Build the fabric (and spawn engine threads in threaded mode).
     pub fn build(self) -> MuFabric {
         let wakeups = WakeupUnit::new();
@@ -275,6 +291,7 @@ impl MuFabricBuilder {
                 nodes.len(),
             )
         });
+        let comb = self.combining.then(|| CombState::new(self.shape, &self.telemetry));
         let inner = Arc::new(FabricInner {
             shape: self.shape,
             nodes,
@@ -287,6 +304,8 @@ impl MuFabricBuilder {
             ring,
             reliability,
             transport: self.transport,
+            rmw_locks: RmwLocks::new(),
+            comb,
         });
         let fabric = MuFabric { inner };
         if let EngineMode::Threaded(n) = self.mode {
@@ -315,7 +334,19 @@ impl MuFabric {
             fault_plan: None,
             ras_ring_capacity: 1024,
             transport: None,
+            combining: false,
         }
+    }
+
+    /// Whether the in-network combining overlay is enabled.
+    pub fn combining_enabled(&self) -> bool {
+        self.inner.comb.is_some()
+    }
+
+    /// Live `comb.*` telemetry probes of the combining overlay, when
+    /// enabled.
+    pub fn comb_counters(&self) -> Option<&CombCounters> {
+        self.inner.comb.as_ref().map(|c| &c.counters)
     }
 
     /// The torus shape.
@@ -804,6 +835,35 @@ impl MuFabric {
         lane: &MsgIdLane,
         link_seq: &AtomicU64,
     ) {
+        // Combinable fetch-adds divert into the combining overlay before
+        // either delivery path: the overlay carries them hop by hop (with
+        // its own seeded dice under a fault plan), so they never enter the
+        // per-(src, dst) link channels.
+        if let Some(comb) = &self.inner.comb {
+            if desc.dst_node != src_node {
+                if let XferKind::Rmw { op: RmwOp::FetchAdd, .. } = &desc.kind {
+                    let Descriptor { dst_node, kind, inj_counter, .. } = desc;
+                    let XferKind::Rmw {
+                        win_key, dst_region, dst_offset, operand, reply, ..
+                    } = kind
+                    else {
+                        unreachable!("matched Rmw above");
+                    };
+                    comb.submit(
+                        src_node,
+                        dst_node,
+                        win_key,
+                        dst_offset,
+                        dst_region,
+                        operand,
+                        reply,
+                        inj_counter,
+                        Descriptor::ZERO_LEN_CREDIT,
+                    );
+                    return;
+                }
+            }
+        }
         if let Some(rel) = &self.inner.reliability {
             if desc.dst_node != src_node {
                 self.execute_reliable(rel, src_node, desc, lane);
@@ -875,6 +935,19 @@ impl MuFabric {
                 }
                 if matches!(self.inner.mode, EngineMode::Threaded(_)) {
                     dst.engine_wakeup.touch();
+                }
+            }
+            XferKind::Rmw { win_key, dst_region, dst_offset, op, operand, compare, reply } => {
+                let prior = self.inner.rmw_locks.apply(
+                    win_key,
+                    &dst_region,
+                    dst_offset,
+                    op,
+                    operand,
+                    compare,
+                );
+                if let Some(r) = reply {
+                    r.region.write(r.offset, &prior.to_le_bytes());
                 }
             }
         }
@@ -1164,8 +1237,15 @@ impl MuFabric {
     }
 
     /// Whether `node` has no frames queued or awaiting retry in its
-    /// reliable channels (lock-free; contexts use it in their idle check).
+    /// reliable channels, and no requests in flight in the combining
+    /// overlay (lock-free; contexts use it in their idle check). The
+    /// overlay's pending count is global — any node with combined atomics
+    /// outstanding keeps pumping until the whole overlay drains, which is
+    /// what lets a lone context make progress for everyone.
     pub fn links_idle(&self, node: u32) -> bool {
+        if self.inner.comb.as_ref().is_some_and(|c| c.pending() > 0) {
+            return false;
+        }
         self.inner.reliability.as_ref().is_none_or(|r| r.idle(node))
     }
 
@@ -1173,10 +1253,21 @@ impl MuFabric {
     /// retransmissions, release delayed frames. Each call advances the
     /// node's link-pump tick (the retry protocol's clock). Returns frames
     /// delivered. No-op without a fault plan.
+    ///
+    /// Also drives the combining overlay one round (batches move one hop
+    /// toward their root) — combining works with or without a fault plan,
+    /// so this runs before the reliability early-outs.
     pub fn pump_links(&self, node: u32, budget: usize) -> usize {
-        let Some(rel) = &self.inner.reliability else { return 0 };
+        let mut comb_events = 0;
+        if let Some(comb) = &self.inner.comb {
+            comb_events = comb.pump(
+                self.inner.reliability.as_ref().map(|r| &r.injector),
+                &self.inner.rmw_locks,
+            );
+        }
+        let Some(rel) = &self.inner.reliability else { return comb_events };
         if rel.idle(node) {
-            return 0;
+            return comb_events;
         }
         let now = rel.bump_tick(node);
         let mut done = 0;
@@ -1187,7 +1278,7 @@ impl MuFabric {
             let mut guard = ch.tx.lock();
             done += self.pump_channel_locked(rel, ch, &mut guard, now, budget - done);
         }
-        done
+        done + comb_events
     }
 
     /// Decompose a descriptor into link-level frames, queue them on the
@@ -1479,6 +1570,14 @@ impl MuFabric {
             }
             XferKind::RemoteGet { payload: get_desc } => {
                 emit(total_credit, FrameBody::Get { desc: get_desc });
+            }
+            XferKind::Rmw { win_key, dst_region, dst_offset, op, operand, compare, reply } => {
+                // One frame per rmw: the channel's sequence dedup gives the
+                // retransmitted atomic exactly-once application for free.
+                emit(
+                    total_credit,
+                    FrameBody::Rmw { win_key, dst_region, dst_offset, op, operand, compare, reply },
+                );
             }
         }
         }
@@ -2403,6 +2502,22 @@ impl MuFabric {
                 }
                 if matches!(self.inner.mode, EngineMode::Threaded(_)) {
                     dst.engine_wakeup.touch();
+                }
+            }
+            FrameBody::Rmw { win_key, dst_region, dst_offset, op, operand, compare, reply } => {
+                // Exactly-once under retransmission: the channel's receive
+                // verdict discards duplicate sequence numbers before this
+                // runs, so a frame body applies at most once.
+                let prior = self.inner.rmw_locks.apply(
+                    *win_key,
+                    dst_region,
+                    *dst_offset,
+                    *op,
+                    *operand,
+                    *compare,
+                );
+                if let Some(r) = reply {
+                    r.region.write(r.offset, &prior.to_le_bytes());
                 }
             }
         }

@@ -34,6 +34,7 @@
 //! dynamically-routed path and completes out of order; completion is
 //! observed only through reception counters, never packet order.
 
+pub mod comb;
 pub mod crc;
 pub mod descriptor;
 pub mod engine;
@@ -46,7 +47,8 @@ pub mod packet;
 pub mod transport;
 
 pub use bgq_hw::{Counter, DeliveryFault};
-pub use descriptor::{Descriptor, PayloadSource, XferKind};
+pub use comb::CombCounters;
+pub use descriptor::{Descriptor, PayloadSource, RmwOp, RmwReply, XferKind};
 pub use engine::EngineMode;
 pub use fabric::{MuCounters, MuFabric, MuFabricBuilder, MU_PACKET_COUNTER_SAMPLE};
 pub use faults::{Fate, FaultInjector, FaultPlan, FaultPlanError, FaultRates, LinkFault, LinkProtocol, RetryConfig};

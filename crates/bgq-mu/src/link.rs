@@ -60,7 +60,7 @@ use bgq_upc::{Counter, Upc};
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use crate::descriptor::Descriptor;
+use crate::descriptor::{Descriptor, RmwOp, RmwReply};
 use crate::faults::FaultInjector;
 use crate::fifo::RecFifoId;
 
@@ -283,6 +283,18 @@ pub(crate) enum FrameBody {
     /// A remote-get request carrying the payload descriptor the
     /// destination injects on our behalf.
     Get { desc: Box<Descriptor> },
+    /// A remote atomic, applied at the destination on delivery; the prior
+    /// value is written to the requester's reply slot. The channel's
+    /// duplicate suppression makes a retransmitted rmw apply exactly once.
+    Rmw {
+        win_key: u64,
+        dst_region: MemRegion,
+        dst_offset: usize,
+        op: RmwOp,
+        operand: u64,
+        compare: u64,
+        reply: Option<RmwReply>,
+    },
 }
 
 /// Transmission state of a queued frame (selective repeat tracks this per

@@ -30,6 +30,21 @@ pub fn det_route(shape: TorusShape, src: Coords, dst: Coords) -> Vec<Dir> {
     hops
 }
 
+/// The first hop of the deterministic route from `src` to `dst`, and the
+/// node it lands on — `None` when already at the destination. Hop-by-hop
+/// forwarders (the fabric's combining overlay moves coalesced atomics one
+/// hop per pump) use this instead of materializing the whole route.
+pub fn next_hop(shape: TorusShape, src: Coords, dst: Coords) -> Option<(Dir, Coords)> {
+    for dim in ALL_DIMS {
+        let delta = shape.min_delta(src, dst, dim);
+        if delta != 0 {
+            let dir = Dir { dim, plus: delta >= 0 };
+            return Some((dir, shape.neighbor(src, dir)));
+        }
+    }
+    None
+}
+
 /// Minimal hop count between two nodes.
 pub fn hop_distance(shape: TorusShape, src: Coords, dst: Coords) -> u32 {
     ALL_DIMS

@@ -136,6 +136,7 @@ pub mod names {
     pub const SW_SCATTER: &str = "sw-binomial-scatter";
     pub const SW_ALLGATHER: &str = "sw-ring-allgather";
     pub const SW_ALLTOALL: &str = "sw-pairwise-alltoall";
+    pub const STREAM_ALLREDUCE: &str = "sw-stream-allreduce";
 }
 
 /// Register every algorithm the core crate ships. Cost convention: hardware
@@ -187,6 +188,17 @@ pub(crate) fn register_builtins(reg: &CollRegistry) {
         100,
         always.clone(),
         AlgExec::Allreduce(Arc::new(sw_allreduce)),
+    ));
+    // Streaming chain allreduce (SHArP-style segment pipeline): cheaper
+    // than the binomial tree on unrouted geometries, still dearer than the
+    // collective network, so auto-selection ranks hw(10) < stream(90) <
+    // binomial(100).
+    reg.register(AlgEntry::new(
+        names::STREAM_ALLREDUCE,
+        CollKind::Allreduce,
+        90,
+        Arc::new(|g: &Geometry| g.size() >= 2),
+        AlgExec::Allreduce(Arc::new(sw_stream_allreduce)),
     ));
     reg.register(AlgEntry::new(
         names::SW_REDUCE,
@@ -643,6 +655,25 @@ pub fn allreduce_with(
     allreduce_dispatch(geom, ctx, forced, src, dst, count, op, dtype)
 }
 
+/// Allreduce through a named registry entry — how layered or experimental
+/// algorithms (the streaming chain pipeline) are invoked explicitly.
+///
+/// # Panics
+/// If no allreduce algorithm is registered under `name`.
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_named(
+    geom: &Geometry,
+    ctx: &Context,
+    name: &str,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    allreduce_dispatch(geom, ctx, Some(name), src, dst, count, op, dtype)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn allreduce_dispatch(
     geom: &Geometry,
@@ -946,6 +977,101 @@ fn sw_reduce_bcast(
             sw_broadcast(geom, ctx, seq, root, dst.0, dst.1, len);
         }
     }
+}
+
+/// Segment size of the streaming chain allreduce. Small enough that a
+/// long vector pipelines (rank 0 is filling segment `s+1` while the tail
+/// of the chain still reduces segment `s`), large enough to amortize the
+/// per-message envelope.
+pub const STREAM_SEGMENT: usize = 4096;
+
+/// Tag for a streaming-allreduce segment. Streaming owns class nibble 6;
+/// the segment index lives *above* the class nibble (bit 8 up) and the
+/// sequence number above that, so concurrent segments between the same
+/// pair of ranks never collide in the `recv_sw` store — unlike the
+/// binomial layout, whose 4-bit level field would wrap at 16 segments.
+/// Bit 0 separates the reduce (up) and broadcast (down) directions.
+fn stream_tag(seq: u64, seg: usize, down: bool) -> u64 {
+    (seq << 32) | ((seg as u64) << 8) | (6 << 4) | u64::from(down)
+}
+
+/// Streaming chain allreduce (SHArP-style in-network reduction, done in
+/// software): the buffer is cut into [`STREAM_SEGMENT`]-byte segments and
+/// each segment flows up the rank chain 0 → 1 → … → n−1, every hop folding
+/// its own contribution into the partial (per-hop partial reduction), then
+/// back down the chain as the full result. Segments pipeline: hop `r` works
+/// on segment `s` while hop `r−1` already forwards segment `s+1`, so the
+/// latency of a long vector approaches one traversal plus `n` segment
+/// times rather than `n · len`.
+#[allow(clippy::too_many_arguments)]
+fn sw_stream_allreduce(
+    geom: &Geometry,
+    ctx: &Context,
+    seq: u64,
+    src: (&MemRegion, usize),
+    dst: (&MemRegion, usize),
+    count: usize,
+    op: CollOp,
+    dtype: DataType,
+) {
+    let n = geom.size();
+    let rank = geom.rank_of(ctx.task()).expect("caller is a member");
+    let len = count * ELEM;
+    let nseg = len.div_ceil(STREAM_SEGMENT);
+    // One completion counter covers every send this rank issues across both
+    // directions; segments stay in flight back-to-back and we drain once.
+    let sent = Counter::new();
+    let mut expected = 0u64;
+    let send_seg = |dst_rank: usize, tag: u64, data: Vec<u8>| {
+        let seg_len = data.len();
+        let region = MemRegion::from_vec(data);
+        geom.send_sw(
+            ctx,
+            dst_rank,
+            tag,
+            PayloadSource::Region { region, offset: 0, len: seg_len },
+            Some(sent.clone()),
+        );
+        seg_len as u64
+    };
+
+    // Reduce sweep up the chain. Rank n−1 completes each segment and
+    // immediately starts it back down, overlapping the two sweeps.
+    for seg in 0..nseg {
+        let off = seg * STREAM_SEGMENT;
+        let seg_len = STREAM_SEGMENT.min(len - off);
+        let mut part = vec![0u8; seg_len];
+        src.0.read(src.1 + off, &mut part);
+        if rank > 0 {
+            let upstream = geom.recv_sw(ctx, rank - 1, stream_tag(seq, seg, false));
+            assert_eq!(upstream.len(), seg_len, "streaming segment length mismatch");
+            bgq_collnet::combine(op, dtype, &mut part, &upstream);
+        }
+        if rank < n - 1 {
+            expected += send_seg(rank + 1, stream_tag(seq, seg, false), part);
+        } else {
+            dst.0.write(dst.1 + off, &part);
+            if n > 1 {
+                expected += send_seg(rank - 1, stream_tag(seq, seg, true), part);
+            }
+        }
+    }
+
+    // Broadcast sweep back down: receive the finished segment from the
+    // right neighbor, land it, forward left.
+    if rank < n - 1 {
+        for seg in 0..nseg {
+            let off = seg * STREAM_SEGMENT;
+            let result = geom.recv_sw(ctx, rank + 1, stream_tag(seq, seg, true));
+            dst.0.write(dst.1 + off, &result);
+            if rank > 0 {
+                expected += send_seg(rank - 1, stream_tag(seq, seg, true), result);
+            }
+        }
+    }
+
+    sent.add_expected(expected);
+    ctx.advance_until(|| sent.is_complete());
 }
 
 // ---------------------------------------------------------------------------

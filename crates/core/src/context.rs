@@ -182,6 +182,7 @@ struct CtxProbes {
     sends_shm: bgq_upc::Counter,
     puts: bgq_upc::Counter,
     gets: bgq_upc::Counter,
+    rmws: bgq_upc::Counter,
     /// First packets (or shm messages / RTSs) dispatched to handlers.
     messages_dispatched: bgq_upc::Counter,
     /// Posted work items executed.
@@ -207,6 +208,7 @@ impl CtxProbes {
             sends_shm: upc.counter("ctx.sends_shm"),
             puts: upc.counter("ctx.puts"),
             gets: upc.counter("ctx.gets"),
+            rmws: upc.counter("ctx.rmws"),
             messages_dispatched: upc.counter("ctx.messages_dispatched"),
             work_items: upc.counter("ctx.work_items"),
             handoff_ns: upc.histogram("commthread.handoff_ns"),
@@ -614,23 +616,18 @@ impl Context {
         Ok(())
     }
 
-    /// One-sided put into a registered window on `dest_task`'s node.
-    /// `local_done` fires when the source bytes have been read; the
-    /// window's own counter fires on the target as bytes land.
+    /// One-sided put into a registered window on another task's node — an
+    /// RDMA write. `args.local_done` fires when the source bytes have been
+    /// read; the window's own counter fires on the target as bytes land.
     ///
     /// # Errors
-    /// [`PamiError::UnknownWindow`] when `window` does not resolve.
-    pub fn put(
-        &self,
-        dest_task: u32,
-        payload: PayloadSource,
-        window: crate::machine::MemKey,
-        window_offset: usize,
-        local_done: Option<Counter>,
-    ) -> PamiResult<()> {
+    /// [`PamiError::UnknownWindow`] when `args.window` does not resolve.
+    pub fn put(&self, args: crate::proto::PutArgs) -> PamiResult<()> {
+        let crate::proto::PutArgs { dest_task, window, payload, local_done } = args;
         let dest_task = self.machine.resolve_task(dest_task);
         self.probes.puts.incr_pinned(self.offset as usize);
-        let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
+        let win =
+            self.machine.window(window.key).ok_or(PamiError::UnknownWindow(window.key.0))?;
         let desc = Descriptor {
             dst_node: self.machine.task_node(dest_task),
             dst_context: 0,
@@ -639,7 +636,7 @@ impl Context {
             payload,
             kind: XferKind::DirectPut {
                 dst_region: win.region,
-                dst_offset: window_offset,
+                dst_offset: window.offset,
                 rec_counter: win.counter,
             },
             inj_counter: local_done,
@@ -648,33 +645,27 @@ impl Context {
         Ok(())
     }
 
-    /// One-sided get from a registered window on `dest_task`'s node into
-    /// `dst`. `done` fires (by `len`, or 1 for empty) when the data has
-    /// landed locally.
+    /// One-sided get from a registered window on another task's node into
+    /// a local slot — an RDMA read. `args.done` fires (by `len`, or 1 for
+    /// empty) when the data has landed locally.
     ///
     /// # Errors
-    /// [`PamiError::UnknownWindow`] when `window` does not resolve.
-    pub fn get(
-        &self,
-        dest_task: u32,
-        window: crate::machine::MemKey,
-        window_offset: usize,
-        dst: (MemRegion, usize),
-        len: usize,
-        done: Option<Counter>,
-    ) -> PamiResult<()> {
+    /// [`PamiError::UnknownWindow`] when `args.window` does not resolve.
+    pub fn get(&self, args: crate::proto::GetArgs) -> PamiResult<()> {
+        let crate::proto::GetArgs { dest_task, window, dst, len, done } = args;
         let dest_task = self.machine.resolve_task(dest_task);
         self.probes.gets.incr_pinned(self.offset as usize);
-        let win = self.machine.window(window).ok_or(PamiError::UnknownWindow(window.0))?;
+        let win =
+            self.machine.window(window.key).ok_or(PamiError::UnknownWindow(window.key.0))?;
         let put_back = Descriptor {
             dst_node: self.node,
             dst_context: self.offset,
             src_context: self.offset,
             routing: bgq_torus::Routing::Dynamic,
-            payload: PayloadSource::Region { region: win.region, offset: window_offset, len },
+            payload: PayloadSource::Region { region: win.region, offset: window.offset, len },
             kind: XferKind::DirectPut {
-                dst_region: dst.0,
-                dst_offset: dst.1,
+                dst_region: dst.region,
+                dst_offset: dst.offset,
                 rec_counter: done,
             },
             inj_counter: None,
@@ -690,6 +681,89 @@ impl Context {
         };
         self.inject_to(dest_task, desc);
         Ok(())
+    }
+
+    /// Remote atomic read-modify-write (fetch-add / compare-swap / min /
+    /// max) against an 8-byte little-endian word in a registered window on
+    /// another task's node. The operation applies atomically at the
+    /// target; the prior value is written to `args.result` (when given)
+    /// and `args.done` fires by [`Descriptor::ZERO_LEN_CREDIT`] once both
+    /// are in place.
+    ///
+    /// With [`crate::MachineBuilder::combining`] enabled, fetch-adds to
+    /// the same (window, offset) coalesce at every torus hop on the way to
+    /// the target — N hot-key requesters reach the root as O(log N)
+    /// combined packets, and each still observes a prior value consistent
+    /// with some serial order (the overlay decombines by prefix sum).
+    ///
+    /// # Errors
+    /// [`PamiError::UnknownWindow`] when `args.window` does not resolve.
+    pub fn rmw(&self, args: crate::proto::RmwArgs) -> PamiResult<()> {
+        let crate::proto::RmwArgs { dest_task, window, op, operand, compare, result, done } =
+            args;
+        let dest_task = self.machine.resolve_task(dest_task);
+        self.probes.rmws.incr_pinned(self.offset as usize);
+        let win =
+            self.machine.window(window.key).ok_or(PamiError::UnknownWindow(window.key.0))?;
+        let desc = Descriptor {
+            dst_node: self.machine.task_node(dest_task),
+            dst_context: 0,
+            src_context: self.offset,
+            routing: bgq_torus::Routing::Deterministic,
+            payload: PayloadSource::Immediate(Bytes::new()),
+            kind: XferKind::Rmw {
+                win_key: window.key.0,
+                dst_region: win.region,
+                dst_offset: window.offset,
+                op,
+                operand,
+                compare,
+                reply: result.map(|s| bgq_mu::RmwReply { region: s.region, offset: s.offset }),
+            },
+            inj_counter: done,
+        };
+        self.inject_to(dest_task, desc);
+        Ok(())
+    }
+
+    /// Positional-argument `put` shim for out-of-tree callers; migrate to
+    /// [`Context::put`] with [`crate::PutArgs`].
+    #[deprecated(note = "use Context::put(PutArgs { .. }) — WindowRef replaces MemKey + offset")]
+    pub fn put_raw(
+        &self,
+        dest_task: u32,
+        payload: PayloadSource,
+        window: crate::machine::MemKey,
+        window_offset: usize,
+        local_done: Option<Counter>,
+    ) -> PamiResult<()> {
+        self.put(crate::proto::PutArgs {
+            dest_task,
+            window: crate::machine::WindowRef::at(window, window_offset),
+            payload,
+            local_done,
+        })
+    }
+
+    /// Positional-argument `get` shim for out-of-tree callers; migrate to
+    /// [`Context::get`] with [`crate::GetArgs`].
+    #[deprecated(note = "use Context::get(GetArgs { .. }) — MemSlot replaces (MemRegion, usize)")]
+    pub fn get_raw(
+        &self,
+        dest_task: u32,
+        window: crate::machine::MemKey,
+        window_offset: usize,
+        dst: (MemRegion, usize),
+        len: usize,
+        done: Option<Counter>,
+    ) -> PamiResult<()> {
+        self.get(crate::proto::GetArgs {
+            dest_task,
+            window: crate::machine::WindowRef::at(window, window_offset),
+            dst: crate::proto::MemSlot::at(dst.0, dst.1),
+            len,
+            done,
+        })
     }
 
     /// Injection-FIFO pinning: every message to `dest_task` from this
@@ -1319,6 +1393,7 @@ impl Context {
             + self.probes.sends_shm.value()
             + self.probes.puts.value()
             + self.probes.gets.value()
+            + self.probes.rmws.value()
     }
 
     /// Messages dispatched (first packets seen) by this context

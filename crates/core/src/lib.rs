@@ -87,18 +87,18 @@ pub use endpoint::Endpoint;
 pub use error::{PamiError, PamiResult};
 pub use geometry::Geometry;
 pub use coll::{AlgInfo, CollKind, CollRegistry};
-pub use machine::{Machine, MachineBuilder, MemKey, TaskEnv};
+pub use machine::{Machine, MachineBuilder, MemKey, TaskEnv, WindowRef};
 pub use policy::{
     AdaptiveConfig, AdaptivePolicy, ProtoEvent, Protocol, ProtocolPolicy, StaticPolicy,
 };
-pub use proto::SendArgs;
+pub use proto::{GetArgs, MemSlot, PutArgs, RmwArgs, SendArgs};
 pub use topology::Topology;
 
 // Re-export the substrate types the public API traffics in.
 pub use bgq_collnet::{CollOp, DataType};
 pub use bgq_hw::{Counter, DeliveryFault, MemRegion};
 pub use bgq_mu::{
-    EngineMode, FaultPlan, FaultRates, LinkFault, LinkProtocol, PayloadSource, RasCounters,
-    RasEvent, RasEventKind, RetryConfig,
+    CombCounters, EngineMode, FaultPlan, FaultRates, LinkFault, LinkProtocol, PayloadSource,
+    RasCounters, RasEvent, RasEventKind, RetryConfig, RmwOp,
 };
 pub use bgq_torus::TorusShape;

@@ -34,6 +34,30 @@ use crate::proto::ShmMailbox;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemKey(pub u64);
 
+/// A typed location inside a registered window: the window's key plus a
+/// byte offset. The one-sided args structs ([`crate::PutArgs`],
+/// [`crate::GetArgs`], [`crate::RmwArgs`]) address remote memory with this
+/// instead of a bare `MemKey` + `usize` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowRef {
+    /// The registered window ([`Machine::create_window`]).
+    pub key: MemKey,
+    /// Byte offset within the window.
+    pub offset: usize,
+}
+
+impl WindowRef {
+    /// `key` at byte offset 0.
+    pub fn base(key: MemKey) -> Self {
+        WindowRef { key, offset: 0 }
+    }
+
+    /// The same window at `offset`.
+    pub fn at(key: MemKey, offset: usize) -> Self {
+        WindowRef { key, offset }
+    }
+}
+
 /// A registered one-sided window: the target region plus the counter remote
 /// puts decrement.
 #[derive(Clone)]
@@ -203,6 +227,7 @@ pub struct MachineBuilder {
     packet_crc: bool,
     transport: Option<Arc<dyn bgq_mu::Transport>>,
     telemetry: Option<Upc>,
+    combining: bool,
 }
 
 impl MachineBuilder {
@@ -305,6 +330,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Enable in-network combining of hot-key fetch-adds (default off):
+    /// [`crate::Context::rmw`] fetch-adds to the same (window, offset)
+    /// coalesce at every torus hop toward the target, which applies the
+    /// combined addend once and decombines the prior values by prefix sum.
+    /// Off, every rmw is its own packet — the A/B control the hotspot
+    /// bench compares against.
+    pub fn combining(mut self, on: bool) -> Self {
+        self.combining = on;
+        self
+    }
+
     /// Share a caller-owned UPC registry instead of creating a fresh one.
     /// Counters registered by several machines under the same name sum in
     /// the snapshot, so one report can cover a multi-machine workload
@@ -350,6 +386,9 @@ impl MachineBuilder {
         }
         if let Some(transport) = self.transport {
             fabric_builder = fabric_builder.transport(transport);
+        }
+        if self.combining {
+            fabric_builder = fabric_builder.combining(true);
         }
         let fabric = fabric_builder.build();
         let tasks = nodes * self.ppn;
@@ -514,6 +553,7 @@ impl Machine {
             packet_crc: true,
             transport: None,
             telemetry: None,
+            combining: false,
         }
     }
 
@@ -798,6 +838,12 @@ impl Machine {
     /// Destroy a window.
     pub fn destroy_window(&self, key: MemKey) -> bool {
         self.windows.lock().remove(&key.0).is_some()
+    }
+
+    /// Whether the fabric's in-network combining overlay is enabled
+    /// ([`MachineBuilder::combining`]).
+    pub fn combining_enabled(&self) -> bool {
+        self.fabric.combining_enabled()
     }
 
     pub(crate) fn rzv_register(&self, payload: PayloadSource, local_done: Option<Counter>) -> u64 {

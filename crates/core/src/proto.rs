@@ -41,6 +41,98 @@ pub struct SendArgs {
     pub local_done: Option<Counter>,
 }
 
+/// A typed slot in local registered memory — where a get's bytes or an
+/// rmw's prior value land. Replaces the bare `(MemRegion, usize)` tuples
+/// the one-sided API used to take.
+#[derive(Clone)]
+pub struct MemSlot {
+    /// Local region.
+    pub region: bgq_hw::MemRegion,
+    /// Byte offset within the region.
+    pub offset: usize,
+}
+
+impl MemSlot {
+    /// `region` at byte offset 0.
+    pub fn base(region: bgq_hw::MemRegion) -> Self {
+        MemSlot { region, offset: 0 }
+    }
+
+    /// `region` at `offset`.
+    pub fn at(region: bgq_hw::MemRegion, offset: usize) -> Self {
+        MemSlot { region, offset }
+    }
+}
+
+/// Arguments to [`crate::context::Context::put`] — an RDMA write into a
+/// remote window. Mirrors [`SendArgs`].
+pub struct PutArgs {
+    /// Destination task.
+    pub dest_task: u32,
+    /// Target location: a registered window key plus byte offset.
+    pub window: crate::machine::WindowRef,
+    /// Payload to write.
+    pub payload: PayloadSource,
+    /// Local-completion counter: decremented by the byte count once the
+    /// payload has been placed (the window's own reception counter, if
+    /// armed, signals the remote side).
+    pub local_done: Option<Counter>,
+}
+
+/// Arguments to [`crate::context::Context::get`] — an RDMA read out of a
+/// remote window.
+pub struct GetArgs {
+    /// Task whose window is read.
+    pub dest_task: u32,
+    /// Source location in the remote window.
+    pub window: crate::machine::WindowRef,
+    /// Local destination slot the bytes land in.
+    pub dst: MemSlot,
+    /// Bytes to fetch.
+    pub len: usize,
+    /// Completion counter: decremented by the byte count once the data has
+    /// landed locally.
+    pub done: Option<Counter>,
+}
+
+/// Arguments to [`crate::context::Context::rmw`] — a remote atomic
+/// (fetch-add / compare-swap / min / max) against an 8-byte little-endian
+/// word in a remote window, returning the prior value.
+pub struct RmwArgs {
+    /// Task whose window is updated.
+    pub dest_task: u32,
+    /// The word's location in the remote window.
+    pub window: crate::machine::WindowRef,
+    /// The atomic operation.
+    pub op: bgq_mu::RmwOp,
+    /// Operand (addend / swap value / min-max candidate).
+    pub operand: u64,
+    /// Comparand for [`bgq_mu::RmwOp::CompareSwap`]; ignored otherwise.
+    pub compare: u64,
+    /// Optional local slot the prior value is written to (8 bytes LE).
+    pub result: Option<MemSlot>,
+    /// Completion counter: decremented by
+    /// [`bgq_mu::Descriptor::ZERO_LEN_CREDIT`] once the atomic has applied
+    /// and the prior value (if requested) is in place.
+    pub done: Option<Counter>,
+}
+
+impl RmwArgs {
+    /// A fetch-add of `operand` at `window` on `dest_task`; add result
+    /// slot / completion with the struct-update syntax.
+    pub fn fetch_add(dest_task: u32, window: crate::machine::WindowRef, operand: u64) -> Self {
+        RmwArgs {
+            dest_task,
+            window,
+            op: bgq_mu::RmwOp::FetchAdd,
+            operand,
+            compare: 0,
+            result: None,
+            done: None,
+        }
+    }
+}
+
 /// How a shared-memory message carries its payload.
 pub enum ShmPayload {
     /// Short path: payload copied into the message (one copy in, one copy

@@ -286,11 +286,29 @@ fn initiation_errors_are_typed_and_do_not_touch_the_network() {
             // One-sided against a window that was never created.
             let bogus = pami::MemKey(0xDEAD);
             let err = ctx
-                .put(1, PayloadSource::Immediate(bytes::Bytes::from(vec![1u8; 8])), bogus, 0, None)
+                .put(pami::PutArgs {
+                    dest_task: 1,
+                    window: pami::WindowRef::base(bogus),
+                    payload: PayloadSource::Immediate(bytes::Bytes::from(vec![1u8; 8])),
+                    local_done: None,
+                })
                 .unwrap_err();
             assert_eq!(err, PamiError::UnknownWindow(0xDEAD));
             let dst = MemRegion::zeroed(8);
-            let err = ctx.get(1, bogus, 0, (dst, 0), 8, None).unwrap_err();
+            let err = ctx
+                .get(pami::GetArgs {
+                    dest_task: 1,
+                    window: pami::WindowRef::base(bogus),
+                    dst: pami::MemSlot::base(dst),
+                    len: 8,
+                    done: None,
+                })
+                .unwrap_err();
+            assert_eq!(err, PamiError::UnknownWindow(0xDEAD));
+            // Rmw against the same bogus window surfaces the same typed error.
+            let err = ctx
+                .rmw(pami::RmwArgs::fetch_add(1, pami::WindowRef::base(bogus), 1))
+                .unwrap_err();
             assert_eq!(err, PamiError::UnknownWindow(0xDEAD));
         }
         env.machine.task_barrier();

@@ -1,0 +1,256 @@
+//! Remote atomics over the redesigned one-sided surface: `Context::rmw`
+//! with and without the in-network combining overlay.
+//!
+//! The properties under test are the tentpole claims:
+//!
+//! * **Linearizability** — concurrent fetch-adds against one hot word
+//!   return priors that form a permutation of the arithmetic series; the
+//!   final value is the sum of the operands. Combining must not change
+//!   either (it decombines replies by prefix sum at the root).
+//! * **Exactly-once under chaos** — a seeded drop+corrupt plan forces
+//!   retransmits and duplicate suppression on the rmw path; the counter
+//!   still lands on exactly N·K.
+//! * **A/B equivalence** — the same program with combining on and off
+//!   produces identical application-visible state.
+//! * **Operation semantics** — compare-swap, min and max apply their
+//!   documented rules and return the prior value.
+
+use std::sync::{Arc, OnceLock};
+
+use pami::{
+    Client, Counter, FaultPlan, Machine, MemKey, MemRegion, MemSlot, RmwArgs, RmwOp, WindowRef,
+};
+
+/// Run `f(task, ctx, key)` on every task of an `n`-task machine whose task
+/// 0 exposes a zeroed 8-byte window; returns (machine, window memory).
+fn hot_word_machine(
+    n: usize,
+    combining: bool,
+    plan: Option<FaultPlan>,
+    f: impl Fn(u32, &pami::Context, MemKey) + Send + Sync + Clone + 'static,
+) -> (Arc<Machine>, MemRegion) {
+    let mut builder = Machine::with_nodes(n).combining(combining);
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let machine = builder.build();
+    let word = MemRegion::zeroed(8);
+    let key_cell: Arc<OnceLock<MemKey>> = Arc::new(OnceLock::new());
+    let word2 = word.clone();
+    let key_cell2 = Arc::clone(&key_cell);
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "rmw", 1);
+        let ctx = client.context(0);
+        if env.task == 0 {
+            let key = env.machine.create_window(word2.clone(), None);
+            key_cell2.set(key).unwrap();
+        }
+        env.machine.task_barrier();
+        let key = *key_cell2.get().unwrap();
+        f(env.task, ctx, key);
+        env.machine.task_barrier();
+    });
+    (machine, word)
+}
+
+/// Issue `k` fetch-adds of 1 from this task against the hot word,
+/// collecting each prior; drive the context until all replies land.
+fn fetch_add_k(ctx: &pami::Context, key: MemKey, k: usize) -> Vec<u64> {
+    let slots: Vec<MemRegion> = (0..k).map(|_| MemRegion::zeroed(8)).collect();
+    let done = Counter::new();
+    done.add_expected(k as u64);
+    for slot in &slots {
+        ctx.rmw(RmwArgs {
+            dest_task: 0,
+            window: WindowRef::base(key),
+            op: RmwOp::FetchAdd,
+            operand: 1,
+            compare: 0,
+            result: Some(MemSlot::base(slot.clone())),
+            done: Some(done.clone()),
+        })
+        .unwrap();
+    }
+    ctx.advance_until(|| done.is_complete());
+    slots.iter().map(|s| s.read_i64(0) as u64).collect()
+}
+
+/// Priors from every task, flattened, must be a permutation of
+/// `0..total` — the defining property of linearizable fetch-add.
+fn assert_priors_linearizable(priors: &parking_lot::Mutex<Vec<u64>>, total: u64) {
+    let mut all = priors.lock().clone();
+    assert_eq!(all.len() as u64, total);
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..total).collect();
+    assert_eq!(all, expect, "priors are a permutation of 0..{total}");
+    // Equivalent arithmetic-series check (the ISSUE's acceptance form).
+    let sum: u64 = all.iter().sum();
+    assert_eq!(sum, total * (total - 1) / 2);
+}
+
+#[test]
+fn combined_fetch_adds_are_linearizable() {
+    const N: usize = 8;
+    const K: usize = 16;
+    let priors: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::default();
+    let priors2 = Arc::clone(&priors);
+    let (machine, word) = hot_word_machine(N, true, None, move |_task, ctx, key| {
+        let mine = fetch_add_k(ctx, key, K);
+        priors2.lock().extend(mine);
+    });
+    assert!(machine.combining_enabled());
+    assert_eq!(word.read_i64(0) as u64, (N * K) as u64, "every add applied once");
+    assert_priors_linearizable(&priors, (N * K) as u64);
+    if cfg!(feature = "telemetry") {
+        let comb = machine.fabric().comb_counters().expect("combining on");
+        assert_eq!(comb.requests.value(), ((N - 1) * K) as u64, "remote adds entered the overlay");
+        assert!(comb.merged.value() > 0, "hot-key traffic combined");
+        assert!(
+            comb.root_applies.value() < ((N - 1) * K) as u64,
+            "combining applied fewer batches than requests"
+        );
+        assert_eq!(comb.replies.value(), ((N - 1) * K) as u64, "every requester got its prior");
+    }
+}
+
+#[test]
+fn uncombined_fetch_adds_match_combined_results() {
+    // A/B: the same hot-key program with the overlay disabled. Application
+    // state (final value, prior multiset) must be identical.
+    const N: usize = 8;
+    const K: usize = 16;
+    let priors: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::default();
+    let priors2 = Arc::clone(&priors);
+    let (machine, word) = hot_word_machine(N, false, None, move |_task, ctx, key| {
+        let mine = fetch_add_k(ctx, key, K);
+        priors2.lock().extend(mine);
+    });
+    assert!(!machine.combining_enabled());
+    assert!(machine.fabric().comb_counters().is_none(), "no overlay when disabled");
+    assert_eq!(word.read_i64(0) as u64, (N * K) as u64);
+    assert_priors_linearizable(&priors, (N * K) as u64);
+}
+
+#[test]
+fn rmw_is_exactly_once_under_drop_and_corrupt() {
+    // 1% drop + 1% corrupt on the reliable (uncombined) rmw path: frames
+    // retransmit, duplicates are suppressed by the channel, and the
+    // counter still reads exactly N·K with the priors a permutation.
+    const N: usize = 4;
+    const K: usize = 64;
+    let plan = FaultPlan::new().seed(4242).drop_rate(0.01).corrupt_rate(0.01);
+    let priors: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::default();
+    let priors2 = Arc::clone(&priors);
+    let (machine, word) = hot_word_machine(N, false, Some(plan), move |_task, ctx, key| {
+        let mine = fetch_add_k(ctx, key, K);
+        priors2.lock().extend(mine);
+    });
+    assert_eq!(word.read_i64(0) as u64, (N * K) as u64, "exactly once under faults");
+    assert_priors_linearizable(&priors, (N * K) as u64);
+    if cfg!(feature = "telemetry") {
+        let ras = machine.fabric().ras_counters();
+        assert!(ras.retransmits.value() > 0, "the plan actually bit");
+    }
+}
+
+#[test]
+fn combined_fetch_adds_are_exactly_once_under_faults() {
+    // The overlay's own retransmit/dedup machinery under the same plan:
+    // hop packets drop and "corrupt" (data-arrived-ack-lost), batches
+    // retry, ghosts are discarded — the hot word still lands on N·K and
+    // the priors stay a permutation.
+    // Combining collapses hot-key traffic into few hop packets, so the
+    // rates are higher than the wire-level chaos tests' 1% to make the
+    // plan bite the overlay's (fewer) packets deterministically.
+    const N: usize = 8;
+    const K: usize = 64;
+    let plan = FaultPlan::new().seed(777).drop_rate(0.1).corrupt_rate(0.1);
+    let priors: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::default();
+    let priors2 = Arc::clone(&priors);
+    let (machine, word) = hot_word_machine(N, true, Some(plan), move |_task, ctx, key| {
+        let mine = fetch_add_k(ctx, key, K);
+        priors2.lock().extend(mine);
+    });
+    assert_eq!(word.read_i64(0) as u64, (N * K) as u64, "exactly once under faults");
+    assert_priors_linearizable(&priors, (N * K) as u64);
+    if cfg!(feature = "telemetry") {
+        let comb = machine.fabric().comb_counters().expect("combining on");
+        assert!(
+            comb.retransmits.value() > 0 || comb.dupes_dropped.value() > 0,
+            "the plan exercised the overlay's reliability"
+        );
+    }
+}
+
+#[test]
+fn compare_swap_min_max_semantics() {
+    let (_machine, word) = hot_word_machine(2, false, None, move |task, ctx, key| {
+        if task != 1 {
+            return;
+        }
+        let prior = MemRegion::zeroed(8);
+        let op = |op: RmwOp, operand: u64, compare: u64| -> u64 {
+            let done = Counter::new();
+            done.add_expected(1);
+            ctx.rmw(RmwArgs {
+                dest_task: 0,
+                window: WindowRef::base(key),
+                op,
+                operand,
+                compare,
+                result: Some(MemSlot::base(prior.clone())),
+                done: Some(done.clone()),
+            })
+            .unwrap();
+            ctx.advance_until(|| done.is_complete());
+            prior.read_i64(0) as u64
+        };
+        assert_eq!(op(RmwOp::FetchAdd, 41, 0), 0, "fetch-add returns prior");
+        assert_eq!(op(RmwOp::CompareSwap, 100, 41), 41, "matching CAS swaps");
+        assert_eq!(op(RmwOp::CompareSwap, 999, 41), 100, "mismatched CAS is a no-op");
+        assert_eq!(op(RmwOp::Min, 50, 0), 100, "min(100, 50) keeps 50");
+        assert_eq!(op(RmwOp::Min, 80, 0), 50, "higher candidate loses");
+        assert_eq!(op(RmwOp::Max, 60, 0), 50, "max(50, 60) takes 60");
+        assert_eq!(op(RmwOp::Max, 10, 0), 60, "lower candidate loses");
+    });
+    assert_eq!(word.read_i64(0), 60, "final value after the op sequence");
+}
+
+#[test]
+fn offset_rmws_hit_distinct_words() {
+    // Two offsets inside one window are independent atomics — combining
+    // keys batches by (window, offset).
+    const N: usize = 4;
+    let machine = Machine::with_nodes(N).combining(true).build();
+    let arr = MemRegion::zeroed(16);
+    let key_cell: Arc<OnceLock<MemKey>> = Arc::new(OnceLock::new());
+    let arr2 = arr.clone();
+    let key_cell2 = Arc::clone(&key_cell);
+    machine.run(move |env| {
+        let client = Client::create(&env.machine, env.task, "rmw", 1);
+        let ctx = client.context(0);
+        if env.task == 0 {
+            key_cell2.set(env.machine.create_window(arr2.clone(), None)).unwrap();
+        }
+        env.machine.task_barrier();
+        let key = *key_cell2.get().unwrap();
+        let offset = (env.task as usize % 2) * 8;
+        let done = Counter::new();
+        done.add_expected(1);
+        ctx.rmw(RmwArgs {
+            dest_task: 0,
+            window: WindowRef::at(key, offset),
+            op: RmwOp::FetchAdd,
+            operand: 1 + env.task as u64,
+            compare: 0,
+            result: None,
+            done: Some(done.clone()),
+        })
+        .unwrap();
+        ctx.advance_until(|| done.is_complete());
+        env.machine.task_barrier();
+    });
+    // Even tasks (0, 2) hit offset 0: 1 + 3; odd tasks (1, 3) hit 8: 2 + 4.
+    assert_eq!(arr.read_i64(0), 4);
+    assert_eq!(arr.read_i64(8), 6);
+}

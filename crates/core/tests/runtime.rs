@@ -309,13 +309,12 @@ fn one_sided_put_and_get_via_windows() {
     let src = MemRegion::from_vec((0..128).collect());
     let local = Counter::new();
     local.add_expected(64);
-    c0.context(0).put(
-        1,
-        PayloadSource::Region { region: src, offset: 32, len: 64 },
-        key,
-        16,
-        Some(local.clone()),
-    )
+    c0.context(0).put(pami::PutArgs {
+        dest_task: 1,
+        window: pami::WindowRef::at(key, 16),
+        payload: PayloadSource::Region { region: src, offset: 32, len: 64 },
+        local_done: Some(local.clone()),
+    })
     .unwrap();
     c0.context(0).advance_until(|| local.is_complete() && arrivals.is_complete());
     assert_eq!(&target.to_vec()[16..80], &(32..96).collect::<Vec<u8>>()[..]);
@@ -324,7 +323,15 @@ fn one_sided_put_and_get_via_windows() {
     let dst = MemRegion::zeroed(64);
     let got = Counter::new();
     got.add_expected(64);
-    c0.context(0).get(1, key, 16, (dst.clone(), 0), 64, Some(got.clone())).unwrap();
+    c0.context(0)
+        .get(pami::GetArgs {
+            dest_task: 1,
+            window: pami::WindowRef::at(key, 16),
+            dst: pami::MemSlot::base(dst.clone()),
+            len: 64,
+            done: Some(got.clone()),
+        })
+        .unwrap();
     while !got.is_complete() {
         c0.context(0).advance();
         c1.context(0).advance(); // target node services the remote get
@@ -628,9 +635,12 @@ fn registry_query_matches_use_hw_decision() {
         assert!(!avail(names::COLLNET_BARRIER));
         assert!(avail(names::SW_BCAST));
         assert!(avail(names::SW_ALLREDUCE));
+        assert!(avail(names::STREAM_ALLREDUCE));
         assert!(avail(names::GI_BARRIER));
         assert_eq!(reg.select(CollKind::Broadcast, &geom).name, names::SW_BCAST);
-        assert_eq!(reg.select(CollKind::Allreduce, &geom).name, names::SW_ALLREDUCE);
+        // The streaming chain (cost 90) outranks the binomial tree (100) on
+        // unrouted geometries.
+        assert_eq!(reg.select(CollKind::Allreduce, &geom).name, names::STREAM_ALLREDUCE);
         assert_eq!(reg.select(CollKind::Barrier, &geom).name, names::GI_BARRIER);
 
         coll::barrier(&geom, ctx);

@@ -169,6 +169,24 @@ impl Mpi {
         coll::allreduce_with(comm.geometry(), self.coll_context(), alg, src, dst, count, op, dtype);
     }
 
+    /// `MPI_Allreduce` through a named registry entry (e.g.
+    /// `pami::coll::names::STREAM_ALLREDUCE` for the streaming chain
+    /// pipeline). Panics if no allreduce is registered under `name`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allreduce_named(
+        &self,
+        name: &str,
+        src: (&MemRegion, usize),
+        dst: (&MemRegion, usize),
+        count: usize,
+        op: CollOp,
+        dtype: DataType,
+        comm: &Comm,
+    ) {
+        let _g = self.call_guard();
+        coll::allreduce_named(comm.geometry(), self.coll_context(), name, src, dst, count, op, dtype);
+    }
+
     /// `MPI_Reduce` of `count` 8-byte elements to `root`.
     #[allow(clippy::too_many_arguments)]
     pub fn reduce(

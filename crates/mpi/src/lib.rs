@@ -65,3 +65,7 @@ pub use types::{LibFlavor, Status, Tag, ThreadLevel, ANY_SOURCE, ANY_TAG};
 // Buffer/selector types the API traffics in.
 pub use bgq_hw::MemRegion;
 pub use pami::{CollOp, DataType};
+// One-sided RMA surface for MPI-3 RMA-style layering: the typed argument
+// structs ride through unchanged so an MPI window layer can hand them to
+// the PAMI context underneath.
+pub use pami::{GetArgs, MemSlot, PutArgs, RmwArgs, RmwOp, WindowRef};

@@ -33,10 +33,17 @@ fn chare_task(id: u64) -> u32 {
 }
 
 fn main() {
-    let machine = Machine::with_nodes(TASKS).build();
+    // Combining on: the hot-key phase below funnels every task's fetch-add
+    // through the in-network combining overlay.
+    let machine = Machine::with_nodes(TASKS).combining(true).build();
     let total_chares = (TASKS * CHARES_PER_TASK) as u64;
     let done = Arc::new(AtomicU64::new(0));
     let done2 = Arc::clone(&done);
+    let key_cell: Arc<std::sync::OnceLock<pami_repro::pami::MemKey>> =
+        Arc::new(std::sync::OnceLock::new());
+    let key_cell2 = Arc::clone(&key_cell);
+    let tickets = Arc::new(AtomicU64::new(0));
+    let tickets2 = Arc::clone(&tickets);
 
     machine.run(move |env| {
         // The actor runtime gets its own client, independent of anything
@@ -105,10 +112,49 @@ fn main() {
         );
         assert!(my_invocations >= LAPS, "every task's chares ran");
         pool.shutdown();
+
+        // Second act: a hot-key shared counter. Every task fetch-adds the
+        // same word in task 0's window — the seqno/ticket pattern actor
+        // runtimes use for global ids — and the priors must come back
+        // unique (a permutation of 0..TASKS), the linearizability a plain
+        // put could never give.
+        let counter_mem = pami_repro::pami::MemRegion::zeroed(8);
+        if env.task == 0 {
+            let key = env.machine.create_window(counter_mem.clone(), None);
+            key_cell2.set(key).unwrap();
+        }
+        env.machine.task_barrier();
+        let key = *key_cell2.get().expect("task 0 published the window key");
+        let prior_slot = pami_repro::pami::MemRegion::zeroed(8);
+        let got = pami_repro::pami::Counter::new();
+        got.add_expected(1);
+        ctx.rmw(pami_repro::pami::RmwArgs {
+            dest_task: 0,
+            window: pami_repro::pami::WindowRef::base(key),
+            op: pami_repro::pami::RmwOp::FetchAdd,
+            operand: 1,
+            compare: 0,
+            result: Some(pami_repro::pami::MemSlot::base(prior_slot.clone())),
+            done: Some(got.clone()),
+        })
+        .unwrap();
+        ctx.advance_until(|| got.is_complete());
+        let my_ticket = prior_slot.read_i64(0) as u64;
+        assert!(my_ticket < TASKS as u64, "tickets are dense");
+        tickets2.fetch_or(1 << my_ticket, Ordering::SeqCst);
+        env.machine.task_barrier();
+        if env.task == 0 {
+            assert_eq!(counter_mem.read_i64(0) as u64, TASKS as u64, "every rmw applied once");
+            println!("hot-key counter reached {TASKS}; each task drew a unique ticket");
+        }
+        env.machine.task_barrier();
     });
 
     let token = done.load(Ordering::Acquire);
     assert_eq!(token, LAPS * total_chares);
+    // Every ticket 0..TASKS was drawn exactly once — the combined
+    // fetch-adds linearized.
+    assert_eq!(tickets.load(Ordering::SeqCst), (1u64 << TASKS) - 1);
     println!("actor_model OK: token made {LAPS} laps over {total_chares} chares (final value {token})");
 }
 

@@ -56,10 +56,19 @@ fn main() {
         mpi.allreduce_with(Algorithm::HwCollNet, (&src, 0), (&hw, 0), 1, CollOp::Sum, DataType::Float64, &world);
         // Software binomial fallback over PAMI point-to-point.
         mpi.allreduce_with(Algorithm::SwBinomial, (&src, 0), (&sw, 0), 1, CollOp::Sum, DataType::Float64, &world);
+        // Streaming chain pipeline (SHArP-style per-hop partial reduction),
+        // invoked by registry name.
+        let st = MemRegion::zeroed(8);
+        mpi.allreduce_named(
+            pami_repro::pami::coll::names::STREAM_ALLREDUCE,
+            (&src, 0), (&st, 0), 1, CollOp::Sum, DataType::Float64, &world,
+        );
 
         let hw_val = hw.read_f64(0);
         let sw_val = sw.read_f64(0);
-        assert!((hw_val - sw_val).abs() < 1e-9, "both paths agree");
+        let st_val = st.read_f64(0);
+        assert!((hw_val - sw_val).abs() < 1e-9, "hw and binomial agree");
+        assert!((hw_val - st_val).abs() < 1e-9, "streaming agrees with both");
 
         // Rotate the classroute to another communicator (scarcity demo).
         mpi.barrier(&world);
@@ -68,14 +77,15 @@ fn main() {
             println!("deoptimized COMM_WORLD; classroute released for reuse");
         }
         mpi.barrier(&world);
-        // Collectives still work over the software path.
+        // Collectives still work — auto-selection now lands on the
+        // streaming chain (cost 90), the cheapest entry without a route.
         let again = MemRegion::zeroed(8);
         mpi.allreduce((&src, 0), (&again, 0), 1, CollOp::Sum, DataType::Float64, &world);
         assert!((again.read_f64(0) - hw_val).abs() < 1e-9);
 
         if me == 0 {
             println!(
-                "global dot product = {hw_val:.4} over {} ranks (hw and sw paths agree)",
+                "global dot product = {hw_val:.4} over {} ranks (hw, binomial and streaming agree)",
                 world.size()
             );
             println!("hybrid_allreduce OK");

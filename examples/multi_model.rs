@@ -52,13 +52,12 @@ fn main() {
         payload.write_i64(0, 1000 + me as i64);
         let put_done = Counter::new();
         put_done.add_expected(8);
-        ctx.put(
-            right as u32,
-            PayloadSource::Region { region: payload, offset: 0, len: 8 },
-            right_key,
-            (me as usize % WORDS) * 8,
-            Some(put_done.clone()),
-        )
+        ctx.put(pami_repro::pami::PutArgs {
+            dest_task: right as u32,
+            window: pami_repro::pami::WindowRef::at(right_key, (me as usize % WORDS) * 8),
+            payload: PayloadSource::Region { region: payload, offset: 0, len: 8 },
+            local_done: Some(put_done.clone()),
+        })
         .unwrap();
         ctx.advance_until(|| put_done.is_complete());
 
@@ -71,8 +70,14 @@ fn main() {
         let fetch = MemRegion::zeroed(8);
         let got_back = Counter::new();
         got_back.add_expected(8);
-        ctx.get(right as u32, right_key, (me as usize % WORDS) * 8, (fetch.clone(), 0), 8, Some(got_back.clone()))
-            .unwrap();
+        ctx.get(pami_repro::pami::GetArgs {
+            dest_task: right as u32,
+            window: pami_repro::pami::WindowRef::at(right_key, (me as usize % WORDS) * 8),
+            dst: pami_repro::pami::MemSlot::base(fetch.clone()),
+            len: 8,
+            done: Some(got_back.clone()),
+        })
+        .unwrap();
         while !got_back.is_complete() {
             ctx.advance();
             std::thread::yield_now();

@@ -45,13 +45,12 @@ fn mixed_workload_application() {
         payload.write_i64(0, me as i64 * 11);
         let put_done = Counter::new();
         put_done.add_expected(8);
-        ctx.put(
-            world.task_of(right),
-            PayloadSource::Region { region: payload, offset: 0, len: 8 },
-            keys[right],
-            0,
-            Some(put_done.clone()),
-        )
+        ctx.put(pami_repro::pami::PutArgs {
+            dest_task: world.task_of(right),
+            window: pami_repro::pami::WindowRef::base(keys[right]),
+            payload: PayloadSource::Region { region: payload, offset: 0, len: 8 },
+            local_done: Some(put_done.clone()),
+        })
         .unwrap();
         ctx.advance_until(|| put_done.is_complete() && hits.is_complete());
         let left = (me + n - 1) % n;
