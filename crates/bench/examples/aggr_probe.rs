@@ -1,0 +1,118 @@
+//! Scratch A/B decomposition driver for the aggregation arm — used with
+//! `gprofng` and manual timing to attribute where the aggregated send path
+//! spends its time relative to the direct short tier.
+//!
+//! Arms:
+//!   on / off    — the real `measure_aggr_rate` arms
+//!   on1 / off1  — same loop pinned to a single destination
+//!   base        — the driver loop with no send at all (LCG + slice +
+//!                 advance cadence over idle contexts): the shared cost C
+//!
+//! Usage: `aggr_probe <arm> [msgs]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pami::{Client, Context, Endpoint, Machine, PayloadSource, Recv, SendArgs};
+
+fn run(arm: &str, msgs: usize) -> f64 {
+    const NODES: usize = 8;
+    let aggregated = arm.starts_with("on");
+    let single = arm.ends_with('1');
+    let base = arm == "base";
+    let mut builder = Machine::with_nodes(NODES);
+    if aggregated {
+        let mut cfg = pami::AggrConfig::default();
+        if arm == "on256" {
+            cfg.max_frame = 256; // halve the batch: the rate delta is the per-frame cost
+        }
+        if let Some(mf) = std::env::var("AGGR_MAX_FRAME").ok().and_then(|s| s.parse().ok()) {
+            cfg.max_frame = mf;
+        }
+        if let Some(age) = std::env::var("AGGR_AGE_US").ok().and_then(|s| s.parse().ok()) {
+            cfg.age_us = age;
+        }
+        builder = builder.aggregation(cfg);
+    }
+    let machine = builder.build();
+    let sender = Client::create(&machine, 0, "aggr", 1);
+    let receivers: Vec<_> =
+        (1..NODES as u32).map(|t| Client::create(&machine, t, "aggr", 1)).collect();
+    let got = Arc::new(AtomicU64::new(0));
+    for r in &receivers {
+        let got = Arc::clone(&got);
+        r.context(0).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                got.fetch_add(1, Ordering::Relaxed);
+                Recv::Done
+            }),
+        );
+    }
+    let blob = bytes::Bytes::from(vec![0u8; 64]);
+    let mut lcg: u64 = 0x9E3779B97F4A7C15;
+    let ctx = sender.context(0);
+    let start = Instant::now();
+    let mut sunk = 0u64;
+    for i in 0..msgs {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let dest = if single { 1 } else { 1 + ((lcg >> 33) % (NODES as u64 - 1)) as u32 };
+        let len = 16 + ((lcg >> 20) % 49) as usize;
+        if base {
+            sunk += blob.slice(..len).len() as u64 + dest as u64;
+        } else {
+            ctx.send(SendArgs {
+                dest: Endpoint::of_task(dest),
+                dispatch: 1,
+                metadata: Vec::new(),
+                payload: PayloadSource::Immediate(blob.slice(..len)),
+                local_done: None,
+            })
+            .unwrap();
+        }
+        if i % 16 == 0 {
+            ctx.advance();
+            for r in &receivers {
+                r.context(0).advance();
+            }
+        }
+    }
+    if !base {
+        ctx.flush_aggr();
+        while got.load(Ordering::Relaxed) < msgs as u64 {
+            ctx.advance();
+            for r in &receivers {
+                r.context(0).advance();
+            }
+        }
+    }
+    std::hint::black_box(sunk);
+    let rate = msgs as f64 / start.elapsed().as_secs_f64();
+    let snap = machine.telemetry().snapshot();
+    println!(
+        "arm={} msgs={} rate={:.0} ns/msg={:.1} frames={} batched={} fill={} age={}",
+        arm,
+        msgs,
+        rate,
+        1e9 / rate,
+        snap.counter("aggr.frames"),
+        snap.counter("aggr.batched_msgs"),
+        snap.counter("aggr.flush_fill"),
+        snap.counter("aggr.flush_age"),
+    );
+    rate
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let arm = args.next().unwrap_or_else(|| "on".to_string());
+    let msgs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    if arm == "all" {
+        for a in ["base", "off", "on", "off1", "on1"] {
+            run(a, msgs);
+        }
+    } else {
+        run(&arm, msgs);
+    }
+}

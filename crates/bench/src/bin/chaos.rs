@@ -34,7 +34,9 @@ use std::sync::mpsc::RecvTimeoutError;
 use std::time::Duration;
 
 use pami::{FaultPlan, LinkProtocol, RetryConfig};
-use pami_bench::{measure_chaos_rate, measure_failover_drain, ChaosStats, FailoverStats};
+use pami_bench::{
+    measure_aggr_chaos, measure_chaos_rate, measure_failover_drain, ChaosStats, FailoverStats,
+};
 
 /// Fair-weather budget: CRC + sequence numbers + acks at 0% faults may
 /// cost at most this fraction of the bare message rate.
@@ -323,6 +325,13 @@ fn main() {
     }
     let (hostile, hostile_gbn) = (hostile.unwrap(), hostile_gbn.unwrap());
 
+    // Aggregated-frames arm (report-only): the same 1%+1% plan over the
+    // TRAM coalescing tier. `measure_aggr_chaos` hard-asserts exactly-once
+    // after an over-pumped drain; the JSON records the batching and RAS
+    // evidence so a run where the plan never bit (or frames never
+    // coalesced) is visible rather than vacuous.
+    let (aggr_stats, aggr_ras) = measure_aggr_chaos(hostile_plan(), msgs);
+
     // Kill-a-node failover drill, wall-clock bounded so a failover bug
     // that wedges the drain (the exact failure mode worth gating) reports
     // instead of hanging CI.
@@ -347,7 +356,7 @@ fn main() {
             (f.pre_kill, f.drained, f.unreachable_faults, f.lost, f.channel_replayed)
         });
     let json = format!(
-        "{{\n  \"bench\": \"chaos\",\n  \"msgs\": {msgs},\n  \"baseline_rate\": {base:.1},\n  \"crcseq_rate\": {clean_rate:.1},\n  \"crcseq_overhead_pct\": {overhead_pct:.3},\n  \"gate_pct\": {GATE_PCT},\n  \"gate_ok\": {gate_ok},\n  \"short_baseline_rate\": {short_base:.1},\n  \"short_crcseq_rate\": {short_clean_rate:.1},\n  \"short_crcseq_overhead_pct\": {short_overhead_pct:.3},\n  \"hostile_drop_rate\": 0.01,\n  \"hostile_corrupt_rate\": 0.01,\n  \"hostile_seed\": 4242,\n  \"hostile_ref_rate\": {hostile_ref:.1},\n  \"hostile_rate\": {hostile_rate:.1},\n  \"hostile_slowdown_pct\": {hostile_slowdown:.3},\n  \"hostile_gate_pct\": {HOSTILE_GATE_PCT},\n  \"hostile_gate_ok\": {hostile_gate_ok},\n  \"hostile_retransmits\": {retransmits},\n  \"hostile_sack_retransmits\": {sacks},\n  \"hostile_crc_errors\": {crc_errors},\n  \"hostile_packets_dropped\": {dropped},\n  \"gbn_hostile_rate\": {gbn_rate:.1},\n  \"gbn_hostile_slowdown_pct\": {gbn_slowdown:.3},\n  \"gbn_hostile_retransmits\": {gbn_retransmits},\n  \"failover_msgs\": 256,\n  \"failover_pre_kill\": {fo_pre},\n  \"failover_drained\": {fo_drained},\n  \"failover_unreachable_faults\": {fo_faults},\n  \"failover_lost\": {fo_lost},\n  \"failover_channel_replayed\": {fo_replayed},\n  \"failover_ok\": {failover_ok},\n  \"telemetry_enabled\": {telemetry}\n}}\n",
+        "{{\n  \"bench\": \"chaos\",\n  \"msgs\": {msgs},\n  \"baseline_rate\": {base:.1},\n  \"crcseq_rate\": {clean_rate:.1},\n  \"crcseq_overhead_pct\": {overhead_pct:.3},\n  \"gate_pct\": {GATE_PCT},\n  \"gate_ok\": {gate_ok},\n  \"short_baseline_rate\": {short_base:.1},\n  \"short_crcseq_rate\": {short_clean_rate:.1},\n  \"short_crcseq_overhead_pct\": {short_overhead_pct:.3},\n  \"hostile_drop_rate\": 0.01,\n  \"hostile_corrupt_rate\": 0.01,\n  \"hostile_seed\": 4242,\n  \"hostile_ref_rate\": {hostile_ref:.1},\n  \"hostile_rate\": {hostile_rate:.1},\n  \"hostile_slowdown_pct\": {hostile_slowdown:.3},\n  \"hostile_gate_pct\": {HOSTILE_GATE_PCT},\n  \"hostile_gate_ok\": {hostile_gate_ok},\n  \"hostile_retransmits\": {retransmits},\n  \"hostile_sack_retransmits\": {sacks},\n  \"hostile_crc_errors\": {crc_errors},\n  \"hostile_packets_dropped\": {dropped},\n  \"gbn_hostile_rate\": {gbn_rate:.1},\n  \"gbn_hostile_slowdown_pct\": {gbn_slowdown:.3},\n  \"gbn_hostile_retransmits\": {gbn_retransmits},\n  \"aggr_hostile_rate\": {aggr_rate:.1},\n  \"aggr_hostile_frames\": {aggr_frames},\n  \"aggr_hostile_mean_batch\": {aggr_mean_batch:.2},\n  \"aggr_hostile_retransmits\": {aggr_retransmits},\n  \"aggr_hostile_crc_errors\": {aggr_crc_errors},\n  \"failover_msgs\": 256,\n  \"failover_pre_kill\": {fo_pre},\n  \"failover_drained\": {fo_drained},\n  \"failover_unreachable_faults\": {fo_faults},\n  \"failover_lost\": {fo_lost},\n  \"failover_channel_replayed\": {fo_replayed},\n  \"failover_ok\": {failover_ok},\n  \"telemetry_enabled\": {telemetry}\n}}\n",
         base = baseline.rate,
         clean_rate = clean.rate,
         short_base = short_base.rate,
@@ -359,6 +368,11 @@ fn main() {
         dropped = hostile.packets_dropped,
         gbn_rate = hostile_gbn.rate,
         gbn_retransmits = hostile_gbn.retransmits,
+        aggr_rate = aggr_stats.rate,
+        aggr_frames = aggr_stats.frames,
+        aggr_mean_batch = aggr_stats.mean_batch(),
+        aggr_retransmits = aggr_ras.retransmits,
+        aggr_crc_errors = aggr_ras.crc_errors,
         fo_lost = if fo_lost == u64::MAX { "null".to_string() } else { fo_lost.to_string() },
         telemetry = bgq_upc::ENABLED,
     );
@@ -410,5 +424,13 @@ fn main() {
          ({sb:.0} -> {sc:.0} msg/s)",
         sb = short_base.rate,
         sc = short_clean.rate,
+    );
+    println!(
+        "aggregated frames (report): 1%+1% chaos delivered exactly-once at \
+         {ar:.0} msg/s, mean batch {mb:.1}, {rt} retransmits / {ce} CRC errors absorbed",
+        ar = aggr_stats.rate,
+        mb = aggr_stats.mean_batch(),
+        rt = aggr_ras.retransmits,
+        ce = aggr_ras.crc_errors,
     );
 }

@@ -7,6 +7,10 @@
 //! * short-tier rate at the 128 B cutoff vs the same payload forced onto
 //!   the eager path (the three-tier ladder's headline win), gated by the
 //!   `short_gate` entry of `ci/scaling_ratchet.json`,
+//! * fine-grained aggregation A/B: a random-target 16–64 B flood over
+//!   seven destinations with per-destination coalescing on vs off (the
+//!   TRAM-style message-rate win), gated by the `aggr_gate` entry (ships
+//!   in `report` mode at ≥1.5× with mean batch > 4),
 //! * persistent-channel halo arm: per-iteration p50/p99 over 1000
 //!   fixed-descriptor exchanges, with the matching-engine counters that
 //!   prove the zero-matching claim,
@@ -64,10 +68,10 @@ use std::sync::Arc;
 
 use pami::{Client, Context, Endpoint, Machine, MemRegion, PayloadSource, Recv, SendArgs};
 use pami_bench::{
-    measure_adaptive_cutoffs, measure_handoff_percentiles, measure_message_rate,
-    measure_message_rate_multi_stats, measure_pami_half_rtt, measure_persistent_halo,
-    measure_policy_ab, measure_rate_at_len, pamistat_sample, MeasuredRateSeries,
-    MultiRateStats,
+    measure_adaptive_cutoffs, measure_aggr_rate, measure_handoff_percentiles,
+    measure_message_rate, measure_message_rate_multi_stats, measure_pami_half_rtt,
+    measure_persistent_halo, measure_policy_ab, measure_rate_at_len, pamistat_sample,
+    AggrRateStats, MeasuredRateSeries, MultiRateStats,
 };
 
 /// Single-context eager message rate of the tree *before* the zero-copy,
@@ -92,6 +96,19 @@ const SHORT_GATE_MIN_RATIO: f64 = 2.0;
 /// needs tens of milliseconds of flood per measurement, not hundreds of
 /// microseconds.
 const SHORT_GATE_MSGS: usize = 100_000;
+
+/// Aggregation gate: the coalesced random-target flood must beat the same
+/// stream on the short tier by at least this ratio (and actually batch —
+/// mean records per frame > [`AGGR_GATE_MIN_BATCH`]).
+const AGGR_GATE_MIN_RATIO: f64 = 1.5;
+const AGGR_GATE_MIN_BATCH: f64 = 4.0;
+
+/// Minimum messages per arm for the aggregation A/B (same reasoning as
+/// [`SHORT_GATE_MSGS`]). Each rep builds a fresh 8-node machine, so a rep
+/// needs enough flood after the cold start (first-touch heap, untrained
+/// branches) for the steady-state rate to dominate the quotient — at
+/// ~200 ns/msg this is ~80 ms of flood per arm.
+const AGGR_GATE_MSGS: usize = 400_000;
 
 /// Persistent-halo arm: timed iterations and the tail-flatness budget
 /// (p99/p50 must stay under this over the run — fixed descriptors have no
@@ -254,20 +271,24 @@ fn ratchet_number_for(key: &str, default: f64) -> f64 {
 }
 
 /// Rewrite the ratchet file with both gates' current modes, preserving the
-/// short-gate threshold and the scale/hotspot gates (owned by the `scale`
-/// and `hotspot` binaries; this one only carries them through).
+/// short/aggr thresholds, the aggr gate's mode, and the scale/hotspot
+/// gates (owned by the `scale` and `hotspot` binaries; this one only
+/// carries them through).
 fn write_ratchet(scaling: RatchetMode, short: RatchetMode) -> std::io::Result<()> {
     let scale = ratchet_mode_for("scale_gate");
     let hotspot = ratchet_mode_for("hotspot_gate");
     let hotspot_ratio = ratchet_number_for("hotspot_gate_min_ratio", 4.0);
+    let aggr = ratchet_mode_for("aggr_gate");
+    let aggr_ratio = ratchet_number_for("aggr_gate_min_ratio", AGGR_GATE_MIN_RATIO);
     std::fs::write(
         RATCHET_PATH,
         format!(
-            "{{\"mode\": \"{}\", \"short_gate\": \"{}\", \"short_gate_min_ratio\": {SHORT_GATE_MIN_RATIO}, \"scale_gate\": \"{}\", \"hotspot_gate\": \"{}\", \"hotspot_gate_min_ratio\": {hotspot_ratio}}}\n",
+            "{{\"mode\": \"{}\", \"short_gate\": \"{}\", \"short_gate_min_ratio\": {SHORT_GATE_MIN_RATIO}, \"scale_gate\": \"{}\", \"hotspot_gate\": \"{}\", \"hotspot_gate_min_ratio\": {hotspot_ratio}, \"aggr_gate\": \"{}\", \"aggr_gate_min_ratio\": {aggr_ratio}}}\n",
             scaling.as_str(),
             short.as_str(),
             scale.as_str(),
             hotspot.as_str(),
+            aggr.as_str(),
         ),
     )
 }
@@ -324,7 +345,10 @@ fn main() {
     // bidirectional exchange, plus the flat-matching evidence. Best of 3
     // by tail ratio — the p99 of a sub-µs iteration is the measurement
     // most exposed to scheduler preemption on a shared host, and the
-    // claim under test is the channel's flatness, not the host's.
+    // claim under test is the channel's flatness, not the host's. It runs
+    // *before* the multi-second aggregation floods: a sub-µs percentile
+    // measured in the wake of a long flood inherits that flood's cache and
+    // scheduler residue, and best-of-3 cannot dodge sticky pollution.
     let halo = (0..3)
         .map(|_| measure_persistent_halo(short_cutoff, PERSISTENT_ITERS))
         .reduce(|a, b| {
@@ -335,6 +359,25 @@ fn main() {
         .expect("three halo runs");
     let tail_ratio =
         if halo.p50_ns > 0 { halo.p99_ns as f64 / halo.p50_ns as f64 } else { 0.0 };
+
+    // TRAM-style aggregation A/B: the identical LCG-driven random-target
+    // 16–64 B stream with per-destination coalescing on and off, best-of-5
+    // interleaved like the short gate. The on-arm's batch telemetry rides
+    // along so the ratio is only trusted when frames actually carried >
+    // AGGR_GATE_MIN_BATCH records each.
+    let aggr_gate_msgs = msgs.max(AGGR_GATE_MSGS);
+    let mut aggr_on: Option<AggrRateStats> = None;
+    let mut aggr_off_rate = 0.0f64;
+    for _ in 0..5 {
+        let on = measure_aggr_rate(true, aggr_gate_msgs);
+        if aggr_on.as_ref().is_none_or(|best| on.rate > best.rate) {
+            aggr_on = Some(on);
+        }
+        aggr_off_rate = aggr_off_rate.max(measure_aggr_rate(false, aggr_gate_msgs).rate);
+    }
+    let aggr_on = aggr_on.expect("five aggregation runs");
+    let aggr_ratio = if aggr_off_rate > 0.0 { aggr_on.rate / aggr_off_rate } else { 0.0 };
+    let aggr_mean_batch = aggr_on.mean_batch();
 
     // Learned crossovers after a mixed windowed stream (diagnostics; the
     // adaptive policy starts at SHORT_CUTOFF / the eager limit and walks
@@ -431,6 +474,15 @@ fn main() {
     let short_gate_ok = short_ratio >= SHORT_GATE_MIN_RATIO;
     let persistent_tail_ok = tail_ratio > 0.0 && tail_ratio <= PERSISTENT_TAIL_BUDGET;
 
+    // Aggregation ratchet: the coalesced arm must beat the short tier on
+    // the random-target flood *and* prove it actually batched. The batch
+    // check needs the telemetry counters, so it only applies when the
+    // probes are compiled in.
+    let aggr_mode = ratchet_mode_for("aggr_gate");
+    let aggr_min_ratio = ratchet_number_for("aggr_gate_min_ratio", AGGR_GATE_MIN_RATIO);
+    let aggr_batch_ok = !bgq_upc::ENABLED || aggr_mean_batch > AGGR_GATE_MIN_BATCH;
+    let aggr_gate_ok = aggr_ratio >= aggr_min_ratio && aggr_batch_ok;
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|s| {
@@ -447,9 +499,12 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"bench\": \"msgrate\",\n  \"msgs\": {msgs},\n  \"accounting\": \"{accounting}\",\n  \"host_cores\": {host_cores},\n  \"seed_rate\": {SEED_RATE:.1},\n  \"single_context_rate\": {single:.1},\n  \"rate_vs_seed\": {ratio:.3},\n  \"short_cutoff_bytes\": {short_cutoff},\n  \"short_rate\": {short_rate:.1},\n  \"eager_rate_at_128B\": {eager_rate_at_cutoff:.1},\n  \"short_vs_eager_ratio\": {short_ratio:.3},\n  \"short_gate_mode\": \"{short_mode_str}\",\n  \"short_gate_min_ratio\": {SHORT_GATE_MIN_RATIO},\n  \"short_gate_ok\": {short_gate_ok},\n  \"persistent_iters\": {halo_iters},\n  \"persistent_iter_p50_ns\": {halo_p50},\n  \"persistent_iter_p99_ns\": {halo_p99},\n  \"persistent_iter_mean_ns\": {halo_mean:.1},\n  \"persistent_tail_ratio\": {tail_ratio:.3},\n  \"persistent_tail_budget\": {PERSISTENT_TAIL_BUDGET},\n  \"persistent_tail_ok\": {persistent_tail_ok},\n  \"persistent_match_events\": {halo_match},\n  \"persistent_ladder_sends\": {halo_ladder},\n  \"learned_short_crossover\": {learned_short},\n  \"learned_eager_crossover\": {learned_eager},\n  \"multi_context_threads\": {multi_ctx},\n  \"multi_context_rate\": {multi:.1},\n  \"sixteen_context_rate\": {sixteen:.1},\n  \"sixteen_ppn_wall_rate\": {sixteen_ppn_wall:.1},\n  \"context_sweep\": [\n{sweep_body}\n  ],\n  \"scaling_gate_mode\": \"{mode_str}\",\n  \"scaling_gate_measurable\": {gate_measurable},\n  \"scaling_gate_ok\": {gate_ok},\n  \"eager_half_rtt_us\": {lat_us:.3},\n  \"seed_copies_per_eager_msg\": {SEED_COPIES_PER_MSG},\n  \"copies_per_eager_msg\": {copies},\n  \"policy_ab_msgs\": {ab_msgs},\n  \"policy_static_rate\": {policy_static:.1},\n  \"policy_adaptive_rate\": {policy_adaptive:.1},\n  \"policy_adaptive_vs_static\": {policy_ratio:.3},\n  \"ctx_handoff_p50_ns\": {ctx_p50},\n  \"ctx_handoff_p99_ns\": {ctx_p99},\n  \"commthread_handoff_p50_ns\": {ct_p50},\n  \"commthread_handoff_p99_ns\": {ct_p99},\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry_on_adjacent_rate\": {single_adjacent:.1},\n  \"telemetry_off_rate\": {off_rate_json},\n  \"telemetry_overhead_pct\": {overhead_json},\n  \"telemetry_overhead_ns_per_msg\": {overhead_ns_json},\n  \"telemetry_off_skipped\": {off_skip_json}\n}}\n",
+        "{{\n  \"bench\": \"msgrate\",\n  \"msgs\": {msgs},\n  \"accounting\": \"{accounting}\",\n  \"host_cores\": {host_cores},\n  \"seed_rate\": {SEED_RATE:.1},\n  \"single_context_rate\": {single:.1},\n  \"rate_vs_seed\": {ratio:.3},\n  \"short_cutoff_bytes\": {short_cutoff},\n  \"short_rate\": {short_rate:.1},\n  \"eager_rate_at_128B\": {eager_rate_at_cutoff:.1},\n  \"short_vs_eager_ratio\": {short_ratio:.3},\n  \"short_gate_mode\": \"{short_mode_str}\",\n  \"short_gate_min_ratio\": {SHORT_GATE_MIN_RATIO},\n  \"short_gate_ok\": {short_gate_ok},\n  \"aggr_msgs\": {aggr_gate_msgs},\n  \"aggr_on_rate\": {aggr_on_rate:.1},\n  \"aggr_off_rate\": {aggr_off_rate:.1},\n  \"aggr_ratio\": {aggr_ratio:.3},\n  \"aggr_frames\": {aggr_frames},\n  \"aggr_mean_batch\": {aggr_mean_batch:.2},\n  \"aggr_gate_mode\": \"{aggr_mode_str}\",\n  \"aggr_gate_min_ratio\": {aggr_min_ratio},\n  \"aggr_gate_min_batch\": {AGGR_GATE_MIN_BATCH},\n  \"aggr_gate_ok\": {aggr_gate_ok},\n  \"persistent_iters\": {halo_iters},\n  \"persistent_iter_p50_ns\": {halo_p50},\n  \"persistent_iter_p99_ns\": {halo_p99},\n  \"persistent_iter_mean_ns\": {halo_mean:.1},\n  \"persistent_tail_ratio\": {tail_ratio:.3},\n  \"persistent_tail_budget\": {PERSISTENT_TAIL_BUDGET},\n  \"persistent_tail_ok\": {persistent_tail_ok},\n  \"persistent_match_events\": {halo_match},\n  \"persistent_ladder_sends\": {halo_ladder},\n  \"learned_short_crossover\": {learned_short},\n  \"learned_eager_crossover\": {learned_eager},\n  \"multi_context_threads\": {multi_ctx},\n  \"multi_context_rate\": {multi:.1},\n  \"sixteen_context_rate\": {sixteen:.1},\n  \"sixteen_ppn_wall_rate\": {sixteen_ppn_wall:.1},\n  \"context_sweep\": [\n{sweep_body}\n  ],\n  \"scaling_gate_mode\": \"{mode_str}\",\n  \"scaling_gate_measurable\": {gate_measurable},\n  \"scaling_gate_ok\": {gate_ok},\n  \"eager_half_rtt_us\": {lat_us:.3},\n  \"seed_copies_per_eager_msg\": {SEED_COPIES_PER_MSG},\n  \"copies_per_eager_msg\": {copies},\n  \"policy_ab_msgs\": {ab_msgs},\n  \"policy_static_rate\": {policy_static:.1},\n  \"policy_adaptive_rate\": {policy_adaptive:.1},\n  \"policy_adaptive_vs_static\": {policy_ratio:.3},\n  \"ctx_handoff_p50_ns\": {ctx_p50},\n  \"ctx_handoff_p99_ns\": {ctx_p99},\n  \"commthread_handoff_p50_ns\": {ct_p50},\n  \"commthread_handoff_p99_ns\": {ct_p99},\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry_on_adjacent_rate\": {single_adjacent:.1},\n  \"telemetry_off_rate\": {off_rate_json},\n  \"telemetry_overhead_pct\": {overhead_json},\n  \"telemetry_overhead_ns_per_msg\": {overhead_ns_json},\n  \"telemetry_off_skipped\": {off_skip_json}\n}}\n",
         ratio = if SEED_RATE > 0.0 { single / SEED_RATE } else { 0.0 },
         short_mode_str = short_mode.as_str(),
+        aggr_on_rate = aggr_on.rate,
+        aggr_frames = aggr_on.frames,
+        aggr_mode_str = aggr_mode.as_str(),
         halo_iters = halo.iters,
         halo_p50 = halo.p50_ns,
         halo_p99 = halo.p99_ns,
@@ -497,6 +552,30 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Aggregation gate: report mode until the ratio proves stable on CI
+    // hosts, then the file entry is flipped to enforce by hand.
+    let aggr_detail = format!(
+        "aggr {on:.0} vs short-tier {off:.0} (ratio {aggr_ratio:.2}, \
+         mean batch {aggr_mean_batch:.1})",
+        on = aggr_on.rate,
+        off = aggr_off_rate,
+    );
+    match (aggr_mode, aggr_gate_ok) {
+        (RatchetMode::Report, true) => println!("aggr gate (report): {aggr_detail}"),
+        (RatchetMode::Report, false) => eprintln!(
+            "aggr gate (report): {aggr_detail} below ratio {aggr_min_ratio} \
+             or batch {AGGR_GATE_MIN_BATCH}"
+        ),
+        (RatchetMode::Enforce, true) => println!("aggr gate (enforce): ok"),
+        (RatchetMode::Enforce, false) => {
+            eprintln!(
+                "aggr gate FAILED: {aggr_detail} below ratio {aggr_min_ratio} \
+                 or batch {AGGR_GATE_MIN_BATCH} (mode=enforce)"
+            );
+            std::process::exit(1);
+        }
+    }
+
     if !persistent_tail_ok {
         eprintln!(
             "persistent halo tail (report): p99/p50 {tail_ratio:.2} exceeds \

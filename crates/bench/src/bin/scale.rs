@@ -1,7 +1,9 @@
 //! Scale bench: endpoint-count curves for the bgq-scale co-simulation.
 //!
 //! Emits `BENCH_scale.json` in the repo root with, per endpoint count and
-//! scenario (incast, all-to-all):
+//! scenario (incast, all-to-all, and — at [`AGGR_MIN_ENDPOINTS`] endpoints
+//! and up — all-to-all with TRAM-style per-destination coalescing, whose
+//! points carry the batch telemetry `aggr_frames`/`aggr_mean_batch`):
 //!
 //! * aggregate wall-clock message rate,
 //! * per-endpoint peak memory (VmHWM of an isolated child process divided
@@ -50,6 +52,11 @@ const MEM_GROWTH_BUDGET: f64 = 2.0;
 const STORM_ENDPOINTS: usize = 4096;
 const STORM_SEED: u64 = 0x5CA1E;
 
+/// Smallest point that also runs the aggregated all-to-all arm: below
+/// this, per-destination buckets barely fill and the batch telemetry is
+/// noise rather than a curve.
+const AGGR_MIN_ENDPOINTS: usize = 10_000;
+
 /// One measured (endpoint count, scenario) point, parsed back from the
 /// child process.
 #[derive(Debug, Clone)]
@@ -66,6 +73,8 @@ struct Point {
     advance_p50_ns: u64,
     advance_p99_ns: u64,
     rss_peak_bytes: u64,
+    aggr_frames: u64,
+    aggr_batched: u64,
 }
 
 impl Point {
@@ -73,12 +82,17 @@ impl Point {
         self.rss_peak_bytes as f64 / self.endpoints.max(1) as f64
     }
 
+    fn aggr_mean_batch(&self) -> f64 {
+        if self.aggr_frames > 0 { self.aggr_batched as f64 / self.aggr_frames as f64 } else { 0.0 }
+    }
+
     fn json(&self) -> String {
         format!(
             "    {{\"scenario\": \"{}\", \"endpoints\": {}, \"nodes\": {}, \"sent\": {}, \
              \"arrived\": {}, \"wall_s\": {:.3}, \"virtual_s\": {:.9}, \"des_events\": {}, \
              \"msg_rate\": {:.1}, \"advance_p50_ns\": {}, \"advance_p99_ns\": {}, \
-             \"rss_peak_bytes\": {}, \"rss_per_endpoint_bytes\": {:.1}}}",
+             \"rss_peak_bytes\": {}, \"rss_per_endpoint_bytes\": {:.1}, \
+             \"aggr_frames\": {}, \"aggr_batched\": {}, \"aggr_mean_batch\": {:.2}}}",
             self.scenario,
             self.endpoints,
             self.nodes,
@@ -92,6 +106,9 @@ impl Point {
             self.advance_p99_ns,
             self.rss_peak_bytes,
             self.rss_per_endpoint(),
+            self.aggr_frames,
+            self.aggr_batched,
+            self.aggr_mean_batch(),
         )
     }
 }
@@ -114,14 +131,18 @@ fn peak_rss_bytes() -> u64 {
 
 /// Child mode: run exactly one (scenario, endpoint count) point and print
 /// one machine-readable `key=value` line on stdout.
-fn run_child(scenario: Scenario, endpoints: usize) {
-    let harness = ScaleHarness::new(ScaleConfig::for_endpoints(endpoints, scenario));
+fn run_child(scenario: Scenario, endpoints: usize, aggregated: bool) {
+    let mut cfg = ScaleConfig::for_endpoints(endpoints, scenario);
+    if aggregated {
+        cfg = cfg.aggregated();
+    }
+    let harness = ScaleHarness::new(cfg);
     let stats = harness.run();
     assert_eq!(stats.sent, stats.arrived, "lost messages on a clean fabric");
     println!(
         "SCALE_POINT scenario={} endpoints={} nodes={} sent={} arrived={} wall_s={:.6} \
          virtual_s={:.9} des_events={} msg_rate={:.1} advance_p50_ns={} advance_p99_ns={} \
-         rss_peak_bytes={}",
+         rss_peak_bytes={} aggr_frames={} aggr_batched={}",
         stats.scenario,
         stats.endpoints,
         stats.nodes,
@@ -134,14 +155,20 @@ fn run_child(scenario: Scenario, endpoints: usize) {
         stats.advance_p50_ns,
         stats.advance_p99_ns,
         peak_rss_bytes(),
+        stats.aggr_frames,
+        stats.aggr_batched,
     );
 }
 
 /// Spawn this binary in `--child` mode for one point and parse the result.
-fn measure_point(scenario: Scenario, endpoints: usize) -> Result<Point, String> {
+fn measure_point(scenario: Scenario, endpoints: usize, aggregated: bool) -> Result<Point, String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut args = vec!["--child".to_string(), scenario.name().to_string(), endpoints.to_string()];
+    if aggregated {
+        args.push("--aggr".to_string());
+    }
     let out = std::process::Command::new(exe)
-        .args(["--child", scenario.name(), &endpoints.to_string()])
+        .args(&args)
         .output()
         .map_err(|e| format!("spawn: {e}"))?;
     if !out.status.success() {
@@ -175,6 +202,8 @@ fn measure_point(scenario: Scenario, endpoints: usize) -> Result<Point, String> 
         advance_p50_ns: get("advance_p50_ns")?.parse().map_err(|e| format!("p50: {e}"))?,
         advance_p99_ns: get("advance_p99_ns")?.parse().map_err(|e| format!("p99: {e}"))?,
         rss_peak_bytes: get("rss_peak_bytes")?.parse().map_err(|e| format!("rss: {e}"))?,
+        aggr_frames: get("aggr_frames")?.parse().map_err(|e| format!("aggr_frames: {e}"))?,
+        aggr_batched: get("aggr_batched")?.parse().map_err(|e| format!("aggr_batched: {e}"))?,
     })
 }
 
@@ -197,7 +226,8 @@ fn main() {
         };
         let endpoints: usize =
             args.get(2).and_then(|a| a.parse().ok()).expect("child endpoint count");
-        run_child(scenario, endpoints);
+        let aggregated = args.get(3).map(String::as_str) == Some("--aggr");
+        run_child(scenario, endpoints, aggregated);
         return;
     }
 
@@ -223,18 +253,33 @@ fn main() {
 
     let mut curve: Vec<Point> = Vec::new();
     for &n in &points {
-        for scenario in [Scenario::Incast, Scenario::AllToAll] {
-            match measure_point(scenario, n) {
+        let mut arms = vec![(Scenario::Incast, false), (Scenario::AllToAll, false)];
+        // The coalescing arm only at scale: small points barely fill
+        // per-destination buckets and would report noise, not a curve.
+        if n >= AGGR_MIN_ENDPOINTS {
+            arms.push((Scenario::AllToAll, true));
+        }
+        for (scenario, aggregated) in arms {
+            match measure_point(scenario, n, aggregated) {
                 Ok(p) => {
                     println!(
                         "{} @ {:>7} endpoints ({} nodes): {:>12.0} msg/s, \
-                         p99 advance {:>7} ns, {:>6.1} B/endpoint peak",
+                         p99 advance {:>7} ns, {:>6.1} B/endpoint peak{}",
                         p.scenario,
                         p.endpoints,
                         p.nodes,
                         p.msg_rate,
                         p.advance_p99_ns,
                         p.rss_per_endpoint(),
+                        if aggregated {
+                            format!(
+                                ", {} frames @ {:.1} records/frame",
+                                p.aggr_frames,
+                                p.aggr_mean_batch()
+                            )
+                        } else {
+                            String::new()
+                        },
                     );
                     curve.push(p);
                 }

@@ -470,6 +470,133 @@ pub fn measure_rate_at_len(len: usize, msgs: usize, force_eager: bool) -> f64 {
     msgs as f64 / start.elapsed().as_secs_f64()
 }
 
+/// What one fine-grained random-target flood arm measured.
+pub struct AggrRateStats {
+    /// Delivered messages per second.
+    pub rate: f64,
+    /// Coalesced frames injected (`aggr.frames`; 0 on the off arm or with
+    /// telemetry compiled out).
+    pub frames: u64,
+    /// Records that rode those frames (`aggr.batched_msgs`).
+    pub batched: u64,
+}
+
+impl AggrRateStats {
+    /// Mean records per frame; 0 when no frames were cut.
+    pub fn mean_batch(&self) -> f64 {
+        if self.frames > 0 { self.batched as f64 / self.frames as f64 } else { 0.0 }
+    }
+}
+
+/// Fine-grained random-target flood: one sender context sprays 16–64 B
+/// messages over seven destination nodes, target and size drawn from a
+/// fixed LCG so both arms see the identical stream. With `aggregated` the
+/// machine coalesces per destination ([`pami::AggrConfig`] defaults: 128 B
+/// cutoff, 512 B frames, 100 µs age bound); without it the same payloads
+/// ride the short tier one packet each — the TRAM-style A/B. The receiver
+/// contexts are advanced on the sender's cadence either way, so the pair
+/// differs only in the injection path.
+pub fn measure_aggr_rate(aggregated: bool, msgs: usize) -> AggrRateStats {
+    aggr_flood(aggregated, None, msgs).0
+}
+
+/// The same coalesced flood under a seeded hostile plan: frames ride the
+/// selective-repeat channel, so drops and corruption cost whole-frame
+/// retransmits and every record must still land exactly once — asserted
+/// here (the drain over-pumps and re-checks the count), with the RAS
+/// evidence returned so the caller can prove the plan actually bit.
+pub fn measure_aggr_chaos(plan: pami::FaultPlan, msgs: usize) -> (AggrRateStats, ChaosStats) {
+    aggr_flood(true, Some(plan), msgs)
+}
+
+fn aggr_flood(
+    aggregated: bool,
+    plan: Option<pami::FaultPlan>,
+    msgs: usize,
+) -> (AggrRateStats, ChaosStats) {
+    const NODES: usize = 8;
+    let mut builder = Machine::with_nodes(NODES);
+    if aggregated {
+        builder = builder.aggregation(pami::AggrConfig::default());
+    }
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let machine = builder.build();
+    let sender = Client::create(&machine, 0, "aggr", 1);
+    let receivers: Vec<_> =
+        (1..NODES as u32).map(|t| Client::create(&machine, t, "aggr", 1)).collect();
+    let got = Arc::new(AtomicU64::new(0));
+    for r in &receivers {
+        let got = Arc::clone(&got);
+        r.context(0).set_dispatch(
+            1,
+            Arc::new(move |_: &Context, _msg, _first| {
+                got.fetch_add(1, Ordering::Relaxed);
+                Recv::Done
+            }),
+        );
+    }
+    let blob = bytes::Bytes::from(vec![0u8; 64]);
+    let mut lcg: u64 = 0x9E3779B97F4A7C15;
+    let ctx = sender.context(0);
+    let start = Instant::now();
+    for i in 0..msgs {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let dest = 1 + ((lcg >> 33) % (NODES as u64 - 1)) as u32;
+        let len = 16 + ((lcg >> 20) % 49) as usize; // 16..=64 B
+        ctx.send(SendArgs {
+            dest: Endpoint::of_task(dest),
+            dispatch: 1,
+            metadata: Vec::new(),
+            payload: PayloadSource::Immediate(blob.slice(..len)),
+            local_done: None,
+        })
+        .unwrap();
+        if i % 16 == 0 {
+            ctx.advance();
+            for r in &receivers {
+                r.context(0).advance();
+            }
+        }
+    }
+    ctx.flush_aggr();
+    while got.load(Ordering::Relaxed) < msgs as u64 {
+        ctx.advance();
+        for r in &receivers {
+            r.context(0).advance();
+        }
+    }
+    let rate = msgs as f64 / start.elapsed().as_secs_f64();
+    // Exactly-once: keep pumping past completion — a late duplicate (a
+    // retransmitted frame unbatched twice) would push the count over.
+    for _ in 0..64 {
+        ctx.advance();
+        for r in &receivers {
+            r.context(0).advance();
+        }
+    }
+    assert_eq!(got.load(Ordering::Relaxed), msgs as u64, "aggregated flood exactly-once");
+    let snap = machine.telemetry().snapshot();
+    let ras = machine.fabric().ras_counters();
+    let dropped =
+        (0..NODES as u32).map(|n| machine.fabric().counters(n).packets_dropped.value()).sum();
+    (
+        AggrRateStats {
+            rate,
+            frames: snap.counter("aggr.frames"),
+            batched: snap.counter("aggr.batched_msgs"),
+        },
+        ChaosStats {
+            rate,
+            retransmits: ras.retransmits.value(),
+            sack_retransmits: ras.sack_retransmits.value(),
+            crc_errors: ras.crc_errors.value(),
+            packets_dropped: dropped,
+        },
+    )
+}
+
 /// What one persistent-channel halo run measured.
 pub struct PersistentHaloStats {
     /// Timed iterations (one bidirectional post/post/wait/wait each).
@@ -925,6 +1052,52 @@ pub fn pamistat_sample() -> (String, String, String) {
             }
         }
         assert_eq!(word.read_i64(0) as u64, 3 * ADDS_PER_TASK, "hot word sums the storm");
+    }
+
+    // Aggregation segment: a fine-grained random-target flood on a
+    // coalescing-enabled side machine sharing the same UPC registry, so the
+    // `aggr.*` counters (batched records, frames, flush causes, unbatch)
+    // and `ctx.sends_aggr` are non-zero in the report.
+    {
+        let aggr_machine = Machine::with_nodes(4)
+            .telemetry(machine.telemetry().clone())
+            .aggregation(pami::AggrConfig::default())
+            .build();
+        let sender = Client::create(&aggr_machine, 0, "stat-aggr", 1);
+        let receivers: Vec<_> =
+            (1..4).map(|t| Client::create(&aggr_machine, t, "stat-aggr", 1)).collect();
+        let got = Arc::new(AtomicU64::new(0));
+        for r in &receivers {
+            let got = Arc::clone(&got);
+            r.context(0).set_dispatch(
+                1,
+                Arc::new(move |_: &Context, _msg, _first| {
+                    got.fetch_add(1, Ordering::Relaxed);
+                    Recv::Done
+                }),
+            );
+        }
+        const AGGR_MSGS: u64 = 384;
+        let ctx = sender.context(0);
+        for i in 0..AGGR_MSGS {
+            ctx.send(SendArgs {
+                dest: Endpoint::of_task(1 + (i % 3) as u32),
+                dispatch: 1,
+                metadata: Vec::new(),
+                payload: PayloadSource::Immediate(bytes::Bytes::from_static(&[7u8; 24])),
+                local_done: None,
+            })
+            .unwrap();
+        }
+        ctx.flush_aggr();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.load(Ordering::Relaxed) < AGGR_MSGS {
+            assert!(Instant::now() < deadline, "aggregation sample made no progress");
+            ctx.advance();
+            for r in &receivers {
+                r.context(0).advance();
+            }
+        }
     }
 
     let upc = machine.telemetry();

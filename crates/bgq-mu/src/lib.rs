@@ -34,6 +34,7 @@
 //! dynamically-routed path and completes out of order; completion is
 //! observed only through reception counters, never packet order.
 
+pub mod batch;
 pub mod comb;
 pub mod crc;
 pub mod descriptor;
@@ -46,6 +47,7 @@ pub mod link;
 pub mod packet;
 pub mod transport;
 
+pub use batch::{push_record, record_size, BatchRecord, RecordIter};
 pub use bgq_hw::{Counter, DeliveryFault};
 pub use comb::CombCounters;
 pub use descriptor::{Descriptor, PayloadSource, RmwOp, RmwReply, XferKind};

@@ -77,6 +77,9 @@ pub struct ScaleConfig {
     pub workers: usize,
     /// Sends issued per node per scheduling round.
     pub window: usize,
+    /// Coalesce small sends per destination ([`pami::AggrConfig`]
+    /// defaults): the TRAM-style aggregation arm of the scale curve.
+    pub aggregation: bool,
 }
 
 impl ScaleConfig {
@@ -92,7 +95,14 @@ impl ScaleConfig {
             payload: 8,
             workers: 0,
             window: 2048,
+            aggregation: false,
         }
+    }
+
+    /// The same run with per-destination coalescing on.
+    pub fn aggregated(mut self) -> ScaleConfig {
+        self.aggregation = true;
+        self
     }
 }
 
@@ -126,6 +136,22 @@ pub struct ScaleStats {
     pub advance_p99_ns: u64,
     /// Sample count behind the percentiles.
     pub advance_samples: usize,
+    /// Coalesced frames injected over the run (`aggr.frames`; 0 with
+    /// aggregation off or telemetry compiled out).
+    pub aggr_frames: u64,
+    /// Records that rode those frames (`aggr.batched_msgs`).
+    pub aggr_batched: u64,
+}
+
+impl ScaleStats {
+    /// Mean records per coalesced frame; 0 when no frames were cut.
+    pub fn aggr_mean_batch(&self) -> f64 {
+        if self.aggr_frames > 0 {
+            self.aggr_batched as f64 / self.aggr_frames as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Per-node counter, cache-line padded: incast makes one of these hot.
@@ -164,10 +190,19 @@ impl ScaleHarness {
         let ppn = cfg.endpoints.div_ceil(nodes);
         let shape = TorusShape::for_nodes(nodes);
         let vf = VirtualFabric::new(shape, MachineParams::default());
-        let machine = Machine::builder(shape)
+        let mut builder = Machine::builder(shape)
             .oversubscribed_ppn(ppn)
-            .transport(vf.clone() as Arc<dyn bgq_mu::Transport>)
-            .build();
+            .transport(vf.clone() as Arc<dyn bgq_mu::Transport>);
+        if cfg.aggregation {
+            // Node-bucket (TRAM intermediate) mode: with thousands of
+            // virtual endpoints per node, per-endpoint buckets would see
+            // ~1 record each; bucketing by destination node is what makes
+            // frames fill at scale. Records carry their endpoint address
+            // and the receiving lead context fans them out.
+            builder = builder
+                .aggregation(pami::AggrConfig { node_buckets: true, ..Default::default() });
+        }
+        let machine = builder.build();
         let arrived: Arc<Vec<PaddedCounter>> =
             Arc::new((0..nodes).map(|_| PaddedCounter(AtomicU64::new(0))).collect());
         let mut clients = Vec::with_capacity(nodes);
@@ -302,6 +337,12 @@ impl ScaleHarness {
                                 sent.fetch_add(quota, Ordering::Relaxed);
                                 progressed = true;
                             }
+                            // Aggregated tails: once a node has issued its
+                            // whole quota, cut the open buckets so the
+                            // drain is not gated on the age bound.
+                            if st.remaining == 0 && st.ctx.aggr_pending() > 0 {
+                                progressed |= st.ctx.flush_aggr() > 0;
+                            }
                         }
                         if progressed {
                             progress.fetch_add(1, Ordering::Relaxed);
@@ -352,8 +393,14 @@ impl ScaleHarness {
                 samples[((samples.len() - 1) as f64 * p) as usize]
             }
         };
+        let snap = self.machine.telemetry().snapshot();
         ScaleStats {
-            scenario: self.cfg.scenario.name(),
+            scenario: match (self.cfg.scenario, self.cfg.aggregation) {
+                (Scenario::Incast, false) => "incast",
+                (Scenario::Incast, true) => "incast_aggr",
+                (Scenario::AllToAll, false) => "alltoall",
+                (Scenario::AllToAll, true) => "alltoall_aggr",
+            },
             endpoints: self.endpoints(),
             nodes: self.nodes,
             ppn: self.ppn,
@@ -366,6 +413,8 @@ impl ScaleHarness {
             advance_p50_ns: pct(0.50),
             advance_p99_ns: pct(0.99),
             advance_samples: samples.len(),
+            aggr_frames: snap.counter("aggr.frames"),
+            aggr_batched: snap.counter("aggr.batched_msgs"),
         }
     }
 }
@@ -536,6 +585,7 @@ mod tests {
             payload: 8,
             workers: 2,
             window: 512,
+            aggregation: false,
         });
         let stats = harness.run();
         assert_eq!(stats.endpoints, 4096);
@@ -554,10 +604,38 @@ mod tests {
             payload: 8,
             workers: 2,
             window: 512,
+            aggregation: false,
         });
         let stats = harness.run();
         assert_eq!(stats.sent, stats.arrived);
         assert!(stats.advance_samples > 0);
+    }
+
+    #[test]
+    fn aggregated_alltoall_batches_and_loses_nothing() {
+        let harness = ScaleHarness::new(
+            ScaleConfig {
+                endpoints: 4096,
+                scenario: Scenario::AllToAll,
+                msgs_per_endpoint: 2,
+                payload: 8,
+                workers: 2,
+                window: 512,
+                aggregation: false,
+            }
+            .aggregated(),
+        );
+        let stats = harness.run();
+        assert_eq!(stats.scenario, "alltoall_aggr");
+        assert_eq!(stats.sent, stats.arrived, "coalescing must not lose records");
+        if bgq_upc::ENABLED {
+            assert!(stats.aggr_frames > 0, "the aggregated arm must cut frames");
+            assert!(
+                stats.aggr_mean_batch() > 1.0,
+                "frames must carry more than one record on average: {:.2}",
+                stats.aggr_mean_batch(),
+            );
+        }
     }
 
     #[test]

@@ -28,13 +28,14 @@ use bgq_upc::{Histogram, Stamp, Upc};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
+use crate::aggr::{Aggregator, Frame};
 use crate::endpoint::Endpoint;
 use crate::error::{PamiError, PamiResult};
 use crate::machine::Machine;
 use crate::policy::{ProtoEvent, Protocol};
 use crate::proto::{
-    wire, SendArgs, ShmMailbox, ShmMsg, ShmPayload, DISPATCH_CHAN_REQ, DISPATCH_INTERNAL_BASE,
-    DISPATCH_RZV_RTS,
+    wire, SendArgs, ShmMailbox, ShmMsg, ShmPayload, DISPATCH_AGGR, DISPATCH_CHAN_REQ,
+    DISPATCH_INTERNAL_BASE, DISPATCH_RZV_RTS,
 };
 
 thread_local! {
@@ -177,6 +178,8 @@ struct CtxProbes {
     /// Sends by protocol. The short tier and `send_immediate` share one
     /// probe — they are the same envelope path.
     sends_short: bgq_upc::Counter,
+    /// Sends appended into aggregation buckets (`pami::aggr`).
+    sends_aggr: bgq_upc::Counter,
     sends_eager: bgq_upc::Counter,
     sends_rzv: bgq_upc::Counter,
     sends_shm: bgq_upc::Counter,
@@ -203,6 +206,7 @@ impl CtxProbes {
             idle_fastpath_hits: upc.counter("ctx.idle_fastpath_hits"),
             advance_events: upc.counter("ctx.advance_events"),
             sends_short: upc.counter("ctx.sends_short"),
+            sends_aggr: upc.counter("ctx.sends_aggr"),
             sends_eager: upc.counter("ctx.sends_eager"),
             sends_rzv: upc.counter("ctx.sends_rzv"),
             sends_shm: upc.counter("ctx.sends_shm"),
@@ -263,12 +267,21 @@ pub struct Context {
     /// keyed by (peer endpoint, ordinal), waiting for the local side to
     /// bind its channel.
     chan_offers: Mutex<HashMap<(Endpoint, u64), crate::channel::ChanOffer>>,
+    /// Small-message coalescing buckets (`pami::aggr`), present when the
+    /// machine was built with [`crate::MachineBuilder::aggregation`].
+    /// Appends run lock-free of the advance state; the age-bound flush
+    /// runs inside `advance`.
+    aggr: Option<Aggregator>,
     user_lock: L2TicketMutex,
     /// Cached `machine.policy().wants_feedback()`: when `false` (the
     /// static default) the send path writes a zero stamp and delivery
     /// never reads the clock or calls `observe` — zero per-message policy
     /// cost on the hot path.
     policy_feedback: bool,
+    /// Snapshot of the policy's fixed `(aggr, short, limit)` ladder when it
+    /// is destination-independent (the static default): `send` selects the
+    /// protocol inline without the per-message virtual call.
+    fixed_thresholds: Option<(usize, usize, usize)>,
     /// `ctx.*` telemetry probes, registered on the machine's UPC registry.
     probes: CtxProbes,
 }
@@ -335,8 +348,10 @@ impl Context {
             pending_internal: AtomicUsize::new(0),
             chan_ordinals: Mutex::new(HashMap::new()),
             chan_offers: Mutex::new(HashMap::new()),
+            aggr: machine.aggregation().map(|cfg| Aggregator::new(*cfg, machine.telemetry())),
             user_lock: L2TicketMutex::new(),
             policy_feedback: bgq_upc::ENABLED && machine.policy().wants_feedback(),
+            fixed_thresholds: machine.policy().fixed_thresholds(),
             probes: CtxProbes::new(machine.telemetry()),
         })
     }
@@ -476,6 +491,9 @@ impl Context {
         // packet instead of polluting the eager one.
         let stamp = self.send_stamp();
         let dest_node = self.machine.task_node(dest.task);
+        // An immediate must not overtake records already coalescing for
+        // the same destination: cut that bucket first (no-op when empty).
+        self.flush_aggr_conflict(dest, dest_node);
         if dest_node == self.node {
             let addr = self.addr_of(dest)?;
             addr.mailbox.deliver(ShmMsg {
@@ -523,13 +541,92 @@ impl Context {
         args.dest.task = self.machine.resolve_task(args.dest.task);
         let dest_node = self.machine.task_node(args.dest.task);
         if dest_node == self.node {
+            // On-node sends never coalesce (the mailbox is already one
+            // hop), but they must not overtake a bucket a failover left
+            // pointing at this node.
+            self.flush_aggr_conflict(args.dest, dest_node);
             self.probes.sends_shm.incr_pinned(self.offset as usize);
             return self.send_shm(args);
         }
         let rec_fifo = self.rec_fifo_of(args.dest)?;
         let len = args.payload.len();
+        let mut proto = match self.fixed_thresholds {
+            // Destination-independent ladder: pick inline, no virtual call.
+            Some((aggr, short, limit)) => {
+                if aggr > 0 && len <= aggr {
+                    Protocol::Aggregated
+                } else if short > 0 && len <= short {
+                    Protocol::Short
+                } else if len <= limit {
+                    Protocol::Eager
+                } else {
+                    Protocol::Rendezvous
+                }
+            }
+            None => self.machine.policy().select(args.dest.task, len),
+        };
+        if proto == Protocol::Aggregated {
+            match &self.aggr {
+                Some(aggr) if aggr.record_fits(args.metadata.len(), len) => {
+                    // Append into the destination's coalescing bucket; any
+                    // frame the append cuts (fill) is injected here, under
+                    // the aggregator lock, so frames leave in cut order.
+                    // The payload is copied out now, so local completion
+                    // is immediate — same credit rule as the inline shm
+                    // path.
+                    self.probes.sends_aggr.incr_pinned(self.offset as usize);
+                    let key = self.aggr_key(args.dest, dest_node);
+                    // Borrow the payload bytes in place: the append copies
+                    // them into the bucket, so the immediate path needs no
+                    // refcount round-trip and the region path materializes
+                    // exactly once.
+                    let region_copy;
+                    let payload: &[u8] = match &args.payload {
+                        PayloadSource::Immediate(b) => b,
+                        other => {
+                            region_copy = other.to_bytes();
+                            &region_copy
+                        }
+                    };
+                    let opened = aggr.append(
+                        key,
+                        args.dest,
+                        args.dispatch,
+                        &args.metadata,
+                        payload,
+                        || self.first_hop_class_of(key),
+                        |f| self.send_aggr_frame(f),
+                    );
+                    if let Some(c) = args.local_done {
+                        c.delivered(if len == 0 { 1 } else { len as u64 });
+                    }
+                    if opened {
+                        // First record of a fresh bucket: commthreads park
+                        // on the wakeup region, and one of them (or the
+                        // app's own advance) must run this bucket's
+                        // age-bound flush. Later appends move no deadline
+                        // and skip the wakeup.
+                        self.wakeup.touch();
+                    }
+                    return Ok(());
+                }
+                Some(aggr) => {
+                    // Record too big for a frame (oversize metadata): take
+                    // the direct short path. The generic conflict flush
+                    // below keeps it behind the bucket.
+                    aggr.probes.oversize.incr();
+                    proto = Protocol::Short;
+                }
+                // A custom policy said "aggregate" on a machine without
+                // the layer: degrade to short.
+                None => proto = Protocol::Short,
+            }
+        }
+        // Ordering: a non-aggregated send must not overtake records still
+        // coalescing for the same destination — cut that bucket first.
+        self.flush_aggr_conflict(args.dest, dest_node);
         let stamp = self.send_stamp();
-        match self.machine.policy().select(args.dest.task, len) {
+        match proto {
             Protocol::Short if len <= bgq_torus::packet::MAX_PAYLOAD_BYTES => {
                 self.probes.sends_short.incr_pinned(self.offset as usize);
                 let fifo = &self.inj_fifos[args.dest.task as usize % self.inj_fifos.len()];
@@ -612,6 +709,7 @@ impl Context {
                 };
                 self.inject_to(args.dest.task, desc);
             }
+            Protocol::Aggregated => unreachable!("aggregated sends return from the append arm"),
         }
         Ok(())
     }
@@ -726,44 +824,210 @@ impl Context {
         Ok(())
     }
 
-    /// Positional-argument `put` shim for out-of-tree callers; migrate to
-    /// [`Context::put`] with [`crate::PutArgs`].
-    #[deprecated(note = "use Context::put(PutArgs { .. }) — WindowRef replaces MemKey + offset")]
-    pub fn put_raw(
-        &self,
-        dest_task: u32,
-        payload: PayloadSource,
-        window: crate::machine::MemKey,
-        window_offset: usize,
-        local_done: Option<Counter>,
-    ) -> PamiResult<()> {
-        self.put(crate::proto::PutArgs {
-            dest_task,
-            window: crate::machine::WindowRef::at(window, window_offset),
-            payload,
-            local_done,
-        })
+    // ---- aggregation ------------------------------------------------------
+
+    /// Cut every open coalescing bucket now and inject the frames
+    /// (`pami::aggr`'s explicit flush). Frames leave grouped by the
+    /// dimension-ordered first hop of their destination. Returns the
+    /// number of frames injected; 0 when aggregation is off or idle.
+    pub fn flush_aggr(&self) -> usize {
+        match &self.aggr {
+            Some(aggr) => aggr.flush_all(|f| self.send_aggr_frame(f)),
+            None => 0,
+        }
     }
 
-    /// Positional-argument `get` shim for out-of-tree callers; migrate to
-    /// [`Context::get`] with [`crate::GetArgs`].
-    #[deprecated(note = "use Context::get(GetArgs { .. }) — MemSlot replaces (MemRegion, usize)")]
-    pub fn get_raw(
+    /// Buffered (appended, not yet injected) aggregated records.
+    pub fn aggr_pending(&self) -> usize {
+        self.aggr.as_ref().map_or(0, |a| a.pending())
+    }
+
+    /// The bucket key a send to `dest` coalesces under: the endpoint
+    /// itself, or — in node-bucket (TRAM intermediate) mode — the lead
+    /// endpoint of the destination node, so every task behind the same
+    /// dimension-ordered first hop shares one bucket.
+    fn aggr_key(&self, dest: Endpoint, dest_node: u32) -> Endpoint {
+        match &self.aggr {
+            Some(a) if a.config().node_buckets => {
+                Endpoint { task: self.machine.node_tasks(dest_node).start, context: 0 }
+            }
+            _ => dest,
+        }
+    }
+
+    /// Conflict flush: cut `dest`'s bucket (if open) so a non-aggregated
+    /// message cannot overtake records buffered before it. One lock-free
+    /// load when nothing is buffered anywhere.
+    #[inline]
+    fn flush_aggr_conflict(&self, dest: Endpoint, dest_node: u32) {
+        if let Some(aggr) = &self.aggr {
+            if aggr.pending() > 0 {
+                let key = self.aggr_key(dest, dest_node);
+                aggr.flush_conflict(key, |f| self.send_aggr_frame(f));
+            }
+        }
+    }
+
+    /// Dimension-ordered first-hop class of the route to `dest` — the
+    /// TRAM-style grouping key for flush emission order.
+    fn first_hop_class_of(&self, dest: Endpoint) -> u8 {
+        let shape = self.machine.shape();
+        let dst_node = self.machine.task_node(self.machine.resolve_task(dest.task));
+        bgq_torus::first_hop_class(
+            shape,
+            shape.coords_of(self.node as usize),
+            shape.coords_of(dst_node as usize),
+        )
+    }
+
+    /// Inject one cut frame: a single short-tier packet under the internal
+    /// [`DISPATCH_AGGR`] id, on the destination's pinned injection FIFO —
+    /// the same FIFO (and, under a fault plan, the same selective-repeat
+    /// channel) direct sends to that destination use, which is what keeps
+    /// per-(src,dst) order and exactly-once for every record inside.
+    /// Failover is resolved at emit time, so a bucket opened before a
+    /// failover lands on the standby; an unknown destination drops the
+    /// frame (its records were accepted against an endpoint that no longer
+    /// exists).
+    fn send_aggr_frame(&self, frame: Frame) {
+        let addressed =
+            self.aggr.as_ref().expect("frame emitted without an aggregator").config().node_buckets;
+        let task = self.machine.resolve_task(frame.dest.task);
+        let dest = Endpoint { task, context: frame.dest.context };
+        let dest_node = self.machine.task_node(task);
+        let stamp = self.send_stamp();
+        let hdr = crate::aggr::frame_header(frame.count, addressed);
+        if dest_node == self.node {
+            // Post-failover edge: the bucket's destination now lives on
+            // this node. The frame rides the mailbox; `handle_shm`
+            // unbatches it.
+            if let Ok(addr) = self.addr_of(dest) {
+                addr.mailbox.deliver(ShmMsg {
+                    src: self.endpoint(),
+                    dispatch: DISPATCH_AGGR,
+                    metadata: Bytes::copy_from_slice(&hdr),
+                    stamp,
+                    payload: ShmPayload::Inline(frame.payload),
+                });
+            }
+            return;
+        }
+        let Ok(rec_fifo) = self.rec_fifo_of(dest) else { return };
+        let fifo = &self.inj_fifos[task as usize % self.inj_fifos.len()];
+        let metadata = wire::envelope(self.task, stamp, &hdr);
+        // A frame that fits one short-tier packet rides it whole (with the
+        // cut-through when the FIFO is quiescent); a larger frame rides the
+        // eager packet train and is reassembled before unbatching.
+        let single_packet = frame.payload.len() <= bgq_torus::packet::MAX_PAYLOAD_BYTES;
+        if single_packet && fifo.is_quiescent() {
+            self.machine.fabric().send_short(
+                self.node,
+                fifo,
+                dest_node,
+                rec_fifo,
+                self.offset,
+                DISPATCH_AGGR,
+                metadata,
+                frame.payload,
+                None,
+            );
+        } else {
+            let quiescent = fifo.is_quiescent();
+            let desc = Descriptor {
+                dst_node: dest_node,
+                dst_context: dest.context,
+                src_context: self.offset,
+                routing: bgq_torus::Routing::Deterministic,
+                payload: PayloadSource::Immediate(frame.payload),
+                kind: XferKind::MemoryFifo {
+                    rec_fifo,
+                    dispatch: DISPATCH_AGGR,
+                    metadata,
+                    short: single_packet,
+                },
+                inj_counter: None,
+            };
+            if quiescent {
+                // Multi-packet train with nothing queued ahead of it: the
+                // `PAMI_Send_immediate` path executes the descriptor here,
+                // skipping the queue round trip without overtaking anything.
+                self.machine.fabric().execute_now(self.node, desc);
+            } else {
+                self.machine.fabric().inject_handle(self.node, fifo, desc);
+            }
+        }
+    }
+
+    /// Unbatch one aggregated frame: walk its records and dispatch each
+    /// through the handler memo exactly as if it had arrived as its own
+    /// short message. Addressed (node-bucket) records whose endpoint is
+    /// not this context forward over the node's shared-memory mailboxes.
+    /// Returns the number of records dispatched inline.
+    fn unbatch_aggr_frame(
         &self,
-        dest_task: u32,
-        window: crate::machine::MemKey,
-        window_offset: usize,
-        dst: (MemRegion, usize),
-        len: usize,
-        done: Option<Counter>,
-    ) -> PamiResult<()> {
-        self.get(crate::proto::GetArgs {
-            dest_task,
-            window: crate::machine::WindowRef::at(window, window_offset),
-            dst: crate::proto::MemSlot::at(dst.0, dst.1),
-            len,
-            done,
-        })
+        memo: &mut Option<HandlerMemo>,
+        src: Endpoint,
+        stamp: Stamp,
+        hdr: &[u8],
+        payload: Bytes,
+    ) -> u64 {
+        let (count, addressed) = crate::aggr::open_frame_header(hdr);
+        let mut inline = 0u64;
+        let mut forwarded = 0u64;
+        // Borrowed record walk: handlers dispatch straight from the frame
+        // buffer with zero refcount traffic; only forwarded records (and
+        // non-empty metadata) pay a zero-copy `Bytes::slice`.
+        bgq_mu::batch::walk_records(&payload, count, addressed, |rec| {
+            match rec.dest {
+                Some((task, context))
+                    if !(task == self.task && context == self.offset) =>
+                {
+                    // A sibling endpoint's record: one mailbox hop.
+                    let dest = Endpoint { task, context };
+                    if let Ok(addr) = self.addr_of(dest) {
+                        let meta_end = rec.meta_at + rec.metadata.len();
+                        addr.mailbox.deliver(ShmMsg {
+                            src,
+                            dispatch: rec.dispatch,
+                            metadata: payload.slice(rec.meta_at..meta_end),
+                            stamp,
+                            payload: ShmPayload::Inline(
+                                payload.slice(meta_end..meta_end + rec.payload.len()),
+                            ),
+                        });
+                        forwarded += 1;
+                    }
+                }
+                _ => {
+                    let msg = IncomingMsg {
+                        src,
+                        dispatch: rec.dispatch,
+                        metadata: if rec.metadata.is_empty() {
+                            Bytes::new()
+                        } else {
+                            payload.slice(rec.meta_at..rec.meta_at + rec.metadata.len())
+                        },
+                        len: rec.payload.len() as u64,
+                    };
+                    let handler = self.resolve_handler(memo, rec.dispatch);
+                    match handler(self, &msg, rec.payload) {
+                        Recv::Done => {}
+                        Recv::Into { region, offset, on_complete } => {
+                            region.write(offset, rec.payload);
+                            on_complete(self, Ok(()));
+                        }
+                    }
+                    inline += 1;
+                }
+            }
+        });
+        if let Some(aggr) = &self.aggr {
+            aggr.probes.unbatched.add(inline + forwarded);
+            if forwarded > 0 {
+                aggr.probes.forwarded.add(forwarded);
+            }
+        }
+        inline
     }
 
     /// Injection-FIFO pinning: every message to `dest_task` from this
@@ -820,11 +1084,12 @@ impl Context {
         let addr = self.addr_of(args.dest)?;
         let len = args.payload.len();
         let stamp = self.send_stamp();
-        // On-node, short and eager are the same inline mailbox path; only
-        // rendezvous-class payloads take the global-VA single-copy route.
+        // On-node, short, eager and would-be-aggregated are the same
+        // inline mailbox path; only rendezvous-class payloads take the
+        // global-VA single-copy route.
         let eager = matches!(
             self.machine.policy().select(args.dest.task, len),
-            Protocol::Short | Protocol::Eager
+            Protocol::Short | Protocol::Eager | Protocol::Aggregated
         );
         let payload = if eager {
             let bytes = args.payload.to_bytes();
@@ -897,6 +1162,11 @@ impl Context {
             && self.rec_fifo.is_empty()
             && self.mailbox.queue.is_empty()
             && self.pending_internal.load(Ordering::Acquire) == 0
+            // Buffered-but-young aggregation buckets do NOT defeat the
+            // fast path: nothing to do until the age deadline lapses, and
+            // treating every pending record as work would put the whole
+            // advance walk on the per-send cost of an aggregated flood.
+            && self.aggr.as_ref().is_none_or(|a| !a.due_now())
             && (!self.inline_engine
                 || (self.inj_fifos.iter().all(|f| f.queue.is_empty())
                     && self.sys_fifo.queue.is_empty()
@@ -921,6 +1191,7 @@ impl Context {
             && self.rec_fifo.is_empty()
             && self.mailbox.queue.is_empty()
             && self.pending_internal.load(Ordering::Acquire) == 0
+            && self.aggr.as_ref().is_none_or(|a| a.pending() == 0)
             && self.machine.fabric().links_idle(self.node)
     }
 
@@ -949,6 +1220,16 @@ impl Context {
         }
         if work_done > 0 {
             self.probes.work_items.add_pinned(pin, work_done);
+        }
+
+        // 1b. Aggregation age bound: when the earliest open bucket's µs
+        //     budget has lapsed (one lock-free probe + one clock read),
+        //     cut due buckets grouped by first-hop class so the frames are
+        //     injected (and pumped just below) this advance.
+        if let Some(aggr) = &self.aggr {
+            if aggr.due_now() {
+                events += aggr.flush_due(|f| self.send_aggr_frame(f));
+            }
         }
 
         // 2. Pump this context's own injection FIFOs (inline engine mode;
@@ -1078,6 +1359,58 @@ impl Context {
             if pkt.dispatch == DISPATCH_CHAN_REQ {
                 self.handle_chan_req(src, &body);
                 bc.dispatched += 1;
+                return;
+            }
+            if pkt.dispatch == DISPATCH_AGGR {
+                if pkt.is_last() {
+                    // A single-packet frame: unbatch and dispatch every
+                    // record straight from the packet buffer.
+                    let payload = match &pkt.payload {
+                        bgq_mu::PacketPayload::Inline(b) => b.clone(),
+                        _ => Bytes::copy_from_slice(pkt.payload.view()),
+                    };
+                    bc.dispatched += self.unbatch_aggr_frame(
+                        &mut st.handler_memo,
+                        src,
+                        stamp,
+                        &body,
+                        payload,
+                    );
+                    return;
+                }
+                // A multi-packet frame (eager train): stage the packets in
+                // a scratch region and unbatch once the last one lands —
+                // the records need the full contiguous frame.
+                let total = pkt.msg_len as usize;
+                let region = MemRegion::zeroed(total);
+                let pkt_len = pkt.payload.len();
+                pkt.payload.deposit(&region, 0);
+                bc.copies += 1;
+                let hdr = body.clone();
+                let frame_region = region.clone();
+                st.reassembly.insert(
+                    (pkt.src_node, pkt.msg_id),
+                    Reassembly {
+                        region,
+                        base_offset: 0,
+                        remaining: total - pkt_len,
+                        on_complete: Some(Box::new(move |ctx: &Context, res| {
+                            if res.is_ok() {
+                                let payload = Bytes::from(frame_region.to_vec());
+                                ctx.unbatch_aggr_frame(
+                                    &mut None,
+                                    src,
+                                    stamp,
+                                    &hdr,
+                                    payload,
+                                );
+                            }
+                        })),
+                        stamp,
+                        total_len: total,
+                    },
+                );
+                self.pending_internal.fetch_add(1, Ordering::AcqRel);
                 return;
             }
             let msg = IncomingMsg {
@@ -1238,6 +1571,16 @@ impl Context {
             self.handle_chan_req(msg.src, &msg.metadata);
             return;
         }
+        if msg.dispatch == DISPATCH_AGGR {
+            // An aggregated frame delivered through the mailbox (node-
+            // bucket forwarding never nests, so this is the post-failover
+            // on-node emit path): the header rides the metadata field.
+            let ShmPayload::Inline(payload) = msg.payload else {
+                panic!("aggregated frames are always inline");
+            };
+            self.unbatch_aggr_frame(memo, msg.src, msg.stamp, &msg.metadata, payload);
+            return;
+        }
         let info = IncomingMsg {
             src: msg.src,
             dispatch: msg.dispatch,
@@ -1388,6 +1731,7 @@ impl Context {
     /// (telemetry aggregate; 0 with the `telemetry` feature off).
     pub fn sends_initiated(&self) -> u64 {
         self.probes.sends_short.value()
+            + self.probes.sends_aggr.value()
             + self.probes.sends_eager.value()
             + self.probes.sends_rzv.value()
             + self.probes.sends_shm.value()

@@ -18,8 +18,9 @@
 //! * **Endpoints** ([`endpoint::Endpoint`]) — (task, context) addresses,
 //!   the finer-than-a-process addressing MPI-3 endpoints proposals wanted.
 //! * **Protocols** — `send_immediate` for latency, eager memory-FIFO sends
-//!   for short messages, rendezvous remote-get for bandwidth, and one-sided
-//!   put/get over registered windows (paper section III.E).
+//!   for short messages, rendezvous remote-get for bandwidth, one-sided
+//!   put/get over registered windows (paper section III.E), and TRAM-style
+//!   small-message aggregation ([`aggr`]) for fine-grained message rate.
 //! * **Communication threads** ([`commthread::CommThreadPool`]) — helper
 //!   threads that park on the wakeup unit and advance contexts in the
 //!   background, giving communication/computation overlap and the message
@@ -66,6 +67,7 @@
 //! assert_eq!(got.load(Ordering::SeqCst), 1);
 //! ```
 
+pub mod aggr;
 pub mod channel;
 pub mod client;
 pub mod coll;
@@ -79,6 +81,7 @@ pub mod policy;
 pub mod proto;
 pub mod topology;
 
+pub use aggr::AggrConfig;
 pub use channel::PersistentChannel;
 pub use client::Client;
 pub use commthread::{CommThreadPool, LockDiscipline};

@@ -25,7 +25,8 @@ use bgq_torus::{Rectangle, TorusShape};
 use bgq_upc::Upc;
 use parking_lot::{Mutex, RwLock};
 
-use crate::policy::{AdaptiveConfig, AdaptivePolicy, ProtocolPolicy, StaticPolicy};
+use crate::aggr::AggrConfig;
+use crate::policy::{AdaptiveConfig, AdaptivePolicy, ProtocolPolicy, StaticPolicy, SHORT_CUTOFF};
 use crate::proto::ShmMailbox;
 
 /// Key identifying a registered memory window (one-sided put/get target) or
@@ -228,6 +229,7 @@ pub struct MachineBuilder {
     transport: Option<Arc<dyn bgq_mu::Transport>>,
     telemetry: Option<Upc>,
     combining: bool,
+    aggregation: Option<AggrConfig>,
 }
 
 impl MachineBuilder {
@@ -341,6 +343,23 @@ impl MachineBuilder {
         self
     }
 
+    /// Enable destination-aware small-message aggregation (`pami::aggr`,
+    /// default off): sends the policy routes to [`crate::Protocol::Aggregated`]
+    /// append into per-destination coalescing buckets and travel as
+    /// multi-message packet trains. Installing a config also arms the
+    /// policy's aggregation tier: a static-policy build gets a fixed
+    /// `cutoff`-byte aggregation tier; an adaptive build gets its
+    /// `aggr_cutoff` seeded from `cutoff` (unless the caller's
+    /// [`AdaptiveConfig`] already set one), so the arrival-rate EWMA decides
+    /// per destination. A custom policy is left alone — it opts in by
+    /// returning [`crate::Protocol::Aggregated`] itself.
+    pub fn aggregation(mut self, cfg: AggrConfig) -> Self {
+        assert!(cfg.cutoff >= 1, "aggregation cutoff must be at least 1 byte");
+        assert!(cfg.max_frame >= 64, "aggregated frames below 64 bytes cannot amortize anything");
+        self.aggregation = Some(cfg);
+        self
+    }
+
     /// Share a caller-owned UPC registry instead of creating a fresh one.
     /// Counters registered by several machines under the same name sum in
     /// the snapshot, so one report can cover a multi-machine workload
@@ -357,13 +376,35 @@ impl MachineBuilder {
         let telemetry = self.telemetry.unwrap_or_default();
         let coll_probes = crate::coll::CollProbes::new(&telemetry);
         let coll_registry = crate::coll::CollRegistry::with_builtins();
+        // A frame that fits one short-tier packet rides it whole; a larger
+        // frame rides the eager packet train. Cap the frame budget at a
+        // sane multiple of the packet payload (it bounds per-destination
+        // bucket memory), and keep the record cutoff below the frame so at
+        // least one record always fits.
+        let aggregation = self.aggregation.map(|mut cfg| {
+            cfg.max_frame = cfg.max_frame.min(16 * bgq_torus::packet::MAX_PAYLOAD_BYTES);
+            cfg.cutoff = cfg.cutoff.min(cfg.max_frame / 2);
+            cfg
+        });
         let policy: Arc<dyn ProtocolPolicy> = match self.policy {
-            PolicyChoice::Static => Arc::new(StaticPolicy::new(self.eager_limit)),
+            PolicyChoice::Static => match aggregation {
+                Some(cfg) => Arc::new(StaticPolicy::with_aggr(
+                    cfg.cutoff,
+                    SHORT_CUTOFF.min(self.eager_limit),
+                    self.eager_limit,
+                )),
+                None => Arc::new(StaticPolicy::new(self.eager_limit)),
+            },
             PolicyChoice::Adaptive(cfg) => {
-                let cfg = cfg.unwrap_or(AdaptiveConfig {
+                let mut cfg = cfg.unwrap_or(AdaptiveConfig {
                     initial: self.eager_limit,
                     ..AdaptiveConfig::default()
                 });
+                if let Some(aggr) = aggregation {
+                    if cfg.aggr_cutoff == 0 {
+                        cfg.aggr_cutoff = aggr.cutoff.min(cfg.short_max);
+                    }
+                }
                 Arc::new(AdaptivePolicy::new(cfg, &telemetry))
             }
             PolicyChoice::Custom(p) => p,
@@ -449,6 +490,7 @@ impl MachineBuilder {
             shape: self.shape,
             ppn: self.ppn,
             policy,
+            aggregation,
             inj_fifos_per_context: self.inj_fifos_per_context,
             fabric,
             wakeups: (0..nodes).map(|_| WakeupUnit::new()).collect(),
@@ -492,6 +534,10 @@ pub struct Machine {
     /// eager-vs-rendezvous and feeds completion outcomes back. The default
     /// [`StaticPolicy`] reproduces the old bare `eager_limit` threshold.
     policy: Arc<dyn ProtocolPolicy>,
+    /// Small-message aggregation config (`pami::aggr`), `None` when the
+    /// layer is off. Every context builds its own [`crate::aggr::Aggregator`]
+    /// from this at creation.
+    aggregation: Option<AggrConfig>,
     pub(crate) inj_fifos_per_context: u16,
     pub(crate) fabric: MuFabric,
     wakeups: Vec<WakeupUnit>,
@@ -554,6 +600,7 @@ impl Machine {
             transport: None,
             telemetry: None,
             combining: false,
+            aggregation: None,
         }
     }
 
@@ -583,8 +630,11 @@ impl Machine {
     }
 
     /// Node hosting `task`.
+    #[inline]
     pub fn task_node(&self, task: u32) -> u32 {
-        task / self.ppn as u32
+        // One process per node is the dominant shape (and every bench's):
+        // skip the runtime division, which is on the per-send critical path.
+        if self.ppn == 1 { task } else { task / self.ppn as u32 }
     }
 
     /// `task`'s local rank within its node.
@@ -620,6 +670,12 @@ impl Machine {
     /// [`ProtocolPolicy::observe`].
     pub fn policy(&self) -> &Arc<dyn ProtocolPolicy> {
         &self.policy
+    }
+
+    /// The small-message aggregation config (`pami::aggr`), `None` when
+    /// the layer is off. Frame and cutoff budgets already clamped sane.
+    pub fn aggregation(&self) -> Option<&AggrConfig> {
+        self.aggregation.as_ref()
     }
 
     /// The per-geometry collective algorithm registry (the analogue of

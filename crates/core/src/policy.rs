@@ -46,6 +46,14 @@ pub const SHORT_CUTOFF: usize = 128;
 /// Which wire protocol a send uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
+    /// The send is appended into a per-destination coalescing bucket
+    /// (`pami::aggr`) and travels later as one record of a multi-message
+    /// packet train — the TRAM-style amortization of per-message software
+    /// overhead. Only ever selected for payloads at or below the
+    /// aggregation cutoff, and (adaptively) only for destinations whose
+    /// observed arrival rate is dense enough that the batching delay is
+    /// repaid.
+    Aggregated,
     /// Metadata and payload inline into one packet envelope — no region
     /// registration, no completion counter, no fragment loop; the receive
     /// side dispatches straight from the packet.
@@ -160,6 +168,14 @@ pub trait ProtocolPolicy: Send + Sync {
         0
     }
 
+    /// Fixed `(aggr, short, limit)` thresholds when this policy is a pure
+    /// destination-independent ladder, letting contexts select inline
+    /// without the virtual call on every send. `None` (the default) for
+    /// policies whose choice depends on the destination or on feedback.
+    fn fixed_thresholds(&self) -> Option<(usize, usize, usize)> {
+        None
+    }
+
     /// Short policy name for reports (`"static"` / `"adaptive"`).
     fn name(&self) -> &'static str;
 }
@@ -168,10 +184,11 @@ pub trait ProtocolPolicy: Send + Sync {
 // Static
 // ---------------------------------------------------------------------------
 
-/// Fixed-threshold three-tier ladder: `len <= short` goes short (inline
-/// single packet), `len <= limit` goes eager, everything larger is
-/// rendezvous, for every destination.
+/// Fixed-threshold ladder: `len <= aggr` (when enabled) aggregates,
+/// `len <= short` goes short (inline single packet), `len <= limit` goes
+/// eager, everything larger is rendezvous, for every destination.
 pub struct StaticPolicy {
+    aggr: usize,
     short: usize,
     limit: usize,
 }
@@ -180,7 +197,7 @@ impl StaticPolicy {
     /// A static policy with the given eager limit in bytes and the default
     /// [`SHORT_CUTOFF`] short tier.
     pub fn new(limit: usize) -> StaticPolicy {
-        StaticPolicy { short: SHORT_CUTOFF.min(limit), limit }
+        StaticPolicy { aggr: 0, short: SHORT_CUTOFF.min(limit), limit }
     }
 
     /// A static policy with an explicit short cutoff (`0` disables the
@@ -188,14 +205,26 @@ impl StaticPolicy {
     /// behaviour the benches baseline against).
     pub fn with_short(short: usize, limit: usize) -> StaticPolicy {
         assert!(short <= limit, "short cutoff must not exceed the eager limit");
-        StaticPolicy { short, limit }
+        StaticPolicy { aggr: 0, short, limit }
+    }
+
+    /// A static policy with an aggregation tier: payloads at or below
+    /// `aggr` bytes coalesce unconditionally (`0` disables the tier). The
+    /// machine installs this when [`crate::MachineBuilder::aggregation`] is
+    /// set on a static-policy build.
+    pub fn with_aggr(aggr: usize, short: usize, limit: usize) -> StaticPolicy {
+        assert!(short <= limit, "short cutoff must not exceed the eager limit");
+        assert!(aggr <= limit, "aggregation cutoff must not exceed the eager limit");
+        StaticPolicy { aggr, short, limit }
     }
 }
 
 impl ProtocolPolicy for StaticPolicy {
     #[inline]
     fn select(&self, _dest: u32, len: usize) -> Protocol {
-        if self.short > 0 && len <= self.short {
+        if self.aggr > 0 && len <= self.aggr {
+            Protocol::Aggregated
+        } else if self.short > 0 && len <= self.short {
             Protocol::Short
         } else if len <= self.limit {
             Protocol::Eager
@@ -210,6 +239,10 @@ impl ProtocolPolicy for StaticPolicy {
 
     fn short_crossover(&self, _dest: u32) -> usize {
         self.short
+    }
+
+    fn fixed_thresholds(&self) -> Option<(usize, usize, usize)> {
+        Some((self.aggr, self.short, self.limit))
     }
 
     fn name(&self) -> &'static str {
@@ -262,6 +295,25 @@ pub struct AdaptiveConfig {
     /// band sits strictly below the eager/rendezvous band) and below the
     /// single-packet payload limit so a short send is always one packet.
     pub short_max: usize,
+    /// Aggregation eligibility cutoff in bytes: payloads at or below it
+    /// *may* be coalesced (`pami::aggr`) when the destination's observed
+    /// arrival rate is dense enough. `0` (the default) disables the
+    /// aggregation arm entirely, keeping the small-message fast path
+    /// lock-free. Must stay at or below `short_max` so a coalesced record
+    /// that falls back still fits the short tier.
+    pub aggr_cutoff: usize,
+    /// Mean inter-arrival gap (EWMA, nanoseconds) at or below which a
+    /// destination counts as *dense*: batching delay is repaid, so eligible
+    /// sends start aggregating.
+    pub aggr_dense_ns: u64,
+    /// Single-gap threshold (nanoseconds) above which a destination counts
+    /// as *sparse*: one such gap immediately stops aggregation for the
+    /// destination (a one-shot trip, not an EWMA decision), so latency-
+    /// sensitive trickle traffic never eats the age-bound delay twice.
+    pub aggr_sparse_ns: u64,
+    /// Fresh gap samples required before a destination may (re-)enter the
+    /// aggregating state.
+    pub aggr_min_samples: u32,
 }
 
 impl Default for AdaptiveConfig {
@@ -279,6 +331,10 @@ impl Default for AdaptiveConfig {
             short_initial: SHORT_CUTOFF,
             short_min: 32,
             short_max: 512,
+            aggr_cutoff: 0,
+            aggr_dense_ns: 4_000,
+            aggr_sparse_ns: 16_000,
+            aggr_min_samples: 8,
         }
     }
 }
@@ -326,6 +382,12 @@ struct DestState {
     /// from `eager_cost` so small-message samples never steer the
     /// eager/rendezvous boundary and vice versa).
     eager_short_cost: Ewma,
+    /// Clock reading of the last aggregation-eligible select (0 = never).
+    last_arrival_ns: u64,
+    /// EWMA of inter-arrival gaps between eligible sends, nanoseconds.
+    interarrival: Ewma,
+    /// Whether eligible sends to this destination currently aggregate.
+    aggregating: bool,
 }
 
 /// Number of destination shards the adaptive per-destination map is split
@@ -347,6 +409,7 @@ struct CongestionState {
 
 /// `proto.*` probes: the selection layer's own telemetry.
 struct ProtoProbes {
+    aggr_selected: bgq_upc::Counter,
     short_selected: bgq_upc::Counter,
     eager_selected: bgq_upc::Counter,
     rzv_selected: bgq_upc::Counter,
@@ -370,6 +433,7 @@ struct ProtoProbes {
 impl ProtoProbes {
     fn new(upc: &Upc) -> ProtoProbes {
         ProtoProbes {
+            aggr_selected: upc.counter("proto.aggr_selected"),
             short_selected: upc.counter("proto.short_selected"),
             eager_selected: upc.counter("proto.eager_selected"),
             rzv_selected: upc.counter("proto.rzv_selected"),
@@ -421,6 +485,10 @@ impl AdaptivePolicy {
             "short clamp must satisfy 1 <= short_min <= short_max"
         );
         assert!(cfg.short_max <= cfg.min, "short band must sit below the eager/rzv band");
+        assert!(
+            cfg.aggr_cutoff <= cfg.short_max,
+            "aggregation cutoff must sit inside the short band"
+        );
         AdaptivePolicy {
             cfg,
             upc: upc.clone(),
@@ -454,6 +522,9 @@ impl AdaptivePolicy {
             short_crossover: cfg.short_initial.clamp(cfg.short_min, cfg.short_max),
             short_cost: Ewma::default(),
             eager_short_cost: Ewma::default(),
+            last_arrival_ns: 0,
+            interarrival: Ewma::default(),
+            aggregating: false,
         })
     }
 
@@ -536,10 +607,67 @@ impl AdaptivePolicy {
             self.probes.ras_downgrades.incr();
         }
     }
+
+    /// Record one aggregation-eligible arrival for `dest` and return
+    /// whether the destination is currently dense enough to aggregate.
+    ///
+    /// The decision is a one-sided hysteresis loop: entering the
+    /// aggregating state takes `aggr_min_samples` fresh gaps with an EWMA
+    /// below `aggr_dense_ns`; leaving it takes a *single* gap above
+    /// `aggr_sparse_ns` (or the EWMA drifting past it). The asymmetry is
+    /// deliberate — the cost of wrongly aggregating is the age-bound delay
+    /// on latency-sensitive traffic, which is paid immediately, while the
+    /// cost of wrongly not aggregating is a small rate loss paid gradually.
+    fn update_arrival(&self, dest: u32) -> bool {
+        let now = bgq_upc::Stamp::now().ns();
+        let cfg = self.cfg;
+        let mut dests = self.shard(dest).lock();
+        let st = Self::dest_entry(&mut dests, &cfg, dest);
+        let last = st.last_arrival_ns;
+        st.last_arrival_ns = now;
+        if last == 0 || now <= last {
+            return st.aggregating;
+        }
+        let gap = now - last;
+        if gap > cfg.aggr_sparse_ns {
+            // One-shot trip: the stream went quiet, stop batching at once
+            // and demand fresh dense evidence before resuming.
+            st.aggregating = false;
+            st.interarrival = Ewma::default();
+            return false;
+        }
+        st.interarrival.push(gap as f64);
+        if st.aggregating {
+            if st.interarrival.value > cfg.aggr_sparse_ns as f64 {
+                st.aggregating = false;
+                st.interarrival.reset_fresh();
+            }
+        } else if st.interarrival.fresh >= cfg.aggr_min_samples
+            && st.interarrival.value < cfg.aggr_dense_ns as f64
+        {
+            st.aggregating = true;
+            st.interarrival.reset_fresh();
+        }
+        st.aggregating
+    }
 }
 
 impl ProtocolPolicy for AdaptivePolicy {
     fn select(&self, dest: u32, len: usize) -> Protocol {
+        // Aggregation arm: eligible sends consult the destination's
+        // arrival-rate state before the size ladder. Gated on a nonzero
+        // cutoff *and* live telemetry (gaps are clock readings — with the
+        // clock compiled out every gap is zero and "dense" would be
+        // meaningless), so the default build never pays this lock.
+        // (A sparse destination falls through to the normal ladder.)
+        if self.cfg.aggr_cutoff > 0
+            && bgq_upc::ENABLED
+            && len <= self.cfg.aggr_cutoff
+            && self.update_arrival(dest)
+        {
+            self.probes.aggr_selected.incr();
+            return Protocol::Aggregated;
+        }
         // Outside the tunable bands the answer is fixed and lock-free — the
         // uniform small-message (8-byte flood) fast path never touches
         // per-destination state.
@@ -583,6 +711,7 @@ impl ProtocolPolicy for AdaptivePolicy {
                 Protocol::Eager if len <= self.cfg.short_max => Protocol::Short,
                 Protocol::Eager => Protocol::Rendezvous,
                 Protocol::Rendezvous => Protocol::Eager,
+                Protocol::Aggregated => unreachable!("aggregation decided before the ladder"),
             }
         } else {
             natural
@@ -592,6 +721,7 @@ impl ProtocolPolicy for AdaptivePolicy {
             Protocol::Short => self.probes.short_selected.incr(),
             Protocol::Eager => self.probes.eager_selected.incr(),
             Protocol::Rendezvous => self.probes.rzv_selected.incr(),
+            Protocol::Aggregated => unreachable!("aggregation decided before the ladder"),
         }
         chosen
     }
@@ -606,6 +736,7 @@ impl ProtocolPolicy for AdaptivePolicy {
             Protocol::Short => self.probes.short_delivery_ns.record(ns),
             Protocol::Eager => self.probes.eager_delivery_ns.record(ns),
             Protocol::Rendezvous => self.probes.rzv_rtt_ns.record(ns),
+            Protocol::Aggregated => unreachable!("no aggregated delivery event exists"),
         }
         // Compiled-out telemetry stamps every observation 0ns: skip all
         // adaptation so the policy is exactly the static path.
@@ -632,7 +763,7 @@ impl ProtocolPolicy for AdaptivePolicy {
             match proto {
                 Protocol::Short => st.short_cost.push(per_byte),
                 Protocol::Eager => st.eager_short_cost.push(per_byte),
-                Protocol::Rendezvous => {}
+                Protocol::Rendezvous | Protocol::Aggregated => {}
             }
             if st.short_cost.fresh >= cfg.min_samples
                 && st.eager_short_cost.fresh >= cfg.min_samples
@@ -664,7 +795,7 @@ impl ProtocolPolicy for AdaptivePolicy {
         match proto {
             Protocol::Eager => st.eager_cost.push(per_byte),
             Protocol::Rendezvous => st.rzv_cost.push(per_byte),
-            Protocol::Short => unreachable!(),
+            Protocol::Short | Protocol::Aggregated => unreachable!(),
         }
         if st.eager_cost.fresh < cfg.min_samples || st.rzv_cost.fresh < cfg.min_samples {
             return;
@@ -900,6 +1031,72 @@ mod tests {
         }
         // Dest 17 shares shard 1 with dest 1 but has untouched state.
         assert_eq!(p.crossover(17), 4096);
+    }
+
+    #[test]
+    fn static_policy_aggregation_tier() {
+        let p = StaticPolicy::with_aggr(64, 128, 4096);
+        assert_eq!(p.select(0, 1), Protocol::Aggregated);
+        assert_eq!(p.select(0, 64), Protocol::Aggregated);
+        assert_eq!(p.select(0, 65), Protocol::Short);
+        assert_eq!(p.select(0, 128), Protocol::Short);
+        assert_eq!(p.select(0, 129), Protocol::Eager);
+        assert_eq!(p.select(0, 4097), Protocol::Rendezvous);
+        // Zero cutoff disables the tier outright.
+        let p = StaticPolicy::with_aggr(0, 128, 4096);
+        assert_eq!(p.select(0, 1), Protocol::Short);
+    }
+
+    #[test]
+    fn adaptive_aggregation_off_by_default() {
+        let upc = Upc::new();
+        let p = AdaptivePolicy::new(AdaptiveConfig::default(), &upc);
+        // Default config has aggr_cutoff 0: tiny sends stay on the
+        // lock-free short fast path no matter how dense the stream.
+        for _ in 0..100 {
+            assert_eq!(p.select(3, 16), Protocol::Short);
+        }
+    }
+
+    #[test]
+    fn adaptive_aggregation_toggles_on_arrival_rate() {
+        if !bgq_upc::ENABLED {
+            return; // gaps are clock readings; compiled out, the arm is off
+        }
+        let upc = Upc::new();
+        let cfg = AdaptiveConfig {
+            aggr_cutoff: 64,
+            aggr_dense_ns: 1_000_000,  // generous: a tight loop is "dense"
+            aggr_sparse_ns: 5_000_000, // 5 ms — a sleep trips it reliably
+            aggr_min_samples: 4,
+            ..AdaptiveConfig::default()
+        };
+        let p = AdaptivePolicy::new(cfg, &upc);
+        // A dense back-to-back stream starts aggregating once enough fresh
+        // gaps accumulate — and eligibility is size-gated.
+        let mut saw_aggregated = false;
+        for _ in 0..64 {
+            if p.select(5, 32) == Protocol::Aggregated {
+                saw_aggregated = true;
+            }
+        }
+        assert!(saw_aggregated, "dense stream must start aggregating");
+        assert_eq!(p.select(5, 32), Protocol::Aggregated);
+        assert_ne!(p.select(5, 65), Protocol::Aggregated, "above the cutoff never aggregates");
+        // One long gap trips the one-shot sparse exit immediately.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_ne!(p.select(5, 32), Protocol::Aggregated, "a sparse gap stops aggregation");
+        // Dense traffic resumes: after min_samples fresh gaps it re-enters.
+        let mut resumed = false;
+        for _ in 0..64 {
+            if p.select(5, 32) == Protocol::Aggregated {
+                resumed = true;
+            }
+        }
+        assert!(resumed, "dense stream must re-enter aggregation");
+        // Other destinations are independent: dest 6 has no dense history
+        // yet, so its first eligible send does not aggregate.
+        assert_ne!(p.select(6, 32), Protocol::Aggregated);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub(crate) const DISPATCH_RZV_RTS: u16 = 0xFF00;
 /// traffic is fixed-descriptor direct puts with no per-message protocol).
 pub(crate) const DISPATCH_CHAN_REQ: u16 = 0xFF01;
 
+/// Internal dispatch id: an aggregated frame — one packet carrying a train
+/// of coalesced small active messages ([`crate::aggr`]); the receive path
+/// unbatches it and dispatches each record through the handler memo.
+pub(crate) const DISPATCH_AGGR: u16 = 0xFF02;
+
 /// First user-forbidden dispatch id; user dispatch ids must be below this.
 pub const DISPATCH_INTERNAL_BASE: u16 = 0xFF00;
 
